@@ -1,0 +1,31 @@
+//! Ablation A2 — window-sampling vs event-stream simulation engines: both
+//! implement the same stochastic process, so their simulated overheads must
+//! agree within Monte-Carlo noise (and with the analytical expectation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ayd_exp::ablation;
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+use ayd_sim::{EngineKind, SimulationConfig, Simulator};
+
+fn bench_engines(c: &mut Criterion) {
+    let data = ablation::run_engine_comparison(&ayd_bench::print_options());
+    ayd_bench::print_table(&ablation::render_engine_comparison(&data));
+
+    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+    let simulator = Simulator::new(model);
+    let config = SimulationConfig { runs: 4, patterns_per_run: 25, ..Default::default() };
+
+    let mut group = c.benchmark_group("engines");
+    group.bench_function("window_sampling", |b| {
+        b.iter(|| simulator.simulate_overhead(black_box(6_000.0), black_box(400.0), &config))
+    });
+    group.bench_function("event_stream", |b| {
+        let config = config.with_engine(EngineKind::EventStream);
+        b.iter(|| simulator.simulate_overhead(black_box(6_000.0), black_box(400.0), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Ablation A1 — overhead gap between the first-order period and the
+//! numerically optimal period as the processor count approaches the validity
+//! bound of the Taylor expansion (Inequality (5)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::ablation;
+
+fn bench_ablation_gap(c: &mut Criterion) {
+    let data = ablation::run_first_order_gap(&ayd_bench::timed_options());
+    ayd_bench::print_table(&ablation::render_first_order_gap(&data));
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    group.bench_function("first_order_gap_sweep", |b| {
+        b.iter(|| ablation::run_first_order_gap(&ayd_bench::timed_options()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_gap);
+criterion_main!(benches);

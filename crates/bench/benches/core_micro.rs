@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the core analytical kernels: the exact pattern model
+//! (Proposition 1), the first-order closed forms (Theorems 1–3), the numerical
+//! `(P, T)` optimiser and a single simulated pattern batch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ayd_core::{FirstOrder, SpeedupProfile};
+use ayd_exp::Evaluator;
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+use ayd_sim::{SimulationConfig, Simulator};
+
+fn bench_core(c: &mut Criterion) {
+    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+
+    c.bench_function("exact_pattern_time", |b| {
+        b.iter(|| model.expected_pattern_time(black_box(6_000.0), black_box(400.0)))
+    });
+
+    c.bench_function("exact_overhead", |b| {
+        b.iter(|| model.expected_overhead(black_box(6_000.0), black_box(400.0)))
+    });
+
+    c.bench_function("first_order_joint_optimum", |b| {
+        b.iter(|| FirstOrder::new(&model).joint_optimum().unwrap())
+    });
+
+    c.bench_function("first_order_period_for_fixed_p", |b| {
+        b.iter(|| FirstOrder::new(&model).optimal_period_for(black_box(512.0)))
+    });
+
+    c.bench_function("numerical_joint_optimum", |b| {
+        let evaluator = Evaluator::new(ayd_bench::timed_options());
+        b.iter(|| evaluator.numerical_point(&model))
+    });
+
+    c.bench_function("amdahl_speedup", |b| {
+        let profile = SpeedupProfile::amdahl(0.1).unwrap();
+        b.iter(|| profile.speedup(black_box(512.0)))
+    });
+
+    c.bench_function("simulate_small_batch", |b| {
+        let simulator = Simulator::new(model);
+        let config = SimulationConfig { runs: 4, patterns_per_run: 25, ..Default::default() };
+        b.iter(|| simulator.simulate_overhead(black_box(6_000.0), black_box(400.0), &config))
+    });
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Extension E1 — optimal patterns for non-Amdahl speedup profiles (the
+//! paper's future-work direction), computed with the numerical optimiser.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::extensions;
+
+fn bench_extensions(c: &mut Criterion) {
+    let data = extensions::run(&ayd_bench::print_options());
+    ayd_bench::print_table(&extensions::render(&data));
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("speedup_profiles_analytical", |b| {
+        b.iter(|| extensions::run(&ayd_bench::timed_options()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 2 — optimal patterns (P*, T*, overhead) for the six resilience
+//! scenarios on the four platforms. Prints the reproduced series (with
+//! smoke-level simulation) and times the analytical/numerical part for one
+//! platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::figure2;
+use ayd_platforms::PlatformId;
+
+fn bench_fig2(c: &mut Criterion) {
+    let data = figure2::run(&ayd_bench::print_options());
+    ayd_bench::print_table(&figure2::render(&data));
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+    group.bench_function("hera_all_scenarios_analytical", |b| {
+        b.iter(|| figure2::run_platform(PlatformId::Hera, &ayd_bench::timed_options()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 3 — optimal period, overhead and first-order gap versus processor
+//! count on Hera. Prints the reproduced series and times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::figure3;
+
+fn bench_fig3(c: &mut Criterion) {
+    let data = figure3::run(&ayd_bench::print_options());
+    ayd_bench::print_table(&figure3::render(&data));
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+    group.bench_function("processor_sweep_analytical", |b| {
+        b.iter(|| {
+            figure3::run_with_processors(&[200.0, 600.0, 1_000.0, 1_400.0], &ayd_bench::timed_options())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 4 — optimal pattern versus the sequential fraction α on Hera.
+//! Prints the reproduced series and times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::figure4;
+
+fn bench_fig4(c: &mut Criterion) {
+    let data = figure4::run(&ayd_bench::print_options());
+    ayd_bench::print_table(&figure4::render(&data));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("alpha_sweep_analytical", |b| {
+        b.iter(|| figure4::run_with_alphas(&[1e-4, 1e-3, 1e-2, 1e-1], &ayd_bench::timed_options()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5 — optimal pattern versus the individual error rate λ_ind on Hera
+//! (α = 0.1), together with the fitted asymptotic exponents (Θ(λ^-1/4),
+//! Θ(λ^-1/3), ...). Prints the reproduced series and times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::figure5;
+
+fn bench_fig5(c: &mut Criterion) {
+    let data = figure5::run(&ayd_bench::print_options());
+    ayd_bench::print_table(&figure5::render(&data));
+    ayd_bench::print_table(&figure5::render_slopes(&data));
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("lambda_sweep_analytical", |b| {
+        b.iter(|| {
+            figure5::run_with(&[1e-11, 1e-10, 1e-9, 1e-8], 0.1, &ayd_bench::timed_options())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

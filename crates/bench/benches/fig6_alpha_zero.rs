@@ -1,0 +1,23 @@
+//! Figure 6 — optimal pattern versus λ_ind for a perfectly parallel job
+//! (α = 0, numerical optimum only), with the fitted asymptotic exponents.
+//! Prints the reproduced series and times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::figure6;
+
+fn bench_fig6(c: &mut Criterion) {
+    let data = figure6::run(&ayd_bench::print_options());
+    ayd_bench::print_table(&figure6::render(&data));
+    ayd_bench::print_table(&figure6::render_slopes(&data));
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("alpha_zero_sweep", |b| {
+        b.iter(|| figure6::run_with(&[1e-10, 1e-9, 1e-8], &ayd_bench::timed_options()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 7 — optimal pattern versus the downtime D on Hera (α = 0.1).
+//! Prints the reproduced series and times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::figure7;
+
+fn bench_fig7(c: &mut Criterion) {
+    let data = figure7::run(&ayd_bench::print_options());
+    ayd_bench::print_table(&figure7::render(&data));
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("downtime_sweep_analytical", |b| {
+        b.iter(|| {
+            figure7::run_with_downtimes(&[0.0, 3_600.0, 10_800.0], &ayd_bench::timed_options())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

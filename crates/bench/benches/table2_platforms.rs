@@ -1,0 +1,18 @@
+//! Table II — platform parameters. Prints the reproduced table and times the
+//! catalogue construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::tables;
+
+fn bench_table2(c: &mut Criterion) {
+    let data = tables::table2();
+    ayd_bench::print_table(&tables::render_table2(&data));
+
+    c.bench_function("table2_build_and_render", |b| {
+        b.iter(|| tables::render_table2(&tables::table2()).render())
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

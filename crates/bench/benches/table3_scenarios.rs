@@ -1,0 +1,16 @@
+//! Table III — resilience scenarios and the cost coefficients fitted to every
+//! platform. Prints the reproduced table and times the fitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::tables;
+
+fn bench_table3(c: &mut Criterion) {
+    let data = tables::table3();
+    ayd_bench::print_table(&tables::render_table3(&data));
+
+    c.bench_function("table3_fit_all_scenarios", |b| b.iter(tables::table3));
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Error types for model construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced when constructing or evaluating an analytical model with
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter that must be non-negative was negative (or NaN).
+    Negative {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fraction (e.g. the sequential fraction `α` or the fail-stop fraction `f`)
+    /// was outside the closed interval `[0, 1]`.
+    NotAFraction {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested closed-form optimum does not exist for the given cost model
+    /// (e.g. Theorem 2 requires a linearly growing checkpoint cost, Theorem 3 a
+    /// constant one, and neither applies when `C_P + V_P = h/P`).
+    NoClosedFormOptimum {
+        /// Explanation of which structural assumption is violated.
+        reason: &'static str,
+    },
+    /// The first-order approximation is not applicable for the requested regime
+    /// (e.g. a perfectly parallel application with `α = 0`).
+    FirstOrderInapplicable {
+        /// Explanation of why the approximation breaks down.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be strictly positive, got {value}")
+            }
+            ModelError::Negative { name, value } => {
+                write!(f, "parameter `{name}` must be non-negative and finite, got {value}")
+            }
+            ModelError::NotAFraction { name, value } => {
+                write!(f, "parameter `{name}` must lie in [0, 1], got {value}")
+            }
+            ModelError::NoClosedFormOptimum { reason } => {
+                write!(f, "no closed-form optimum exists: {reason}")
+            }
+            ModelError::FirstOrderInapplicable { reason } => {
+                write!(f, "first-order approximation not applicable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::NonPositive { name, value })
+    }
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn ensure_non_negative(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::Negative { name, value })
+    }
+}
+
+/// Validates that `value` is a fraction in `[0, 1]`.
+pub(crate) fn ensure_fraction(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ModelError::NotAFraction { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_accepts_positive() {
+        assert_eq!(ensure_positive("x", 1.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn positive_rejects_zero_negative_nan_inf() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", -1.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn non_negative_accepts_zero() {
+        assert_eq!(ensure_non_negative("x", 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn non_negative_rejects_negative_and_nan() {
+        assert!(ensure_non_negative("x", -0.1).is_err());
+        assert!(ensure_non_negative("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn fraction_bounds() {
+        assert!(ensure_fraction("f", 0.0).is_ok());
+        assert!(ensure_fraction("f", 1.0).is_ok());
+        assert!(ensure_fraction("f", 0.5).is_ok());
+        assert!(ensure_fraction("f", 1.0001).is_err());
+        assert!(ensure_fraction("f", -0.0001).is_err());
+        assert!(ensure_fraction("f", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_messages_mention_parameter_name() {
+        let err = ModelError::NonPositive { name: "lambda_ind", value: 0.0 };
+        assert!(err.to_string().contains("lambda_ind"));
+        let err = ModelError::NotAFraction { name: "alpha", value: 2.0 };
+        assert!(err.to_string().contains("alpha"));
+        let err = ModelError::NoClosedFormOptimum { reason: "h/P cost" };
+        assert!(err.to_string().contains("h/P cost"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Classical Young/Daly baselines (fail-stop errors only, no verification).
+//!
+//! The paper extends the Young/Daly first-order formula to two error sources and a
+//! verification cost. This module provides the classical baselines so the
+//! experiments (and downstream users) can compare the generalised period of
+//! Theorem 1 against them:
+//!
+//! * **Young (1974)** / first-order: `T* = sqrt(2 C / λ)` where `λ` is the
+//!   platform fail-stop rate and `C` the checkpoint cost.
+//! * **Daly (2006)** / higher-order: `T* = sqrt(2 C (µ + D + R)) - C`, clamped to
+//!   the platform MTBF when the checkpoint cost is large; we implement the
+//!   commonly used variant `sqrt(2 C µ) · [1 + sqrt(C/(2µ))/3 + C/(18µ)] - C` as
+//!   well as the simple form.
+
+/// Young's first-order optimal checkpointing period `sqrt(2 C / λ)` for a
+/// platform fail-stop error rate `lambda` (errors/second) and checkpoint cost
+/// `checkpoint_cost` (seconds).
+///
+/// # Panics
+/// Panics if `lambda` or `checkpoint_cost` is not strictly positive.
+pub fn young_daly_period(checkpoint_cost: f64, lambda: f64) -> f64 {
+    assert!(checkpoint_cost > 0.0, "checkpoint cost must be positive");
+    assert!(lambda > 0.0, "failure rate must be positive");
+    (2.0 * checkpoint_cost / lambda).sqrt()
+}
+
+/// Daly's higher-order optimal checkpointing period. Uses the series refinement
+/// `sqrt(2 C µ) [1 + (1/3) sqrt(C/(2µ)) + (1/18)(C/(2µ))] - C` when `C < 2µ`, and
+/// falls back to the platform MTBF `µ` otherwise (Daly 2006, Eq. (20)).
+///
+/// # Panics
+/// Panics if `checkpoint_cost` or `platform_mtbf` is not strictly positive.
+pub fn daly_period(checkpoint_cost: f64, platform_mtbf: f64) -> f64 {
+    assert!(checkpoint_cost > 0.0, "checkpoint cost must be positive");
+    assert!(platform_mtbf > 0.0, "platform MTBF must be positive");
+    let c = checkpoint_cost;
+    let mu = platform_mtbf;
+    if c < 2.0 * mu {
+        let ratio = c / (2.0 * mu);
+        (2.0 * c * mu).sqrt() * (1.0 + ratio.sqrt() / 3.0 + ratio / 18.0) - c
+    } else {
+        mu
+    }
+}
+
+/// First-order expected waste (fraction of time not spent on useful work) of a
+/// periodic checkpointing protocol with period `t`, checkpoint cost `c` and
+/// platform fail-stop rate `lambda`: `c/t + λ t / 2` (lower-order terms dropped).
+pub fn first_order_waste(t: f64, checkpoint_cost: f64, lambda: f64) -> f64 {
+    assert!(t > 0.0);
+    checkpoint_cost / t + lambda * t / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_daly_textbook_value() {
+        // C = 300 s, platform MTBF = 1 day → λ = 1/86400.
+        let t = young_daly_period(300.0, 1.0 / 86_400.0);
+        assert!((t - (2.0 * 300.0 * 86_400.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn young_daly_minimises_first_order_waste() {
+        let (c, lambda) = (300.0, 1e-5);
+        let t = young_daly_period(c, lambda);
+        let w = first_order_waste(t, c, lambda);
+        assert!(first_order_waste(t * 1.1, c, lambda) > w);
+        assert!(first_order_waste(t * 0.9, c, lambda) > w);
+    }
+
+    #[test]
+    fn daly_refines_young_for_small_checkpoint_cost() {
+        let c = 60.0;
+        let mu = 86_400.0;
+        let young = young_daly_period(c, 1.0 / mu);
+        let daly = daly_period(c, mu);
+        // Daly's refinement is close to Young's value but not identical.
+        assert!((daly - young).abs() / young < 0.05);
+        assert!(daly != young);
+    }
+
+    #[test]
+    fn daly_clamps_to_mtbf_for_huge_checkpoint_cost() {
+        assert_eq!(daly_period(1e6, 100.0), 100.0);
+    }
+
+    #[test]
+    fn period_scales_as_inverse_sqrt_lambda() {
+        let t1 = young_daly_period(300.0, 1e-6);
+        let t2 = young_daly_period(300.0, 1e-6 / 4.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_cost() {
+        let _ = young_daly_period(0.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_rate() {
+        let _ = young_daly_period(100.0, 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! `reproduce` — CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! reproduce <experiment> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]
+//!
+//! experiments:
+//!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
+//!   checks      headline shape checks (figures 5 and 6 slopes)
+//!   all         everything above
+//! ```
+
+use std::process::ExitCode;
+
+use ayd_exp::config::{Fidelity, RunOptions};
+use ayd_exp::{ablation, extensions, figure2, figure3, figure4, figure5, figure6, figure7};
+use ayd_exp::{report, tables, TextTable};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+    Csv,
+}
+
+struct Cli {
+    experiments: Vec<String>,
+    options: RunOptions,
+    format: OutputFormat,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut experiments = Vec::new();
+    let mut options = RunOptions::default();
+    let mut format = OutputFormat::Text;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => options.fidelity = Fidelity::Paper,
+            "--smoke" => options.fidelity = Fidelity::Smoke,
+            "--no-sim" => options.simulate = false,
+            "--json" => format = OutputFormat::Json,
+            "--csv" => format = OutputFormat::Csv,
+            "--seed" => {
+                let value = iter.next().ok_or("--seed requires a value")?;
+                options.seed = value.parse().map_err(|_| format!("invalid seed `{value}`"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        return Err(usage());
+    }
+    Ok(Cli { experiments, options, format })
+}
+
+fn usage() -> String {
+    "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]\n\
+     experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions checks all"
+        .to_string()
+}
+
+fn emit(format: OutputFormat, tables: Vec<TextTable>, json: serde_json::Value) {
+    match format {
+        OutputFormat::Text => {
+            for table in tables {
+                println!("{}", table.render());
+            }
+        }
+        OutputFormat::Csv => {
+            for table in tables {
+                println!("# {}", table.title());
+                println!("{}", table.to_csv());
+            }
+        }
+        OutputFormat::Json => {
+            println!("{}", serde_json::to_string_pretty(&json).expect("serialisable results"));
+        }
+    }
+}
+
+fn run_experiment(name: &str, options: &RunOptions, format: OutputFormat) -> Result<(), String> {
+    match name {
+        "table2" => {
+            let data = tables::table2();
+            emit(format, vec![tables::render_table2(&data)], serde_json::to_value(&data).unwrap());
+        }
+        "table3" => {
+            let data = tables::table3();
+            emit(format, vec![tables::render_table3(&data)], serde_json::to_value(&data).unwrap());
+        }
+        "fig2" => {
+            let data = figure2::run(options);
+            emit(format, vec![figure2::render(&data)], serde_json::to_value(&data).unwrap());
+        }
+        "fig3" => {
+            let data = figure3::run(options);
+            emit(format, vec![figure3::render(&data)], serde_json::to_value(&data).unwrap());
+        }
+        "fig4" => {
+            let data = figure4::run(options);
+            emit(format, vec![figure4::render(&data)], serde_json::to_value(&data).unwrap());
+        }
+        "fig5" => {
+            let data = figure5::run(options);
+            emit(
+                format,
+                vec![figure5::render(&data), figure5::render_slopes(&data)],
+                serde_json::to_value(&data).unwrap(),
+            );
+        }
+        "fig6" => {
+            let data = figure6::run(options);
+            emit(
+                format,
+                vec![figure6::render(&data), figure6::render_slopes(&data)],
+                serde_json::to_value(&data).unwrap(),
+            );
+        }
+        "fig7" => {
+            let data = figure7::run(options);
+            emit(format, vec![figure7::render(&data)], serde_json::to_value(&data).unwrap());
+        }
+        "ablation" => {
+            let data = ablation::run_first_order_gap(options);
+            emit(
+                format,
+                vec![ablation::render_first_order_gap(&data)],
+                serde_json::to_value(&data).unwrap(),
+            );
+        }
+        "engines" => {
+            let data = ablation::run_engine_comparison(options);
+            emit(
+                format,
+                vec![ablation::render_engine_comparison(&data)],
+                serde_json::to_value(&data).unwrap(),
+            );
+        }
+        "extensions" => {
+            let data = extensions::run(options);
+            emit(format, vec![extensions::render(&data)], serde_json::to_value(&data).unwrap());
+        }
+        "checks" => {
+            // The slope checks do not need simulation; force it off for speed.
+            let analytic = RunOptions { simulate: false, ..*options };
+            let fig5 = figure5::run(&analytic);
+            let fig6 = figure6::run(&analytic);
+            let checks = report::headline_checks(&fig5, &fig6);
+            let table = report::render_checks("Headline shape checks (paper vs reproduction)", &checks);
+            emit(format, vec![table], serde_json::to_value(&checks).unwrap());
+        }
+        "all" => {
+            for experiment in [
+                "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation",
+                "engines", "extensions", "checks",
+            ] {
+                run_experiment(experiment, options, format)?;
+            }
+        }
+        other => return Err(format!("unknown experiment `{other}`\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for experiment in &cli.experiments {
+        if let Err(message) = run_experiment(experiment, &cli.options, cli.format) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_experiments_and_flags() {
+        let cli =
+            parse_args(&strings(&["fig2", "fig5", "--no-sim", "--json", "--seed", "7"])).unwrap();
+        assert_eq!(cli.experiments, vec!["fig2", "fig5"]);
+        assert!(!cli.options.simulate);
+        assert_eq!(cli.options.seed, 7);
+        assert_eq!(cli.format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn paper_and_smoke_set_fidelity() {
+        assert_eq!(parse_args(&strings(&["fig2", "--paper"])).unwrap().options.fidelity, Fidelity::Paper);
+        assert_eq!(parse_args(&strings(&["fig2", "--smoke"])).unwrap().options.fidelity, Fidelity::Smoke);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_empty_invocations() {
+        assert!(parse_args(&strings(&["fig2", "--bogus"])).is_err());
+        assert!(parse_args(&strings(&[])).is_err());
+        assert!(parse_args(&strings(&["--seed"])).is_err());
+        assert!(parse_args(&strings(&["fig2", "--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let options = RunOptions { simulate: false, ..RunOptions::smoke() };
+        assert!(run_experiment("fig999", &options, OutputFormat::Text).is_err());
+    }
+
+    #[test]
+    fn table_experiments_run_quickly() {
+        let options = RunOptions { simulate: false, ..RunOptions::smoke() };
+        run_experiment("table2", &options, OutputFormat::Text).unwrap();
+        run_experiment("table3", &options, OutputFormat::Csv).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Extension experiment E1 — non-Amdahl speedup profiles.
+//!
+//! The paper's conclusion lists "jobs with different speedup profiles" as future
+//! work. This experiment exercises that direction with the extension profiles of
+//! [`ayd_core::SpeedupProfile`]: the numerical optimiser (which never relied on
+//! Amdahl's law) computes the optimal pattern for power-law and Gustafson-style
+//! profiles and compares it with the Amdahl baseline on the same platform and
+//! scenario.
+
+use serde::{Deserialize, Serialize};
+
+use ayd_core::{ExactModel, SpeedupProfile};
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+
+use crate::config::RunOptions;
+use crate::evaluate::{Evaluator, OperatingPoint};
+use crate::table::{fmt_option, fmt_value, TextTable};
+
+/// One row of the extension experiment: a speedup profile under a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionRow {
+    /// Scenario number.
+    pub scenario: usize,
+    /// Human-readable profile description.
+    pub profile: String,
+    /// Numerically optimal operating point for that profile.
+    pub numerical: OperatingPoint,
+}
+
+/// Results of the extension experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtensionData {
+    /// One row per (scenario, profile).
+    pub rows: Vec<ExtensionRow>,
+}
+
+/// The profiles exercised: the Amdahl baseline plus the three extension profiles.
+pub fn profiles() -> Vec<(String, SpeedupProfile)> {
+    vec![
+        ("Amdahl(alpha=0.1)".to_string(), SpeedupProfile::amdahl(0.1).unwrap()),
+        ("PowerLaw(sigma=0.9)".to_string(), SpeedupProfile::power_law(0.9).unwrap()),
+        ("Gustafson(alpha=0.1)".to_string(), SpeedupProfile::gustafson(0.1).unwrap()),
+        ("PerfectlyParallel".to_string(), SpeedupProfile::perfectly_parallel()),
+    ]
+}
+
+/// Runs the extension experiment on Hera, scenarios 1 and 3.
+pub fn run(options: &RunOptions) -> ExtensionData {
+    let evaluator = Evaluator::new(*options).with_processor_range(1.0, 1e10);
+    let mut rows = Vec::new();
+    for scenario in [ScenarioId::S1, ScenarioId::S3] {
+        let base = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+            .model()
+            .expect("paper defaults are valid");
+        for (name, profile) in profiles() {
+            let model = ExactModel::new(profile, base.costs, base.failures);
+            rows.push(ExtensionRow {
+                scenario: scenario.number(),
+                profile: name,
+                numerical: evaluator.numerical_point(&model),
+            });
+        }
+    }
+    ExtensionData { rows }
+}
+
+/// Renders the extension experiment as a table.
+pub fn render(data: &ExtensionData) -> TextTable {
+    let mut table = TextTable::new(
+        "Extension E1 — optimal pattern for non-Amdahl speedup profiles (Hera)",
+        &["scenario", "profile", "P* (optimal)", "T* (optimal)", "H (optimal)", "H (simulated)"],
+    );
+    for row in &data.rows {
+        table.push_row(vec![
+            row.scenario.to_string(),
+            row.profile.clone(),
+            fmt_value(row.numerical.processors),
+            fmt_value(row.numerical.period),
+            fmt_value(row.numerical.predicted_overhead),
+            fmt_option(row.numerical.simulated.map(|s| s.mean)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analytical() -> RunOptions {
+        RunOptions { simulate: false, ..RunOptions::smoke() }
+    }
+
+    #[test]
+    fn profiles_with_better_scalability_enroll_more_processors() {
+        let data = run(&analytical());
+        for scenario in [1usize, 3] {
+            let p_of = |name: &str| {
+                data.rows
+                    .iter()
+                    .find(|r| r.scenario == scenario && r.profile.starts_with(name))
+                    .unwrap()
+                    .numerical
+                    .processors
+            };
+            // Amdahl saturates earliest; power-law and Gustafson scale further;
+            // the perfectly parallel profile scales the furthest.
+            assert!(p_of("PowerLaw") > p_of("Amdahl"), "scenario {scenario}");
+            assert!(p_of("Gustafson") > p_of("Amdahl"), "scenario {scenario}");
+            assert!(p_of("PerfectlyParallel") >= p_of("Amdahl"), "scenario {scenario}");
+        }
+    }
+
+    #[test]
+    fn amdahl_overhead_is_bounded_below_by_alpha_but_others_are_not() {
+        let data = run(&analytical());
+        for row in &data.rows {
+            if row.profile.starts_with("Amdahl") {
+                assert!(row.numerical.predicted_overhead > 0.1);
+            }
+            if row.profile.starts_with("Gustafson") || row.profile.starts_with("PerfectlyParallel")
+            {
+                assert!(row.numerical.predicted_overhead < 0.1, "{}", row.profile);
+            }
+        }
+    }
+
+    #[test]
+    fn render_lists_every_profile_for_both_scenarios() {
+        let data = run(&analytical());
+        assert_eq!(data.rows.len(), 8);
+        assert_eq!(render(&data).len(), 8);
+    }
+}

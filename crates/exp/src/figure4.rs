@@ -1,0 +1,214 @@
+//! Figure 4 — impact of the sequential fraction `α` on the optimal pattern
+//! (platform Hera, scenarios 1, 3 and 5).
+//!
+//! As `α` decreases, the optimal allocation enrols more processors (Amdahl's law
+//! allows more parallelism to pay off) and the overhead drops; the checkpointing
+//! period shrinks accordingly (except in scenario 1, where `T*` does not depend on
+//! `P`). For `α = 0` the closed forms no longer apply and only the numerical
+//! optimum is reported — and even then the allocation stays bounded, in sharp
+//! contrast with the error-free setting.
+
+use serde::{Deserialize, Serialize};
+
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+
+use crate::config::RunOptions;
+use crate::evaluate::{Evaluator, OptimumComparison};
+use crate::table::{fmt_option, fmt_value, TextTable};
+
+/// One point of Figure 4: a scenario at a given sequential fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure4Row {
+    /// Scenario number (1, 3 or 5).
+    pub scenario: usize,
+    /// Sequential fraction `α`.
+    pub alpha: f64,
+    /// First-order and numerical optima.
+    pub comparison: OptimumComparison,
+}
+
+/// All series of Figure 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure4Data {
+    /// Platform used (Hera).
+    pub platform: PlatformId,
+    /// Sequential fractions swept.
+    pub alphas: Vec<f64>,
+    /// One row per (scenario, alpha).
+    pub rows: Vec<Figure4Row>,
+}
+
+/// The sequential fractions of the paper's sweep (0 rendered on a log axis).
+pub fn default_alpha_sweep() -> Vec<f64> {
+    vec![0.0, 1e-4, 1e-3, 1e-2, 1e-1]
+}
+
+/// Runs Figure 4 for the given sequential fractions.
+pub fn run_with_alphas(alphas: &[f64], options: &RunOptions) -> Figure4Data {
+    // Smaller α pushes the optimum towards much larger processor counts; widen
+    // the numerical search accordingly (the paper observes P* up to ~10^6).
+    let evaluator = Evaluator::new(*options).with_processor_range(1.0, 1e9);
+    let mut rows = Vec::new();
+    for &scenario in &ScenarioId::REPRESENTATIVE {
+        for &alpha in alphas {
+            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+                .with_alpha(alpha)
+                .model()
+                .expect("alpha sweep setups are valid");
+            rows.push(Figure4Row {
+                scenario: scenario.number(),
+                alpha,
+                comparison: evaluator.compare(&model),
+            });
+        }
+    }
+    Figure4Data { platform: PlatformId::Hera, alphas: alphas.to_vec(), rows }
+}
+
+/// Runs Figure 4 with the paper's α values.
+pub fn run(options: &RunOptions) -> Figure4Data {
+    run_with_alphas(&default_alpha_sweep(), options)
+}
+
+/// Renders the figure as one table.
+pub fn render(data: &Figure4Data) -> TextTable {
+    let mut table = TextTable::new(
+        "Figure 4 — optimal pattern vs sequential fraction (Hera)",
+        &[
+            "scenario",
+            "alpha",
+            "P* (first-order)",
+            "P* (optimal)",
+            "T* (first-order)",
+            "T* (optimal)",
+            "H (first-order)",
+            "H (optimal)",
+            "H (simulated @opt)",
+        ],
+    );
+    for row in &data.rows {
+        let fo = row.comparison.first_order;
+        let num = row.comparison.numerical;
+        table.push_row(vec![
+            row.scenario.to_string(),
+            fmt_value(row.alpha),
+            fmt_option(fo.map(|p| p.processors)),
+            fmt_value(num.processors),
+            fmt_option(fo.map(|p| p.period)),
+            fmt_value(num.period),
+            fmt_option(fo.and_then(|p| p.formula_overhead)),
+            fmt_value(num.predicted_overhead),
+            fmt_option(num.simulated.map(|s| s.mean)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analytical() -> RunOptions {
+        RunOptions { simulate: false, ..RunOptions::smoke() }
+    }
+
+    #[test]
+    fn smaller_alpha_enrolls_more_processors_and_lowers_overhead() {
+        let data = run_with_alphas(&[1e-3, 1e-2, 1e-1], &analytical());
+        for scenario in [1usize, 3, 5] {
+            let series: Vec<&Figure4Row> =
+                data.rows.iter().filter(|r| r.scenario == scenario).collect();
+            // Rows are ordered by increasing alpha; processors must decrease and
+            // overhead must increase along the series.
+            for w in series.windows(2) {
+                assert!(
+                    w[0].comparison.numerical.processors > w[1].comparison.numerical.processors,
+                    "scenario {scenario}"
+                );
+                assert!(
+                    w[0].comparison.numerical.predicted_overhead
+                        < w[1].comparison.numerical.predicted_overhead,
+                    "scenario {scenario}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_has_no_first_order_solution_but_bounded_numerical_optimum() {
+        let data = run_with_alphas(&[0.0], &analytical());
+        for row in &data.rows {
+            assert!(row.comparison.first_order.is_none(), "scenario {}", row.scenario);
+            let p = row.comparison.numerical.processors;
+            // The paper observes P* bounded by ~10^6 on Hera even for α = 0.
+            assert!(p > 1_000.0, "scenario {}: P*={p}", row.scenario);
+            assert!(p < 1e8, "scenario {}: P*={p}", row.scenario);
+            assert!(row.comparison.numerical.predicted_overhead > 1e-6);
+        }
+    }
+
+    #[test]
+    fn first_order_overhead_formula_stays_close_to_numerical_down_to_small_alpha() {
+        // Figure 4(c): the closed-form first-order overhead H* remains in close
+        // proximity to the optimal overhead down to α = 1e-4, even though the
+        // first-order P* itself starts to deviate (it leaves the validity region
+        // of Inequality (5) when α becomes very small).
+        let data = run_with_alphas(&[1e-4, 1e-2], &analytical());
+        for row in &data.rows {
+            let fo = row.comparison.first_order.expect("alpha > 0 has a first-order optimum");
+            let numerical = row.comparison.numerical.predicted_overhead;
+            // Exact overhead achieved at the first-order operating point: never
+            // better than the optimum, and within the same order of magnitude even
+            // at α = 1e-4 (the paper's Figure 4(c) is a log-scale plot on which
+            // the two curves visually overlap — i.e. they agree up to a small
+            // constant factor once the first-order P* leaves the validity region).
+            let achieved_ratio = fo.predicted_overhead / numerical;
+            assert!(achieved_ratio >= 1.0 - 1e-9);
+            let achieved_tolerance = if row.alpha >= 1e-2 { 1.03 } else { 1.6 };
+            assert!(
+                achieved_ratio < achieved_tolerance,
+                "scenario {} alpha {}: achieved {} vs optimal {}",
+                row.scenario,
+                row.alpha,
+                fo.predicted_overhead,
+                numerical
+            );
+            // The closed-form promise H* stays within the same order of magnitude
+            // as well (it under-estimates once outside the validity region).
+            let formula = fo.formula_overhead.unwrap();
+            let formula_ratio = formula / numerical;
+            assert!(
+                formula_ratio > 0.3 && formula_ratio < 1.1,
+                "scenario {} alpha {}: formula {} vs optimal {}",
+                row.scenario,
+                row.alpha,
+                formula,
+                numerical
+            );
+        }
+    }
+
+    #[test]
+    fn scenario5_gains_the_most_at_small_alpha() {
+        // Scenario 5's checkpoint cost shrinks with P, so it achieves the lowest
+        // overhead once α is small.
+        let data = run_with_alphas(&[1e-4], &analytical());
+        let overhead = |s: usize| {
+            data.rows
+                .iter()
+                .find(|r| r.scenario == s)
+                .unwrap()
+                .comparison
+                .numerical
+                .predicted_overhead
+        };
+        assert!(overhead(5) < overhead(1));
+        assert!(overhead(5) < overhead(3));
+    }
+
+    #[test]
+    fn render_includes_all_rows() {
+        let data = run_with_alphas(&[1e-2, 1e-1], &analytical());
+        assert_eq!(render(&data).len(), 6);
+    }
+}

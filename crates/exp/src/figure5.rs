@@ -1,0 +1,297 @@
+//! Figure 5 — impact of the individual error rate `λ_ind` on the optimal pattern
+//! (platform Hera, `α = 0.1`, scenarios 1, 3 and 5).
+//!
+//! The key asymptotic claims verified here are those of Theorems 2 and 3:
+//! under scenario 1 (`C_P = cP`) the optimal allocation and period scale as
+//! `P* = Θ(λ_ind^{-1/4})` and `T* = Θ(λ_ind^{-1/2})`, while under scenarios 3 and
+//! 5 (`C_P + V_P` constant) both scale as `Θ(λ_ind^{-1/3})`. The figure also shows
+//! the first-order approximation getting more accurate as `λ_ind` decreases, with
+//! the overhead tending to the `α = 0.1` floor.
+
+use serde::{Deserialize, Serialize};
+
+use ayd_core::fit_power_law;
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+
+use crate::config::RunOptions;
+use crate::evaluate::{Evaluator, OptimumComparison};
+use crate::table::{fmt_option, fmt_value, TextTable};
+
+/// One point of Figure 5: a scenario at a given individual error rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure5Row {
+    /// Scenario number (1, 3 or 5).
+    pub scenario: usize,
+    /// Individual error rate `λ_ind`.
+    pub lambda_ind: f64,
+    /// First-order and numerical optima.
+    pub comparison: OptimumComparison,
+}
+
+/// Fitted asymptotic exponents for one scenario (log-log slopes of `P*`, `T*`
+/// versus `λ_ind`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsymptoticSlopes {
+    /// Scenario number.
+    pub scenario: usize,
+    /// Fitted exponent of the numerical `P*(λ_ind)` power law.
+    pub processors_exponent: f64,
+    /// Fitted exponent of the numerical `T*(λ_ind)` power law.
+    pub period_exponent: f64,
+    /// Fitted exponent of the first-order `P*(λ_ind)` series (when it exists).
+    pub first_order_processors_exponent: Option<f64>,
+    /// Fitted exponent of the first-order `T*(λ_ind)` series (when it exists).
+    pub first_order_period_exponent: Option<f64>,
+    /// Exponent predicted by the theory (−1/4 for scenario 1, −1/3 for 3 and 5).
+    pub expected_processors_exponent: f64,
+    /// Period exponent predicted by the theory (−1/2 for scenario 1, −1/3 otherwise).
+    pub expected_period_exponent: f64,
+}
+
+/// All series of Figure 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure5Data {
+    /// Sequential fraction used (0.1).
+    pub alpha: f64,
+    /// Error rates swept.
+    pub lambdas: Vec<f64>,
+    /// One row per (scenario, λ_ind).
+    pub rows: Vec<Figure5Row>,
+    /// Fitted asymptotic slopes per scenario.
+    pub slopes: Vec<AsymptoticSlopes>,
+}
+
+/// The error rates of the paper's sweep: `1e-12` to `1e-8`.
+pub fn default_lambda_sweep() -> Vec<f64> {
+    (0..=8).map(|i| 1e-12 * 10f64.powf(i as f64 * 0.5)).collect()
+}
+
+fn expected_exponents(scenario: usize) -> (f64, f64) {
+    match scenario {
+        1 | 2 => (-0.25, -0.5),
+        _ => (-1.0 / 3.0, -1.0 / 3.0),
+    }
+}
+
+/// Runs Figure 5 with the given error rates and sequential fraction.
+pub fn run_with(lambdas: &[f64], alpha: f64, options: &RunOptions) -> Figure5Data {
+    let evaluator = Evaluator::new(*options).with_processor_range(1.0, 1e9);
+    let mut rows = Vec::new();
+    let mut slopes = Vec::new();
+    for &scenario in &ScenarioId::REPRESENTATIVE {
+        let mut p_points = Vec::new();
+        let mut t_points = Vec::new();
+        let mut fo_p_points = Vec::new();
+        let mut fo_t_points = Vec::new();
+        for &lambda in lambdas {
+            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+                .with_alpha(alpha)
+                .with_lambda_ind(lambda)
+                .model()
+                .expect("lambda sweep setups are valid");
+            let comparison = evaluator.compare(&model);
+            p_points.push((lambda, comparison.numerical.processors));
+            t_points.push((lambda, comparison.numerical.period));
+            // The slope fit of the "first-order" series uses the closed forms of
+            // Theorems 2 and 3 directly (the asymptotic laws being verified), not
+            // the practical operating point of `Evaluator::first_order_point`.
+            if let Ok(closed_form) = ayd_core::FirstOrder::new(&model).joint_optimum() {
+                fo_p_points.push((lambda, closed_form.processors));
+                fo_t_points.push((lambda, closed_form.period));
+            }
+            rows.push(Figure5Row { scenario: scenario.number(), lambda_ind: lambda, comparison });
+        }
+        if lambdas.len() >= 2 {
+            let (expected_p, expected_t) = expected_exponents(scenario.number());
+            let fit_option = |points: &Vec<(f64, f64)>| {
+                (points.len() >= 2).then(|| fit_power_law(points).exponent)
+            };
+            slopes.push(AsymptoticSlopes {
+                scenario: scenario.number(),
+                processors_exponent: fit_power_law(&p_points).exponent,
+                period_exponent: fit_power_law(&t_points).exponent,
+                first_order_processors_exponent: fit_option(&fo_p_points),
+                first_order_period_exponent: fit_option(&fo_t_points),
+                expected_processors_exponent: expected_p,
+                expected_period_exponent: expected_t,
+            });
+        }
+    }
+    Figure5Data { alpha, lambdas: lambdas.to_vec(), rows, slopes }
+}
+
+/// Runs Figure 5 with the paper's sweep (`α = 0.1`).
+pub fn run(options: &RunOptions) -> Figure5Data {
+    run_with(&default_lambda_sweep(), 0.1, options)
+}
+
+/// Renders the per-point series as a table.
+pub fn render(data: &Figure5Data) -> TextTable {
+    let mut table = TextTable::new(
+        format!("Figure 5 — optimal pattern vs lambda_ind (Hera, alpha = {})", data.alpha),
+        &[
+            "scenario",
+            "lambda_ind",
+            "P* (first-order)",
+            "P* (optimal)",
+            "T* (first-order)",
+            "T* (optimal)",
+            "H (first-order)",
+            "H (optimal)",
+            "H (simulated @opt)",
+        ],
+    );
+    for row in &data.rows {
+        let fo = row.comparison.first_order;
+        let num = row.comparison.numerical;
+        table.push_row(vec![
+            row.scenario.to_string(),
+            format!("{:.2e}", row.lambda_ind),
+            fmt_option(fo.map(|p| p.processors)),
+            fmt_value(num.processors),
+            fmt_option(fo.map(|p| p.period)),
+            fmt_value(num.period),
+            fmt_option(fo.and_then(|p| p.formula_overhead)),
+            fmt_value(num.predicted_overhead),
+            fmt_option(num.simulated.map(|s| s.mean)),
+        ]);
+    }
+    table
+}
+
+/// Renders the fitted asymptotic slopes as a table (the reference lines of the
+/// paper's figure).
+pub fn render_slopes(data: &Figure5Data) -> TextTable {
+    let mut table = TextTable::new(
+        "Figure 5 — fitted asymptotic exponents vs theory",
+        &["scenario", "P* exponent (fit)", "P* exponent (theory)", "T* exponent (fit)", "T* exponent (theory)"],
+    );
+    for s in &data.slopes {
+        table.push_row(vec![
+            s.scenario.to_string(),
+            format!("{:.3}", s.processors_exponent),
+            format!("{:.3}", s.expected_processors_exponent),
+            format!("{:.3}", s.period_exponent),
+            format!("{:.3}", s.expected_period_exponent),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analytical() -> RunOptions {
+        RunOptions { simulate: false, ..RunOptions::smoke() }
+    }
+
+    fn small_sweep() -> Vec<f64> {
+        vec![1e-12, 1e-11, 1e-10, 1e-9, 1e-8]
+    }
+
+    #[test]
+    fn asymptotic_slopes_match_theorems_2_and_3() {
+        let data = run_with(&small_sweep(), 0.1, &analytical());
+        for s in &data.slopes {
+            // The first-order series follows the closed forms exactly.
+            assert!(
+                (s.first_order_processors_exponent.unwrap() - s.expected_processors_exponent)
+                    .abs()
+                    < 0.02,
+                "scenario {}: first-order P* exponent {:?}",
+                s.scenario,
+                s.first_order_processors_exponent
+            );
+            assert!(
+                (s.first_order_period_exponent.unwrap() - s.expected_period_exponent).abs() < 0.02,
+                "scenario {}: first-order T* exponent {:?}",
+                s.scenario,
+                s.first_order_period_exponent
+            );
+            // The numerical optimum approaches the same asymptotics; scenario 5's
+            // period converges more slowly because its b/P cost term is not yet
+            // negligible at λ_ind ≈ 1e-8 (the paper makes the same observation
+            // about scenario 5's first-order accuracy), hence the looser bound.
+            let period_tolerance = if s.scenario == 5 { 0.15 } else { 0.06 };
+            assert!(
+                (s.processors_exponent - s.expected_processors_exponent).abs() < 0.06,
+                "scenario {}: fitted P* exponent {} vs expected {}",
+                s.scenario,
+                s.processors_exponent,
+                s.expected_processors_exponent
+            );
+            assert!(
+                (s.period_exponent - s.expected_period_exponent).abs() < period_tolerance,
+                "scenario {}: fitted T* exponent {} vs expected {}",
+                s.scenario,
+                s.period_exponent,
+                s.expected_period_exponent
+            );
+        }
+    }
+
+    #[test]
+    fn more_reliable_processors_allow_more_parallelism_and_longer_periods() {
+        let data = run_with(&small_sweep(), 0.1, &analytical());
+        for scenario in [1usize, 3, 5] {
+            let series: Vec<&Figure5Row> =
+                data.rows.iter().filter(|r| r.scenario == scenario).collect();
+            // Rows are ordered by increasing λ; decreasing λ (reverse order) must
+            // increase both P* and T*.
+            for w in series.windows(2) {
+                assert!(w[0].comparison.numerical.processors > w[1].comparison.numerical.processors);
+                assert!(w[0].comparison.numerical.period > w[1].comparison.numerical.period);
+                assert!(
+                    w[0].comparison.numerical.predicted_overhead
+                        < w[1].comparison.numerical.predicted_overhead
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_tends_to_the_alpha_floor_as_lambda_decreases() {
+        let data = run_with(&[1e-12, 1e-8], 0.1, &analytical());
+        for scenario in [1usize, 3, 5] {
+            let at = |lambda: f64| {
+                data.rows
+                    .iter()
+                    .find(|r| r.scenario == scenario && r.lambda_ind == lambda)
+                    .unwrap()
+                    .comparison
+                    .numerical
+                    .predicted_overhead
+            };
+            assert!(at(1e-12) < at(1e-8));
+            assert!(at(1e-12) < 0.102, "scenario {scenario}: H={}", at(1e-12));
+            assert!(at(1e-12) > 0.1, "overhead can never beat the sequential fraction");
+        }
+    }
+
+    #[test]
+    fn first_order_accuracy_improves_with_smaller_lambda() {
+        let data = run_with(&[1e-12, 1e-8], 0.1, &analytical());
+        for scenario in [1usize, 3, 5] {
+            let gap = |lambda: f64| {
+                data.rows
+                    .iter()
+                    .find(|r| r.scenario == scenario && r.lambda_ind == lambda)
+                    .unwrap()
+                    .comparison
+                    .overhead_gap()
+                    .unwrap()
+                    .abs()
+            };
+            assert!(gap(1e-12) <= gap(1e-8) + 1e-9, "scenario {scenario}");
+            assert!(gap(1e-12) < 5e-3, "scenario {scenario}: gap {}", gap(1e-12));
+        }
+    }
+
+    #[test]
+    fn render_tables_have_expected_sizes() {
+        let data = run_with(&[1e-10, 1e-9], 0.1, &analytical());
+        assert_eq!(render(&data).len(), 6);
+        assert_eq!(render_slopes(&data).len(), 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text table rendering and CSV export for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table (monospace rendering of a figure's series
+/// or a paper table's rows), with CSV export.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. The number of cells must match the number of headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "| {} |", header_line.join(" | "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", rule.join("-|-"));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "| {} |", line.join(" | "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first, comma-separated, quoted when a
+    /// cell contains a comma or a quote).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a floating-point quantity with a sensible number of significant
+/// digits for table cells (scientific notation for very large/small magnitudes).
+pub fn fmt_value(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if !(1e-3..1e6).contains(&x.abs()) {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats an optional value, rendering `None` as a dash.
+pub fn fmt_option(x: Option<f64>) -> String {
+    x.map(fmt_value).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_all_rows() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "0.1".into()]);
+        t.push_row(vec!["lambda_ind".into(), "1.69e-8".into()]);
+        let text = t.render();
+        assert!(text.contains("# Demo"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("lambda_ind"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // All data lines have the same width.
+        let widths: Vec<usize> =
+            text.lines().skip(1).map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.push_row(vec!["hello, world".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_length_panics() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn value_formatting_switches_to_scientific() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert!(fmt_value(1.69e-8).contains('e'));
+        assert!(fmt_value(1.2e9).contains('e'));
+        assert!(!fmt_value(0.1134).contains('e'));
+        assert_eq!(fmt_option(None), "-");
+        assert_eq!(fmt_option(Some(0.0)), "0");
+    }
+}

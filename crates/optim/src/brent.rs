@@ -1,0 +1,148 @@
+//! Brent's method for one-dimensional minimisation.
+//!
+//! Combines golden-section steps (guaranteed linear convergence on unimodal
+//! objectives) with successive parabolic interpolation (super-linear convergence
+//! on smooth objectives near the minimum). This is the classic algorithm from
+//! Brent, *Algorithms for Minimization without Derivatives* (1973), as used by
+//! `scipy.optimize.minimize_scalar(method="bounded")`.
+
+const INV_PHI_COMP: f64 = 0.381_966_011_250_105; // 2 - phi = (3 - sqrt(5)) / 2
+
+/// Minimises `f` on `[a, b]` with Brent's method. Returns `(x_min, f(x_min))`.
+///
+/// `tol` is a relative tolerance on the argument; `max_iter` bounds the number
+/// of iterations.
+///
+/// # Panics
+/// Panics if `a > b`, if `tol` is not positive, or if the objective returns NaN.
+pub fn brent_minimize<F>(a: f64, b: f64, tol: f64, max_iter: usize, f: F) -> (f64, f64)
+where
+    F: Fn(f64) -> f64,
+{
+    assert!(a <= b, "invalid bracket: a={a} > b={b}");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let eval = |x: f64| {
+        let y = f(x);
+        assert!(!y.is_nan(), "objective returned NaN at x={x}");
+        y
+    };
+    let (mut lo, mut hi) = (a, b);
+    let mut x = lo + INV_PHI_COMP * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = eval(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+    let sqrt_eps = f64::EPSILON.sqrt();
+
+    for _ in 0..max_iter {
+        let m = 0.5 * (lo + hi);
+        let tol1 = tol * x.abs() + sqrt_eps;
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (hi - lo) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Try a parabolic interpolation step through (v, w, x).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_prev = e;
+            e = d;
+            if p.abs() < (0.5 * q * e_prev).abs() && p > q * (lo - x) && p < q * (hi - x) {
+                // Accept the parabolic step.
+                d = p / q;
+                let u = x + d;
+                if (u - lo) < tol2 || (hi - u) < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { hi - x } else { lo - x };
+            d = INV_PHI_COMP * e;
+        }
+        let u = if d.abs() >= tol1 { x + d } else { x + if d > 0.0 { tol1 } else { -tol1 } };
+        let fu = eval(u);
+        if fu <= fx {
+            if u < x {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    (x, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let (x, y) = brent_minimize(-5.0, 10.0, 1e-12, 200, |x| 2.0 * (x - 1.5).powi(2) - 4.0);
+        assert!((x - 1.5).abs() < 1e-7);
+        assert!((y + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_symmetric_objective() {
+        // f(t) = c/t + k t is minimised at sqrt(c/k).
+        let (c, k) = (450.0, 3.2e-6);
+        let (t, _) = brent_minimize(1.0, 1e8, 1e-12, 300, |t| c / t + k * t);
+        let expected = (c / k).sqrt();
+        assert!((t - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn agrees_with_golden_section() {
+        let f = |x: f64| (x.ln() - 2.0).powi(2) + 0.3 * x.sqrt();
+        let (xb, yb) = brent_minimize(0.1, 100.0, 1e-12, 300, f);
+        let (xg, yg) = crate::golden::golden_section(0.1, 100.0, 1e-12, 500, f);
+        assert!((xb - xg).abs() / xg < 1e-4, "brent={xb} golden={xg}");
+        assert!((yb - yg).abs() <= 1e-9_f64.max(yg.abs() * 1e-9));
+    }
+
+    #[test]
+    fn boundary_minimum() {
+        let (x, _) = brent_minimize(3.0, 20.0, 1e-10, 200, |x| x.powi(2));
+        assert!((x - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn rejects_reversed_bracket() {
+        let _ = brent_minimize(5.0, 1.0, 1e-8, 10, |x| x);
+    }
+}

@@ -1,0 +1,135 @@
+//! Logarithmic grid scans.
+//!
+//! The overheads minimised in this project vary over many orders of magnitude in
+//! both `T` (seconds to weeks) and `P` (tens to 10^12 processors in the α = 0
+//! regime of Figure 6), so every search starts with a coarse scan over a
+//! logarithmically spaced grid to locate the basin containing the global minimum
+//! before a local method refines it.
+
+/// Generates `n` logarithmically spaced points covering `[lo, hi]` inclusive.
+///
+/// # Panics
+/// Panics if `lo` or `hi` is not strictly positive, if `lo > hi`, or if `n < 2`
+/// while `lo != hi`.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > 0.0, "log spacing requires positive bounds");
+    assert!(lo <= hi, "invalid range: lo={lo} > hi={hi}");
+    if lo == hi {
+        return vec![lo];
+    }
+    assert!(n >= 2, "need at least two points to span a non-degenerate range");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let step = (lhi - llo) / (n as f64 - 1.0);
+    (0..n)
+        .map(|i| {
+            if i == n - 1 {
+                hi // avoid drift on the last point
+            } else {
+                (llo + step * i as f64).exp()
+            }
+        })
+        .collect()
+}
+
+/// Scans `f` over a logarithmic grid of `n` points on `[lo, hi]` and returns the
+/// index of the best point together with the full grid and values
+/// (`(best_index, grid, values)`); non-finite objective values are skipped.
+///
+/// If the objective is non-finite on the whole grid the first index is returned
+/// (its non-finite value signals the caller that no usable minimum exists — the
+/// nested `(P, T)` search relies on this to discard processor counts whose
+/// overhead overflows for every period).
+pub fn log_grid_scan<F>(lo: f64, hi: f64, n: usize, f: F) -> (usize, Vec<f64>, Vec<f64>)
+where
+    F: Fn(f64) -> f64,
+{
+    let grid = log_space(lo, hi, n);
+    let values: Vec<f64> = grid.iter().map(|&x| f(x)).collect();
+    let mut best: Option<usize> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_finite() && best.is_none_or(|b| v < values[b]) {
+            best = Some(i);
+        }
+    }
+    (best.unwrap_or(0), grid, values)
+}
+
+/// Returns the best point of a logarithmic grid scan together with a bracket
+/// `[lower, upper]` formed by its grid neighbours, suitable for handing to a
+/// local refinement method: `(x_best, f_best, lower, upper)`.
+pub fn log_grid_minimum<F>(lo: f64, hi: f64, n: usize, f: F) -> (f64, f64, f64, f64)
+where
+    F: Fn(f64) -> f64,
+{
+    let (best, grid, values) = log_grid_scan(lo, hi, n, f);
+    let lower = if best == 0 { grid[0] } else { grid[best - 1] };
+    let upper = if best + 1 == grid.len() { grid[grid.len() - 1] } else { grid[best + 1] };
+    (grid[best], values[best], lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_space_endpoints_and_monotonicity() {
+        let g = log_space(1.0, 1e6, 7);
+        assert_eq!(g.len(), 7);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[6] - 1e6).abs() < 1e-6);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Ratios are constant for a log grid.
+        let r = g[1] / g[0];
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_space_degenerate_range() {
+        assert_eq!(log_space(5.0, 5.0, 1), vec![5.0]);
+    }
+
+    #[test]
+    fn grid_scan_finds_basin() {
+        let f = |x: f64| (x.ln() - 100.0f64.ln()).powi(2);
+        let (x, _, lower, upper) = log_grid_minimum(1.0, 1e6, 61, f);
+        assert!(x > 50.0 && x < 200.0, "x={x}");
+        assert!(lower <= 100.0 && upper >= 100.0, "bracket [{lower}, {upper}] misses the optimum");
+    }
+
+    #[test]
+    fn grid_scan_skips_non_finite_values() {
+        let f = |x: f64| if x < 10.0 { f64::INFINITY } else { (x - 50.0).powi(2) };
+        let (x, _, _, _) = log_grid_minimum(1.0, 1e3, 200, f);
+        assert!(x >= 10.0);
+        assert!((x - 50.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn bracket_is_clamped_at_range_edges() {
+        // Minimum at the left edge.
+        let (x, _, lower, _) = log_grid_minimum(2.0, 1e3, 30, |x| x);
+        assert_eq!(x, 2.0);
+        assert_eq!(lower, 2.0);
+        // Minimum at the right edge.
+        let (x, _, _, upper) = log_grid_minimum(2.0, 1e3, 30, |x| -x);
+        assert!((x - 1e3).abs() < 1e-9);
+        assert!((upper - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bounds")]
+    fn rejects_non_positive_bounds() {
+        let _ = log_space(0.0, 10.0, 5);
+    }
+
+    #[test]
+    fn fully_infinite_objective_reports_a_non_finite_minimum() {
+        let (x, value, _, _) = log_grid_minimum(1.0, 10.0, 5, |_| f64::INFINITY);
+        assert_eq!(x, 1.0);
+        assert!(!value.is_finite());
+    }
+}

@@ -1,0 +1,174 @@
+//! Nested two-dimensional search over `(P, T)`.
+//!
+//! The paper's "Optimal" curves are obtained numerically: for every candidate
+//! processor count `P` the checkpointing period `T` is optimised, and the
+//! resulting envelope `P ↦ min_T H(T, P)` is optimised over `P` in turn (the same
+//! structure as the iterative procedure of Jin et al. cited in Section IV.A).
+//!
+//! [`JointSearch`] implements that nested scheme generically for any objective
+//! `f(P, T)`. Both dimensions are searched in log-space (coarse grid scan, then
+//! Brent refinement), because the optima range over many orders of magnitude
+//! across the paper's parameter sweeps.
+
+use crate::integer::round_to_best_integer;
+use crate::scalar::{minimize_scalar, OptimizeOptions, ScalarMinimum};
+
+/// Result of a joint `(P, T)` minimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointResult {
+    /// Optimal (continuous) processor count.
+    pub processors: f64,
+    /// Optimal processor count rounded to the best integer neighbour
+    /// (according to the objective).
+    pub processors_integer: u64,
+    /// Optimal period at the (continuous) optimal processor count.
+    pub period: f64,
+    /// Objective value at the continuous optimum.
+    pub value: f64,
+    /// Objective value at the integer-rounded optimum.
+    pub value_integer: f64,
+}
+
+/// Nested two-dimensional minimiser over processors (outer) and period (inner).
+#[derive(Debug, Clone, Copy)]
+pub struct JointSearch {
+    /// Search range for the processor count.
+    pub processor_range: (f64, f64),
+    /// Search range for the checkpointing period (seconds).
+    pub period_range: (f64, f64),
+    /// Options of the outer (processor) search.
+    pub outer: OptimizeOptions,
+    /// Options of the inner (period) search.
+    pub inner: OptimizeOptions,
+}
+
+impl Default for JointSearch {
+    fn default() -> Self {
+        Self {
+            processor_range: (1.0, 1e7),
+            period_range: (1.0, 1e9),
+            outer: OptimizeOptions::default(),
+            inner: OptimizeOptions::nested(),
+        }
+    }
+}
+
+impl JointSearch {
+    /// Creates a search with explicit ranges and default options.
+    pub fn new(processor_range: (f64, f64), period_range: (f64, f64)) -> Self {
+        assert!(
+            processor_range.0 > 0.0 && processor_range.0 <= processor_range.1,
+            "invalid processor range"
+        );
+        assert!(period_range.0 > 0.0 && period_range.0 <= period_range.1, "invalid period range");
+        Self { processor_range, period_range, ..Self::default() }
+    }
+
+    /// Replaces the outer/inner search options.
+    pub fn with_options(mut self, outer: OptimizeOptions, inner: OptimizeOptions) -> Self {
+        self.outer = outer;
+        self.inner = inner;
+        self
+    }
+
+    /// Minimises the period alone for a fixed processor count.
+    pub fn optimize_period<F>(&self, p: f64, f: F) -> ScalarMinimum
+    where
+        F: Fn(f64, f64) -> f64,
+    {
+        minimize_scalar(self.period_range.0, self.period_range.1, self.inner, |t| f(p, t))
+    }
+
+    /// Minimises `f(P, T)` over both dimensions.
+    pub fn optimize<F>(&self, f: F) -> JointResult
+    where
+        F: Fn(f64, f64) -> f64,
+    {
+        let envelope = |p: f64| self.optimize_period(p, &f).value;
+        let outer_min =
+            minimize_scalar(self.processor_range.0, self.processor_range.1, self.outer, envelope);
+        let processors = outer_min.argument;
+        let period = self.optimize_period(processors, &f).argument;
+        let value = f(processors, period);
+        let (processors_integer, value_integer) = round_to_best_integer(processors, 1, |p| {
+            self.optimize_period(p as f64, &f).value
+        });
+        JointResult { processors, processors_integer, period, value, value_integer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A separable analytic objective whose minimum is known exactly:
+    /// f(P, T) = (ln P - ln P0)^2 + (ln T - ln T0)^2 + 1.
+    #[test]
+    fn separable_objective_recovers_both_optima() {
+        let (p0, t0): (f64, f64) = (350.0, 6_000.0);
+        let search = JointSearch::new((1.0, 1e6), (1.0, 1e8));
+        let result = search
+            .optimize(|p, t| (p.ln() - p0.ln()).powi(2) + (t.ln() - t0.ln()).powi(2) + 1.0);
+        assert!((result.processors - p0).abs() / p0 < 1e-3, "P={}", result.processors);
+        assert!((result.period - t0).abs() / t0 < 1e-3, "T={}", result.period);
+        assert!((result.value - 1.0).abs() < 1e-6);
+        assert!(result.processors_integer == 350);
+    }
+
+    /// A first-order-overhead-shaped objective with an interior optimum:
+    /// H(P, T) = (α + (1-α)/P)(1 + (C(P)+V)/T + Λ P T), C(P) = cP.
+    /// Theorem 2 gives the continuous optimum analytically; the numerical search
+    /// must land on (essentially) the same point.
+    #[test]
+    fn first_order_shaped_objective_matches_theorem2() {
+        let alpha = 0.1;
+        let c = 300.0 / 512.0;
+        let v = 15.4;
+        let lam = (0.2188 / 2.0 + 0.7812) * 1.69e-8;
+        let h = |p: f64, t: f64| {
+            (alpha + (1.0 - alpha) / p) * (1.0 + (c * p + v) / t + lam * p * t)
+        };
+        let search = JointSearch::new((1.0, 1e6), (10.0, 1e8));
+        let result = search.optimize(h);
+        // The numerical optimum of the *full* first-order expression differs from
+        // the Theorem-2 closed form only through lower-order terms; they agree to
+        // a few percent at Hera-like parameters.
+        let p_star = (1.0 / (c * lam)).powf(0.25) * ((1.0 - alpha) / (2.0 * alpha)).sqrt();
+        let t_star = (c / lam).sqrt();
+        assert!((result.processors - p_star).abs() / p_star < 0.10, "P={} vs {}", result.processors, p_star);
+        assert!((result.period - t_star).abs() / t_star < 0.15, "T={} vs {}", result.period, t_star);
+    }
+
+    #[test]
+    fn integer_rounding_is_never_worse_than_neighbours() {
+        let search = JointSearch::new((1.0, 1e4), (1.0, 1e6));
+        let f = |p: f64, t: f64| (p - 97.3).powi(2) / 1e4 + (t.ln() - 9.0).powi(2);
+        let result = search.optimize(f);
+        let value_at = |p: u64| search.optimize_period(p as f64, f).value;
+        assert!(result.value_integer <= value_at(result.processors_integer + 1) + 1e-12);
+        if result.processors_integer > 1 {
+            assert!(result.value_integer <= value_at(result.processors_integer - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn period_only_optimisation_matches_scalar_search() {
+        let search = JointSearch::new((1.0, 1e4), (1.0, 1e8));
+        let f = |_p: f64, t: f64| 450.0 / t + 3.0e-6 * t;
+        let m = search.optimize_period(128.0, f);
+        let expected = (450.0f64 / 3.0e-6).sqrt();
+        assert!((m.argument - expected).abs() / expected < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid processor range")]
+    fn rejects_bad_processor_range() {
+        let _ = JointSearch::new((0.0, 10.0), (1.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid period range")]
+    fn rejects_bad_period_range() {
+        let _ = JointSearch::new((1.0, 10.0), (100.0, 10.0));
+    }
+}

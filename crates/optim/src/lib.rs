@@ -1,0 +1,41 @@
+//! # ayd-optim — numerical optimisation substrate
+//!
+//! The paper compares its closed-form first-order optima against the "Optimal"
+//! solution obtained by numerical methods (Section IV, citing the iterative
+//! procedure of Jin et al.). This crate provides that numerical machinery as a
+//! small, dependency-free library of one-dimensional and nested two-dimensional
+//! minimisers:
+//!
+//! * [`golden::golden_section`] — derivative-free unimodal minimisation.
+//! * [`brent::brent_minimize`] — Brent's method (golden section + parabolic
+//!   interpolation), faster on smooth objectives.
+//! * [`grid::log_grid_minimum`] — coarse logarithmic scan used to locate the
+//!   basin of attraction when unimodality over the full range is not guaranteed.
+//! * [`scalar::minimize_scalar`] — the robust composition used everywhere: coarse
+//!   log-grid scan followed by golden-section refinement of the best bracket.
+//! * [`integer::minimize_integer`] — exhaustive/local search over integer
+//!   arguments (processor counts).
+//! * [`joint::JointSearch`] — nested 2-D minimisation over `(P, T)`: for every
+//!   candidate `P` the inner dimension `T` is minimised, and the outer envelope
+//!   `P ↦ min_T f(P, T)` is minimised in turn.
+//!
+//! The crate is deliberately generic: objectives are arbitrary `Fn(f64) -> f64`
+//! closures, so it has no dependency on `ayd-core`. The experiment harness wires
+//! it to the exact pattern model.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod brent;
+pub mod golden;
+pub mod grid;
+pub mod integer;
+pub mod joint;
+pub mod scalar;
+
+pub use brent::brent_minimize;
+pub use golden::golden_section;
+pub use grid::log_grid_minimum;
+pub use integer::minimize_integer;
+pub use joint::{JointResult, JointSearch};
+pub use scalar::{minimize_scalar, OptimizeOptions, ScalarMinimum};

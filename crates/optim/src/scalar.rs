@@ -1,0 +1,127 @@
+//! Robust scalar minimisation: coarse log-grid scan followed by local refinement.
+
+use crate::brent::brent_minimize;
+use crate::grid::log_grid_minimum;
+
+/// Options controlling the scalar and joint searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeOptions {
+    /// Number of points of the coarse logarithmic scan.
+    pub grid_points: usize,
+    /// Relative tolerance of the local refinement.
+    pub tolerance: f64,
+    /// Maximum number of refinement iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        Self { grid_points: 64, tolerance: 1e-10, max_iterations: 200 }
+    }
+}
+
+impl OptimizeOptions {
+    /// A cheaper profile used inside nested searches (the inner dimension of the
+    /// joint `(P, T)` search), where the outer loop evaluates the inner one many
+    /// times.
+    pub fn nested() -> Self {
+        Self { grid_points: 40, tolerance: 1e-9, max_iterations: 120 }
+    }
+}
+
+/// Result of a scalar minimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarMinimum {
+    /// Argument of the minimum.
+    pub argument: f64,
+    /// Objective value at the minimum.
+    pub value: f64,
+}
+
+/// Minimises `f` over the positive interval `[lo, hi]`: a logarithmic grid scan
+/// locates the basin of the global minimum and Brent's method refines the
+/// surrounding bracket. This is robust to objectives that are unimodal only
+/// locally (e.g. exact pattern overheads over very wide ranges).
+///
+/// # Panics
+/// Panics if the range is invalid (see [`crate::grid::log_space`]) or if the
+/// objective is non-finite over the entire grid.
+pub fn minimize_scalar<F>(lo: f64, hi: f64, options: OptimizeOptions, f: F) -> ScalarMinimum
+where
+    F: Fn(f64) -> f64,
+{
+    if lo == hi {
+        return ScalarMinimum { argument: lo, value: f(lo) };
+    }
+    let (x0, f0, lower, upper) = log_grid_minimum(lo, hi, options.grid_points, &f);
+    // Refine inside the bracket in log-space so that the relative tolerance is
+    // uniform across magnitudes.
+    let (lx, fx) = brent_minimize(
+        lower.ln(),
+        upper.ln(),
+        options.tolerance,
+        options.max_iterations,
+        |lx| f(lx.exp()),
+    );
+    if fx <= f0 {
+        ScalarMinimum { argument: lx.exp(), value: fx }
+    } else {
+        ScalarMinimum { argument: x0, value: f0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refines_beyond_grid_resolution() {
+        let target: f64 = 12_345.678;
+        let f = |x: f64| (x.ln() - target.ln()).powi(2);
+        let m = minimize_scalar(1.0, 1e9, OptimizeOptions::default(), f);
+        assert!((m.argument - target).abs() / target < 1e-6, "got {}", m.argument);
+    }
+
+    #[test]
+    fn young_daly_shape_minimum() {
+        let (c, lambda) = (439.0, 1.62e-8 * 1024.0);
+        let f = |t: f64| c / t + lambda * t / 2.0;
+        let m = minimize_scalar(1.0, 1e9, OptimizeOptions::default(), f);
+        let expected = (2.0 * c / lambda).sqrt();
+        assert!((m.argument - expected).abs() / expected < 1e-5);
+    }
+
+    #[test]
+    fn boundary_minimum_is_respected() {
+        let m = minimize_scalar(10.0, 1e4, OptimizeOptions::default(), |x| x);
+        assert!((m.argument - 10.0).abs() / 10.0 < 1e-3);
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let m = minimize_scalar(7.0, 7.0, OptimizeOptions::default(), |x| x * 2.0);
+        assert_eq!(m.argument, 7.0);
+        assert_eq!(m.value, 14.0);
+    }
+
+    #[test]
+    fn multimodal_objective_keeps_global_basin() {
+        // Two log-space wells, the deeper one near 1e5; the grid scan must not get
+        // trapped in the shallow well near 1e1.
+        let f = |x: f64| {
+            let a = (x.ln() - 10.0f64.ln()).powi(2) + 0.5;
+            let b = (x.ln() - 1e5f64.ln()).powi(2);
+            a.min(b)
+        };
+        let m = minimize_scalar(1.0, 1e8, OptimizeOptions::default(), f);
+        assert!((m.argument - 1e5).abs() / 1e5 < 1e-3, "got {}", m.argument);
+    }
+
+    #[test]
+    fn nested_options_are_cheaper() {
+        let nested = OptimizeOptions::nested();
+        let default = OptimizeOptions::default();
+        assert!(nested.grid_points < default.grid_points);
+        assert!(nested.max_iterations < default.max_iterations);
+    }
+}

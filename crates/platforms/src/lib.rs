@@ -1,0 +1,34 @@
+//! # ayd-platforms — platform catalogue, resilience scenarios and cost fitting
+//!
+//! The paper evaluates its model on four real platforms that were used to assess
+//! the Scalable Checkpoint/Restart (SCR) library — Hera, Atlas, Coastal and
+//! Coastal SSD — whose measured parameters are reported in Table II, and on six
+//! resilience scenarios (Table III) describing how the checkpoint and verification
+//! costs scale with the processor count.
+//!
+//! This crate embeds those measurements ([`platform`]), describes the scenarios
+//! ([`scenario`]) and fits the general cost model `C_P = a + b/P + cP`,
+//! `V_P = v + u/P` of `ayd-core` to a platform's measured costs under a given
+//! scenario ([`scenario::Scenario::fit`]). The [`builder`] module assembles
+//! complete [`ayd_core::ExactModel`]s ready for analysis, optimisation or
+//! simulation.
+//!
+//! ```
+//! use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+//!
+//! let setup = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1);
+//! let model = setup.model().unwrap();
+//! // Scenario 1 on Hera: checkpoint cost 300 s at the measured 512 processors.
+//! assert!((model.costs.checkpoint_at(512.0) - 300.0).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod builder;
+pub mod platform;
+pub mod scenario;
+
+pub use builder::ExperimentSetup;
+pub use platform::{Platform, PlatformId};
+pub use scenario::{CostShape, Scenario, ScenarioId, VerificationShape};

@@ -1,0 +1,184 @@
+//! Streaming statistics (Welford's algorithm) for simulation outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean/variance accumulator using Welford's numerically stable update,
+/// with support for merging accumulators computed in parallel (Chan et al.).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Smallest observation (`+∞` for an empty accumulator).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` for an empty accumulator).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_sample() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample (unbiased) variance of this classic data set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edge_cases() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37 + 11) % 97) as f64 * 0.37).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..420] {
+            left.push(x);
+        }
+        for &x in &data[420..] {
+            right.push(x);
+        }
+        let mut merged = left;
+        merged.merge(&right);
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-10);
+        assert!((merged.variance() - all.variance()).abs() < 1e-8);
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..100 {
+            small.push((i % 10) as f64);
+        }
+        for i in 0..10_000 {
+            large.push((i % 10) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+}

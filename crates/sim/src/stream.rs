@@ -1,0 +1,306 @@
+//! Event-stream simulation engine.
+//!
+//! Unlike [`crate::engine::WindowSamplingEngine`], which re-draws the time to the
+//! next error for every attempt window, this engine maintains genuine arrival
+//! processes:
+//!
+//! * a fail-stop countdown, decremented by every second of *busy* time
+//!   (computation, verification, checkpoint, recovery — everything except
+//!   downtime), re-armed after each arrival;
+//! * a silent-error countdown, decremented only by *computation* time, re-armed
+//!   after each arrival.
+//!
+//! Both engines implement the same protocol semantics and, by the memorylessness
+//! of the exponential distribution, the same stochastic process; they differ only
+//! in implementation strategy, which makes them useful cross-checks of one
+//! another (ablation A2 in DESIGN.md).
+
+use rand::rngs::StdRng;
+
+use crate::engine::{PatternEngine, PatternOutcome};
+use crate::params::PatternParams;
+use crate::rng::sample_exponential;
+
+/// Simulation engine with persistent arrival-process state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventStreamEngine {
+    /// Busy time remaining until the next fail-stop error (`None` = not yet armed).
+    fail_stop_countdown: Option<f64>,
+    /// Computation time remaining until the next silent error.
+    silent_countdown: Option<f64>,
+}
+
+/// What happened while trying to execute one phase.
+enum PhaseResult {
+    /// The phase ran to completion; the elapsed time equals the phase length.
+    Completed,
+    /// A fail-stop error struck after the given busy time.
+    FailStopAt(f64),
+}
+
+impl EventStreamEngine {
+    /// Creates the engine with unarmed countdowns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn arm_fail_stop(&mut self, params: &PatternParams, rng: &mut StdRng) -> f64 {
+        match self.fail_stop_countdown {
+            Some(v) => v,
+            None => {
+                let v = sample_exponential(rng, params.lambda_fail_stop);
+                self.fail_stop_countdown = Some(v);
+                v
+            }
+        }
+    }
+
+    fn arm_silent(&mut self, params: &PatternParams, rng: &mut StdRng) -> f64 {
+        match self.silent_countdown {
+            Some(v) => v,
+            None => {
+                let v = sample_exponential(rng, params.lambda_silent);
+                self.silent_countdown = Some(v);
+                v
+            }
+        }
+    }
+
+    /// Advances the fail-stop process by `busy` seconds of busy time; returns the
+    /// phase result for a phase of that length.
+    fn advance_busy(
+        &mut self,
+        length: f64,
+        params: &PatternParams,
+        rng: &mut StdRng,
+    ) -> PhaseResult {
+        let countdown = self.arm_fail_stop(params, rng);
+        if countdown < length {
+            // The error fires inside this phase; the countdown is consumed and the
+            // process re-arms lazily on the next phase.
+            self.fail_stop_countdown = None;
+            PhaseResult::FailStopAt(countdown)
+        } else {
+            self.fail_stop_countdown = Some(countdown - length);
+            PhaseResult::Completed
+        }
+    }
+
+    /// Advances the silent-error process by `computation` seconds of computation
+    /// time; returns whether at least one silent error struck within it.
+    fn advance_computation(
+        &mut self,
+        computation: f64,
+        params: &PatternParams,
+        rng: &mut StdRng,
+    ) -> bool {
+        if computation <= 0.0 {
+            return false;
+        }
+        let countdown = self.arm_silent(params, rng);
+        if countdown < computation {
+            self.silent_countdown = None;
+            // Further silent arrivals within the same chunk are irrelevant: the
+            // data is already corrupted. The next countdown re-arms lazily.
+            true
+        } else {
+            self.silent_countdown = Some(countdown - computation);
+            false
+        }
+    }
+
+    /// Executes the recovery loop (recovery attempts interrupted by fail-stop
+    /// errors followed by downtimes) and returns the elapsed wall-clock time.
+    fn run_recovery(
+        &mut self,
+        params: &PatternParams,
+        rng: &mut StdRng,
+        outcome: &mut PatternOutcome,
+    ) -> f64 {
+        let mut elapsed = 0.0;
+        loop {
+            outcome.recovery_attempts += 1;
+            match self.advance_busy(params.recovery, params, rng) {
+                PhaseResult::Completed => {
+                    elapsed += params.recovery;
+                    return elapsed;
+                }
+                PhaseResult::FailStopAt(t) => {
+                    outcome.fail_stop_errors += 1;
+                    elapsed += t + params.downtime;
+                }
+            }
+        }
+    }
+}
+
+impl PatternEngine for EventStreamEngine {
+    fn execute_pattern(&mut self, params: &PatternParams, rng: &mut StdRng) -> PatternOutcome {
+        let mut outcome = PatternOutcome::default();
+        'pattern: loop {
+            // Execute T then V, tracking whether the silent process fired in T.
+            'work: loop {
+                // Computation chunk.
+                let silent_struck;
+                match self.advance_busy(params.work, params, rng) {
+                    PhaseResult::FailStopAt(t) => {
+                        // Did a silent error strike before the crash point?
+                        let masked = self.advance_computation(t, params, rng);
+                        if masked {
+                            outcome.silent_errors_masked += 1;
+                            // The corrupted state is discarded by the rollback; the
+                            // silent process re-arms for the re-execution.
+                        }
+                        outcome.fail_stop_errors += 1;
+                        outcome.time += t + params.downtime;
+                        outcome.time += self.run_recovery(params, rng, &mut outcome);
+                        continue 'work;
+                    }
+                    PhaseResult::Completed => {
+                        silent_struck = self.advance_computation(params.work, params, rng);
+                        outcome.time += params.work;
+                    }
+                }
+                // Verification (no silent errors can strike here).
+                match self.advance_busy(params.verification, params, rng) {
+                    PhaseResult::FailStopAt(t) => {
+                        if silent_struck {
+                            outcome.silent_errors_masked += 1;
+                        }
+                        outcome.fail_stop_errors += 1;
+                        outcome.time += t + params.downtime;
+                        outcome.time += self.run_recovery(params, rng, &mut outcome);
+                        continue 'work;
+                    }
+                    PhaseResult::Completed => {
+                        outcome.time += params.verification;
+                    }
+                }
+                if silent_struck {
+                    outcome.silent_errors_detected += 1;
+                    outcome.time += self.run_recovery(params, rng, &mut outcome);
+                    continue 'work;
+                }
+                break 'work;
+            }
+            // Checkpoint.
+            match self.advance_busy(params.checkpoint, params, rng) {
+                PhaseResult::FailStopAt(t) => {
+                    outcome.fail_stop_errors += 1;
+                    outcome.time += t + params.downtime;
+                    outcome.time += self.run_recovery(params, rng, &mut outcome);
+                    continue 'pattern;
+                }
+                PhaseResult::Completed => {
+                    outcome.time += params.checkpoint;
+                    return outcome;
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.fail_stop_countdown = None;
+        self.silent_countdown = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WindowSamplingEngine;
+    use crate::rng::rng_for_replicate;
+
+    fn params(lambda_f: f64, lambda_s: f64) -> PatternParams {
+        PatternParams {
+            work: 6_000.0,
+            verification: 15.4,
+            checkpoint: 300.0,
+            recovery: 300.0,
+            downtime: 3600.0,
+            lambda_fail_stop: lambda_f,
+            lambda_silent: lambda_s,
+            work_per_pattern: 6_000.0 * 9.83,
+        }
+    }
+
+    #[test]
+    fn error_free_pattern_takes_exactly_the_raw_time() {
+        let mut engine = EventStreamEngine::new();
+        let mut rng = rng_for_replicate(11, 0);
+        let p = params(0.0, 0.0);
+        let out = engine.execute_pattern(&p, &mut rng);
+        assert_eq!(out.time, p.error_free_duration());
+        assert_eq!(out.fail_stop_errors + out.silent_errors_detected, 0);
+    }
+
+    #[test]
+    fn reset_clears_countdowns() {
+        let mut engine = EventStreamEngine::new();
+        let mut rng = rng_for_replicate(12, 0);
+        let p = params(1e-5, 1e-5);
+        let _ = engine.execute_pattern(&p, &mut rng);
+        engine.reset();
+        assert!(engine.fail_stop_countdown.is_none());
+        assert!(engine.silent_countdown.is_none());
+    }
+
+    #[test]
+    fn time_is_never_below_error_free_duration() {
+        let mut engine = EventStreamEngine::new();
+        let mut rng = rng_for_replicate(13, 0);
+        let p = params(2e-5, 4e-5);
+        for _ in 0..2_000 {
+            let out = engine.execute_pattern(&p, &mut rng);
+            assert!(out.time >= p.error_free_duration() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_window_sampling_engine_in_expectation() {
+        // Both engines simulate the same stochastic process; their mean pattern
+        // times must agree within Monte-Carlo error.
+        let p = params(1.9e-6, 6.8e-6); // Hera-ish platform rates at P = 512
+        let n = 30_000;
+        let mut stream = EventStreamEngine::new();
+        let mut window = WindowSamplingEngine::new();
+        let mut rng1 = rng_for_replicate(77, 1);
+        let mut rng2 = rng_for_replicate(77, 2);
+        let mean_stream: f64 =
+            (0..n).map(|_| stream.execute_pattern(&p, &mut rng1).time).sum::<f64>() / n as f64;
+        let mean_window: f64 =
+            (0..n).map(|_| window.execute_pattern(&p, &mut rng2).time).sum::<f64>() / n as f64;
+        let rel = (mean_stream - mean_window).abs() / mean_window;
+        assert!(rel < 0.02, "stream={mean_stream} window={mean_window} rel={rel}");
+    }
+
+    #[test]
+    fn mean_time_matches_analytical_expectation() {
+        use ayd_core::{
+            CheckpointCost, ExactModel, FailureModel, ResilienceCosts, SpeedupProfile,
+            VerificationCost,
+        };
+        let model = ExactModel::new(
+            SpeedupProfile::amdahl(0.1).unwrap(),
+            ResilienceCosts::new(
+                CheckpointCost::constant(439.0),
+                VerificationCost::constant(9.1),
+                3600.0,
+            )
+            .unwrap(),
+            FailureModel::new(1.62e-8, 0.0625).unwrap(),
+        );
+        let (t, p) = (10_000.0, 1024.0);
+        let params = crate::params::PatternParams::from_model(&model, t, p);
+        let expected = model.expected_pattern_time(t, p);
+        let mut engine = EventStreamEngine::new();
+        let mut rng = rng_for_replicate(123, 9);
+        let n = 40_000;
+        let mean: f64 = (0..n)
+            .map(|_| engine.execute_pattern(&params, &mut rng).time)
+            .sum::<f64>()
+            / n as f64;
+        let rel = (mean - expected).abs() / expected;
+        assert!(rel < 0.01, "simulated mean {mean} vs analytical {expected} (rel {rel})");
+    }
+}

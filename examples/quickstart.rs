@@ -1,0 +1,79 @@
+//! Quickstart: from platform parameters to an optimal checkpointing pattern.
+//!
+//! Walks through the full pipeline of the library on the paper's "Hera" platform:
+//!
+//! 1. describe the failure model and the resilience costs,
+//! 2. compute the classical Young/Daly period (fail-stop errors only) as a
+//!    baseline,
+//! 3. compute the generalised first-order optimum of the paper (Theorem 2):
+//!    optimal processor count `P*`, period `T*` and predicted overhead,
+//! 4. cross-check against the numerical optimum of the exact model, and
+//! 5. validate both operating points with the discrete-event simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use amdahl_young_daly::prelude::*;
+use ayd_core::young_daly::young_daly_period;
+use ayd_exp::{Evaluator, OperatingPoint};
+
+fn describe(label: &str, point: &OperatingPoint) {
+    println!(
+        "  {label:<22} P* = {:>9.1}   T* = {:>9.1} s   predicted H = {:.4}{}",
+        point.processors,
+        point.period,
+        point.predicted_overhead,
+        point
+            .simulated
+            .map(|s| format!("   simulated H = {:.4} (±{:.4})", s.mean, s.ci95))
+            .unwrap_or_default()
+    );
+}
+
+fn main() {
+    // 1. The Hera platform of the paper (Table II): individual error rate
+    //    1.69e-8 per second, 21.88% of errors are fail-stop, measured checkpoint
+    //    cost 300 s at 512 processors, verification 15.4 s, one-hour downtime.
+    let failures = FailureModel::new(1.69e-8, 0.2188).expect("valid failure model");
+    let costs = ResilienceCosts::new(
+        CheckpointCost::linear(300.0 / 512.0), // coordinated checkpointing: C_P = cP
+        VerificationCost::constant(15.4),
+        3600.0,
+    )
+    .expect("valid resilience costs");
+    let speedup = SpeedupProfile::amdahl(0.1).expect("valid sequential fraction");
+    let model = ExactModel::new(speedup, costs, failures);
+
+    println!("Platform: Hera-like, individual MTBF = {:.1} years", failures.mtbf_ind() / 3.156e7);
+
+    // 2. Classical Young/Daly baseline: ignore silent errors and the verification,
+    //    fix P at the measured 512 processors.
+    let p_measured = 512.0;
+    let yd = young_daly_period(costs.checkpoint_at(p_measured), failures.fail_stop_rate(p_measured));
+    println!("\nClassical Young/Daly period at P = 512 (fail-stop only): {yd:.0} s");
+
+    // 3. The paper's generalised first-order optimum (Theorem 2).
+    let first_order = FirstOrder::new(&model).joint_optimum().expect("Theorem 2 applies");
+    println!(
+        "\nTheorem 2 closed forms: P* = {:.1}, T* = {:.1} s, H* = {:.4}",
+        first_order.processors, first_order.period, first_order.overhead
+    );
+
+    // 4 & 5. Numerical optimum of the exact model, and simulation of both points.
+    let evaluator = Evaluator::new(ayd_exp::RunOptions::default());
+    println!("\nOperating points (predicted by Proposition 1, validated by simulation):");
+    let fo_point = evaluator.first_order_point(&model).expect("first-order point exists");
+    describe("first-order optimum", &fo_point);
+    let numerical = evaluator.numerical_point(&model);
+    describe("numerical optimum", &numerical);
+
+    // Project a concrete application: one month of sequential work.
+    let app = Application::new(30.0 * 86_400.0).expect("valid application");
+    let projection = app.project(&model, numerical.period, numerical.processors);
+    println!(
+        "\nA 30-day (sequential) application at the numerical optimum:\n  \
+         {:.0} patterns, error-free makespan {:.1} h, expected makespan {:.1} h",
+        projection.patterns,
+        projection.error_free_makespan / 3600.0,
+        projection.expected_makespan / 3600.0
+    );
+}

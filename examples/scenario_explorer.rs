@@ -1,0 +1,66 @@
+//! Scenario explorer: how the checkpointing protocol shapes the optimal pattern.
+//!
+//! For a chosen platform (default Hera, override with the first CLI argument:
+//! `hera`, `atlas`, `coastal`, `coastal-ssd`) this example sweeps the processor
+//! count and prints, for every resilience scenario of Table III, the first-order
+//! optimal period `T*_P` (Theorem 1), the expected overhead at that period, and
+//! how much the classical Young/Daly period (which ignores silent errors and the
+//! verification cost) would lose on the same platform.
+//!
+//! Run with: `cargo run --release --example scenario_explorer [platform]`
+
+use ayd_core::young_daly::young_daly_period;
+use ayd_core::FirstOrder;
+use ayd_exp::table::{fmt_value, TextTable};
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+
+fn main() {
+    let platform = std::env::args()
+        .nth(1)
+        .map(|name| PlatformId::parse(&name).expect("unknown platform name"))
+        .unwrap_or(PlatformId::Hera);
+
+    println!("Exploring resilience scenarios on {}\n", platform.name());
+
+    let processor_sweep: Vec<f64> = (1..=7).map(|i| (i * 200) as f64).collect();
+    for scenario in ScenarioId::ALL {
+        let model = ExperimentSetup::paper_default(platform, scenario)
+            .model()
+            .expect("paper-default setup");
+        let first_order = FirstOrder::new(&model);
+        let mut table = TextTable::new(
+            format!(
+                "Scenario {} (C_P: {:?}, V_P: {:?})",
+                scenario.number(),
+                ExperimentSetup::paper_default(platform, scenario).scenario_data().checkpoint,
+                ExperimentSetup::paper_default(platform, scenario).scenario_data().verification,
+            ),
+            &["P", "C_P (s)", "V_P (s)", "T*_P (s)", "H(T*_P, P)", "Young/Daly T (s)", "H @ Young/Daly T"],
+        );
+        for &p in &processor_sweep {
+            let optimum = first_order.optimal_period_for(p);
+            // Young/Daly ignores silent errors (uses the fail-stop rate only) and
+            // the verification cost.
+            let yd_period = young_daly_period(model.costs.checkpoint_at(p), model.failures.fail_stop_rate(p));
+            let yd_overhead = model.expected_overhead(yd_period, p);
+            table.push_row(vec![
+                fmt_value(p),
+                fmt_value(model.costs.checkpoint_at(p)),
+                fmt_value(model.costs.verification_at(p)),
+                fmt_value(optimum.period),
+                fmt_value(model.expected_overhead(optimum.period, p)),
+                fmt_value(yd_period),
+                fmt_value(yd_overhead),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    println!(
+        "The generalised period of Theorem 1 accounts for silent errors (which\n\
+         dominate on these platforms: 78-94% of all errors) and is therefore shorter\n\
+         than the classical Young/Daly period; using the Young/Daly period directly\n\
+         would leave the pattern exposed to silent errors for too long and increase\n\
+         the expected overhead."
+    );
+}

@@ -1,0 +1,35 @@
+//! # amdahl-young-daly — facade crate
+//!
+//! Umbrella crate for the reproduction of *"When Amdahl Meets Young/Daly"*
+//! (Cavelan, Li, Robert, Sun — IEEE Cluster 2016). It re-exports the public API of
+//! every workspace crate so downstream users can depend on a single package:
+//!
+//! * [`model`] (`ayd-core`) — speedup profiles, resilience cost models, the exact
+//!   pattern model (Proposition 1) and the first-order optima (Theorems 1–3).
+//! * [`optim`] (`ayd-optim`) — numerical optimisation of the exact model
+//!   (golden-section, Brent, integer and joint `(T, P)` searches).
+//! * [`platforms`] (`ayd-platforms`) — the four SCR platforms of Table II and the
+//!   six resilience scenarios of Table III.
+//! * [`sim`] (`ayd-sim`) — discrete-event simulation of the VC protocol with
+//!   fail-stop and silent error injection.
+//! * [`exp`] (`ayd-exp`) — the experiment harness that regenerates every table and
+//!   figure of the paper's evaluation section.
+//!
+//! See `examples/quickstart.rs` for a guided tour and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+
+#![deny(missing_docs)]
+
+pub use ayd_core as model;
+pub use ayd_exp as exp;
+pub use ayd_optim as optim;
+pub use ayd_platforms as platforms;
+pub use ayd_sim as sim;
+
+/// Frequently used items from every crate, re-exported flat.
+pub mod prelude {
+    pub use ayd_core::prelude::*;
+    pub use ayd_optim::{JointSearch, OptimizeOptions};
+    pub use ayd_platforms::{Platform, PlatformId, Scenario, ScenarioId};
+    pub use ayd_sim::{SimulationConfig, Simulator};
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: the discrete-event simulator (`ayd-sim`) must agree
+//! with the exact analytical model (`ayd-core`, Proposition 1) on every platform
+//! of Table II and every scenario of Table III.
+
+use ayd_core::FirstOrder;
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+use ayd_sim::{EngineKind, SimulationConfig, Simulator};
+
+/// Simulated overhead matches the analytical expectation within a few percent on
+/// every platform (scenario 1, the paper's default operating regime).
+#[test]
+fn simulation_matches_proposition1_on_all_platforms() {
+    let config = SimulationConfig { runs: 40, patterns_per_run: 100, ..Default::default() };
+    for platform in PlatformId::ALL {
+        let model = ExperimentSetup::paper_default(platform, ScenarioId::S1).model().unwrap();
+        // Evaluate at the first-order optimum of the platform.
+        let optimum = FirstOrder::new(&model).joint_optimum().unwrap();
+        let predicted = model.expected_overhead(optimum.period, optimum.processors);
+        let stats = Simulator::new(model).simulate_overhead(optimum.period, optimum.processors, &config);
+        let rel = (stats.mean - predicted).abs() / predicted;
+        assert!(
+            rel < 0.05,
+            "{}: simulated {} vs predicted {} (rel {rel})",
+            platform.name(),
+            stats.mean,
+            predicted
+        );
+    }
+}
+
+/// Simulated overhead matches the analytical expectation for every scenario on
+/// Hera, at a mid-range operating point that is not the optimum of any of them.
+#[test]
+fn simulation_matches_proposition1_for_all_scenarios() {
+    let config = SimulationConfig { runs: 40, patterns_per_run: 100, ..Default::default() };
+    let (t, p) = (5_000.0, 600.0);
+    for scenario in ScenarioId::ALL {
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario).model().unwrap();
+        let predicted = model.expected_overhead(t, p);
+        let stats = Simulator::new(model).simulate_overhead(t, p, &config);
+        let rel = (stats.mean - predicted).abs() / predicted;
+        assert!(
+            rel < 0.05,
+            "scenario {}: simulated {} vs predicted {} (rel {rel})",
+            scenario.number(),
+            stats.mean,
+            predicted
+        );
+    }
+}
+
+/// Both simulation engines agree with each other (and the model) on a
+/// high-error-rate configuration where rollbacks are frequent.
+#[test]
+fn engines_agree_under_heavy_error_rates() {
+    let model = ExperimentSetup::paper_default(PlatformId::Atlas, ScenarioId::S3)
+        .with_lambda_ind(5e-7)
+        .model()
+        .unwrap();
+    let (t, p) = (2_000.0, 1_024.0);
+    let config = SimulationConfig { runs: 60, patterns_per_run: 80, ..Default::default() };
+    let window = Simulator::new(model).simulate_overhead(t, p, &config);
+    let stream = Simulator::new(model)
+        .simulate_overhead(t, p, &config.with_engine(EngineKind::EventStream));
+    let predicted = model.expected_overhead(t, p);
+    for (name, stats) in [("window", &window), ("stream", &stream)] {
+        let rel = (stats.mean - predicted).abs() / predicted;
+        assert!(rel < 0.08, "{name}: simulated {} vs predicted {predicted}", stats.mean);
+    }
+    assert!((window.mean - stream.mean).abs() / window.mean < 0.08);
+    // Heavy error rates mean plenty of injected events of both kinds.
+    assert!(window.fail_stop_errors > 0);
+    assert!(window.silent_errors_detected > 0);
+}
+
+/// The simulated overhead is minimised near the analytical optimum: moving the
+/// period well away from `T*` in either direction increases the simulated
+/// overhead (Hera, scenario 1).
+#[test]
+fn simulated_overhead_is_minimised_near_the_predicted_optimum() {
+    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+    let optimum = FirstOrder::new(&model).joint_optimum().unwrap();
+    let config = SimulationConfig { runs: 60, patterns_per_run: 120, ..Default::default() };
+    let simulator = Simulator::new(model);
+    let at_optimum = simulator
+        .simulate_overhead(optimum.period, optimum.processors, &config)
+        .mean;
+    let too_short = simulator
+        .simulate_overhead(optimum.period / 8.0, optimum.processors, &config)
+        .mean;
+    let too_long = simulator
+        .simulate_overhead(optimum.period * 8.0, optimum.processors, &config)
+        .mean;
+    assert!(at_optimum < too_short, "optimum {at_optimum} vs short-period {too_short}");
+    assert!(at_optimum < too_long, "optimum {at_optimum} vs long-period {too_long}");
+}
+
+/// Downtime only matters when fail-stop errors strike: with a pure-silent-error
+/// platform the simulated overhead is unaffected by the downtime value.
+#[test]
+fn downtime_is_irrelevant_without_fail_stop_errors() {
+    let base = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S3).model().unwrap();
+    let silent_only = base.with_failures(ayd_core::FailureModel::new(1.69e-8, 0.0).unwrap());
+    let (t, p) = (5_000.0, 512.0);
+    let config = SimulationConfig { runs: 20, patterns_per_run: 60, ..Default::default() };
+    let short = Simulator::new(silent_only.with_costs(silent_only.costs.with_downtime(0.0).unwrap()))
+        .simulate_overhead(t, p, &config);
+    let long = Simulator::new(silent_only.with_costs(silent_only.costs.with_downtime(36_000.0).unwrap()))
+        .simulate_overhead(t, p, &config);
+    assert_eq!(short.mean, long.mean);
+    assert_eq!(short.fail_stop_errors, 0);
+    assert_eq!(long.fail_stop_errors, 0);
+}

@@ -12,9 +12,15 @@ fn bench_engines(c: &mut Criterion) {
     let data = ablation::run_engine_comparison(&ayd_bench::print_options());
     ayd_bench::print_table(&ablation::render_engine_comparison(&data));
 
-    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+        .model()
+        .unwrap();
     let simulator = Simulator::new(model);
-    let config = SimulationConfig { runs: 4, patterns_per_run: 25, ..Default::default() };
+    let config = SimulationConfig {
+        runs: 4,
+        patterns_per_run: 25,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("engines");
     group.bench_function("window_sampling", |b| {

@@ -10,7 +10,9 @@ use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
 use ayd_sim::{SimulationConfig, Simulator};
 
 fn bench_core(c: &mut Criterion) {
-    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+        .model()
+        .unwrap();
 
     c.bench_function("exact_pattern_time", |b| {
         b.iter(|| model.expected_pattern_time(black_box(6_000.0), black_box(400.0)))
@@ -40,7 +42,11 @@ fn bench_core(c: &mut Criterion) {
 
     c.bench_function("simulate_small_batch", |b| {
         let simulator = Simulator::new(model);
-        let config = SimulationConfig { runs: 4, patterns_per_run: 25, ..Default::default() };
+        let config = SimulationConfig {
+            runs: 4,
+            patterns_per_run: 25,
+            ..Default::default()
+        };
         b.iter(|| simulator.simulate_overhead(black_box(6_000.0), black_box(400.0), &config))
     });
 }

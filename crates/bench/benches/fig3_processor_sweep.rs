@@ -13,7 +13,10 @@ fn bench_fig3(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("processor_sweep_analytical", |b| {
         b.iter(|| {
-            figure3::run_with_processors(&[200.0, 600.0, 1_000.0, 1_400.0], &ayd_bench::timed_options())
+            figure3::run_with_processors(
+                &[200.0, 600.0, 1_000.0, 1_400.0],
+                &ayd_bench::timed_options(),
+            )
         })
     });
     group.finish();

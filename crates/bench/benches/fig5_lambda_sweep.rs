@@ -15,7 +15,11 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("lambda_sweep_analytical", |b| {
         b.iter(|| {
-            figure5::run_with(&[1e-11, 1e-10, 1e-9, 1e-8], 0.1, &ayd_bench::timed_options())
+            figure5::run_with(
+                &[1e-11, 1e-10, 1e-9, 1e-8],
+                0.1,
+                &ayd_bench::timed_options(),
+            )
         })
     });
     group.finish();

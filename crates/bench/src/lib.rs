@@ -18,7 +18,10 @@ pub fn print_options() -> RunOptions {
 /// numerical only (no simulation), so a single iteration stays in the
 /// millisecond range and Criterion can sample it meaningfully.
 pub fn timed_options() -> RunOptions {
-    RunOptions { simulate: false, ..RunOptions::smoke() }
+    RunOptions {
+        simulate: false,
+        ..RunOptions::smoke()
+    }
 }
 
 /// Prints a rendered table with a separating banner, so figure rows are easy to

@@ -143,7 +143,11 @@ impl ResilienceCosts {
         downtime: f64,
     ) -> Result<Self, ModelError> {
         ensure_non_negative("downtime", downtime)?;
-        Ok(Self { checkpoint, verification, downtime })
+        Ok(Self {
+            checkpoint,
+            verification,
+            downtime,
+        })
     }
 
     /// Checkpoint cost `C_P` on `p` processors.

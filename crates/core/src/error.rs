@@ -47,10 +47,16 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::NonPositive { name, value } => {
-                write!(f, "parameter `{name}` must be strictly positive, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be strictly positive, got {value}"
+                )
             }
             ModelError::Negative { name, value } => {
-                write!(f, "parameter `{name}` must be non-negative and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be non-negative and finite, got {value}"
+                )
             }
             ModelError::NotAFraction { name, value } => {
                 write!(f, "parameter `{name}` must lie in [0, 1], got {value}")
@@ -134,9 +140,15 @@ mod tests {
 
     #[test]
     fn display_messages_mention_parameter_name() {
-        let err = ModelError::NonPositive { name: "lambda_ind", value: 0.0 };
+        let err = ModelError::NonPositive {
+            name: "lambda_ind",
+            value: 0.0,
+        };
         assert!(err.to_string().contains("lambda_ind"));
-        let err = ModelError::NotAFraction { name: "alpha", value: 2.0 };
+        let err = ModelError::NotAFraction {
+            name: "alpha",
+            value: 2.0,
+        };
         assert!(err.to_string().contains("alpha"));
         let err = ModelError::NoClosedFormOptimum { reason: "h/P cost" };
         assert!(err.to_string().contains("h/P cost"));

@@ -37,7 +37,10 @@ impl FailureModel {
     pub fn new(lambda_ind: f64, fail_stop_fraction: f64) -> Result<Self, ModelError> {
         ensure_positive("lambda_ind", lambda_ind)?;
         ensure_fraction("fail_stop_fraction", fail_stop_fraction)?;
-        Ok(Self { lambda_ind, fail_stop_fraction })
+        Ok(Self {
+            lambda_ind,
+            fail_stop_fraction,
+        })
     }
 
     /// Builds a failure model from the individual MTBF `µ_ind` (seconds) instead

@@ -65,7 +65,11 @@ impl PatternBreakdown {
 impl ExactModel {
     /// Builds the exact model from its three ingredients.
     pub fn new(speedup: SpeedupProfile, costs: ResilienceCosts, failures: FailureModel) -> Self {
-        Self { speedup, costs, failures }
+        Self {
+            speedup,
+            costs,
+            failures,
+        }
     }
 
     /// `(1/λ_f + D) · (exp(λ_f · x) - 1)`, computed so that the `λ_f → 0` limit
@@ -118,8 +122,7 @@ impl ExactModel {
         }
         let e_r = self.expected_recovery_time(p);
         let e_wv = self.expected_work_and_verification_time(t, p);
-        (lambda_f * c).exp_m1()
-            * (1.0 / lambda_f + self.costs.downtime + e_r + e_wv)
+        (lambda_f * c).exp_m1() * (1.0 / lambda_f + self.costs.downtime + e_r + e_wv)
     }
 
     /// Expected execution time of the pattern, `E(PATTERN) = E(T+V_P) + E(C_P)`,
@@ -162,8 +165,7 @@ impl ExactModel {
         let v = self.costs.verification_at(p);
         let a = 1.0 / lambda_f + self.costs.downtime;
         let term1 = (lambda_f * c).exp() * (1.0 - (lambda_s * t).exp());
-        let term2 =
-            (lambda_f * r).exp() * ((lambda_f * (c + t + v) + lambda_s * t).exp() - 1.0);
+        let term2 = (lambda_f * r).exp() * ((lambda_f * (c + t + v) + lambda_s * t).exp() - 1.0);
         a * (term1 + term2)
     }
 
@@ -250,7 +252,10 @@ mod tests {
         let (t, p) = (5_000.0, 512.0);
         let expect = t + m.costs.verification_at(p) + m.costs.checkpoint_at(p);
         let got = m.expected_pattern_time(t, p);
-        assert!((got - expect).abs() / expect < 1e-9, "got={got} expect={expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-9,
+            "got={got} expect={expect}"
+        );
     }
 
     #[test]
@@ -293,10 +298,13 @@ mod tests {
         let m = ExactModel::new(SpeedupProfile::amdahl(0.1).unwrap(), costs, failures);
         let (t, p) = (10_000.0, 100.0);
         let lambda_s = failures.silent_rate(p);
-        let expected = (lambda_s * t).exp() * (t + 10.0) + ((lambda_s * t).exp() - 1.0) * 100.0
-            + 100.0;
+        let expected =
+            (lambda_s * t).exp() * (t + 10.0) + ((lambda_s * t).exp() - 1.0) * 100.0 + 100.0;
         let got = m.expected_pattern_time(t, p);
-        assert!((got - expected).abs() / expected < 1e-12, "got={got} expected={expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-12,
+            "got={got} expected={expected}"
+        );
     }
 
     #[test]
@@ -339,7 +347,10 @@ mod tests {
         let h = m.expected_overhead(t, p);
         let s = m.expected_speedup(t, p);
         assert!((h - e * m.speedup.overhead(p) / t).abs() < 1e-12);
-        assert!((h * s - 1.0).abs() < 1e-12, "overhead is the reciprocal of speedup");
+        assert!(
+            (h * s - 1.0).abs() < 1e-12,
+            "overhead is the reciprocal of speedup"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl ValidityBounds {
     pub fn for_costs(costs: &ResilienceCosts) -> Self {
         let fully_decreasing = costs.c() == 0.0 && costs.d() == 0.0;
         let max_processor_order = if costs.c() > 0.0 { 0.5 } else { 1.0 };
-        Self { max_processor_order, fully_decreasing }
+        Self {
+            max_processor_order,
+            fully_decreasing,
+        }
     }
 
     /// The effective upper bound on `x` (the processor order), accounting for the
@@ -93,11 +96,17 @@ pub struct PowerLawFit {
 /// Panics if fewer than two points are supplied or if any coordinate is not
 /// strictly positive.
 pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
-    assert!(points.len() >= 2, "need at least two points to fit a power law");
+    assert!(
+        points.len() >= 2,
+        "need at least two points to fit a power law"
+    );
     let logs: Vec<(f64, f64)> = points
         .iter()
         .map(|&(x, y)| {
-            assert!(x > 0.0 && y > 0.0, "power-law fit requires positive coordinates");
+            assert!(
+                x > 0.0 && y > 0.0,
+                "power-law fit requires positive coordinates"
+            );
             (x.ln(), y.ln())
         })
         .collect();
@@ -112,11 +121,22 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
         sxy += (x - mean_x) * (y - mean_y);
         syy += (y - mean_y) * (y - mean_y);
     }
-    assert!(sxx > 0.0, "all x coordinates are identical; exponent is undefined");
+    assert!(
+        sxx > 0.0,
+        "all x coordinates are identical; exponent is undefined"
+    );
     let exponent = sxy / sxx;
     let intercept = mean_y - exponent * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    PowerLawFit { exponent, constant: intercept.exp(), r_squared }
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    PowerLawFit {
+        exponent,
+        constant: intercept.exp(),
+        r_squared,
+    }
 }
 
 #[cfg(test)]
@@ -130,12 +150,23 @@ mod tests {
 
     #[test]
     fn delta_is_half_for_linear_costs_and_one_otherwise() {
-        let linear = costs(CheckpointCost::linear(0.5), VerificationCost::constant(10.0));
+        let linear = costs(
+            CheckpointCost::linear(0.5),
+            VerificationCost::constant(10.0),
+        );
         assert_eq!(ValidityBounds::for_costs(&linear).max_processor_order, 0.5);
-        let constant = costs(CheckpointCost::constant(300.0), VerificationCost::constant(10.0));
-        assert_eq!(ValidityBounds::for_costs(&constant).max_processor_order, 1.0);
-        let decreasing =
-            costs(CheckpointCost::per_processor(1000.0), VerificationCost::per_processor(10.0));
+        let constant = costs(
+            CheckpointCost::constant(300.0),
+            VerificationCost::constant(10.0),
+        );
+        assert_eq!(
+            ValidityBounds::for_costs(&constant).max_processor_order,
+            1.0
+        );
+        let decreasing = costs(
+            CheckpointCost::per_processor(1000.0),
+            VerificationCost::per_processor(10.0),
+        );
         let b = ValidityBounds::for_costs(&decreasing);
         assert!(b.fully_decreasing);
         assert_eq!(b.effective_processor_order_bound(), 0.5);
@@ -153,7 +184,10 @@ mod tests {
 
     #[test]
     fn contains_respects_both_inequalities() {
-        let linear = costs(CheckpointCost::linear(0.5), VerificationCost::constant(10.0));
+        let linear = costs(
+            CheckpointCost::linear(0.5),
+            VerificationCost::constant(10.0),
+        );
         let b = ValidityBounds::for_costs(&linear);
         let lambda = 1e-8;
         // x = 0.25, y = 0.5: valid (0.25 < 0.5 and 0.5 < 0.75).
@@ -166,8 +200,9 @@ mod tests {
 
     #[test]
     fn fit_recovers_exact_power_law() {
-        let pts: Vec<(f64, f64)> =
-            (1..=20).map(|i| (i as f64, 3.5 * (i as f64).powf(-0.25))).collect();
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| (i as f64, 3.5 * (i as f64).powf(-0.25)))
+            .collect();
         let fit = fit_power_law(&pts);
         assert!((fit.exponent + 0.25).abs() < 1e-10);
         assert!((fit.constant - 3.5).abs() < 1e-9);

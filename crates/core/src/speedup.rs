@@ -215,9 +215,20 @@ mod tests {
 
     #[test]
     fn sequential_fraction_accessor() {
-        assert_eq!(SpeedupProfile::amdahl(0.1).unwrap().sequential_fraction(), Some(0.1));
-        assert_eq!(SpeedupProfile::perfectly_parallel().sequential_fraction(), Some(0.0));
-        assert_eq!(SpeedupProfile::power_law(0.5).unwrap().sequential_fraction(), None);
+        assert_eq!(
+            SpeedupProfile::amdahl(0.1).unwrap().sequential_fraction(),
+            Some(0.1)
+        );
+        assert_eq!(
+            SpeedupProfile::perfectly_parallel().sequential_fraction(),
+            Some(0.0)
+        );
+        assert_eq!(
+            SpeedupProfile::power_law(0.5)
+                .unwrap()
+                .sequential_fraction(),
+            None
+        );
     }
 
     #[test]

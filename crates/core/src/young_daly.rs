@@ -106,3 +106,87 @@ mod tests {
         let _ = young_daly_period(100.0, 0.0);
     }
 }
+
+/// Cross-checks of the closed forms against the generic numerical minimisers of
+/// `ayd-optim`, applied to the *exact* pattern model (Proposition 1) in the
+/// classical fail-stop-only regime the Young/Daly formulas target.
+#[cfg(test)]
+mod cross_check_tests {
+    use super::*;
+    use crate::cost::{CheckpointCost, ResilienceCosts, VerificationCost};
+    use crate::failure::FailureModel;
+    use crate::pattern::ExactModel;
+    use crate::speedup::SpeedupProfile;
+    use ayd_optim::{golden_section, minimize_scalar, OptimizeOptions};
+
+    /// Fail-stop-only model (`f = 1`, free verification) with checkpoint cost
+    /// `c` seconds, individual rate `lambda_ind` and no downtime.
+    fn fail_stop_model(c: f64, lambda_ind: f64) -> ExactModel {
+        ExactModel::new(
+            SpeedupProfile::amdahl(0.1).unwrap(),
+            ResilienceCosts::new(CheckpointCost::constant(c), VerificationCost::zero(), 0.0)
+                .unwrap(),
+            FailureModel::new(lambda_ind, 1.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn young_daly_period_agrees_with_brent_on_the_exact_model() {
+        // Young's first-order period vs the true minimiser of the exact expected
+        // overhead: they agree to a few percent as long as lambda * C is small.
+        let (c, lambda_ind, p) = (300.0, 1e-8, 1_000.0);
+        let model = fail_stop_model(c, lambda_ind);
+        let lambda = model.failures.fail_stop_rate(p);
+        let closed_form = young_daly_period(c, lambda);
+        let numerical = minimize_scalar(10.0, 1e8, OptimizeOptions::default(), |t| {
+            model.expected_overhead(t, p)
+        })
+        .argument;
+        let rel = (closed_form - numerical).abs() / numerical;
+        assert!(
+            rel < 0.05,
+            "closed form {closed_form} vs brent {numerical} (rel {rel})"
+        );
+        // The overhead penalty of using the first-order period is far smaller
+        // than the period discrepancy itself (the optimum is flat).
+        let penalty =
+            model.expected_overhead(closed_form, p) / model.expected_overhead(numerical, p);
+        assert!(penalty < 1.001, "penalty {penalty}");
+    }
+
+    #[test]
+    fn young_daly_period_agrees_with_golden_section_on_the_first_order_waste() {
+        // On the first-order waste c/t + lambda t / 2 the agreement is exact up
+        // to the optimiser tolerance, for any (c, lambda).
+        for (c, lambda) in [(60.0, 1e-6), (300.0, 1e-5), (2_500.0, 3e-7)] {
+            let closed_form = young_daly_period(c, lambda);
+            let (numerical, _) =
+                golden_section(1.0, 1e9, 1e-13, 600, |t| first_order_waste(t, c, lambda));
+            let rel = (closed_form - numerical).abs() / numerical;
+            assert!(
+                rel < 1e-4,
+                "c={c} lambda={lambda}: {closed_form} vs {numerical}"
+            );
+        }
+    }
+
+    #[test]
+    fn daly_refinement_is_closer_to_the_exact_optimum_than_young() {
+        // In a regime where lambda * C is no longer negligible, Daly's
+        // higher-order period lands closer to the exact-model optimum than
+        // Young's first-order one.
+        let (c, lambda_ind, p) = (1_000.0, 1e-7, 1_000.0);
+        let model = fail_stop_model(c, lambda_ind);
+        let lambda = model.failures.fail_stop_rate(p);
+        let young = young_daly_period(c, lambda);
+        let daly = daly_period(c, 1.0 / lambda);
+        let numerical = minimize_scalar(10.0, 1e8, OptimizeOptions::default(), |t| {
+            model.expected_overhead(t, p)
+        })
+        .argument;
+        assert!(
+            (daly - numerical).abs() < (young - numerical).abs(),
+            "daly {daly} young {young} exact {numerical}"
+        );
+    }
+}

@@ -128,7 +128,10 @@ pub fn run_engine_comparison(options: &RunOptions) -> EngineComparisonData {
             .expect("paper defaults are valid");
         // Use the numerical optimum when no first-order one exists (scenario 6
         // never appears here, but keep the code robust).
-        let evaluator = Evaluator::new(RunOptions { simulate: false, ..*options });
+        let evaluator = Evaluator::new(RunOptions {
+            simulate: false,
+            ..*options
+        });
         let point = evaluator
             .first_order_point(&model)
             .unwrap_or_else(|| evaluator.numerical_point(&model));
@@ -156,7 +159,15 @@ pub fn run_engine_comparison(options: &RunOptions) -> EngineComparisonData {
 pub fn render_engine_comparison(data: &EngineComparisonData) -> TextTable {
     let mut table = TextTable::new(
         "Ablation A2 — window-sampling vs event-stream engines (Hera)",
-        &["scenario", "P", "T", "analytical H", "window H", "stream H", "disagreement"],
+        &[
+            "scenario",
+            "P",
+            "T",
+            "analytical H",
+            "window H",
+            "stream H",
+            "disagreement",
+        ],
     );
     for row in &data.rows {
         table.push_row(vec![
@@ -178,7 +189,10 @@ mod tests {
 
     #[test]
     fn gap_is_tiny_inside_the_validity_region() {
-        let options = RunOptions { simulate: false, ..RunOptions::smoke() };
+        let options = RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        };
         let data = run_first_order_gap(&options);
         assert_eq!(data.rows.len(), 3 * 7);
         for row in &data.rows {
@@ -197,12 +211,18 @@ mod tests {
 
     #[test]
     fn validity_bound_is_half_for_scenario1_and_larger_otherwise() {
-        let options = RunOptions { simulate: false, ..RunOptions::smoke() };
+        let options = RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        };
         let data = run_first_order_gap(&options);
         // Scenario 1 (c ≠ 0): x = 0.45 is still below δ = 0.5 → within bounds.
         // Scenario 3/5 (c = 0): δ = 1, all sampled orders are within bounds.
         for row in &data.rows {
-            assert!(row.within_validity_bounds, "all sampled orders are below their δ");
+            assert!(
+                row.within_validity_bounds,
+                "all sampled orders are below their δ"
+            );
         }
         let rendered = render_first_order_gap(&data);
         assert_eq!(rendered.len(), data.rows.len());

@@ -8,6 +8,10 @@
 //!   checks      headline shape checks (figures 5 and 6 slopes)
 //!   all         everything above
 //! ```
+//!
+//! `--json` requires `serde_json`, which this offline build replaces with a
+//! no-op stand-in (see `vendor/serde`); the flag is accepted but falls back to
+//! CSV with a notice on stderr until the real dependency is restored.
 
 use std::process::ExitCode;
 
@@ -42,7 +46,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--csv" => format = OutputFormat::Csv,
             "--seed" => {
                 let value = iter.next().ok_or("--seed requires a value")?;
-                options.seed = value.parse().map_err(|_| format!("invalid seed `{value}`"))?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed `{value}`"))?;
             }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
@@ -52,7 +58,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if experiments.is_empty() {
         return Err(usage());
     }
-    Ok(Cli { experiments, options, format })
+    Ok(Cli {
+        experiments,
+        options,
+        format,
+    })
 }
 
 fn usage() -> String {
@@ -61,21 +71,27 @@ fn usage() -> String {
         .to_string()
 }
 
-fn emit(format: OutputFormat, tables: Vec<TextTable>, json: serde_json::Value) {
+fn emit(format: OutputFormat, tables: Vec<TextTable>) {
     match format {
         OutputFormat::Text => {
             for table in tables {
                 println!("{}", table.render());
             }
         }
-        OutputFormat::Csv => {
+        OutputFormat::Csv | OutputFormat::Json => {
+            if format == OutputFormat::Json {
+                static NOTICE: std::sync::Once = std::sync::Once::new();
+                NOTICE.call_once(|| {
+                    eprintln!(
+                        "note: JSON output needs the real serde_json (unavailable in this \
+                         offline build); emitting CSV instead"
+                    );
+                });
+            }
             for table in tables {
                 println!("# {}", table.title());
                 println!("{}", table.to_csv());
             }
-        }
-        OutputFormat::Json => {
-            println!("{}", serde_json::to_string_pretty(&json).expect("serialisable results"));
         }
     }
 }
@@ -84,30 +100,29 @@ fn run_experiment(name: &str, options: &RunOptions, format: OutputFormat) -> Res
     match name {
         "table2" => {
             let data = tables::table2();
-            emit(format, vec![tables::render_table2(&data)], serde_json::to_value(&data).unwrap());
+            emit(format, vec![tables::render_table2(&data)]);
         }
         "table3" => {
             let data = tables::table3();
-            emit(format, vec![tables::render_table3(&data)], serde_json::to_value(&data).unwrap());
+            emit(format, vec![tables::render_table3(&data)]);
         }
         "fig2" => {
             let data = figure2::run(options);
-            emit(format, vec![figure2::render(&data)], serde_json::to_value(&data).unwrap());
+            emit(format, vec![figure2::render(&data)]);
         }
         "fig3" => {
             let data = figure3::run(options);
-            emit(format, vec![figure3::render(&data)], serde_json::to_value(&data).unwrap());
+            emit(format, vec![figure3::render(&data)]);
         }
         "fig4" => {
             let data = figure4::run(options);
-            emit(format, vec![figure4::render(&data)], serde_json::to_value(&data).unwrap());
+            emit(format, vec![figure4::render(&data)]);
         }
         "fig5" => {
             let data = figure5::run(options);
             emit(
                 format,
                 vec![figure5::render(&data), figure5::render_slopes(&data)],
-                serde_json::to_value(&data).unwrap(),
             );
         }
         "fig6" => {
@@ -115,46 +130,51 @@ fn run_experiment(name: &str, options: &RunOptions, format: OutputFormat) -> Res
             emit(
                 format,
                 vec![figure6::render(&data), figure6::render_slopes(&data)],
-                serde_json::to_value(&data).unwrap(),
             );
         }
         "fig7" => {
             let data = figure7::run(options);
-            emit(format, vec![figure7::render(&data)], serde_json::to_value(&data).unwrap());
+            emit(format, vec![figure7::render(&data)]);
         }
         "ablation" => {
             let data = ablation::run_first_order_gap(options);
-            emit(
-                format,
-                vec![ablation::render_first_order_gap(&data)],
-                serde_json::to_value(&data).unwrap(),
-            );
+            emit(format, vec![ablation::render_first_order_gap(&data)]);
         }
         "engines" => {
             let data = ablation::run_engine_comparison(options);
-            emit(
-                format,
-                vec![ablation::render_engine_comparison(&data)],
-                serde_json::to_value(&data).unwrap(),
-            );
+            emit(format, vec![ablation::render_engine_comparison(&data)]);
         }
         "extensions" => {
             let data = extensions::run(options);
-            emit(format, vec![extensions::render(&data)], serde_json::to_value(&data).unwrap());
+            emit(format, vec![extensions::render(&data)]);
         }
         "checks" => {
             // The slope checks do not need simulation; force it off for speed.
-            let analytic = RunOptions { simulate: false, ..*options };
+            let analytic = RunOptions {
+                simulate: false,
+                ..*options
+            };
             let fig5 = figure5::run(&analytic);
             let fig6 = figure6::run(&analytic);
             let checks = report::headline_checks(&fig5, &fig6);
-            let table = report::render_checks("Headline shape checks (paper vs reproduction)", &checks);
-            emit(format, vec![table], serde_json::to_value(&checks).unwrap());
+            let table =
+                report::render_checks("Headline shape checks (paper vs reproduction)", &checks);
+            emit(format, vec![table]);
         }
         "all" => {
             for experiment in [
-                "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation",
-                "engines", "extensions", "checks",
+                "table2",
+                "table3",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "ablation",
+                "engines",
+                "extensions",
+                "checks",
             ] {
                 run_experiment(experiment, options, format)?;
             }
@@ -192,8 +212,10 @@ mod tests {
 
     #[test]
     fn parses_experiments_and_flags() {
-        let cli =
-            parse_args(&strings(&["fig2", "fig5", "--no-sim", "--json", "--seed", "7"])).unwrap();
+        let cli = parse_args(&strings(&[
+            "fig2", "fig5", "--no-sim", "--json", "--seed", "7",
+        ]))
+        .unwrap();
         assert_eq!(cli.experiments, vec!["fig2", "fig5"]);
         assert!(!cli.options.simulate);
         assert_eq!(cli.options.seed, 7);
@@ -202,8 +224,20 @@ mod tests {
 
     #[test]
     fn paper_and_smoke_set_fidelity() {
-        assert_eq!(parse_args(&strings(&["fig2", "--paper"])).unwrap().options.fidelity, Fidelity::Paper);
-        assert_eq!(parse_args(&strings(&["fig2", "--smoke"])).unwrap().options.fidelity, Fidelity::Smoke);
+        assert_eq!(
+            parse_args(&strings(&["fig2", "--paper"]))
+                .unwrap()
+                .options
+                .fidelity,
+            Fidelity::Paper
+        );
+        assert_eq!(
+            parse_args(&strings(&["fig2", "--smoke"]))
+                .unwrap()
+                .options
+                .fidelity,
+            Fidelity::Smoke
+        );
     }
 
     #[test]
@@ -216,13 +250,19 @@ mod tests {
 
     #[test]
     fn unknown_experiment_is_an_error() {
-        let options = RunOptions { simulate: false, ..RunOptions::smoke() };
+        let options = RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        };
         assert!(run_experiment("fig999", &options, OutputFormat::Text).is_err());
     }
 
     #[test]
     fn table_experiments_run_quickly() {
-        let options = RunOptions { simulate: false, ..RunOptions::smoke() };
+        let options = RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        };
         run_experiment("table2", &options, OutputFormat::Text).unwrap();
         run_experiment("table3", &options, OutputFormat::Csv).unwrap();
     }

@@ -29,33 +29,52 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { fidelity: Fidelity::Standard, seed: 2016, simulate: true }
+        Self {
+            fidelity: Fidelity::Standard,
+            seed: 2016,
+            simulate: true,
+        }
     }
 }
 
 impl RunOptions {
     /// Options used by unit tests: smoke-level simulation.
     pub fn smoke() -> Self {
-        Self { fidelity: Fidelity::Smoke, ..Self::default() }
+        Self {
+            fidelity: Fidelity::Smoke,
+            ..Self::default()
+        }
     }
 
     /// Options matching the paper's replication scale.
     pub fn paper() -> Self {
-        Self { fidelity: Fidelity::Paper, ..Self::default() }
+        Self {
+            fidelity: Fidelity::Paper,
+            ..Self::default()
+        }
     }
 
     /// Options that skip simulation entirely (analytical + numerical only).
     pub fn analytical_only() -> Self {
-        Self { simulate: false, ..Self::default() }
+        Self {
+            simulate: false,
+            ..Self::default()
+        }
     }
 
     /// The simulation batch configuration corresponding to the chosen fidelity.
     pub fn simulation_config(&self) -> SimulationConfig {
         let base = match self.fidelity {
-            Fidelity::Smoke => SimulationConfig { runs: 12, patterns_per_run: 40, ..Default::default() },
-            Fidelity::Standard => {
-                SimulationConfig { runs: 80, patterns_per_run: 150, ..Default::default() }
-            }
+            Fidelity::Smoke => SimulationConfig {
+                runs: 12,
+                patterns_per_run: 40,
+                ..Default::default()
+            },
+            Fidelity::Standard => SimulationConfig {
+                runs: 80,
+                patterns_per_run: 150,
+                ..Default::default()
+            },
             Fidelity::Paper => SimulationConfig::paper_scale(),
         };
         base.with_seed(self.seed)
@@ -79,7 +98,10 @@ mod tests {
 
     #[test]
     fn seed_propagates_to_simulation_config() {
-        let opts = RunOptions { seed: 999, ..RunOptions::smoke() };
+        let opts = RunOptions {
+            seed: 999,
+            ..RunOptions::smoke()
+        };
         assert_eq!(opts.simulation_config().seed, 999);
     }
 

@@ -82,7 +82,11 @@ impl Evaluator {
     /// Creates an evaluator with the default search ranges (processors up to
     /// 10^7, periods between 1 second and 10^9 seconds).
     pub fn new(options: RunOptions) -> Self {
-        Self { options, processor_range: (1.0, 1e7), period_range: (1.0, 1e9) }
+        Self {
+            options,
+            processor_range: (1.0, 1e7),
+            period_range: (1.0, 1e9),
+        }
     }
 
     /// Overrides the processor search range (Figure 6 needs up to ~10^13).
@@ -129,7 +133,9 @@ impl Evaluator {
 
     /// The numerically optimal operating point of the exact model.
     pub fn numerical_point(&self, model: &ExactModel) -> OperatingPoint {
-        let result = self.joint_search().optimize(|p, t| model.expected_overhead(t, p));
+        let result = self
+            .joint_search()
+            .optimize(|p, t| model.expected_overhead(t, p));
         let mut point = OperatingPoint {
             processors: result.processors,
             period: result.period,
@@ -144,8 +150,9 @@ impl Evaluator {
     /// The numerically optimal period (and resulting overhead) for a fixed
     /// processor count.
     pub fn numerical_period_for(&self, model: &ExactModel, p: f64) -> (f64, f64) {
-        let minimum =
-            self.joint_search().optimize_period(p, |pp, t| model.expected_overhead(t, pp));
+        let minimum = self
+            .joint_search()
+            .optimize_period(p, |pp, t| model.expected_overhead(t, pp));
         (minimum.argument, minimum.value)
     }
 
@@ -161,7 +168,10 @@ impl Evaluator {
     pub fn simulate_at(&self, model: &ExactModel, t: f64, p: f64) -> SimSummary {
         let stats =
             Simulator::new(*model).simulate_overhead(t, p, &self.options.simulation_config());
-        SimSummary { mean: stats.mean, ci95: stats.ci95 }
+        SimSummary {
+            mean: stats.mean,
+            ci95: stats.ci95,
+        }
     }
 
     fn maybe_simulate(&self, model: &ExactModel, point: &mut OperatingPoint) {
@@ -186,23 +196,32 @@ mod tests {
     fn first_order_and_numerical_agree_on_hera_scenario1() {
         // Figure 2's headline observation: the first-order optimum is very close
         // to the numerical optimum in the realistic scenarios.
-        let model =
-            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+            .model()
+            .unwrap();
         let eval = evaluator(false);
         let cmp = eval.compare(&model);
-        let fo = cmp.first_order.expect("scenario 1 has a first-order optimum");
+        let fo = cmp
+            .first_order
+            .expect("scenario 1 has a first-order optimum");
         let gap = cmp.overhead_gap().unwrap();
         assert!(gap.abs() < 0.01, "overhead gap {gap}");
         // Processor allocations agree within ~20% and overheads within 1%.
         let rel_p = (fo.processors - cmp.numerical.processors).abs() / cmp.numerical.processors;
-        assert!(rel_p < 0.35, "P gap {rel_p}: fo={} num={}", fo.processors, cmp.numerical.processors);
+        assert!(
+            rel_p < 0.35,
+            "P gap {rel_p}: fo={} num={}",
+            fo.processors,
+            cmp.numerical.processors
+        );
         assert!(fo.predicted_overhead >= cmp.numerical.predicted_overhead - 1e-9);
     }
 
     #[test]
     fn scenario6_has_no_first_order_optimum() {
-        let model =
-            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S6).model().unwrap();
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S6)
+            .model()
+            .unwrap();
         let cmp = evaluator(false).compare(&model);
         assert!(cmp.first_order.is_none());
         assert!(cmp.overhead_gap().is_none());
@@ -211,20 +230,26 @@ mod tests {
 
     #[test]
     fn numerical_period_for_fixed_p_matches_first_order_closely() {
-        let model =
-            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S3).model().unwrap();
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S3)
+            .model()
+            .unwrap();
         let eval = evaluator(false);
         let p = 512.0;
         let (t_num, h_num) = eval.numerical_period_for(&model, p);
         let fo = ayd_core::FirstOrder::new(&model).optimal_period_for(p);
-        assert!((t_num - fo.period).abs() / fo.period < 0.1, "num={t_num} fo={}", fo.period);
+        assert!(
+            (t_num - fo.period).abs() / fo.period < 0.1,
+            "num={t_num} fo={}",
+            fo.period
+        );
         assert!(h_num <= model.expected_overhead(fo.period, p) + 1e-12);
     }
 
     #[test]
     fn simulation_is_attached_when_requested() {
-        let model =
-            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+            .model()
+            .unwrap();
         let with_sim = evaluator(true).first_order_point(&model).unwrap();
         let without = evaluator(false).first_order_point(&model).unwrap();
         assert!(with_sim.simulated.is_some());
@@ -236,9 +261,12 @@ mod tests {
 
     #[test]
     fn custom_ranges_are_respected() {
-        let model =
-            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
-        let eval = evaluator(false).with_processor_range(1.0, 100.0).with_period_range(10.0, 1e6);
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+            .model()
+            .unwrap();
+        let eval = evaluator(false)
+            .with_processor_range(1.0, 100.0)
+            .with_period_range(10.0, 1e6);
         let point = eval.numerical_point(&model);
         assert!(point.processors <= 100.0 + 1e-6);
         assert!(point.period <= 1e6 + 1e-3);

@@ -37,10 +37,22 @@ pub struct ExtensionData {
 /// The profiles exercised: the Amdahl baseline plus the three extension profiles.
 pub fn profiles() -> Vec<(String, SpeedupProfile)> {
     vec![
-        ("Amdahl(alpha=0.1)".to_string(), SpeedupProfile::amdahl(0.1).unwrap()),
-        ("PowerLaw(sigma=0.9)".to_string(), SpeedupProfile::power_law(0.9).unwrap()),
-        ("Gustafson(alpha=0.1)".to_string(), SpeedupProfile::gustafson(0.1).unwrap()),
-        ("PerfectlyParallel".to_string(), SpeedupProfile::perfectly_parallel()),
+        (
+            "Amdahl(alpha=0.1)".to_string(),
+            SpeedupProfile::amdahl(0.1).unwrap(),
+        ),
+        (
+            "PowerLaw(sigma=0.9)".to_string(),
+            SpeedupProfile::power_law(0.9).unwrap(),
+        ),
+        (
+            "Gustafson(alpha=0.1)".to_string(),
+            SpeedupProfile::gustafson(0.1).unwrap(),
+        ),
+        (
+            "PerfectlyParallel".to_string(),
+            SpeedupProfile::perfectly_parallel(),
+        ),
     ]
 }
 
@@ -68,7 +80,14 @@ pub fn run(options: &RunOptions) -> ExtensionData {
 pub fn render(data: &ExtensionData) -> TextTable {
     let mut table = TextTable::new(
         "Extension E1 — optimal pattern for non-Amdahl speedup profiles (Hera)",
-        &["scenario", "profile", "P* (optimal)", "T* (optimal)", "H (optimal)", "H (simulated)"],
+        &[
+            "scenario",
+            "profile",
+            "P* (optimal)",
+            "T* (optimal)",
+            "H (optimal)",
+            "H (simulated)",
+        ],
     );
     for row in &data.rows {
         table.push_row(vec![
@@ -88,7 +107,10 @@ mod tests {
     use super::*;
 
     fn analytical() -> RunOptions {
-        RunOptions { simulate: false, ..RunOptions::smoke() }
+        RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        }
     }
 
     #[test]
@@ -107,7 +129,10 @@ mod tests {
             // the perfectly parallel profile scales the furthest.
             assert!(p_of("PowerLaw") > p_of("Amdahl"), "scenario {scenario}");
             assert!(p_of("Gustafson") > p_of("Amdahl"), "scenario {scenario}");
-            assert!(p_of("PerfectlyParallel") >= p_of("Amdahl"), "scenario {scenario}");
+            assert!(
+                p_of("PerfectlyParallel") >= p_of("Amdahl"),
+                "scenario {scenario}"
+            );
         }
     }
 

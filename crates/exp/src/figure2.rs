@@ -65,7 +65,10 @@ pub fn run(options: &RunOptions) -> Figure2Data {
 /// Renders the figure's series as one table (a row per platform/scenario pair).
 pub fn render(data: &Figure2Data) -> TextTable {
     let mut table = TextTable::new(
-        format!("Figure 2 — optimal patterns per scenario (alpha = {})", data.alpha),
+        format!(
+            "Figure 2 — optimal patterns per scenario (alpha = {})",
+            data.alpha
+        ),
         &[
             "platform",
             "scenario",
@@ -103,7 +106,10 @@ mod tests {
     use super::*;
 
     fn analytical() -> RunOptions {
-        RunOptions { simulate: false, ..RunOptions::smoke() }
+        RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        }
     }
 
     #[test]
@@ -114,7 +120,11 @@ mod tests {
         assert_eq!(rows.len(), 6);
         for row in &rows {
             let p = row.comparison.numerical.processors;
-            assert!(p > 100.0 && p < 2_000.0, "scenario {}: P*={p}", row.scenario);
+            assert!(
+                p > 100.0 && p < 2_000.0,
+                "scenario {}: P*={p}",
+                row.scenario
+            );
             let h = row.comparison.numerical.predicted_overhead;
             assert!(h > 0.10 && h < 0.14, "scenario {}: H={h}", row.scenario);
         }
@@ -132,7 +142,10 @@ mod tests {
         let p5 = rows[4].comparison.numerical.processors;
         let p6 = rows[5].comparison.numerical.processors;
         assert!(p5 > p1, "P*(S5)={p5} should exceed P*(S1)={p1}");
-        assert!(p6 >= p5 * 0.8, "P*(S6)={p6} should be comparable to or above P*(S5)={p5}");
+        assert!(
+            p6 >= p5 * 0.8,
+            "P*(S6)={p6} should be comparable to or above P*(S5)={p5}"
+        );
     }
 
     #[test]
@@ -161,8 +174,9 @@ mod tests {
         // Just Hera scenario 1 and 3 to keep the test fast.
         let evaluator = Evaluator::new(options);
         for scenario in [ScenarioId::S1, ScenarioId::S3] {
-            let model =
-                ExperimentSetup::paper_default(PlatformId::Hera, scenario).model().unwrap();
+            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+                .model()
+                .unwrap();
             let cmp = evaluator.compare(&model);
             let fo = cmp.first_order.unwrap();
             let sim = fo.simulated.unwrap();

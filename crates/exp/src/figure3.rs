@@ -66,10 +66,10 @@ pub fn run_with_processors(processors: &[f64], options: &RunOptions) -> Figure3D
         for &p in processors {
             let period = first_order.optimal_period_for(p).period;
             let first_order_overhead = model.expected_overhead(period, p);
-            let (numerical_period, numerical_overhead) =
-                evaluator.numerical_period_for(&model, p);
-            let simulated =
-                options.simulate.then(|| evaluator.simulate_at(&model, period, p));
+            let (numerical_period, numerical_overhead) = evaluator.numerical_period_for(&model, p);
+            let simulated = options
+                .simulate
+                .then(|| evaluator.simulate_at(&model, period, p));
             rows.push(Figure3Row {
                 scenario: scenario.number(),
                 processors: p,
@@ -78,13 +78,16 @@ pub fn run_with_processors(processors: &[f64], options: &RunOptions) -> Figure3D
                 simulated,
                 numerical_period,
                 numerical_overhead,
-                overhead_difference_percent: 100.0
-                    * (first_order_overhead - numerical_overhead)
+                overhead_difference_percent: 100.0 * (first_order_overhead - numerical_overhead)
                     / numerical_overhead,
             });
         }
     }
-    Figure3Data { platform: PlatformId::Hera, processors: processors.to_vec(), rows }
+    Figure3Data {
+        platform: PlatformId::Hera,
+        processors: processors.to_vec(),
+        rows,
+    }
 }
 
 /// Runs Figure 3 with the default processor sweep.
@@ -127,7 +130,10 @@ mod tests {
     use super::*;
 
     fn analytical() -> RunOptions {
-        RunOptions { simulate: false, ..RunOptions::smoke() }
+        RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        }
     }
 
     #[test]
@@ -154,7 +160,11 @@ mod tests {
         // overlap (the verification cost is second-order).
         let data = run_with_processors(&[600.0], &analytical());
         let period = |s: usize| {
-            data.rows.iter().find(|r| r.scenario == s).unwrap().first_order_period
+            data.rows
+                .iter()
+                .find(|r| r.scenario == s)
+                .unwrap()
+                .first_order_period
         };
         assert!((period(1) - period(2)).abs() / period(1) < 0.05);
         assert!((period(3) - period(4)).abs() / period(3) < 0.05);
@@ -199,7 +209,10 @@ mod tests {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(min_index > 0 && min_index < overheads.len() - 1, "minimum must be interior");
+        assert!(
+            min_index > 0 && min_index < overheads.len() - 1,
+            "minimum must be interior"
+        );
         assert!(overheads.last().unwrap() > &overheads[min_index]);
         assert!(overheads.first().unwrap() > &overheads[min_index]);
     }

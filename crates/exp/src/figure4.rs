@@ -62,7 +62,11 @@ pub fn run_with_alphas(alphas: &[f64], options: &RunOptions) -> Figure4Data {
             });
         }
     }
-    Figure4Data { platform: PlatformId::Hera, alphas: alphas.to_vec(), rows }
+    Figure4Data {
+        platform: PlatformId::Hera,
+        alphas: alphas.to_vec(),
+        rows,
+    }
 }
 
 /// Runs Figure 4 with the paper's α values.
@@ -109,15 +113,21 @@ mod tests {
     use super::*;
 
     fn analytical() -> RunOptions {
-        RunOptions { simulate: false, ..RunOptions::smoke() }
+        RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        }
     }
 
     #[test]
     fn smaller_alpha_enrolls_more_processors_and_lowers_overhead() {
         let data = run_with_alphas(&[1e-3, 1e-2, 1e-1], &analytical());
         for scenario in [1usize, 3, 5] {
-            let series: Vec<&Figure4Row> =
-                data.rows.iter().filter(|r| r.scenario == scenario).collect();
+            let series: Vec<&Figure4Row> = data
+                .rows
+                .iter()
+                .filter(|r| r.scenario == scenario)
+                .collect();
             // Rows are ordered by increasing alpha; processors must decrease and
             // overhead must increase along the series.
             for w in series.windows(2) {
@@ -138,7 +148,11 @@ mod tests {
     fn alpha_zero_has_no_first_order_solution_but_bounded_numerical_optimum() {
         let data = run_with_alphas(&[0.0], &analytical());
         for row in &data.rows {
-            assert!(row.comparison.first_order.is_none(), "scenario {}", row.scenario);
+            assert!(
+                row.comparison.first_order.is_none(),
+                "scenario {}",
+                row.scenario
+            );
             let p = row.comparison.numerical.processors;
             // The paper observes P* bounded by ~10^6 on Hera even for α = 0.
             assert!(p > 1_000.0, "scenario {}: P*={p}", row.scenario);
@@ -155,7 +169,10 @@ mod tests {
         // of Inequality (5) when α becomes very small).
         let data = run_with_alphas(&[1e-4, 1e-2], &analytical());
         for row in &data.rows {
-            let fo = row.comparison.first_order.expect("alpha > 0 has a first-order optimum");
+            let fo = row
+                .comparison
+                .first_order
+                .expect("alpha > 0 has a first-order optimum");
             let numerical = row.comparison.numerical.predicted_overhead;
             // Exact overhead achieved at the first-order operating point: never
             // better than the optimum, and within the same order of magnitude even

@@ -63,7 +63,9 @@ pub struct Figure5Data {
 
 /// The error rates of the paper's sweep: `1e-12` to `1e-8`.
 pub fn default_lambda_sweep() -> Vec<f64> {
-    (0..=8).map(|i| 1e-12 * 10f64.powf(i as f64 * 0.5)).collect()
+    (0..=8)
+        .map(|i| 1e-12 * 10f64.powf(i as f64 * 0.5))
+        .collect()
 }
 
 fn expected_exponents(scenario: usize) -> (f64, f64) {
@@ -99,7 +101,11 @@ pub fn run_with(lambdas: &[f64], alpha: f64, options: &RunOptions) -> Figure5Dat
                 fo_p_points.push((lambda, closed_form.processors));
                 fo_t_points.push((lambda, closed_form.period));
             }
-            rows.push(Figure5Row { scenario: scenario.number(), lambda_ind: lambda, comparison });
+            rows.push(Figure5Row {
+                scenario: scenario.number(),
+                lambda_ind: lambda,
+                comparison,
+            });
         }
         if lambdas.len() >= 2 {
             let (expected_p, expected_t) = expected_exponents(scenario.number());
@@ -117,7 +123,12 @@ pub fn run_with(lambdas: &[f64], alpha: f64, options: &RunOptions) -> Figure5Dat
             });
         }
     }
-    Figure5Data { alpha, lambdas: lambdas.to_vec(), rows, slopes }
+    Figure5Data {
+        alpha,
+        lambdas: lambdas.to_vec(),
+        rows,
+        slopes,
+    }
 }
 
 /// Runs Figure 5 with the paper's sweep (`α = 0.1`).
@@ -128,7 +139,10 @@ pub fn run(options: &RunOptions) -> Figure5Data {
 /// Renders the per-point series as a table.
 pub fn render(data: &Figure5Data) -> TextTable {
     let mut table = TextTable::new(
-        format!("Figure 5 — optimal pattern vs lambda_ind (Hera, alpha = {})", data.alpha),
+        format!(
+            "Figure 5 — optimal pattern vs lambda_ind (Hera, alpha = {})",
+            data.alpha
+        ),
         &[
             "scenario",
             "lambda_ind",
@@ -164,7 +178,13 @@ pub fn render(data: &Figure5Data) -> TextTable {
 pub fn render_slopes(data: &Figure5Data) -> TextTable {
     let mut table = TextTable::new(
         "Figure 5 — fitted asymptotic exponents vs theory",
-        &["scenario", "P* exponent (fit)", "P* exponent (theory)", "T* exponent (fit)", "T* exponent (theory)"],
+        &[
+            "scenario",
+            "P* exponent (fit)",
+            "P* exponent (theory)",
+            "T* exponent (fit)",
+            "T* exponent (theory)",
+        ],
     );
     for s in &data.slopes {
         table.push_row(vec![
@@ -183,7 +203,10 @@ mod tests {
     use super::*;
 
     fn analytical() -> RunOptions {
-        RunOptions { simulate: false, ..RunOptions::smoke() }
+        RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        }
     }
 
     fn small_sweep() -> Vec<f64> {
@@ -196,8 +219,7 @@ mod tests {
         for s in &data.slopes {
             // The first-order series follows the closed forms exactly.
             assert!(
-                (s.first_order_processors_exponent.unwrap() - s.expected_processors_exponent)
-                    .abs()
+                (s.first_order_processors_exponent.unwrap() - s.expected_processors_exponent).abs()
                     < 0.02,
                 "scenario {}: first-order P* exponent {:?}",
                 s.scenario,
@@ -235,12 +257,17 @@ mod tests {
     fn more_reliable_processors_allow_more_parallelism_and_longer_periods() {
         let data = run_with(&small_sweep(), 0.1, &analytical());
         for scenario in [1usize, 3, 5] {
-            let series: Vec<&Figure5Row> =
-                data.rows.iter().filter(|r| r.scenario == scenario).collect();
+            let series: Vec<&Figure5Row> = data
+                .rows
+                .iter()
+                .filter(|r| r.scenario == scenario)
+                .collect();
             // Rows are ordered by increasing λ; decreasing λ (reverse order) must
             // increase both P* and T*.
             for w in series.windows(2) {
-                assert!(w[0].comparison.numerical.processors > w[1].comparison.numerical.processors);
+                assert!(
+                    w[0].comparison.numerical.processors > w[1].comparison.numerical.processors
+                );
                 assert!(w[0].comparison.numerical.period > w[1].comparison.numerical.period);
                 assert!(
                     w[0].comparison.numerical.predicted_overhead
@@ -265,7 +292,10 @@ mod tests {
             };
             assert!(at(1e-12) < at(1e-8));
             assert!(at(1e-12) < 0.102, "scenario {scenario}: H={}", at(1e-12));
-            assert!(at(1e-12) > 0.1, "overhead can never beat the sequential fraction");
+            assert!(
+                at(1e-12) > 0.1,
+                "overhead can never beat the sequential fraction"
+            );
         }
     }
 

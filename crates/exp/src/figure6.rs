@@ -86,7 +86,11 @@ pub fn run_with(lambdas: &[f64], options: &RunOptions) -> Figure6Data {
             let numerical = evaluator.numerical_point(&model);
             p_points.push((lambda, numerical.processors));
             h_points.push((lambda, numerical.predicted_overhead));
-            rows.push(Figure6Row { scenario: scenario.number(), lambda_ind: lambda, numerical });
+            rows.push(Figure6Row {
+                scenario: scenario.number(),
+                lambda_ind: lambda,
+                numerical,
+            });
         }
         if lambdas.len() >= 2 {
             let (expected_p, expected_h) = expected_exponents(scenario.number());
@@ -99,7 +103,11 @@ pub fn run_with(lambdas: &[f64], options: &RunOptions) -> Figure6Data {
             });
         }
     }
-    Figure6Data { lambdas: lambdas.to_vec(), rows, slopes }
+    Figure6Data {
+        lambdas: lambdas.to_vec(),
+        rows,
+        slopes,
+    }
 }
 
 /// Runs Figure 6 with the paper's sweep.
@@ -111,7 +119,14 @@ pub fn run(options: &RunOptions) -> Figure6Data {
 pub fn render(data: &Figure6Data) -> TextTable {
     let mut table = TextTable::new(
         "Figure 6 — optimal pattern vs lambda_ind for a perfectly parallel job (alpha = 0)",
-        &["scenario", "lambda_ind", "P* (optimal)", "T* (optimal)", "H (optimal)", "H (simulated)"],
+        &[
+            "scenario",
+            "lambda_ind",
+            "P* (optimal)",
+            "T* (optimal)",
+            "H (optimal)",
+            "H (simulated)",
+        ],
     );
     for row in &data.rows {
         table.push_row(vec![
@@ -130,7 +145,13 @@ pub fn render(data: &Figure6Data) -> TextTable {
 pub fn render_slopes(data: &Figure6Data) -> TextTable {
     let mut table = TextTable::new(
         "Figure 6 — fitted asymptotic exponents (alpha = 0)",
-        &["scenario", "P* exponent (fit)", "P* (paper)", "H exponent (fit)", "H (paper)"],
+        &[
+            "scenario",
+            "P* exponent (fit)",
+            "P* (paper)",
+            "H exponent (fit)",
+            "H (paper)",
+        ],
     );
     for s in &data.slopes {
         table.push_row(vec![
@@ -149,7 +170,10 @@ mod tests {
     use super::*;
 
     fn analytical() -> RunOptions {
-        RunOptions { simulate: false, ..RunOptions::smoke() }
+        RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        }
     }
 
     #[test]
@@ -157,7 +181,10 @@ mod tests {
         let data = run_with(&[1e-10, 1e-8], &analytical());
         for row in &data.rows {
             assert!(row.numerical.predicted_overhead > 0.0);
-            assert!(row.numerical.predicted_overhead < 0.1, "alpha = 0 removes the Amdahl floor");
+            assert!(
+                row.numerical.predicted_overhead < 0.1,
+                "alpha = 0 removes the Amdahl floor"
+            );
         }
         // Overhead decreases as processors get more reliable.
         for scenario in [1usize, 3, 5] {
@@ -194,9 +221,7 @@ mod tests {
         // Scenarios 3 and 5 approach P* = Θ(λ^{-1}) and H = Θ(λ): their exponents
         // must be clearly steeper than scenario 1's.
         let data = run_with(&[1e-11, 1e-10, 1e-9, 1e-8], &analytical());
-        let exp = |scenario: usize| {
-            data.slopes.iter().find(|s| s.scenario == scenario).unwrap()
-        };
+        let exp = |scenario: usize| data.slopes.iter().find(|s| s.scenario == scenario).unwrap();
         assert!(exp(3).processors_exponent < exp(1).processors_exponent - 0.1);
         assert!(exp(5).processors_exponent < exp(1).processors_exponent - 0.1);
         assert!(exp(3).overhead_exponent > exp(1).overhead_exponent + 0.1);
@@ -209,7 +234,12 @@ mod tests {
         // processors of Figure 2.
         let data = run_with(&[1e-10], &analytical());
         for row in &data.rows {
-            assert!(row.numerical.processors > 1e4, "scenario {}: {}", row.scenario, row.numerical.processors);
+            assert!(
+                row.numerical.processors > 1e4,
+                "scenario {}: {}",
+                row.scenario,
+                row.numerical.processors
+            );
         }
     }
 

@@ -57,7 +57,10 @@ pub fn run_with_downtimes(downtimes: &[f64], options: &RunOptions) -> Figure7Dat
             });
         }
     }
-    Figure7Data { downtimes: downtimes.to_vec(), rows }
+    Figure7Data {
+        downtimes: downtimes.to_vec(),
+        rows,
+    }
 }
 
 /// Runs Figure 7 with the paper's sweep.
@@ -106,15 +109,21 @@ mod tests {
     use super::*;
 
     fn analytical() -> RunOptions {
-        RunOptions { simulate: false, ..RunOptions::smoke() }
+        RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        }
     }
 
     #[test]
     fn first_order_point_does_not_depend_on_downtime() {
         let data = run_with_downtimes(&[0.0, 3600.0, 10_800.0], &analytical());
         for scenario in [1usize, 3, 5] {
-            let series: Vec<&Figure7Row> =
-                data.rows.iter().filter(|r| r.scenario == scenario).collect();
+            let series: Vec<&Figure7Row> = data
+                .rows
+                .iter()
+                .filter(|r| r.scenario == scenario)
+                .collect();
             let first = series[0].comparison.first_order.unwrap();
             for row in &series[1..] {
                 let fo = row.comparison.first_order.unwrap();

@@ -29,7 +29,12 @@ pub struct ShapeCheck {
 impl ShapeCheck {
     /// Creates a check.
     pub fn new(name: impl Into<String>, expected: f64, measured: f64, tolerance: f64) -> Self {
-        Self { name: name.into(), expected, measured, tolerance }
+        Self {
+            name: name.into(),
+            expected,
+            measured,
+            tolerance,
+        }
     }
 
     /// Whether the measured value is within tolerance of the expectation.
@@ -40,15 +45,21 @@ impl ShapeCheck {
 
 /// Renders a list of checks as a pass/fail table.
 pub fn render_checks(title: &str, checks: &[ShapeCheck]) -> TextTable {
-    let mut table =
-        TextTable::new(title, &["check", "expected", "measured", "tolerance", "status"]);
+    let mut table = TextTable::new(
+        title,
+        &["check", "expected", "measured", "tolerance", "status"],
+    );
     for check in checks {
         table.push_row(vec![
             check.name.clone(),
             format!("{:.4}", check.expected),
             format!("{:.4}", check.measured),
             format!("{:.4}", check.tolerance),
-            if check.passes() { "PASS".to_string() } else { "FAIL".to_string() },
+            if check.passes() {
+                "PASS".to_string()
+            } else {
+                "FAIL".to_string()
+            },
         ]);
     }
     table
@@ -73,7 +84,8 @@ pub fn headline_checks(
         checks.push(ShapeCheck::new(
             format!("fig5.P*.scenario{}.slope.first-order", s.scenario),
             s.expected_processors_exponent,
-            s.first_order_processors_exponent.unwrap_or(s.processors_exponent),
+            s.first_order_processors_exponent
+                .unwrap_or(s.processors_exponent),
             0.03,
         ));
         checks.push(ShapeCheck::new(
@@ -121,8 +133,10 @@ mod tests {
     fn pass_fail_logic() {
         assert!(ShapeCheck::new("x", -0.25, -0.26, 0.05).passes());
         assert!(!ShapeCheck::new("x", -0.25, -0.40, 0.05).passes());
-        let checks =
-            vec![ShapeCheck::new("a", 1.0, 1.0, 0.1), ShapeCheck::new("b", 1.0, 2.0, 0.1)];
+        let checks = vec![
+            ShapeCheck::new("a", 1.0, 1.0, 0.1),
+            ShapeCheck::new("b", 1.0, 2.0, 0.1),
+        ];
         assert_eq!(passing(&checks), 1);
         let table = render_checks("demo", &checks);
         let text = table.render();
@@ -132,7 +146,10 @@ mod tests {
 
     #[test]
     fn headline_checks_pass_on_analytical_sweeps() {
-        let options = RunOptions { simulate: false, ..RunOptions::smoke() };
+        let options = RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        };
         let fig5 = crate::figure5::run_with(&[1e-11, 1e-10, 1e-9, 1e-8], 0.1, &options);
         let fig6 = crate::figure6::run_with(&[1e-10, 1e-9, 1e-8], &options);
         let checks = headline_checks(&fig5, &fig6);

@@ -92,11 +92,18 @@ impl TextTable {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -137,8 +144,7 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         // All data lines have the same width.
-        let widths: Vec<usize> =
-            text.lines().skip(1).map(|l| l.chars().count()).collect();
+        let widths: Vec<usize> = text.lines().skip(1).map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
     }
 

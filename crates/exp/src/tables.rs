@@ -47,14 +47,25 @@ pub struct Table3 {
 
 /// Builds the Table II data.
 pub fn table2() -> Table2 {
-    Table2 { platforms: Platform::all() }
+    Table2 {
+        platforms: Platform::all(),
+    }
 }
 
 /// Renders Table II as text.
 pub fn render_table2(data: &Table2) -> TextTable {
     let mut table = TextTable::new(
         "Table II — platform parameters",
-        &["platform", "lambda_ind", "f", "s", "P", "C_P (s)", "V_P (s)", "MTBF_ind (years)"],
+        &[
+            "platform",
+            "lambda_ind",
+            "f",
+            "s",
+            "P",
+            "C_P (s)",
+            "V_P (s)",
+            "MTBF_ind (years)",
+        ],
     );
     for p in &data.platforms {
         table.push_row(vec![
@@ -115,7 +126,9 @@ pub fn table3() -> Table3 {
 pub fn render_table3(data: &Table3) -> TextTable {
     let mut table = TextTable::new(
         "Table III — resilience scenarios and fitted cost coefficients",
-        &["scenario", "C_P,R_P", "V_P", "platform", "c", "a", "b", "v", "u"],
+        &[
+            "scenario", "C_P,R_P", "V_P", "platform", "c", "a", "b", "v", "u",
+        ],
     );
     for row in &data.rows {
         table.push_row(vec![

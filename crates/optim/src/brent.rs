@@ -71,7 +71,11 @@ where
             e = if x < m { hi - x } else { lo - x };
             d = INV_PHI_COMP * e;
         }
-        let u = if d.abs() >= tol1 { x + d } else { x + if d > 0.0 { tol1 } else { -tol1 } };
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + if d > 0.0 { tol1 } else { -tol1 }
+        };
         let fu = eval(u);
         if fu <= fx {
             if u < x {

@@ -93,7 +93,10 @@ mod tests {
         let (c, lambda) = (300.0, 1e-5);
         let (t, _) = golden_section(1.0, 1e7, 1e-12, 400, |t| c / t + lambda * t / 2.0);
         let expected = (2.0 * c / lambda).sqrt();
-        assert!((t - expected).abs() / expected < 1e-5, "t={t} expected={expected}");
+        assert!(
+            (t - expected).abs() / expected < 1e-5,
+            "t={t} expected={expected}"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     if lo == hi {
         return vec![lo];
     }
-    assert!(n >= 2, "need at least two points to span a non-degenerate range");
+    assert!(
+        n >= 2,
+        "need at least two points to span a non-degenerate range"
+    );
     let (llo, lhi) = (lo.ln(), hi.ln());
     let step = (lhi - llo) / (n as f64 - 1.0);
     (0..n)
@@ -63,7 +66,11 @@ where
 {
     let (best, grid, values) = log_grid_scan(lo, hi, n, f);
     let lower = if best == 0 { grid[0] } else { grid[best - 1] };
-    let upper = if best + 1 == grid.len() { grid[grid.len() - 1] } else { grid[best + 1] };
+    let upper = if best + 1 == grid.len() {
+        grid[grid.len() - 1]
+    } else {
+        grid[best + 1]
+    };
     (grid[best], values[best], lower, upper)
 }
 
@@ -97,12 +104,21 @@ mod tests {
         let f = |x: f64| (x.ln() - 100.0f64.ln()).powi(2);
         let (x, _, lower, upper) = log_grid_minimum(1.0, 1e6, 61, f);
         assert!(x > 50.0 && x < 200.0, "x={x}");
-        assert!(lower <= 100.0 && upper >= 100.0, "bracket [{lower}, {upper}] misses the optimum");
+        assert!(
+            lower <= 100.0 && upper >= 100.0,
+            "bracket [{lower}, {upper}] misses the optimum"
+        );
     }
 
     #[test]
     fn grid_scan_skips_non_finite_values() {
-        let f = |x: f64| if x < 10.0 { f64::INFINITY } else { (x - 50.0).powi(2) };
+        let f = |x: f64| {
+            if x < 10.0 {
+                f64::INFINITY
+            } else {
+                (x - 50.0).powi(2)
+            }
+        };
         let (x, _, _, _) = log_grid_minimum(1.0, 1e3, 200, f);
         assert!(x >= 10.0);
         assert!((x - 50.0).abs() < 10.0);

@@ -33,7 +33,11 @@ where
     F: Fn(u64) -> f64,
 {
     let floor = (x.floor().max(min as f64)) as u64;
-    let candidates = [floor.saturating_sub(1).max(min), floor.max(min), (floor + 1).max(min)];
+    let candidates = [
+        floor.saturating_sub(1).max(min),
+        floor.max(min),
+        (floor + 1).max(min),
+    ];
     let mut best: Option<(u64, f64)> = None;
     for &p in &candidates {
         let v = f(p);

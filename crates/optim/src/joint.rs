@@ -60,8 +60,15 @@ impl JointSearch {
             processor_range.0 > 0.0 && processor_range.0 <= processor_range.1,
             "invalid processor range"
         );
-        assert!(period_range.0 > 0.0 && period_range.0 <= period_range.1, "invalid period range");
-        Self { processor_range, period_range, ..Self::default() }
+        assert!(
+            period_range.0 > 0.0 && period_range.0 <= period_range.1,
+            "invalid period range"
+        );
+        Self {
+            processor_range,
+            period_range,
+            ..Self::default()
+        }
     }
 
     /// Replaces the outer/inner search options.
@@ -76,7 +83,9 @@ impl JointSearch {
     where
         F: Fn(f64, f64) -> f64,
     {
-        minimize_scalar(self.period_range.0, self.period_range.1, self.inner, |t| f(p, t))
+        minimize_scalar(self.period_range.0, self.period_range.1, self.inner, |t| {
+            f(p, t)
+        })
     }
 
     /// Minimises `f(P, T)` over both dimensions.
@@ -85,15 +94,24 @@ impl JointSearch {
         F: Fn(f64, f64) -> f64,
     {
         let envelope = |p: f64| self.optimize_period(p, &f).value;
-        let outer_min =
-            minimize_scalar(self.processor_range.0, self.processor_range.1, self.outer, envelope);
+        let outer_min = minimize_scalar(
+            self.processor_range.0,
+            self.processor_range.1,
+            self.outer,
+            envelope,
+        );
         let processors = outer_min.argument;
         let period = self.optimize_period(processors, &f).argument;
         let value = f(processors, period);
-        let (processors_integer, value_integer) = round_to_best_integer(processors, 1, |p| {
-            self.optimize_period(p as f64, &f).value
-        });
-        JointResult { processors, processors_integer, period, value, value_integer }
+        let (processors_integer, value_integer) =
+            round_to_best_integer(processors, 1, |p| self.optimize_period(p as f64, &f).value);
+        JointResult {
+            processors,
+            processors_integer,
+            period,
+            value,
+            value_integer,
+        }
     }
 }
 
@@ -107,10 +125,18 @@ mod tests {
     fn separable_objective_recovers_both_optima() {
         let (p0, t0): (f64, f64) = (350.0, 6_000.0);
         let search = JointSearch::new((1.0, 1e6), (1.0, 1e8));
-        let result = search
-            .optimize(|p, t| (p.ln() - p0.ln()).powi(2) + (t.ln() - t0.ln()).powi(2) + 1.0);
-        assert!((result.processors - p0).abs() / p0 < 1e-3, "P={}", result.processors);
-        assert!((result.period - t0).abs() / t0 < 1e-3, "T={}", result.period);
+        let result =
+            search.optimize(|p, t| (p.ln() - p0.ln()).powi(2) + (t.ln() - t0.ln()).powi(2) + 1.0);
+        assert!(
+            (result.processors - p0).abs() / p0 < 1e-3,
+            "P={}",
+            result.processors
+        );
+        assert!(
+            (result.period - t0).abs() / t0 < 1e-3,
+            "T={}",
+            result.period
+        );
         assert!((result.value - 1.0).abs() < 1e-6);
         assert!(result.processors_integer == 350);
     }
@@ -125,9 +151,8 @@ mod tests {
         let c = 300.0 / 512.0;
         let v = 15.4;
         let lam = (0.2188 / 2.0 + 0.7812) * 1.69e-8;
-        let h = |p: f64, t: f64| {
-            (alpha + (1.0 - alpha) / p) * (1.0 + (c * p + v) / t + lam * p * t)
-        };
+        let h =
+            |p: f64, t: f64| (alpha + (1.0 - alpha) / p) * (1.0 + (c * p + v) / t + lam * p * t);
         let search = JointSearch::new((1.0, 1e6), (10.0, 1e8));
         let result = search.optimize(h);
         // The numerical optimum of the *full* first-order expression differs from
@@ -135,8 +160,18 @@ mod tests {
         // a few percent at Hera-like parameters.
         let p_star = (1.0 / (c * lam)).powf(0.25) * ((1.0 - alpha) / (2.0 * alpha)).sqrt();
         let t_star = (c / lam).sqrt();
-        assert!((result.processors - p_star).abs() / p_star < 0.10, "P={} vs {}", result.processors, p_star);
-        assert!((result.period - t_star).abs() / t_star < 0.15, "T={} vs {}", result.period, t_star);
+        assert!(
+            (result.processors - p_star).abs() / p_star < 0.10,
+            "P={} vs {}",
+            result.processors,
+            p_star
+        );
+        assert!(
+            (result.period - t_star).abs() / t_star < 0.15,
+            "T={} vs {}",
+            result.period,
+            t_star
+        );
     }
 
     #[test]

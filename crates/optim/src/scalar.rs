@@ -16,7 +16,11 @@ pub struct OptimizeOptions {
 
 impl Default for OptimizeOptions {
     fn default() -> Self {
-        Self { grid_points: 64, tolerance: 1e-10, max_iterations: 200 }
+        Self {
+            grid_points: 64,
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -25,7 +29,11 @@ impl OptimizeOptions {
     /// joint `(P, T)` search), where the outer loop evaluates the inner one many
     /// times.
     pub fn nested() -> Self {
-        Self { grid_points: 40, tolerance: 1e-9, max_iterations: 120 }
+        Self {
+            grid_points: 40,
+            tolerance: 1e-9,
+            max_iterations: 120,
+        }
     }
 }
 
@@ -51,7 +59,10 @@ where
     F: Fn(f64) -> f64,
 {
     if lo == hi {
-        return ScalarMinimum { argument: lo, value: f(lo) };
+        return ScalarMinimum {
+            argument: lo,
+            value: f(lo),
+        };
     }
     let (x0, f0, lower, upper) = log_grid_minimum(lo, hi, options.grid_points, &f);
     // Refine inside the bracket in log-space so that the relative tolerance is
@@ -64,9 +75,15 @@ where
         |lx| f(lx.exp()),
     );
     if fx <= f0 {
-        ScalarMinimum { argument: lx.exp(), value: fx }
+        ScalarMinimum {
+            argument: lx.exp(),
+            value: fx,
+        }
     } else {
-        ScalarMinimum { argument: x0, value: f0 }
+        ScalarMinimum {
+            argument: x0,
+            value: f0,
+        }
     }
 }
 
@@ -79,7 +96,11 @@ mod tests {
         let target: f64 = 12_345.678;
         let f = |x: f64| (x.ln() - target.ln()).powi(2);
         let m = minimize_scalar(1.0, 1e9, OptimizeOptions::default(), f);
-        assert!((m.argument - target).abs() / target < 1e-6, "got {}", m.argument);
+        assert!(
+            (m.argument - target).abs() / target < 1e-6,
+            "got {}",
+            m.argument
+        );
     }
 
     #[test]

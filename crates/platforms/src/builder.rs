@@ -30,7 +30,13 @@ impl ExperimentSetup {
     /// The paper's default configuration for a platform/scenario pair:
     /// `α = 0.1`, `D = 3600 s`, measured `λ_ind`.
     pub fn paper_default(platform: PlatformId, scenario: ScenarioId) -> Self {
-        Self { platform, scenario, alpha: 0.1, downtime: 3600.0, lambda_ind_override: None }
+        Self {
+            platform,
+            scenario,
+            alpha: 0.1,
+            downtime: 3600.0,
+            lambda_ind_override: None,
+        }
     }
 
     /// Returns a copy with a different sequential fraction (Figure 4 sweep).
@@ -109,8 +115,9 @@ mod tests {
             (ScenarioId::S6, CostCase::Decreasing),
         ];
         for (scenario, case) in expected {
-            let model =
-                ExperimentSetup::paper_default(PlatformId::Hera, scenario).model().unwrap();
+            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+                .model()
+                .unwrap();
             assert_eq!(FirstOrder::new(&model).cost_case(), case, "{scenario:?}");
         }
     }
@@ -131,27 +138,39 @@ mod tests {
 
     #[test]
     fn invalid_overrides_surface_as_errors() {
-        assert!(ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
-            .with_alpha(1.5)
-            .model()
-            .is_err());
-        assert!(ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
-            .with_lambda_ind(0.0)
-            .model()
-            .is_err());
-        assert!(ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
-            .with_downtime(-5.0)
-            .model()
-            .is_err());
+        assert!(
+            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+                .with_alpha(1.5)
+                .model()
+                .is_err()
+        );
+        assert!(
+            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+                .with_lambda_ind(0.0)
+                .model()
+                .is_err()
+        );
+        assert!(
+            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+                .with_downtime(-5.0)
+                .model()
+                .is_err()
+        );
     }
 
     #[test]
     fn first_order_optimum_on_hera_matches_figure2_magnitudes() {
         // Figure 2 (Hera, α = 0.1): P* of a few hundred, T* of a few thousand
         // seconds, overhead ≈ 0.11 for the first four scenarios.
-        for scenario in [ScenarioId::S1, ScenarioId::S2, ScenarioId::S3, ScenarioId::S4] {
-            let model =
-                ExperimentSetup::paper_default(PlatformId::Hera, scenario).model().unwrap();
+        for scenario in [
+            ScenarioId::S1,
+            ScenarioId::S2,
+            ScenarioId::S3,
+            ScenarioId::S4,
+        ] {
+            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+                .model()
+                .unwrap();
             let opt = FirstOrder::new(&model).joint_optimum().unwrap();
             assert!(
                 opt.processors > 100.0 && opt.processors < 1500.0,

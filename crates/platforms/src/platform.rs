@@ -27,8 +27,12 @@ pub enum PlatformId {
 
 impl PlatformId {
     /// All four platforms, in the order of Table II.
-    pub const ALL: [PlatformId; 4] =
-        [PlatformId::Hera, PlatformId::Atlas, PlatformId::Coastal, PlatformId::CoastalSsd];
+    pub const ALL: [PlatformId; 4] = [
+        PlatformId::Hera,
+        PlatformId::Atlas,
+        PlatformId::Coastal,
+        PlatformId::CoastalSsd,
+    ];
 
     /// Human-readable name as printed in the paper.
     pub fn name(&self) -> &'static str {
@@ -42,7 +46,11 @@ impl PlatformId {
 
     /// Parses a (case-insensitive) platform name.
     pub fn parse(name: &str) -> Option<Self> {
-        match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+        match name
+            .to_ascii_lowercase()
+            .replace(['-', '_', ' '], "")
+            .as_str()
+        {
             "hera" => Some(PlatformId::Hera),
             "atlas" => Some(PlatformId::Atlas),
             "coastal" => Some(PlatformId::Coastal),
@@ -196,7 +204,11 @@ mod tests {
         // The paper argues λ_ind corresponds to MTBFs of the order of years.
         for p in Platform::all() {
             let years = p.mtbf_ind_years();
-            assert!(years > 1.0 && years < 50.0, "{}: {years} years", p.id.name());
+            assert!(
+                years > 1.0 && years < 50.0,
+                "{}: {years} years",
+                p.id.name()
+            );
         }
     }
 
@@ -205,7 +217,52 @@ mod tests {
         for id in PlatformId::ALL {
             assert_eq!(PlatformId::parse(id.name()), Some(id));
         }
-        assert_eq!(PlatformId::parse("coastal-ssd"), Some(PlatformId::CoastalSsd));
+        assert_eq!(
+            PlatformId::parse("coastal-ssd"),
+            Some(PlatformId::CoastalSsd)
+        );
         assert_eq!(PlatformId::parse("unknown"), None);
+    }
+}
+
+/// Golden values: the complete Table II, pinned as literal tuples so that any
+/// refactor silently drifting from the paper's constants fails loudly here.
+#[cfg(test)]
+mod golden_tests {
+    use super::*;
+
+    #[test]
+    fn golden_table2() {
+        // (id, lambda_ind, f, P, C_P, V_P) — transcribed from Table II.
+        let expected: [(PlatformId, f64, f64, u64, f64, f64); 4] = [
+            (PlatformId::Hera, 1.69e-8, 0.2188, 512, 300.0, 15.4),
+            (PlatformId::Atlas, 1.62e-8, 0.0625, 1024, 439.0, 9.1),
+            (PlatformId::Coastal, 2.34e-9, 0.1667, 2048, 1051.0, 4.5),
+            (PlatformId::CoastalSsd, 2.34e-9, 0.1667, 2048, 2500.0, 180.0),
+        ];
+        for (id, lambda, f, p, checkpoint, verification) in expected {
+            let platform = Platform::get(id);
+            assert_eq!(
+                platform.lambda_ind.to_bits(),
+                lambda.to_bits(),
+                "{id:?} lambda"
+            );
+            assert_eq!(
+                platform.fail_stop_fraction.to_bits(),
+                f.to_bits(),
+                "{id:?} f"
+            );
+            assert_eq!(platform.measured_processors, p, "{id:?} P");
+            assert_eq!(
+                platform.measured_checkpoint.to_bits(),
+                checkpoint.to_bits(),
+                "{id:?} C"
+            );
+            assert_eq!(
+                platform.measured_verification.to_bits(),
+                verification.to_bits(),
+                "{id:?} V"
+            );
+        }
     }
 }

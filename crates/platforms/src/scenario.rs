@@ -117,7 +117,11 @@ impl Scenario {
             ScenarioId::S5 => (CostShape::PerProcessor, VerificationShape::Constant),
             ScenarioId::S6 => (CostShape::PerProcessor, VerificationShape::PerProcessor),
         };
-        Self { id, checkpoint, verification }
+        Self {
+            id,
+            checkpoint,
+            verification,
+        }
     }
 
     /// All six scenarios in Table III order.
@@ -175,13 +179,34 @@ mod tests {
     #[test]
     fn table3_shapes_are_correct() {
         assert_eq!(Scenario::get(ScenarioId::S1).checkpoint, CostShape::Linear);
-        assert_eq!(Scenario::get(ScenarioId::S1).verification, VerificationShape::Constant);
-        assert_eq!(Scenario::get(ScenarioId::S2).verification, VerificationShape::PerProcessor);
-        assert_eq!(Scenario::get(ScenarioId::S3).checkpoint, CostShape::Constant);
-        assert_eq!(Scenario::get(ScenarioId::S4).checkpoint, CostShape::Constant);
-        assert_eq!(Scenario::get(ScenarioId::S5).checkpoint, CostShape::PerProcessor);
-        assert_eq!(Scenario::get(ScenarioId::S6).checkpoint, CostShape::PerProcessor);
-        assert_eq!(Scenario::get(ScenarioId::S6).verification, VerificationShape::PerProcessor);
+        assert_eq!(
+            Scenario::get(ScenarioId::S1).verification,
+            VerificationShape::Constant
+        );
+        assert_eq!(
+            Scenario::get(ScenarioId::S2).verification,
+            VerificationShape::PerProcessor
+        );
+        assert_eq!(
+            Scenario::get(ScenarioId::S3).checkpoint,
+            CostShape::Constant
+        );
+        assert_eq!(
+            Scenario::get(ScenarioId::S4).checkpoint,
+            CostShape::Constant
+        );
+        assert_eq!(
+            Scenario::get(ScenarioId::S5).checkpoint,
+            CostShape::PerProcessor
+        );
+        assert_eq!(
+            Scenario::get(ScenarioId::S6).checkpoint,
+            CostShape::PerProcessor
+        );
+        assert_eq!(
+            Scenario::get(ScenarioId::S6).verification,
+            VerificationShape::PerProcessor
+        );
     }
 
     #[test]
@@ -243,13 +268,129 @@ mod tests {
 
     #[test]
     fn representative_scenarios_are_one_three_five() {
-        let numbers: Vec<usize> =
-            ScenarioId::REPRESENTATIVE.iter().map(|s| s.number()).collect();
+        let numbers: Vec<usize> = ScenarioId::REPRESENTATIVE
+            .iter()
+            .map(|s| s.number())
+            .collect();
         assert_eq!(numbers, vec![1, 3, 5]);
     }
 
     #[test]
     fn negative_downtime_is_rejected() {
         assert!(Scenario::get(ScenarioId::S1).fit(&hera(), -1.0).is_err());
+    }
+}
+
+/// Golden values: the cost coefficients fitted from Table II under every
+/// scenario of Table III, pinned as literals for all 24 (scenario, platform)
+/// pairs so refactors of the fitting cannot silently drift from the paper.
+#[cfg(test)]
+mod golden_tests {
+    use super::*;
+    use crate::platform::PlatformId;
+
+    /// (scenario, platform, c, a, b, v, u) with the convention that exactly one
+    /// checkpoint coefficient and one verification coefficient are non-zero.
+    const GOLDEN: [(usize, PlatformId, f64, f64, f64, f64, f64); 24] = [
+        (1, PlatformId::Hera, 0.585_937_5, 0.0, 0.0, 15.4, 0.0),
+        (1, PlatformId::Atlas, 0.428_710_937_5, 0.0, 0.0, 9.1, 0.0),
+        (1, PlatformId::Coastal, 0.513_183_593_75, 0.0, 0.0, 4.5, 0.0),
+        (
+            1,
+            PlatformId::CoastalSsd,
+            1.220_703_125,
+            0.0,
+            0.0,
+            180.0,
+            0.0,
+        ),
+        (2, PlatformId::Hera, 0.585_937_5, 0.0, 0.0, 0.0, 7_884.8),
+        (
+            2,
+            PlatformId::Atlas,
+            0.428_710_937_5,
+            0.0,
+            0.0,
+            0.0,
+            9_318.4,
+        ),
+        (
+            2,
+            PlatformId::Coastal,
+            0.513_183_593_75,
+            0.0,
+            0.0,
+            0.0,
+            9_216.0,
+        ),
+        (
+            2,
+            PlatformId::CoastalSsd,
+            1.220_703_125,
+            0.0,
+            0.0,
+            0.0,
+            368_640.0,
+        ),
+        (3, PlatformId::Hera, 0.0, 300.0, 0.0, 15.4, 0.0),
+        (3, PlatformId::Atlas, 0.0, 439.0, 0.0, 9.1, 0.0),
+        (3, PlatformId::Coastal, 0.0, 1_051.0, 0.0, 4.5, 0.0),
+        (3, PlatformId::CoastalSsd, 0.0, 2_500.0, 0.0, 180.0, 0.0),
+        (4, PlatformId::Hera, 0.0, 300.0, 0.0, 0.0, 7_884.8),
+        (4, PlatformId::Atlas, 0.0, 439.0, 0.0, 0.0, 9_318.4),
+        (4, PlatformId::Coastal, 0.0, 1_051.0, 0.0, 0.0, 9_216.0),
+        (4, PlatformId::CoastalSsd, 0.0, 2_500.0, 0.0, 0.0, 368_640.0),
+        (5, PlatformId::Hera, 0.0, 0.0, 153_600.0, 15.4, 0.0),
+        (5, PlatformId::Atlas, 0.0, 0.0, 449_536.0, 9.1, 0.0),
+        (5, PlatformId::Coastal, 0.0, 0.0, 2_152_448.0, 4.5, 0.0),
+        (5, PlatformId::CoastalSsd, 0.0, 0.0, 5_120_000.0, 180.0, 0.0),
+        (6, PlatformId::Hera, 0.0, 0.0, 153_600.0, 0.0, 7_884.8),
+        (6, PlatformId::Atlas, 0.0, 0.0, 449_536.0, 0.0, 9_318.4),
+        (6, PlatformId::Coastal, 0.0, 0.0, 2_152_448.0, 0.0, 9_216.0),
+        (
+            6,
+            PlatformId::CoastalSsd,
+            0.0,
+            0.0,
+            5_120_000.0,
+            0.0,
+            368_640.0,
+        ),
+    ];
+
+    #[test]
+    fn golden_table3_fitted_coefficients() {
+        for (number, platform_id, c, a, b, v, u) in GOLDEN {
+            let scenario = Scenario::get(ScenarioId::from_number(number).unwrap());
+            let platform = Platform::get(platform_id);
+            let costs = scenario.fit(&platform, 3600.0).unwrap();
+            let close = |label: &str, got: f64, want: f64| {
+                // The products of measured values with powers of two are exact
+                // in binary; decimal literals like 15.4 carry one rounding, so
+                // compare with a tight relative tolerance instead of bitwise.
+                let tolerance = 1e-12 * want.abs().max(1.0);
+                assert!(
+                    (got - want).abs() <= tolerance,
+                    "scenario {number} {platform_id:?} {label}: got {got}, want {want}"
+                );
+            };
+            close("c", costs.checkpoint.c, c);
+            close("a", costs.checkpoint.a, a);
+            close("b", costs.checkpoint.b, b);
+            close("v", costs.verification.v, v);
+            close("u", costs.verification.u, u);
+        }
+    }
+
+    #[test]
+    fn golden_covers_every_scenario_platform_pair_once() {
+        let mut seen = std::collections::HashSet::new();
+        for (number, platform_id, ..) in GOLDEN {
+            assert!(
+                seen.insert((number, platform_id)),
+                "duplicate ({number}, {platform_id:?})"
+            );
+        }
+        assert_eq!(seen.len(), 6 * 4);
     }
 }

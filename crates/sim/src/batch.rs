@@ -2,12 +2,12 @@
 //!
 //! The paper averages 500 independent runs of at least 500 patterns each for
 //! every data point. [`Simulator`] performs that replication, spreading runs over
-//! worker threads (crossbeam scoped threads) while keeping results bit-for-bit
+//! worker threads (std scoped threads) while keeping results bit-for-bit
 //! reproducible: each run derives its RNG from `(base seed, run index)` only, so
 //! the outcome does not depend on how runs are scheduled across threads.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 
 use ayd_core::ExactModel;
@@ -50,12 +50,20 @@ impl Default for SimulationConfig {
 impl SimulationConfig {
     /// The replication scale used in the paper: 500 runs × 500 patterns.
     pub fn paper_scale() -> Self {
-        Self { runs: 500, patterns_per_run: 500, ..Self::default() }
+        Self {
+            runs: 500,
+            patterns_per_run: 500,
+            ..Self::default()
+        }
     }
 
     /// A light profile for quick smoke tests and benches.
     pub fn quick() -> Self {
-        Self { runs: 30, patterns_per_run: 60, ..Self::default() }
+        Self {
+            runs: 30,
+            patterns_per_run: 60,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy with a different seed.
@@ -127,7 +135,9 @@ impl Simulator {
         p: f64,
         config: &SimulationConfig,
     ) -> OverheadStats {
-        let period = ayd_core::FirstOrder::new(&self.model).optimal_period_for(p).period;
+        let period = ayd_core::FirstOrder::new(&self.model)
+            .optimal_period_for(p)
+            .period;
         self.simulate_overhead(period, p, config)
     }
 }
@@ -137,7 +147,11 @@ pub fn simulate_params(params: &PatternParams, config: &SimulationConfig) -> Ove
     assert!(config.runs > 0, "at least one run is required");
     let workers = config
         .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .clamp(1, config.runs as usize);
 
     // Per-run results are collected with their run index and aggregated in run
@@ -147,9 +161,10 @@ pub fn simulate_params(params: &PatternParams, config: &SimulationConfig) -> Ove
     let collected: Mutex<Vec<(u64, f64, PatternOutcome)>> =
         Mutex::new(Vec::with_capacity(config.runs as usize));
 
-    thread::scope(|scope| {
+    // Panics in workers propagate when the scope joins them at the end.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut local: Vec<(u64, f64, PatternOutcome)> = Vec::new();
                 loop {
                     let run = next_run.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -169,13 +184,12 @@ pub fn simulate_params(params: &PatternParams, config: &SimulationConfig) -> Ove
                     };
                     local.push((run, result.overhead, result.events));
                 }
-                collected.lock().extend(local);
+                collected.lock().expect("collector poisoned").extend(local);
             });
         }
-    })
-    .expect("simulation worker panicked");
+    });
 
-    let mut per_run = collected.into_inner();
+    let mut per_run = collected.into_inner().expect("collector poisoned");
     per_run.sort_unstable_by_key(|(run, _, _)| *run);
     let mut stats = RunningStats::new();
     let mut events = PatternOutcome::default();
@@ -200,8 +214,7 @@ pub fn simulate_params(params: &PatternParams, config: &SimulationConfig) -> Ove
 mod tests {
     use super::*;
     use ayd_core::{
-        CheckpointCost, FailureModel, FirstOrder, ResilienceCosts, SpeedupProfile,
-        VerificationCost,
+        CheckpointCost, FailureModel, FirstOrder, ResilienceCosts, SpeedupProfile, VerificationCost,
     };
 
     fn hera_scenario1() -> ExactModel {
@@ -222,11 +235,20 @@ mod tests {
         let model = hera_scenario1();
         let sim = Simulator::new(model);
         let (t, p) = (6_000.0, 400.0);
-        let config = SimulationConfig { runs: 60, patterns_per_run: 150, ..Default::default() };
+        let config = SimulationConfig {
+            runs: 60,
+            patterns_per_run: 150,
+            ..Default::default()
+        };
         let stats = sim.simulate_overhead(t, p, &config);
         let predicted = model.expected_overhead(t, p);
         let rel = (stats.mean - predicted).abs() / predicted;
-        assert!(rel < 0.03, "simulated {} vs predicted {} (rel {rel})", stats.mean, predicted);
+        assert!(
+            rel < 0.03,
+            "simulated {} vs predicted {} (rel {rel})",
+            stats.mean,
+            predicted
+        );
         assert_eq!(stats.runs, 60);
         assert!(stats.min <= stats.mean && stats.mean <= stats.max);
     }
@@ -235,7 +257,11 @@ mod tests {
     fn results_are_reproducible_and_thread_count_independent() {
         let model = hera_scenario1();
         let sim = Simulator::new(model);
-        let base = SimulationConfig { runs: 24, patterns_per_run: 80, ..Default::default() };
+        let base = SimulationConfig {
+            runs: 24,
+            patterns_per_run: 80,
+            ..Default::default()
+        };
         let one_thread = sim.simulate_overhead(5_000.0, 512.0, &base.with_threads(1));
         let many_threads = sim.simulate_overhead(5_000.0, 512.0, &base.with_threads(8));
         assert_eq!(one_thread.mean, many_threads.mean);
@@ -247,7 +273,11 @@ mod tests {
     fn different_seeds_give_different_but_close_results() {
         let model = hera_scenario1();
         let sim = Simulator::new(model);
-        let config = SimulationConfig { runs: 40, patterns_per_run: 100, ..Default::default() };
+        let config = SimulationConfig {
+            runs: 40,
+            patterns_per_run: 100,
+            ..Default::default()
+        };
         let a = sim.simulate_overhead(6_000.0, 400.0, &config.with_seed(1));
         let b = sim.simulate_overhead(6_000.0, 400.0, &config.with_seed(2));
         assert_ne!(a.mean, b.mean);
@@ -258,7 +288,11 @@ mod tests {
     fn both_engines_agree_within_confidence_intervals() {
         let model = hera_scenario1();
         let sim = Simulator::new(model);
-        let config = SimulationConfig { runs: 50, patterns_per_run: 120, ..Default::default() };
+        let config = SimulationConfig {
+            runs: 50,
+            patterns_per_run: 120,
+            ..Default::default()
+        };
         let window = sim.simulate_overhead(6_000.0, 400.0, &config);
         let stream =
             sim.simulate_overhead(6_000.0, 400.0, &config.with_engine(EngineKind::EventStream));
@@ -275,7 +309,11 @@ mod tests {
     fn first_order_period_helper_matches_explicit_call() {
         let model = hera_scenario1();
         let sim = Simulator::new(model);
-        let config = SimulationConfig { runs: 10, patterns_per_run: 50, ..Default::default() };
+        let config = SimulationConfig {
+            runs: 10,
+            patterns_per_run: 50,
+            ..Default::default()
+        };
         let p = 400.0;
         let period = FirstOrder::new(&model).optimal_period_for(p).period;
         let a = sim.simulate_at_first_order_period(p, &config);
@@ -287,10 +325,13 @@ mod tests {
     fn error_counts_scale_with_error_rate() {
         let model = hera_scenario1();
         let sim_low = Simulator::new(model);
-        let sim_high = Simulator::new(
-            model.with_failures(FailureModel::new(1.69e-7, 0.2188).unwrap()),
-        );
-        let config = SimulationConfig { runs: 20, patterns_per_run: 60, ..Default::default() };
+        let sim_high =
+            Simulator::new(model.with_failures(FailureModel::new(1.69e-7, 0.2188).unwrap()));
+        let config = SimulationConfig {
+            runs: 20,
+            patterns_per_run: 60,
+            ..Default::default()
+        };
         let low = sim_low.simulate_overhead(6_000.0, 512.0, &config);
         let high = sim_high.simulate_overhead(6_000.0, 512.0, &config);
         assert!(
@@ -305,7 +346,10 @@ mod tests {
     fn zero_runs_rejected() {
         let model = hera_scenario1();
         let sim = Simulator::new(model);
-        let config = SimulationConfig { runs: 0, ..Default::default() };
+        let config = SimulationConfig {
+            runs: 0,
+            ..Default::default()
+        };
         let _ = sim.simulate_overhead(1_000.0, 10.0, &config);
     }
 }

@@ -66,11 +66,7 @@ impl WindowSamplingEngine {
     /// Executes a successful-or-retried recovery sequence: keeps attempting the
     /// recovery of length `R`, paying a downtime after each fail-stop error that
     /// interrupts it, until one attempt completes.
-    fn run_recovery(
-        params: &PatternParams,
-        rng: &mut StdRng,
-        outcome: &mut PatternOutcome,
-    ) -> f64 {
+    fn run_recovery(params: &PatternParams, rng: &mut StdRng, outcome: &mut PatternOutcome) -> f64 {
         let mut elapsed = 0.0;
         loop {
             outcome.recovery_attempts += 1;
@@ -209,7 +205,10 @@ mod tests {
             // and with λ_f = 0 each sequence is a single attempt.
             assert_eq!(out.recovery_attempts, out.silent_errors_detected);
         }
-        assert!(detected > 0, "with this rate some silent errors must strike");
+        assert!(
+            detected > 0,
+            "with this rate some silent errors must strike"
+        );
     }
 
     #[test]
@@ -253,7 +252,10 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let rel = (mean - expected).abs() / expected;
-        assert!(rel < 0.01, "simulated mean {mean} vs analytical {expected} (rel {rel})");
+        assert!(
+            rel < 0.01,
+            "simulated mean {mean} vs analytical {expected} (rel {rel})"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //!
 //! ## Batch replication
 //!
-//! [`batch::Simulator`] replicates runs in parallel (crossbeam scoped threads),
+//! [`batch::Simulator`] replicates runs in parallel (std scoped threads),
 //! with deterministic per-run seeding so results are reproducible independently of
 //! the number of worker threads.
 

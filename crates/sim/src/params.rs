@@ -70,7 +70,9 @@ impl PatternParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ayd_core::{CheckpointCost, FailureModel, ResilienceCosts, SpeedupProfile, VerificationCost};
+    use ayd_core::{
+        CheckpointCost, FailureModel, ResilienceCosts, SpeedupProfile, VerificationCost,
+    };
 
     fn model() -> ExactModel {
         ExactModel::new(

@@ -60,8 +60,10 @@ mod tests {
         let mut rng = rng_for_replicate(42, 7);
         let rate = 1.0 / 500.0;
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, rate))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 500.0).abs() < 5.0, "mean={mean}");
     }
 
@@ -71,11 +73,14 @@ mod tests {
         let n = 200_000;
         let mut rng1 = rng_for_replicate(7, 1);
         let mut rng2 = rng_for_replicate(7, 2);
-        let mean1: f64 =
-            (0..n).map(|_| sample_exponential(&mut rng1, rate)).sum::<f64>() / n as f64;
-        let mean2: f64 =
-            (0..n).map(|_| sample_exponential_inverse_cdf(&mut rng2, rate)).sum::<f64>()
-                / n as f64;
+        let mean1: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng1, rate))
+            .sum::<f64>()
+            / n as f64;
+        let mean2: f64 = (0..n)
+            .map(|_| sample_exponential_inverse_cdf(&mut rng2, rate))
+            .sum::<f64>()
+            / n as f64;
         let expected = 1.0 / rate;
         assert!((mean1 - expected).abs() / expected < 0.02);
         assert!((mean2 - expected).abs() / expected < 0.02);

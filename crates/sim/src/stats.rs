@@ -16,7 +16,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -134,7 +140,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential_accumulation() {
-        let data: Vec<f64> = (0..1000).map(|i| ((i * 37 + 11) % 97) as f64 * 0.37).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37 + 11) % 97) as f64 * 0.37)
+            .collect();
         let mut all = RunningStats::new();
         for &x in &data {
             all.push(x);

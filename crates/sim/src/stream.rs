@@ -266,12 +266,19 @@ mod tests {
         let mut window = WindowSamplingEngine::new();
         let mut rng1 = rng_for_replicate(77, 1);
         let mut rng2 = rng_for_replicate(77, 2);
-        let mean_stream: f64 =
-            (0..n).map(|_| stream.execute_pattern(&p, &mut rng1).time).sum::<f64>() / n as f64;
-        let mean_window: f64 =
-            (0..n).map(|_| window.execute_pattern(&p, &mut rng2).time).sum::<f64>() / n as f64;
+        let mean_stream: f64 = (0..n)
+            .map(|_| stream.execute_pattern(&p, &mut rng1).time)
+            .sum::<f64>()
+            / n as f64;
+        let mean_window: f64 = (0..n)
+            .map(|_| window.execute_pattern(&p, &mut rng2).time)
+            .sum::<f64>()
+            / n as f64;
         let rel = (mean_stream - mean_window).abs() / mean_window;
-        assert!(rel < 0.02, "stream={mean_stream} window={mean_window} rel={rel}");
+        assert!(
+            rel < 0.02,
+            "stream={mean_stream} window={mean_window} rel={rel}"
+        );
     }
 
     #[test]
@@ -301,6 +308,9 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let rel = (mean - expected).abs() / expected;
-        assert!(rel < 0.01, "simulated mean {mean} vs analytical {expected} (rel {rel})");
+        assert!(
+            rel < 0.01,
+            "simulated mean {mean} vs analytical {expected} (rel {rel})"
+        );
     }
 }

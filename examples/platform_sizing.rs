@@ -9,15 +9,22 @@
 //!
 //! Run with: `cargo run --release --example platform_sizing`
 
-use ayd_exp::{Evaluator, RunOptions};
 use ayd_exp::table::{fmt_option, fmt_value, TextTable};
+use ayd_exp::{Evaluator, RunOptions};
 use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
 
 fn sizing_table(alpha: f64, options: &RunOptions) -> TextTable {
     let evaluator = Evaluator::new(*options).with_processor_range(1.0, 1e8);
     let mut table = TextTable::new(
         format!("Recommended allocation per platform and scenario (alpha = {alpha})"),
-        &["platform", "scenario", "P* (first-order)", "P* (optimal)", "T* (s)", "expected overhead"],
+        &[
+            "platform",
+            "scenario",
+            "P* (first-order)",
+            "P* (optimal)",
+            "T* (s)",
+            "expected overhead",
+        ],
     );
     for platform in PlatformId::ALL {
         for scenario in ScenarioId::ALL {

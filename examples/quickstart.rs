@@ -43,16 +43,24 @@ fn main() {
     let speedup = SpeedupProfile::amdahl(0.1).expect("valid sequential fraction");
     let model = ExactModel::new(speedup, costs, failures);
 
-    println!("Platform: Hera-like, individual MTBF = {:.1} years", failures.mtbf_ind() / 3.156e7);
+    println!(
+        "Platform: Hera-like, individual MTBF = {:.1} years",
+        failures.mtbf_ind() / 3.156e7
+    );
 
     // 2. Classical Young/Daly baseline: ignore silent errors and the verification,
     //    fix P at the measured 512 processors.
     let p_measured = 512.0;
-    let yd = young_daly_period(costs.checkpoint_at(p_measured), failures.fail_stop_rate(p_measured));
+    let yd = young_daly_period(
+        costs.checkpoint_at(p_measured),
+        failures.fail_stop_rate(p_measured),
+    );
     println!("\nClassical Young/Daly period at P = 512 (fail-stop only): {yd:.0} s");
 
     // 3. The paper's generalised first-order optimum (Theorem 2).
-    let first_order = FirstOrder::new(&model).joint_optimum().expect("Theorem 2 applies");
+    let first_order = FirstOrder::new(&model)
+        .joint_optimum()
+        .expect("Theorem 2 applies");
     println!(
         "\nTheorem 2 closed forms: P* = {:.1}, T* = {:.1} s, H* = {:.4}",
         first_order.processors, first_order.period, first_order.overhead
@@ -61,7 +69,9 @@ fn main() {
     // 4 & 5. Numerical optimum of the exact model, and simulation of both points.
     let evaluator = Evaluator::new(ayd_exp::RunOptions::default());
     println!("\nOperating points (predicted by Proposition 1, validated by simulation):");
-    let fo_point = evaluator.first_order_point(&model).expect("first-order point exists");
+    let fo_point = evaluator
+        .first_order_point(&model)
+        .expect("first-order point exists");
     describe("first-order optimum", &fo_point);
     let numerical = evaluator.numerical_point(&model);
     describe("numerical optimum", &numerical);

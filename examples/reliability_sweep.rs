@@ -22,13 +22,25 @@ use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
 use ayd_sim::{SimulationConfig, Simulator};
 
 fn main() {
-    let lambdas: Vec<f64> = (0..=8).map(|i| 1e-12 * 10f64.powf(i as f64 / 2.0)).collect();
+    let lambdas: Vec<f64> = (0..=8)
+        .map(|i| 1e-12 * 10f64.powf(i as f64 / 2.0))
+        .collect();
     let evaluator = Evaluator::new(RunOptions::analytical_only());
 
     for scenario in [ScenarioId::S1, ScenarioId::S3] {
         let mut table = TextTable::new(
-            format!("Scenario {} — optimal pattern vs individual error rate", scenario.number()),
-            &["lambda_ind", "P* (Thm)", "T* (Thm, s)", "P* (numerical)", "T* (numerical, s)", "H (numerical)"],
+            format!(
+                "Scenario {} — optimal pattern vs individual error rate",
+                scenario.number()
+            ),
+            &[
+                "lambda_ind",
+                "P* (Thm)",
+                "T* (Thm, s)",
+                "P* (numerical)",
+                "T* (numerical, s)",
+                "H (numerical)",
+            ],
         );
         let mut p_points = Vec::new();
         let mut t_points = Vec::new();
@@ -37,7 +49,9 @@ fn main() {
                 .with_lambda_ind(lambda)
                 .model()
                 .expect("valid setup");
-            let theorem = FirstOrder::new(&model).joint_optimum().expect("theorem applies");
+            let theorem = FirstOrder::new(&model)
+                .joint_optimum()
+                .expect("theorem applies");
             let numerical = evaluator.numerical_point(&model);
             p_points.push((lambda, numerical.processors));
             t_points.push((lambda, numerical.period));
@@ -53,8 +67,11 @@ fn main() {
         println!("{}", table.render());
         let p_fit = fit_power_law(&p_points);
         let t_fit = fit_power_law(&t_points);
-        let (expected_p, expected_t) =
-            if scenario == ScenarioId::S1 { (-0.25, -0.5) } else { (-1.0 / 3.0, -1.0 / 3.0) };
+        let (expected_p, expected_t) = if scenario == ScenarioId::S1 {
+            (-0.25, -0.5)
+        } else {
+            (-1.0 / 3.0, -1.0 / 3.0)
+        };
         println!(
             "  fitted P* ~ lambda^{:.3} (theory {:.3}),  T* ~ lambda^{:.3} (theory {:.3})\n",
             p_fit.exponent, expected_p, t_fit.exponent, expected_t
@@ -63,14 +80,19 @@ fn main() {
 
     // Simulate the achieved overhead at the two ends of the sweep (scenario 1).
     println!("Simulated overhead at the numerical optimum (scenario 1):");
-    let config = SimulationConfig { runs: 60, patterns_per_run: 120, ..Default::default() };
+    let config = SimulationConfig {
+        runs: 60,
+        patterns_per_run: 120,
+        ..Default::default()
+    };
     for &lambda in &[1e-8, 1e-12] {
         let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
             .with_lambda_ind(lambda)
             .model()
             .expect("valid setup");
         let optimum = evaluator.numerical_point(&model);
-        let stats = Simulator::new(model).simulate_overhead(optimum.period, optimum.processors, &config);
+        let stats =
+            Simulator::new(model).simulate_overhead(optimum.period, optimum.processors, &config);
         println!(
             "  lambda_ind = {lambda:.0e}:  H = {:.4} ± {:.4}  (floor alpha = 0.1)",
             stats.mean, stats.ci95

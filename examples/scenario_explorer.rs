@@ -32,16 +32,31 @@ fn main() {
             format!(
                 "Scenario {} (C_P: {:?}, V_P: {:?})",
                 scenario.number(),
-                ExperimentSetup::paper_default(platform, scenario).scenario_data().checkpoint,
-                ExperimentSetup::paper_default(platform, scenario).scenario_data().verification,
+                ExperimentSetup::paper_default(platform, scenario)
+                    .scenario_data()
+                    .checkpoint,
+                ExperimentSetup::paper_default(platform, scenario)
+                    .scenario_data()
+                    .verification,
             ),
-            &["P", "C_P (s)", "V_P (s)", "T*_P (s)", "H(T*_P, P)", "Young/Daly T (s)", "H @ Young/Daly T"],
+            &[
+                "P",
+                "C_P (s)",
+                "V_P (s)",
+                "T*_P (s)",
+                "H(T*_P, P)",
+                "Young/Daly T (s)",
+                "H @ Young/Daly T",
+            ],
         );
         for &p in &processor_sweep {
             let optimum = first_order.optimal_period_for(p);
             // Young/Daly ignores silent errors (uses the fail-stop rate only) and
             // the verification cost.
-            let yd_period = young_daly_period(model.costs.checkpoint_at(p), model.failures.fail_stop_rate(p));
+            let yd_period = young_daly_period(
+                model.costs.checkpoint_at(p),
+                model.failures.fail_stop_rate(p),
+            );
             let yd_overhead = model.expected_overhead(yd_period, p);
             table.push_row(vec![
                 fmt_value(p),

@@ -17,11 +17,23 @@ fn evaluator() -> Evaluator {
 fn first_order_is_within_one_percent_of_numerical_for_scenarios_1_to_4() {
     let eval = evaluator();
     for platform in PlatformId::ALL {
-        for scenario in [ScenarioId::S1, ScenarioId::S2, ScenarioId::S3, ScenarioId::S4] {
-            let model = ExperimentSetup::paper_default(platform, scenario).model().unwrap();
+        for scenario in [
+            ScenarioId::S1,
+            ScenarioId::S2,
+            ScenarioId::S3,
+            ScenarioId::S4,
+        ] {
+            let model = ExperimentSetup::paper_default(platform, scenario)
+                .model()
+                .unwrap();
             let comparison = eval.compare(&model);
-            let gap = comparison.overhead_gap().expect("first-order optimum exists");
-            assert!(gap >= -1e-9, "{platform:?}/{scenario:?}: numerical must be at least as good");
+            let gap = comparison
+                .overhead_gap()
+                .expect("first-order optimum exists");
+            assert!(
+                gap >= -1e-9,
+                "{platform:?}/{scenario:?}: numerical must be at least as good"
+            );
             // Coastal SSD / scenario 2 is the single mild outlier (~2%): its large
             // per-processor verification cost is ignored by Theorem 2. See
             // EXPERIMENTS.md.
@@ -44,7 +56,9 @@ fn first_order_is_within_one_percent_of_numerical_for_scenarios_1_to_4() {
 fn cost_case_dispatch_is_consistent_across_platforms() {
     for platform in PlatformId::ALL {
         for scenario in ScenarioId::ALL {
-            let model = ExperimentSetup::paper_default(platform, scenario).model().unwrap();
+            let model = ExperimentSetup::paper_default(platform, scenario)
+                .model()
+                .unwrap();
             let case = FirstOrder::new(&model).cost_case();
             let expected = match scenario.number() {
                 1..=2 => CostCase::LinearGrowth,
@@ -62,7 +76,9 @@ fn cost_case_dispatch_is_consistent_across_platforms() {
 fn numerical_optimum_is_a_local_minimum_in_both_coordinates() {
     let eval = evaluator();
     for scenario in ScenarioId::ALL {
-        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario).model().unwrap();
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+            .model()
+            .unwrap();
         let optimum = eval.numerical_point(&model);
         let h = |t: f64, p: f64| model.expected_overhead(t, p);
         let best = optimum.predicted_overhead;
@@ -116,10 +132,17 @@ fn theorem1_period_agrees_with_scalar_optimisation_everywhere() {
 /// numerical optimiser agrees.
 #[test]
 fn young_daly_limit_is_recovered() {
-    use ayd_core::{CheckpointCost, ExactModel, FailureModel, ResilienceCosts, SpeedupProfile, VerificationCost};
+    use ayd_core::{
+        CheckpointCost, ExactModel, FailureModel, ResilienceCosts, SpeedupProfile, VerificationCost,
+    };
     let model = ExactModel::new(
         SpeedupProfile::amdahl(0.1).unwrap(),
-        ResilienceCosts::new(CheckpointCost::constant(300.0), VerificationCost::zero(), 0.0).unwrap(),
+        ResilienceCosts::new(
+            CheckpointCost::constant(300.0),
+            VerificationCost::zero(),
+            0.0,
+        )
+        .unwrap(),
         FailureModel::new(1e-8, 1.0).unwrap(),
     );
     let p = 1_000.0;

@@ -10,13 +10,20 @@ use ayd_sim::{EngineKind, SimulationConfig, Simulator};
 /// every platform (scenario 1, the paper's default operating regime).
 #[test]
 fn simulation_matches_proposition1_on_all_platforms() {
-    let config = SimulationConfig { runs: 40, patterns_per_run: 100, ..Default::default() };
+    let config = SimulationConfig {
+        runs: 40,
+        patterns_per_run: 100,
+        ..Default::default()
+    };
     for platform in PlatformId::ALL {
-        let model = ExperimentSetup::paper_default(platform, ScenarioId::S1).model().unwrap();
+        let model = ExperimentSetup::paper_default(platform, ScenarioId::S1)
+            .model()
+            .unwrap();
         // Evaluate at the first-order optimum of the platform.
         let optimum = FirstOrder::new(&model).joint_optimum().unwrap();
         let predicted = model.expected_overhead(optimum.period, optimum.processors);
-        let stats = Simulator::new(model).simulate_overhead(optimum.period, optimum.processors, &config);
+        let stats =
+            Simulator::new(model).simulate_overhead(optimum.period, optimum.processors, &config);
         let rel = (stats.mean - predicted).abs() / predicted;
         assert!(
             rel < 0.05,
@@ -32,10 +39,16 @@ fn simulation_matches_proposition1_on_all_platforms() {
 /// Hera, at a mid-range operating point that is not the optimum of any of them.
 #[test]
 fn simulation_matches_proposition1_for_all_scenarios() {
-    let config = SimulationConfig { runs: 40, patterns_per_run: 100, ..Default::default() };
+    let config = SimulationConfig {
+        runs: 40,
+        patterns_per_run: 100,
+        ..Default::default()
+    };
     let (t, p) = (5_000.0, 600.0);
     for scenario in ScenarioId::ALL {
-        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario).model().unwrap();
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+            .model()
+            .unwrap();
         let predicted = model.expected_overhead(t, p);
         let stats = Simulator::new(model).simulate_overhead(t, p, &config);
         let rel = (stats.mean - predicted).abs() / predicted;
@@ -58,14 +71,22 @@ fn engines_agree_under_heavy_error_rates() {
         .model()
         .unwrap();
     let (t, p) = (2_000.0, 1_024.0);
-    let config = SimulationConfig { runs: 60, patterns_per_run: 80, ..Default::default() };
+    let config = SimulationConfig {
+        runs: 60,
+        patterns_per_run: 80,
+        ..Default::default()
+    };
     let window = Simulator::new(model).simulate_overhead(t, p, &config);
-    let stream = Simulator::new(model)
-        .simulate_overhead(t, p, &config.with_engine(EngineKind::EventStream));
+    let stream =
+        Simulator::new(model).simulate_overhead(t, p, &config.with_engine(EngineKind::EventStream));
     let predicted = model.expected_overhead(t, p);
     for (name, stats) in [("window", &window), ("stream", &stream)] {
         let rel = (stats.mean - predicted).abs() / predicted;
-        assert!(rel < 0.08, "{name}: simulated {} vs predicted {predicted}", stats.mean);
+        assert!(
+            rel < 0.08,
+            "{name}: simulated {} vs predicted {predicted}",
+            stats.mean
+        );
     }
     assert!((window.mean - stream.mean).abs() / window.mean < 0.08);
     // Heavy error rates mean plenty of injected events of both kinds.
@@ -78,9 +99,15 @@ fn engines_agree_under_heavy_error_rates() {
 /// overhead (Hera, scenario 1).
 #[test]
 fn simulated_overhead_is_minimised_near_the_predicted_optimum() {
-    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1).model().unwrap();
+    let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+        .model()
+        .unwrap();
     let optimum = FirstOrder::new(&model).joint_optimum().unwrap();
-    let config = SimulationConfig { runs: 60, patterns_per_run: 120, ..Default::default() };
+    let config = SimulationConfig {
+        runs: 60,
+        patterns_per_run: 120,
+        ..Default::default()
+    };
     let simulator = Simulator::new(model);
     let at_optimum = simulator
         .simulate_overhead(optimum.period, optimum.processors, &config)
@@ -91,22 +118,36 @@ fn simulated_overhead_is_minimised_near_the_predicted_optimum() {
     let too_long = simulator
         .simulate_overhead(optimum.period * 8.0, optimum.processors, &config)
         .mean;
-    assert!(at_optimum < too_short, "optimum {at_optimum} vs short-period {too_short}");
-    assert!(at_optimum < too_long, "optimum {at_optimum} vs long-period {too_long}");
+    assert!(
+        at_optimum < too_short,
+        "optimum {at_optimum} vs short-period {too_short}"
+    );
+    assert!(
+        at_optimum < too_long,
+        "optimum {at_optimum} vs long-period {too_long}"
+    );
 }
 
 /// Downtime only matters when fail-stop errors strike: with a pure-silent-error
 /// platform the simulated overhead is unaffected by the downtime value.
 #[test]
 fn downtime_is_irrelevant_without_fail_stop_errors() {
-    let base = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S3).model().unwrap();
+    let base = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S3)
+        .model()
+        .unwrap();
     let silent_only = base.with_failures(ayd_core::FailureModel::new(1.69e-8, 0.0).unwrap());
     let (t, p) = (5_000.0, 512.0);
-    let config = SimulationConfig { runs: 20, patterns_per_run: 60, ..Default::default() };
-    let short = Simulator::new(silent_only.with_costs(silent_only.costs.with_downtime(0.0).unwrap()))
-        .simulate_overhead(t, p, &config);
-    let long = Simulator::new(silent_only.with_costs(silent_only.costs.with_downtime(36_000.0).unwrap()))
-        .simulate_overhead(t, p, &config);
+    let config = SimulationConfig {
+        runs: 20,
+        patterns_per_run: 60,
+        ..Default::default()
+    };
+    let short =
+        Simulator::new(silent_only.with_costs(silent_only.costs.with_downtime(0.0).unwrap()))
+            .simulate_overhead(t, p, &config);
+    let long =
+        Simulator::new(silent_only.with_costs(silent_only.costs.with_downtime(36_000.0).unwrap()))
+            .simulate_overhead(t, p, &config);
     assert_eq!(short.mean, long.mean);
     assert_eq!(short.fail_stop_errors, 0);
     assert_eq!(long.fail_stop_errors, 0);

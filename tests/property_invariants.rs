@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 
 use ayd_core::{
-    failure, CheckpointCost, ExactModel, FailureModel, FirstOrder, ResilienceCosts,
-    SpeedupProfile, VerificationCost,
+    failure, CheckpointCost, ExactModel, FailureModel, FirstOrder, ResilienceCosts, SpeedupProfile,
+    VerificationCost,
 };
 use ayd_optim::{brent_minimize, golden_section};
 use ayd_platforms::{Platform, PlatformId, Scenario, ScenarioId};

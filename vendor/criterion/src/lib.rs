@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate (0.5-compatible surface).
+//!
+//! Implements the subset of the Criterion API used by the `ayd-bench` targets:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurements are simple
+//! wall-clock means (no resampling, no statistical analysis, no HTML
+//! reports); `cargo bench` prints one line per benchmark. Swap this crate for
+//! the registry version when a registry is reachable — no bench source changes
+//! are needed.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// computations (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over enough iterations to obtain a stable mean, storing
+    /// the result for the caller to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (also primes caches and lazy statics).
+        black_box(routine());
+        // Calibrate: run batches until ~50 ms of total measurement or the
+        // iteration cap is reached, whichever comes first.
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget && iters < 10_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.last_ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        println!(
+            "bench: {name:<45} {:>12}/iter",
+            format_time(bencher.last_ns_per_iter)
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in harness does not resample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in harness does not bound
+    /// measurement time per benchmark beyond its fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark targets with a fresh
+/// [`Criterion`] (same call shape as the real macro's simple form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards flags like `--bench`; the stand-in harness
+            // runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_target);
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        benches();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API used by this workspace's property
+//! suites: the [`proptest!`] macro (with `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait with `prop_map`, strategies for numeric ranges,
+//! tuples and `prop::collection::vec`, plus `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`. Unlike the real crate there is **no shrinking** and no
+//! persisted failure seeds: each test draws deterministic samples from a
+//! per-test seed, so failures are reproducible across runs and machines.
+//!
+//! The case count honours the real crate's `PROPTEST_CASES` environment
+//! variable as a *cap*: the effective count is
+//! `min(config.cases, PROPTEST_CASES)` when the variable is set.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (hi - lo) * rng.unit_f64_inclusive()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
+        (A, B, C, D, E, F, G, H, I);
+        (A, B, C, D, E, F, G, H, I, J);
+        (A, B, C, D, E, F, G, H, I, J, K);
+        (A, B, C, D, E, F, G, H, I, J, K, L);
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn uniformly from `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic per-test random source and configuration.
+
+    /// Per-test deterministic RNG (SplitMix64 stream seeded from the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a reproducible generator from a test's name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, mixed once so short names diverge.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: hash ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `f64` in `[0, 1]`.
+        pub fn unit_f64_inclusive(&mut self) -> f64 {
+            self.next_u64() as f64 / u64::MAX as f64
+        }
+    }
+
+    /// Subset of proptest's `Config` that the [`crate::proptest!`] macro reads.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Config {
+        /// Requested number of test cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases (before the `PROPTEST_CASES` cap).
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Effective case count: the configured count, capped by the `PROPTEST_CASES`
+/// environment variable when it is set to a parsable integer.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(cap) => configured.min(cap),
+        None => configured,
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current case when its sampled inputs do not satisfy a
+/// precondition. Without shrinking there is nothing to retry, so the case is
+/// simply abandoned (the real crate rejects and resamples).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(bindings in strategies) { body }`
+/// item expands to a `#[test]` that runs the body over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::resolve_cases(($config).cases);
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cases {
+                let _ = __case;
+                $( let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (f64, u64)> {
+        (0.0f64..10.0, 1u64..100).prop_map(|(x, n)| (x * 2.0, n + 1))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..7.0, n in 5u64..50, m in 0usize..=4) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((5..50).contains(&n));
+            prop_assert!(m <= 4);
+        }
+
+        #[test]
+        fn mapped_tuples_flow_through((x, n) in arb_pair()) {
+            prop_assert!((0.0..20.0).contains(&x));
+            prop_assert!((2..=100).contains(&n));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vectors_have_requested_lengths(v in prop::collection::vec(0.0f64..1.0, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_cap_never_raises_the_configured_count() {
+        // The ambient PROPTEST_CASES (if any) can only lower the result, so
+        // only the upper bound is environment-independent.
+        assert!(crate::resolve_cases(128) <= 128);
+        assert!(crate::resolve_cases(0) == 0);
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("demo");
+        let mut b = crate::test_runner::TestRng::for_test("demo");
+        let mut c = crate::test_runner::TestRng::for_test("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

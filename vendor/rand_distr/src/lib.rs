@@ -1,0 +1,87 @@
+//! Offline stand-in for the `rand_distr` crate (0.4-compatible surface).
+//!
+//! Provides [`Distribution`] and the exponential distribution [`Exp`], sampled
+//! by inversion (`-ln(1 - u) / λ`) instead of the real crate's ziggurat — the
+//! distribution is identical, only the stream differs.
+
+use rand::Rng;
+
+/// Types that produce samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned when constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    /// The rate `λ` was not strictly positive and finite.
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exponential rate must be strictly positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(λ)` with mean `1/λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Builds the distribution, validating `λ > 0` and finite.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u ∈ [0, 1); 1 - u ∈ (0, 1] keeps the logarithm finite.
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mean_matches_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = Exp::new(0.01).unwrap();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.5, "mean={mean}");
+    }
+
+    #[test]
+    fn samples_are_non_negative_and_finite() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = Exp::new(3.0).unwrap();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! Provides just enough surface for the workspace to compile without network
+//! access: the `Serialize`/`Deserialize` *derive macros* (which expand to
+//! nothing, see `vendor/serde_derive`) and marker traits of the same names so
+//! that `use serde::{Deserialize, Serialize};` resolves in both the type and
+//! macro namespaces, exactly as with the real crate.
+//!
+//! No code in the workspace calls serialisation functions (the JSON output of
+//! the `reproduce` CLI is gated off), so the traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive never implements
+/// it; nothing in this workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The workspace builds without network access, so the registry `serde_derive`
+//! is unavailable. Nothing in the workspace performs actual serialisation (the
+//! JSON output of the `reproduce` CLI is gated off, see `crates/exp`), so the
+//! derives only need to *compile*: they expand to nothing. Swap this crate for
+//! the registry version (and drop the gate) once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,54 @@
+//! Sweep-engine throughput: a 1,000+-cell analytical grid through the parallel
+//! `ayd-sweep` executor. Prints a summary (cell count, wall time, cache
+//! counters) and times the executor single-threaded, multi-threaded and with
+//! the memoisation cache disabled — the acceptance target is a 1,000-cell
+//! no-simulation sweep in well under 5 s in release mode.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_exp::sweep::demo_grid;
+use ayd_sweep::{ScenarioGrid, SweepExecutor, SweepOptions};
+
+fn thousand_cell_grid() -> ScenarioGrid {
+    // The CLI's analytical demo grid: 4 platforms × 6 scenarios × 2 α ×
+    // 2 λ-multipliers × 3 processor counts × 4 pattern lengths = 1152 cells.
+    demo_grid(false)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let grid = thousand_cell_grid();
+    let options = SweepOptions::new(ayd_bench::timed_options());
+
+    let start = Instant::now();
+    let results = SweepExecutor::new(options).run(&grid);
+    let elapsed = start.elapsed();
+    println!("\n================================================================");
+    println!(
+        "sweep_throughput: {} cells in {elapsed:.2?} ({:.0} cells/s), cache {} hits / {} misses / {} evictions",
+        results.rows.len(),
+        results.rows.len() as f64 / elapsed.as_secs_f64(),
+        results.cache.hits,
+        results.cache.misses,
+        results.cache.evictions,
+    );
+    assert_eq!(results.rows.len(), grid.len());
+    assert!(results.rows.len() >= 1_000);
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("grid_1152_cells_all_threads", |b| {
+        b.iter(|| SweepExecutor::new(options).run(&grid))
+    });
+    group.bench_function("grid_1152_cells_one_thread", |b| {
+        b.iter(|| SweepExecutor::new(options.with_threads(1)).run(&grid))
+    });
+    group.bench_function("grid_1152_cells_no_cache", |b| {
+        b.iter(|| SweepExecutor::new(options.with_cache_capacity(None)).run(&grid))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

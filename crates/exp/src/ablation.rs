@@ -11,12 +11,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use ayd_core::{FirstOrder, ValidityBounds};
+use ayd_core::ValidityBounds;
 use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
-use ayd_sim::{EngineKind, Simulator};
+use ayd_sweep::{ProcessorAxis, ScenarioGrid, SweepExecutor, SweepOptions};
 
 use crate::config::RunOptions;
-use crate::evaluate::Evaluator;
 use crate::table::{fmt_value, TextTable};
 
 /// One row of ablation A1: the first-order-versus-numerical overhead gap at a
@@ -45,31 +44,60 @@ pub struct FirstOrderGapData {
 
 /// Runs ablation A1 on Hera for scenarios 1, 3 and 5, sweeping the order of the
 /// processor count from 0.1 to 0.45 (`P = λ_ind^{-x}`).
+///
+/// The sweep (three scenarios × seven lambda orders, first-order period versus
+/// numerically optimal period at each fixed `P`) runs on `ayd-sweep`'s
+/// lambda-order processor axis; only the validity-bound classification stays
+/// figure-specific.
 pub fn run_first_order_gap(options: &RunOptions) -> FirstOrderGapData {
-    let evaluator = Evaluator::new(*options);
     let orders = [0.10, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45];
-    let mut rows = Vec::new();
-    for &scenario in &ScenarioId::REPRESENTATIVE {
-        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
-            .model()
-            .expect("paper defaults are valid");
-        let bounds = ValidityBounds::for_costs(&model.costs);
-        let lambda = model.failures.lambda_ind;
-        let first_order = FirstOrder::new(&model);
-        for &order in &orders {
-            let processors = (1.0 / lambda).powf(order);
-            let fo_period = first_order.optimal_period_for(processors).period;
-            let fo_overhead = model.expected_overhead(fo_period, processors);
-            let (_, numerical_overhead) = evaluator.numerical_period_for(&model, processors);
-            rows.push(FirstOrderGapRow {
-                scenario: scenario.number(),
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&ScenarioId::REPRESENTATIVE)
+        .processors(ProcessorAxis::LambdaOrders(orders.to_vec()))
+        .build()
+        .expect("the ablation A1 grid is valid");
+    let analytic = RunOptions {
+        simulate: false,
+        ..*options
+    };
+    let results = SweepExecutor::new(SweepOptions::new(analytic)).run(&grid);
+    // The validity bound of Inequality (5) is constant per scenario: derive the
+    // three bounds once, not per output row.
+    let order_bounds: Vec<(usize, f64)> = ScenarioId::REPRESENTATIVE
+        .iter()
+        .map(|&scenario| {
+            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
+                .model()
+                .expect("paper defaults are valid");
+            let bounds = ValidityBounds::for_costs(&model.costs);
+            (scenario.number(), bounds.effective_processor_order_bound())
+        })
+        .collect();
+    let rows = results
+        .rows
+        .iter()
+        .map(|row| {
+            let (_, order_bound) = order_bounds
+                .iter()
+                .find(|(number, _)| *number == row.scenario)
+                .expect("every sweep row maps to a representative scenario");
+            let order = row
+                .processor_order
+                .expect("lambda-order cells carry their order");
+            let fo = row
+                .first_order
+                .expect("fixed-P cells always carry a first-order period");
+            FirstOrderGapRow {
+                scenario: row.scenario,
                 processor_order: order,
-                processors,
-                within_validity_bounds: order < bounds.effective_processor_order_bound(),
-                gap_percent: 100.0 * (fo_overhead - numerical_overhead) / numerical_overhead,
-            });
-        }
-    }
+                processors: fo.processors,
+                within_validity_bounds: order < *order_bound,
+                gap_percent: 100.0 * (fo.predicted_overhead - row.numerical.predicted_overhead)
+                    / row.numerical.predicted_overhead,
+            }
+        })
+        .collect();
     FirstOrderGapData { rows }
 }
 
@@ -119,39 +147,48 @@ pub struct EngineComparisonData {
 
 /// Runs ablation A2: simulates the first-order optimum of Hera scenarios 1, 3
 /// and 5 with both engines.
+///
+/// Runs on `ayd-sweep`'s engine-comparison mode: each cell's primary operating
+/// point (the first-order optimum, or the numerical one when no first-order
+/// solution exists) is simulated with the window-sampling engine and again
+/// with the event-stream engine.
 pub fn run_engine_comparison(options: &RunOptions) -> EngineComparisonData {
-    let mut rows = Vec::new();
-    let config = options.simulation_config();
-    for &scenario in &ScenarioId::REPRESENTATIVE {
-        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
-            .model()
-            .expect("paper defaults are valid");
-        // Use the numerical optimum when no first-order one exists (scenario 6
-        // never appears here, but keep the code robust).
-        let evaluator = Evaluator::new(RunOptions {
-            simulate: false,
-            ..*options
-        });
-        let point = evaluator
-            .first_order_point(&model)
-            .unwrap_or_else(|| evaluator.numerical_point(&model));
-        let simulator = Simulator::new(model);
-        let window = simulator.simulate_overhead(point.period, point.processors, &config);
-        let stream = simulator.simulate_overhead(
-            point.period,
-            point.processors,
-            &config.with_engine(EngineKind::EventStream),
-        );
-        rows.push(EngineComparisonRow {
-            scenario: scenario.number(),
-            processors: point.processors,
-            period: point.period,
-            analytical: model.expected_overhead(point.period, point.processors),
-            window_engine: window.mean,
-            stream_engine: stream.mean,
-            relative_disagreement: (window.mean - stream.mean).abs() / window.mean,
-        });
-    }
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&ScenarioId::REPRESENTATIVE)
+        .build()
+        .expect("the ablation A2 grid is valid");
+    // A2 always simulates (that is the whole point of the ablation), and only
+    // at the primary point: skip the numerical-optimum simulation.
+    let sweep_options = SweepOptions::new(RunOptions {
+        simulate: true,
+        ..*options
+    })
+    .with_compare_engines(true)
+    .with_simulate_numerical(false);
+    let results = SweepExecutor::new(sweep_options).run(&grid);
+    let rows = results
+        .rows
+        .iter()
+        .map(|row| {
+            let point = row.primary_point();
+            let window = point
+                .simulated
+                .expect("A2 simulates the primary point of every cell");
+            let stream = row
+                .stream_simulated
+                .expect("engine-comparison mode simulates the event-stream engine");
+            EngineComparisonRow {
+                scenario: row.scenario,
+                processors: point.processors,
+                period: point.period,
+                analytical: point.predicted_overhead,
+                window_engine: window.mean,
+                stream_engine: stream.mean,
+                relative_disagreement: (window.mean - stream.mean).abs() / window.mean,
+            }
+        })
+        .collect();
     EngineComparisonData { rows }
 }
 

@@ -2,21 +2,25 @@
 //!
 //! ```text
 //! reproduce <experiment> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]
+//!                        [--threads N] [--no-cache]
 //!
 //! experiments:
 //!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
+//!   sweep       parallel scenario sweep (ayd-sweep demo grid; large when --no-sim)
 //!   checks      headline shape checks (figures 5 and 6 slopes)
 //!   all         everything above
 //! ```
 //!
 //! `--json` requires `serde_json`, which this offline build replaces with a
 //! no-op stand-in (see `vendor/serde`); the flag is accepted but falls back to
-//! CSV with a notice on stderr until the real dependency is restored.
+//! CSV with a notice on **stderr** (stdout stays machine-parseable) until the
+//! real dependency is restored.
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use ayd_exp::config::{Fidelity, RunOptions};
-use ayd_exp::{ablation, extensions, figure2, figure3, figure4, figure5, figure6, figure7};
+use ayd_exp::{ablation, extensions, figure2, figure3, figure4, figure5, figure6, figure7, sweep};
 use ayd_exp::{report, tables, TextTable};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,11 +48,22 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--no-sim" => options.simulate = false,
             "--json" => format = OutputFormat::Json,
             "--csv" => format = OutputFormat::Csv,
+            "--no-cache" => options.cache = false,
             "--seed" => {
                 let value = iter.next().ok_or("--seed requires a value")?;
                 options.seed = value
                     .parse()
                     .map_err(|_| format!("invalid seed `{value}`"))?;
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads requires a value")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                options.threads = Some(parsed);
             }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
@@ -66,37 +81,95 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 }
 
 fn usage() -> String {
-    "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]\n\
-     experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions checks all"
+    "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N] \
+     [--threads N] [--no-cache]\n\
+     experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
+     checks all"
         .to_string()
 }
 
-fn emit(format: OutputFormat, tables: Vec<TextTable>) {
+const JSON_FALLBACK_NOTICE: &str = "note: JSON output needs the real serde_json (unavailable in \
+     this offline build); emitting CSV instead";
+
+/// True when this call should print the JSON-fallback notice (at most once per
+/// process, and only for the JSON format).
+fn take_json_notice(format: OutputFormat) -> bool {
+    static NOTICE: std::sync::Once = std::sync::Once::new();
+    let mut first = false;
+    if format == OutputFormat::Json {
+        NOTICE.call_once(|| first = true);
+    }
+    first
+}
+
+/// Writes the tables to `out` in the requested format. Anything that is not
+/// data — like the JSON-fallback notice — goes to `err`, so stdout stays
+/// machine-parseable (title lines are emitted as `#` CSV comments).
+fn emit_to(
+    format: OutputFormat,
+    tables: Vec<TextTable>,
+    json_notice: bool,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) {
     match format {
         OutputFormat::Text => {
             for table in tables {
-                println!("{}", table.render());
+                writeln!(out, "{}", table.render()).expect("write to stdout failed");
             }
         }
         OutputFormat::Csv | OutputFormat::Json => {
-            if format == OutputFormat::Json {
-                static NOTICE: std::sync::Once = std::sync::Once::new();
-                NOTICE.call_once(|| {
-                    eprintln!(
-                        "note: JSON output needs the real serde_json (unavailable in this \
-                         offline build); emitting CSV instead"
-                    );
-                });
+            if format == OutputFormat::Json && json_notice {
+                writeln!(err, "{JSON_FALLBACK_NOTICE}").expect("write to stderr failed");
             }
             for table in tables {
-                println!("# {}", table.title());
-                println!("{}", table.to_csv());
+                writeln!(out, "# {}", table.title()).expect("write to stdout failed");
+                writeln!(out, "{}", table.to_csv()).expect("write to stdout failed");
             }
         }
     }
 }
 
-fn run_experiment(name: &str, options: &RunOptions, format: OutputFormat) -> Result<(), String> {
+fn emit(format: OutputFormat, tables: Vec<TextTable>) {
+    emit_to(
+        format,
+        tables,
+        take_json_notice(format),
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    );
+}
+
+/// Writes sweep results in the *canonical* sweep CSV (full precision,
+/// golden-pinned header from `ayd_sweep::CSV_HEADER`) rather than the rounded
+/// table export — machine consumers of `sweep --csv` get the same bytes the
+/// golden test pins.
+fn emit_sweep_csv_to(
+    results: &ayd_sweep::SweepResults,
+    json_notice: bool,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) {
+    if json_notice {
+        writeln!(err, "{JSON_FALLBACK_NOTICE}").expect("write to stderr failed");
+    }
+    writeln!(out, "# Scenario sweep — {} cells", results.rows.len())
+        .expect("write to stdout failed");
+    write!(out, "{}", results.to_csv()).expect("write to stdout failed");
+}
+
+fn emit_sweep_csv(format: OutputFormat, results: &ayd_sweep::SweepResults) {
+    emit_sweep_csv_to(
+        results,
+        take_json_notice(format),
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    );
+}
+
+fn run_experiment(name: &str, cli: &Cli) -> Result<(), String> {
+    let options = &cli.options;
+    let format = cli.format;
     match name {
         "table2" => {
             let data = tables::table2();
@@ -148,6 +221,13 @@ fn run_experiment(name: &str, options: &RunOptions, format: OutputFormat) -> Res
             let data = extensions::run(options);
             emit(format, vec![extensions::render(&data)]);
         }
+        "sweep" => {
+            let results = sweep::run(options);
+            match format {
+                OutputFormat::Text => emit(format, vec![sweep::render(&results)]),
+                OutputFormat::Csv | OutputFormat::Json => emit_sweep_csv(format, &results),
+            }
+        }
         "checks" => {
             // The slope checks do not need simulation; force it off for speed.
             let analytic = RunOptions {
@@ -174,9 +254,10 @@ fn run_experiment(name: &str, options: &RunOptions, format: OutputFormat) -> Res
                 "ablation",
                 "engines",
                 "extensions",
+                "sweep",
                 "checks",
             ] {
-                run_experiment(experiment, options, format)?;
+                run_experiment(experiment, cli)?;
             }
         }
         other => return Err(format!("unknown experiment `{other}`\n{}", usage())),
@@ -194,7 +275,7 @@ fn main() -> ExitCode {
         }
     };
     for experiment in &cli.experiments {
-        if let Err(message) = run_experiment(experiment, &cli.options, cli.format) {
+        if let Err(message) = run_experiment(experiment, &cli) {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
@@ -220,6 +301,18 @@ mod tests {
         assert!(!cli.options.simulate);
         assert_eq!(cli.options.seed, 7);
         assert_eq!(cli.format, OutputFormat::Json);
+        assert_eq!(cli.options.threads, None);
+        assert!(cli.options.cache);
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let cli = parse_args(&strings(&["sweep", "--threads", "2", "--no-cache"])).unwrap();
+        assert_eq!(cli.options.threads, Some(2));
+        assert!(!cli.options.cache);
+        assert!(parse_args(&strings(&["sweep", "--threads", "0"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--threads"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--threads", "x"])).is_err());
     }
 
     #[test]
@@ -248,22 +341,71 @@ mod tests {
         assert!(parse_args(&strings(&["fig2", "--seed", "abc"])).is_err());
     }
 
+    fn test_cli(names: &[&str]) -> Cli {
+        Cli {
+            experiments: names.iter().map(|s| s.to_string()).collect(),
+            options: RunOptions {
+                simulate: false,
+                threads: Some(2),
+                ..RunOptions::smoke()
+            },
+            format: OutputFormat::Text,
+        }
+    }
+
     #[test]
     fn unknown_experiment_is_an_error() {
-        let options = RunOptions {
-            simulate: false,
-            ..RunOptions::smoke()
-        };
-        assert!(run_experiment("fig999", &options, OutputFormat::Text).is_err());
+        assert!(run_experiment("fig999", &test_cli(&["fig999"])).is_err());
     }
 
     #[test]
     fn table_experiments_run_quickly() {
+        let mut cli = test_cli(&["table2"]);
+        run_experiment("table2", &cli).unwrap();
+        cli.format = OutputFormat::Csv;
+        run_experiment("table3", &cli).unwrap();
+    }
+
+    #[test]
+    fn json_fallback_notice_goes_to_stderr_not_stdout() {
+        let mut table = TextTable::new("demo", &["a", "b"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        emit_to(OutputFormat::Json, vec![table], true, &mut out, &mut err);
+        let out = String::from_utf8(out).unwrap();
+        let err = String::from_utf8(err).unwrap();
+        // stdout carries only data: `#` title comments and CSV lines.
+        assert!(!out.contains("note:"), "stdout polluted: {out}");
+        assert!(out.starts_with("# demo\n"));
+        assert!(out.contains("a,b\n1,2\n"));
+        assert!(err.contains("note: JSON output needs the real serde_json"));
+        // Without the notice flag (already printed earlier), stderr stays empty.
+        let mut table = TextTable::new("demo", &["a"]);
+        table.push_row(vec!["1".into()]);
+        let mut out2: Vec<u8> = Vec::new();
+        let mut err2: Vec<u8> = Vec::new();
+        emit_to(OutputFormat::Json, vec![table], false, &mut out2, &mut err2);
+        assert!(err2.is_empty());
+    }
+
+    #[test]
+    fn sweep_csv_output_uses_the_canonical_full_precision_format() {
         let options = RunOptions {
             simulate: false,
+            threads: Some(2),
             ..RunOptions::smoke()
         };
-        run_experiment("table2", &options, OutputFormat::Text).unwrap();
-        run_experiment("table3", &options, OutputFormat::Csv).unwrap();
+        let results = sweep::run(&options);
+        let mut out: Vec<u8> = Vec::new();
+        let mut err: Vec<u8> = Vec::new();
+        emit_sweep_csv_to(&results, true, &mut out, &mut err);
+        let out = String::from_utf8(out).unwrap();
+        let mut lines = out.lines();
+        assert!(lines.next().unwrap().starts_with("# Scenario sweep — "));
+        // The golden-pinned header, not the rounded TextTable export.
+        assert_eq!(lines.next().unwrap(), ayd_sweep::CSV_HEADER);
+        assert_eq!(out.lines().count(), 2 + results.rows.len());
+        assert!(String::from_utf8(err).unwrap().contains("note:"));
     }
 }

@@ -1,113 +1,7 @@
 //! Run options shared by every experiment runner.
+//!
+//! The definitions moved down into `ayd-sweep` (the sweep engine and the
+//! figure runners share one evaluation kernel); this module re-exports them
+//! under the historical `ayd_exp::config` path.
 
-use serde::{Deserialize, Serialize};
-
-use ayd_sim::SimulationConfig;
-
-/// How much replication/simulation effort to spend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Fidelity {
-    /// Tiny replication, for unit tests and CI smoke runs.
-    Smoke,
-    /// Moderate replication; the default for `cargo bench` and the CLI.
-    Standard,
-    /// The paper's replication scale (500 runs × 500 patterns per point).
-    Paper,
-}
-
-/// Options of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RunOptions {
-    /// Simulation effort.
-    pub fidelity: Fidelity,
-    /// Base seed for all simulations.
-    pub seed: u64,
-    /// Whether to run the simulations at all (the analytical/numerical series are
-    /// always produced; simulation can be skipped for speed).
-    pub simulate: bool,
-}
-
-impl Default for RunOptions {
-    fn default() -> Self {
-        Self {
-            fidelity: Fidelity::Standard,
-            seed: 2016,
-            simulate: true,
-        }
-    }
-}
-
-impl RunOptions {
-    /// Options used by unit tests: smoke-level simulation.
-    pub fn smoke() -> Self {
-        Self {
-            fidelity: Fidelity::Smoke,
-            ..Self::default()
-        }
-    }
-
-    /// Options matching the paper's replication scale.
-    pub fn paper() -> Self {
-        Self {
-            fidelity: Fidelity::Paper,
-            ..Self::default()
-        }
-    }
-
-    /// Options that skip simulation entirely (analytical + numerical only).
-    pub fn analytical_only() -> Self {
-        Self {
-            simulate: false,
-            ..Self::default()
-        }
-    }
-
-    /// The simulation batch configuration corresponding to the chosen fidelity.
-    pub fn simulation_config(&self) -> SimulationConfig {
-        let base = match self.fidelity {
-            Fidelity::Smoke => SimulationConfig {
-                runs: 12,
-                patterns_per_run: 40,
-                ..Default::default()
-            },
-            Fidelity::Standard => SimulationConfig {
-                runs: 80,
-                patterns_per_run: 150,
-                ..Default::default()
-            },
-            Fidelity::Paper => SimulationConfig::paper_scale(),
-        };
-        base.with_seed(self.seed)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fidelity_scales_replication() {
-        let smoke = RunOptions::smoke().simulation_config();
-        let standard = RunOptions::default().simulation_config();
-        let paper = RunOptions::paper().simulation_config();
-        assert!(smoke.runs < standard.runs);
-        assert!(standard.runs < paper.runs);
-        assert_eq!(paper.runs, 500);
-        assert_eq!(paper.patterns_per_run, 500);
-    }
-
-    #[test]
-    fn seed_propagates_to_simulation_config() {
-        let opts = RunOptions {
-            seed: 999,
-            ..RunOptions::smoke()
-        };
-        assert_eq!(opts.simulation_config().seed, 999);
-    }
-
-    #[test]
-    fn analytical_only_disables_simulation() {
-        assert!(!RunOptions::analytical_only().simulate);
-        assert!(RunOptions::default().simulate);
-    }
-}
+pub use ayd_sweep::options::{Fidelity, RunOptions};

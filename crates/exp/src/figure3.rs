@@ -9,11 +9,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use ayd_core::FirstOrder;
-use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_sweep::{ProcessorAxis, ScenarioGrid, SweepExecutor, SweepOptions};
 
 use crate::config::RunOptions;
-use crate::evaluate::{Evaluator, SimSummary};
+use crate::evaluate::SimSummary;
 use crate::table::{fmt_option, fmt_value, TextTable};
 
 /// One point of Figure 3: a scenario at a fixed processor count.
@@ -55,34 +55,48 @@ pub fn default_processor_sweep() -> Vec<f64> {
 }
 
 /// Runs Figure 3 on the given processor counts.
+///
+/// The sweep itself — six scenarios crossed with the processor axis, the
+/// first-order period and the numerically optimal period per cell, optional
+/// simulation at the first-order point — is delegated to `ayd-sweep`, which
+/// parallelises the cells and memoises repeated evaluations.
 pub fn run_with_processors(processors: &[f64], options: &RunOptions) -> Figure3Data {
-    let evaluator = Evaluator::new(*options);
-    let mut rows = Vec::with_capacity(processors.len() * 6);
-    for &scenario in &ScenarioId::ALL {
-        let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
-            .model()
-            .expect("paper-default setups are valid");
-        let first_order = FirstOrder::new(&model);
-        for &p in processors {
-            let period = first_order.optimal_period_for(p).period;
-            let first_order_overhead = model.expected_overhead(period, p);
-            let (numerical_period, numerical_overhead) = evaluator.numerical_period_for(&model, p);
-            let simulated = options
-                .simulate
-                .then(|| evaluator.simulate_at(&model, period, p));
-            rows.push(Figure3Row {
-                scenario: scenario.number(),
-                processors: p,
-                first_order_period: period,
-                first_order_overhead,
-                simulated,
-                numerical_period,
-                numerical_overhead,
-                overhead_difference_percent: 100.0 * (first_order_overhead - numerical_overhead)
-                    / numerical_overhead,
-            });
-        }
+    // An empty sweep is a valid (empty) figure, not a grid-validation error.
+    if processors.is_empty() {
+        return Figure3Data {
+            platform: PlatformId::Hera,
+            processors: Vec::new(),
+            rows: Vec::new(),
+        };
     }
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&ScenarioId::ALL)
+        .processors(ProcessorAxis::Fixed(processors.to_vec()))
+        .build()
+        .expect("the Figure 3 grid is valid");
+    let results = SweepExecutor::new(SweepOptions::new(*options)).run(&grid);
+    let rows = results
+        .rows
+        .iter()
+        .map(|row| {
+            let fo = row
+                .first_order
+                .expect("fixed-P cells always carry a first-order period");
+            Figure3Row {
+                scenario: row.scenario,
+                processors: fo.processors,
+                first_order_period: fo.period,
+                first_order_overhead: fo.predicted_overhead,
+                simulated: fo.simulated,
+                numerical_period: row.numerical.period,
+                numerical_overhead: row.numerical.predicted_overhead,
+                overhead_difference_percent: 100.0
+                    * (fo.predicted_overhead - row.numerical.predicted_overhead)
+                    / row.numerical.predicted_overhead,
+            }
+        })
+        .collect();
     Figure3Data {
         platform: PlatformId::Hera,
         processors: processors.to_vec(),
@@ -221,5 +235,13 @@ mod tests {
     fn render_contains_every_row() {
         let data = run_with_processors(&[400.0, 800.0], &analytical());
         assert_eq!(render(&data).len(), 12);
+    }
+
+    #[test]
+    fn empty_processor_sweep_produces_empty_data() {
+        let data = run_with_processors(&[], &analytical());
+        assert!(data.rows.is_empty());
+        assert!(data.processors.is_empty());
+        assert!(render(&data).is_empty());
     }
 }

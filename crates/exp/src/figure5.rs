@@ -11,10 +11,11 @@
 use serde::{Deserialize, Serialize};
 
 use ayd_core::fit_power_law;
-use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_sweep::{ScenarioGrid, SweepExecutor, SweepOptions};
 
 use crate::config::RunOptions;
-use crate::evaluate::{Evaluator, OptimumComparison};
+use crate::evaluate::OptimumComparison;
 use crate::table::{fmt_option, fmt_value, TextTable};
 
 /// One point of Figure 5: a scenario at a given individual error rate.
@@ -76,37 +77,64 @@ fn expected_exponents(scenario: usize) -> (f64, f64) {
 }
 
 /// Runs Figure 5 with the given error rates and sequential fraction.
+///
+/// The λ sweep — three scenarios crossed with the error-rate axis, first-order
+/// and numerical optima per cell — is delegated to `ayd-sweep`; this module
+/// keeps only the figure-specific slope fitting.
 pub fn run_with(lambdas: &[f64], alpha: f64, options: &RunOptions) -> Figure5Data {
-    let evaluator = Evaluator::new(*options).with_processor_range(1.0, 1e9);
-    let mut rows = Vec::new();
+    // An empty sweep is a valid (empty) figure, not a grid-validation error.
+    if lambdas.is_empty() {
+        return Figure5Data {
+            alpha,
+            lambdas: Vec::new(),
+            rows: Vec::new(),
+            slopes: Vec::new(),
+        };
+    }
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&ScenarioId::REPRESENTATIVE)
+        .alphas(&[alpha])
+        .lambda_values(lambdas)
+        .build()
+        .expect("the Figure 5 grid is valid");
+    let results =
+        SweepExecutor::new(SweepOptions::new(*options).with_processor_range(1.0, 1e9)).run(&grid);
+    let rows: Vec<Figure5Row> = results
+        .rows
+        .iter()
+        .map(|row| Figure5Row {
+            scenario: row.scenario,
+            lambda_ind: row.lambda_ind,
+            comparison: row.comparison(),
+        })
+        .collect();
     let mut slopes = Vec::new();
     for &scenario in &ScenarioId::REPRESENTATIVE {
-        let mut p_points = Vec::new();
-        let mut t_points = Vec::new();
-        let mut fo_p_points = Vec::new();
-        let mut fo_t_points = Vec::new();
-        for &lambda in lambdas {
-            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
-                .with_alpha(alpha)
-                .with_lambda_ind(lambda)
-                .model()
-                .expect("lambda sweep setups are valid");
-            let comparison = evaluator.compare(&model);
-            p_points.push((lambda, comparison.numerical.processors));
-            t_points.push((lambda, comparison.numerical.period));
-            // The slope fit of the "first-order" series uses the closed forms of
-            // Theorems 2 and 3 directly (the asymptotic laws being verified), not
-            // the practical operating point of `Evaluator::first_order_point`.
-            if let Ok(closed_form) = ayd_core::FirstOrder::new(&model).joint_optimum() {
-                fo_p_points.push((lambda, closed_form.processors));
-                fo_t_points.push((lambda, closed_form.period));
-            }
-            rows.push(Figure5Row {
-                scenario: scenario.number(),
-                lambda_ind: lambda,
-                comparison,
-            });
-        }
+        let series: Vec<&ayd_sweep::SweepRow> = results
+            .rows
+            .iter()
+            .filter(|r| r.scenario == scenario.number())
+            .collect();
+        let p_points: Vec<(f64, f64)> = series
+            .iter()
+            .map(|r| (r.lambda_ind, r.numerical.processors))
+            .collect();
+        let t_points: Vec<(f64, f64)> = series
+            .iter()
+            .map(|r| (r.lambda_ind, r.numerical.period))
+            .collect();
+        // The slope fit of the "first-order" series uses the closed forms of
+        // Theorems 2 and 3 directly (the asymptotic laws being verified), not
+        // the practical operating point of `Evaluator::first_order_point`.
+        let fo_p_points: Vec<(f64, f64)> = series
+            .iter()
+            .filter_map(|r| r.closed_form.map(|c| (r.lambda_ind, c.processors)))
+            .collect();
+        let fo_t_points: Vec<(f64, f64)> = series
+            .iter()
+            .filter_map(|r| r.closed_form.map(|c| (r.lambda_ind, c.period)))
+            .collect();
         if lambdas.len() >= 2 {
             let (expected_p, expected_t) = expected_exponents(scenario.number());
             let fit_option = |points: &Vec<(f64, f64)>| {
@@ -323,5 +351,13 @@ mod tests {
         let data = run_with(&[1e-10, 1e-9], 0.1, &analytical());
         assert_eq!(render(&data).len(), 6);
         assert_eq!(render_slopes(&data).len(), 3);
+    }
+
+    #[test]
+    fn empty_lambda_sweep_produces_empty_data() {
+        let data = run_with(&[], 0.1, &analytical());
+        assert!(data.rows.is_empty());
+        assert!(data.slopes.is_empty());
+        assert_eq!(data.alpha, 0.1);
     }
 }

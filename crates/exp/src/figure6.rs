@@ -9,10 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 use ayd_core::fit_power_law;
-use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
+use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_sweep::{ScenarioGrid, SweepExecutor, SweepOptions};
 
 use crate::config::RunOptions;
-use crate::evaluate::{Evaluator, OperatingPoint};
+use crate::evaluate::OperatingPoint;
 use crate::table::{fmt_option, fmt_value, TextTable};
 
 /// One point of Figure 6.
@@ -66,32 +67,54 @@ fn expected_exponents(scenario: usize) -> (f64, f64) {
 }
 
 /// Runs Figure 6 with the given error rates.
+///
+/// The α = 0 sweep is delegated to `ayd-sweep`; no first-order series exists
+/// in this regime, so only the numerical optimum of each cell is consumed.
 pub fn run_with(lambdas: &[f64], options: &RunOptions) -> Figure6Data {
+    // An empty sweep is a valid (empty) figure, not a grid-validation error.
+    if lambdas.is_empty() {
+        return Figure6Data {
+            lambdas: Vec::new(),
+            rows: Vec::new(),
+            slopes: Vec::new(),
+        };
+    }
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&ScenarioId::REPRESENTATIVE)
+        .alphas(&[0.0])
+        .lambda_values(lambdas)
+        .build()
+        .expect("the Figure 6 grid is valid");
     // The α = 0 optimum grows very fast as λ decreases (up to ~λ^{-1}); allow a
     // very wide search range. Periods can also become short.
-    let evaluator = Evaluator::new(*options)
-        .with_processor_range(1.0, 1e14)
-        .with_period_range(1e-2, 1e9);
-    let mut rows = Vec::new();
+    let results = SweepExecutor::new(
+        SweepOptions::new(*options)
+            .with_processor_range(1.0, 1e14)
+            .with_period_range(1e-2, 1e9),
+    )
+    .run(&grid);
+    let rows: Vec<Figure6Row> = results
+        .rows
+        .iter()
+        .map(|row| Figure6Row {
+            scenario: row.scenario,
+            lambda_ind: row.lambda_ind,
+            numerical: row.numerical,
+        })
+        .collect();
     let mut slopes = Vec::new();
     for &scenario in &ScenarioId::REPRESENTATIVE {
-        let mut p_points = Vec::new();
-        let mut h_points = Vec::new();
-        for &lambda in lambdas {
-            let model = ExperimentSetup::paper_default(PlatformId::Hera, scenario)
-                .with_alpha(0.0)
-                .with_lambda_ind(lambda)
-                .model()
-                .expect("alpha-zero setups are valid");
-            let numerical = evaluator.numerical_point(&model);
-            p_points.push((lambda, numerical.processors));
-            h_points.push((lambda, numerical.predicted_overhead));
-            rows.push(Figure6Row {
-                scenario: scenario.number(),
-                lambda_ind: lambda,
-                numerical,
-            });
-        }
+        let p_points: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.scenario == scenario.number())
+            .map(|r| (r.lambda_ind, r.numerical.processors))
+            .collect();
+        let h_points: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.scenario == scenario.number())
+            .map(|r| (r.lambda_ind, r.numerical.predicted_overhead))
+            .collect();
         if lambdas.len() >= 2 {
             let (expected_p, expected_h) = expected_exponents(scenario.number());
             slopes.push(Figure6Slopes {
@@ -248,5 +271,12 @@ mod tests {
         let data = run_with(&[1e-9, 1e-8], &analytical());
         assert_eq!(render(&data).len(), 6);
         assert_eq!(render_slopes(&data).len(), 3);
+    }
+
+    #[test]
+    fn empty_lambda_sweep_produces_empty_data() {
+        let data = run_with(&[], &analytical());
+        assert!(data.rows.is_empty());
+        assert!(data.slopes.is_empty());
     }
 }

@@ -15,6 +15,11 @@
 //! | Figure 7   | [`figure7`] | optima and overhead vs downtime `D` (Hera) |
 //! | Ablations  | [`ablation`] | first-order-vs-numerical gap; window vs event-stream engines |
 //! | Extension  | [`extensions`] | non-Amdahl speedup profiles (paper's future work) |
+//! | Sweep      | [`sweep`]   | demonstration grids for the `ayd-sweep` parallel sweep engine |
+//!
+//! The sweep-shaped figures (3, 5, 6) and both ablations delegate their inner
+//! loops to the [`ayd_sweep`] engine (parallel, memoised, deterministic); the
+//! remaining modules use the shared [`evaluate::Evaluator`] kernel directly.
 //!
 //! Each runner returns plain serialisable data, renders a text table resembling
 //! the figure's series/rows, and is reachable from the `reproduce` CLI
@@ -35,6 +40,7 @@ pub mod figure5;
 pub mod figure6;
 pub mod figure7;
 pub mod report;
+pub mod sweep;
 pub mod table;
 pub mod tables;
 

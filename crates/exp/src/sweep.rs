@@ -1,0 +1,143 @@
+//! The `sweep` subcommand: demonstration grids for the `ayd-sweep` engine.
+//!
+//! Two presets are exposed through the `reproduce` CLI:
+//!
+//! * **Analytical** (`--no-sim`): a large grid — every platform × every
+//!   scenario × two sequential fractions × two error-rate multipliers × three
+//!   processor counts × four pattern lengths (1152 cells) — evaluated with the
+//!   exact and first-order models only. Engine time is ~2 ms in release mode
+//!   (~40 ms end-to-end CLI including process startup); the pattern-length
+//!   axis exercises the memoisation cache (the optimiser runs once per 4
+//!   cells).
+//! * **Simulated** (default): a small grid (24 cells) that also simulates the
+//!   first-order operating point of every cell.
+//!
+//! Both presets honour the sweep determinism contract: for a fixed seed the
+//! output is byte-identical regardless of `--threads` and `--no-cache`.
+
+use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_sweep::{ProcessorAxis, ScenarioGrid, SweepExecutor, SweepOptions, SweepResults};
+
+use crate::config::RunOptions;
+use crate::table::{fmt_option, fmt_value, TextTable};
+
+/// The demonstration grid of the `sweep` subcommand. The analytical preset is
+/// the large one; the simulating preset keeps the cell count small enough for
+/// interactive use.
+pub fn demo_grid(simulate: bool) -> ScenarioGrid {
+    let builder = if simulate {
+        ScenarioGrid::builder()
+            .platforms(&[PlatformId::Hera, PlatformId::Atlas])
+            .scenarios(&ScenarioId::REPRESENTATIVE)
+            .lambda_multipliers(&[1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(vec![512.0, 1024.0]))
+    } else {
+        ScenarioGrid::builder()
+            .platforms(&PlatformId::ALL)
+            .scenarios(&ScenarioId::ALL)
+            .alphas(&[0.05, 0.1])
+            .lambda_multipliers(&[1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0, 4096.0]))
+            .pattern_lengths(&[900.0, 3_600.0, 14_400.0, 57_600.0])
+    };
+    builder.build().expect("the demo grids are valid")
+}
+
+/// Runs the demo sweep. The worker-thread count and the cache switch come
+/// from the run options (`--threads` / `--no-cache` on the CLI).
+pub fn run(options: &RunOptions) -> SweepResults {
+    SweepExecutor::new(SweepOptions::new(*options)).run(&demo_grid(options.simulate))
+}
+
+/// Renders sweep results as a text table (one row per cell).
+pub fn render(results: &SweepResults) -> TextTable {
+    // The title deliberately omits the cache hit/miss counters: they may vary
+    // with thread scheduling (concurrent misses can compute twice), while the
+    // rendered table must honour the byte-identical determinism contract.
+    let mut table = TextTable::new(
+        format!("Scenario sweep — {} cells", results.rows.len()),
+        &[
+            "platform",
+            "scenario",
+            "alpha",
+            "lambda_x",
+            "P",
+            "T*_P (first-order)",
+            "H (first-order)",
+            "T (numerical)",
+            "H (numerical)",
+            "T (pattern)",
+            "H (pattern)",
+            "H (simulated)",
+            "H (stream)",
+        ],
+    );
+    for row in &results.rows {
+        let fo = row.first_order;
+        let simulated = row
+            .prescribed
+            .and_then(|p| p.simulated)
+            .or_else(|| fo.and_then(|p| p.simulated));
+        table.push_row(vec![
+            row.platform.name().to_string(),
+            row.scenario.to_string(),
+            format!("{}", row.alpha),
+            fmt_value(row.lambda_multiplier),
+            fmt_option(row.fixed_processors),
+            fmt_option(fo.map(|p| p.period)),
+            fmt_option(fo.map(|p| p.predicted_overhead)),
+            fmt_value(row.numerical.period),
+            fmt_value(row.numerical.predicted_overhead),
+            fmt_option(row.pattern_length),
+            fmt_option(row.prescribed.map(|p| p.predicted_overhead)),
+            fmt_option(simulated.map(|s| s.mean)),
+            fmt_option(row.stream_simulated.map(|s| s.mean)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_demo_grid_has_over_a_thousand_cells() {
+        let grid = demo_grid(false);
+        assert_eq!(grid.len(), 4 * 6 * 2 * 2 * 3 * 4);
+        assert!(grid.len() >= 1_000);
+        assert_eq!(demo_grid(true).len(), 2 * 3 * 2 * 2);
+    }
+
+    #[test]
+    fn analytical_sweep_renders_every_cell() {
+        let options = RunOptions {
+            simulate: false,
+            threads: Some(2),
+            ..RunOptions::smoke()
+        };
+        let results = run(&options);
+        assert_eq!(results.rows.len(), demo_grid(false).len());
+        assert_eq!(render(&results).len(), results.rows.len());
+        // The pattern-length axis reuses each optimiser evaluation, so the
+        // cache must score hits.
+        assert!(results.cache.hits > 0);
+    }
+
+    #[test]
+    fn threads_and_cache_do_not_change_the_output() {
+        let options = RunOptions {
+            simulate: false,
+            threads: Some(1),
+            ..RunOptions::smoke()
+        };
+        let baseline = run(&options);
+        let parallel = run(&RunOptions {
+            threads: Some(4),
+            cache: false,
+            ..options
+        });
+        assert_eq!(baseline.rows, parallel.rows);
+        assert_eq!(baseline.to_csv(), parallel.to_csv());
+    }
+}

@@ -1,0 +1,59 @@
+//! Regression test: `reproduce --json` must keep stdout machine-parseable.
+//!
+//! The offline build replaces `serde_json` with a no-op stand-in, so `--json`
+//! falls back to CSV. The fallback *notice* must go to stderr — an earlier
+//! layout risked interleaving it with the data stream, which breaks any
+//! consumer piping stdout into a parser.
+
+use std::process::Command;
+
+fn reproduce(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("reproduce binary runs")
+}
+
+#[test]
+fn json_fallback_keeps_stdout_clean() {
+    let output = reproduce(&["table2", "table3", "--json"]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let stderr = String::from_utf8(output.stderr).unwrap();
+
+    // The notice is on stderr, exactly once (despite two experiments).
+    assert_eq!(stderr.matches("note: JSON output needs").count(), 1);
+
+    // stdout carries only `#` title comments and CSV records.
+    assert!(!stdout.contains("note:"), "stdout polluted:\n{stdout}");
+    for line in stdout.lines().filter(|l| !l.is_empty()) {
+        assert!(
+            line.starts_with('#') || line.contains(','),
+            "unexpected stdout line: {line}"
+        );
+    }
+    // And the CSV is really there.
+    assert!(stdout.contains("# Table II"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn csv_output_has_no_notice_at_all() {
+    let output = reproduce(&["table2", "--csv"]);
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn sweep_smoke_runs_deterministically_across_thread_counts() {
+    // End-to-end determinism: the sweep subcommand produces identical stdout
+    // for 1 and 2 worker threads (and with the cache disabled).
+    let base = ["sweep", "--no-sim", "--smoke", "--csv", "--threads"];
+    let one = reproduce(&[&base[..], &["1"]].concat());
+    let two = reproduce(&[&base[..], &["2"]].concat());
+    let two_nocache = reproduce(&[&base[..], &["2", "--no-cache"]].concat());
+    assert!(one.status.success() && two.status.success() && two_nocache.status.success());
+    assert_eq!(one.stdout, two.stdout);
+    assert_eq!(one.stdout, two_nocache.stdout);
+    assert!(!one.stdout.is_empty());
+}

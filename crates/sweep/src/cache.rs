@@ -1,0 +1,229 @@
+//! LRU-style memoisation of per-cell model evaluations.
+//!
+//! Sweeps frequently revisit the same analytical configuration — e.g. a grid
+//! that crosses pattern lengths with processor counts rebuilds the same model
+//! per `(platform, scenario, α, λ)` combination, and the numerical optimiser is
+//! by far the most expensive part of a no-simulation sweep. [`EvalCache`]
+//! memoises those evaluations behind a mutex, keyed on *quantized* model inputs
+//! (the low 12 mantissa bits of every `f64` are masked off, ≈ 4 × 10⁻¹³
+//! relative) so that axis values reconstructed through arithmetically different
+//! but mathematically equal routes still hit the same entry.
+//!
+//! Because the cached value is itself the output of a deterministic
+//! computation, caching never changes results — a sweep with the cache
+//! disabled produces bit-identical output (asserted by the property suite).
+//!
+//! The merge tolerance is part of that contract: two configurations whose
+//! inputs differ by less than the quantization step (≈ 4 × 10⁻¹³ relative)
+//! are *defined* to be the same configuration and share one evaluation. Grid
+//! axes with meaningful spacing (every realistic sweep) sit many orders of
+//! magnitude above the step; only axes deliberately constructed with
+//! sub-quantum spacing would observe the merge.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A cache key: quantized bit patterns of the inputs of one evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(Vec<u64>);
+
+impl CacheKey {
+    /// Builds a key from raw `f64` inputs, quantizing each one.
+    pub fn from_inputs(inputs: &[f64]) -> Self {
+        Self(inputs.iter().map(|&x| quantize(x)).collect())
+    }
+}
+
+/// Maps an `f64` to its quantized bit pattern: NaN (used as an "absent" marker)
+/// canonicalises to a fixed value, zero to zero, and any other finite value has
+/// its 12 low mantissa bits cleared.
+pub fn quantize(x: f64) -> u64 {
+    if x.is_nan() {
+        return u64::MAX;
+    }
+    if x == 0.0 {
+        return 0;
+    }
+    x.to_bits() & !0xFFF
+}
+
+/// Hit/miss counters of a cache (or of a whole sweep).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups answered from the cache.
+    pub hits: u64,
+    /// Number of lookups that had to compute.
+    pub misses: u64,
+    /// Number of entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    stamp: u64,
+    value: V,
+}
+
+struct Inner<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, thread-safe memoisation cache with least-recently-used eviction.
+pub struct EvalCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+}
+
+impl<V: Clone> EvalCache<V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                stats: CacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on a miss.
+    ///
+    /// The lock is *not* held while `compute` runs, so concurrent misses on the
+    /// same key may compute twice; both arrive at the same deterministic value,
+    /// so this is a throughput trade-off, not a correctness one.
+    pub fn get_or_insert_with(&self, key: CacheKey, compute: impl FnOnce() -> V) -> V {
+        {
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.stamp = clock;
+                let value = entry.value.clone();
+                inner.stats.hits += 1;
+                return value;
+            }
+            inner.stats.misses += 1;
+        }
+        let value = compute();
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // Evict the least-recently-used entry. The linear scan is fine: it
+            // only runs once the cache is full, and sweep caches are sized so
+            // that eviction is the exception, not the steady state.
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.insert(
+            key,
+            Entry {
+                stamp: clock,
+                value: value.clone(),
+            },
+        );
+        value
+    }
+
+    /// Current hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache poisoned").stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_first_computation() {
+        let cache: EvalCache<u64> = EvalCache::new(8);
+        let key = || CacheKey::from_inputs(&[1.0, 2.0]);
+        assert_eq!(cache.get_or_insert_with(key(), || 7), 7);
+        // The second lookup must not recompute.
+        assert_eq!(cache.get_or_insert_with(key(), || panic!("recomputed")), 7);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_merges_ulp_noise_but_separates_axis_values() {
+        // One-ulp perturbations collapse onto the same key...
+        let x: f64 = 1.69e-8;
+        let x_ulp = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(quantize(x), quantize(x_ulp));
+        // ...but genuinely different axis values do not.
+        assert_ne!(quantize(200.0), quantize(400.0));
+        assert_ne!(quantize(1e-9), quantize(1.0001e-9));
+        // NaN is a canonical "absent" marker and zero is exact.
+        assert_eq!(quantize(f64::NAN), quantize(f64::NAN));
+        assert_eq!(quantize(0.0), 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let cache: EvalCache<usize> = EvalCache::new(2);
+        let key = |i: usize| CacheKey::from_inputs(&[i as f64]);
+        cache.get_or_insert_with(key(1), || 1);
+        cache.get_or_insert_with(key(2), || 2);
+        // Touch 1 so that 2 is the LRU entry.
+        cache.get_or_insert_with(key(1), || panic!("must hit"));
+        cache.get_or_insert_with(key(3), || 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // 1 survived, 2 was evicted.
+        cache.get_or_insert_with(key(1), || panic!("must hit"));
+        assert_eq!(cache.get_or_insert_with(key(2), || 22), 22);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache: EvalCache<u64> = EvalCache::new(64);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..200u64 {
+                        let got = cache
+                            .get_or_insert_with(CacheKey::from_inputs(&[(i % 16) as f64]), || {
+                                (i % 16) * 10
+                            });
+                        assert_eq!(got, (i % 16) * 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 16);
+    }
+}

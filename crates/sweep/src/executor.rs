@@ -1,0 +1,675 @@
+//! Parallel execution of a [`ScenarioGrid`] over a self-scheduling worker pool.
+//!
+//! [`SweepExecutor`] evaluates every cell of a grid — exact model, first-order
+//! model and (optionally) either simulation engine — over `std::thread::scope`
+//! workers that pull cells from a shared atomic work queue (the same
+//! work-sharing scheme as `ayd-sim`'s batch replication: no idle worker while
+//! cells remain, no per-worker queues to balance).
+//!
+//! ## Determinism contract
+//!
+//! For a given grid and base seed the results are **bit-identical regardless of
+//! the worker-thread count**:
+//!
+//! * every cell's analytic evaluation depends only on the cell and the options;
+//! * every cell's simulations are seeded from `(base seed, cell index)` with
+//!   the same SplitMix64 derivation as `ayd_sim::rng::rng_for_replicate`, never
+//!   from scheduling order;
+//! * rows are re-assembled in cell order after the parallel phase, and the
+//!   streaming sinks observe them in cell order through a reorder buffer.
+//!
+//! The memoisation cache (see [`crate::cache`]) only short-circuits
+//! recomputation of deterministic values, so cache on/off also yields identical
+//! results. Both halves of the contract are asserted by the property suite.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use ayd_core::{ExactModel, FirstOrder};
+use ayd_platforms::PlatformId;
+use ayd_sim::rng::splitmix64;
+use ayd_sim::{EngineKind, Simulator};
+
+use crate::cache::{CacheKey, CacheStats, EvalCache};
+use crate::evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
+use crate::grid::{ScenarioGrid, SweepCell};
+use crate::options::RunOptions;
+use crate::sink::SweepSink;
+
+/// The closed-form joint optimum of Theorem 2/3 (`P*`, `T*`, `H*`), recorded
+/// alongside the practical first-order point for asymptotic-slope fits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedForm {
+    /// Closed-form optimal processor count `P*`.
+    pub processors: f64,
+    /// Closed-form optimal period `T*`.
+    pub period: f64,
+    /// Closed-form overhead `H*`.
+    pub overhead: f64,
+}
+
+/// Options of a sweep execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepOptions {
+    /// Fidelity/seed/simulate options shared with the experiment runners.
+    pub run: RunOptions,
+    /// Worker-thread count (`None` = all available cores).
+    pub threads: Option<usize>,
+    /// Memoisation-cache capacity (`None` disables caching).
+    pub cache_capacity: Option<usize>,
+    /// Engine used for the primary simulations.
+    pub engine: EngineKind,
+    /// Also simulate the event-stream engine at the primary operating point of
+    /// every cell (the engine-ablation mode).
+    pub compare_engines: bool,
+    /// Simulate the first-order operating point (when simulation is on).
+    pub simulate_first_order: bool,
+    /// Simulate the numerical operating point of jointly-optimised cells.
+    pub simulate_numerical: bool,
+    /// Processor search range of the numerical optimiser.
+    pub processor_range: (f64, f64),
+    /// Period search range of the numerical optimiser.
+    pub period_range: (f64, f64),
+}
+
+impl SweepOptions {
+    /// Default sweep options for the given run options: the run options'
+    /// thread/cache knobs (all cores, 4096-entry cache by default),
+    /// window-sampling engine, and the default `Evaluator` search ranges.
+    pub fn new(run: RunOptions) -> Self {
+        let reference = Evaluator::new(run);
+        Self {
+            run,
+            threads: run.threads,
+            cache_capacity: run.cache.then_some(4096),
+            engine: EngineKind::default(),
+            compare_engines: false,
+            simulate_first_order: true,
+            simulate_numerical: true,
+            processor_range: reference.processor_range,
+            period_range: reference.period_range,
+        }
+    }
+
+    /// Sets an explicit worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the cache capacity, or disables caching with `None`.
+    pub fn with_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Selects the engine for the primary simulations.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables the engine-comparison mode (adds an event-stream simulation at
+    /// the primary operating point of every cell).
+    pub fn with_compare_engines(mut self, compare: bool) -> Self {
+        self.compare_engines = compare;
+        self
+    }
+
+    /// Controls whether the numerical point of jointly-optimised cells is
+    /// simulated.
+    pub fn with_simulate_numerical(mut self, simulate: bool) -> Self {
+        self.simulate_numerical = simulate;
+        self
+    }
+
+    /// Overrides the processor search range of the numerical optimiser.
+    pub fn with_processor_range(mut self, lo: f64, hi: f64) -> Self {
+        self.processor_range = (lo, hi);
+        self
+    }
+
+    /// Overrides the period search range of the numerical optimiser.
+    pub fn with_period_range(mut self, lo: f64, hi: f64) -> Self {
+        self.period_range = (lo, hi);
+        self
+    }
+}
+
+/// One evaluated cell of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Platform of the cell.
+    pub platform: PlatformId,
+    /// Scenario number (1–6).
+    pub scenario: usize,
+    /// Sequential fraction `α`.
+    pub alpha: f64,
+    /// Individual error rate `λ_ind` of the cell.
+    pub lambda_ind: f64,
+    /// Ratio of `λ_ind` to the platform's measured rate.
+    pub lambda_multiplier: f64,
+    /// Fixed processor count of the cell (`None` when `P` was optimised).
+    pub fixed_processors: Option<f64>,
+    /// Order `x` with `P = λ_ind^{-x}` (lambda-order axes only).
+    pub processor_order: Option<f64>,
+    /// Fixed pattern length `T` of the cell, when prescribed.
+    pub pattern_length: Option<f64>,
+    /// First-order series: the joint first-order point for optimised cells, or
+    /// Theorem 1's `T*_P` at the cell's fixed `P`.
+    pub first_order: Option<OperatingPoint>,
+    /// Closed-form joint optimum (Theorem 2/3), when it exists.
+    pub closed_form: Option<ClosedForm>,
+    /// Exact-model series: the numerical joint optimum, or the numerically
+    /// optimal period at the cell's fixed `P`.
+    pub numerical: OperatingPoint,
+    /// Exact evaluation (and optional simulation) of the prescribed pattern,
+    /// when the cell fixes the pattern length.
+    pub prescribed: Option<OperatingPoint>,
+    /// Event-stream simulation at the primary operating point, in
+    /// engine-comparison mode.
+    pub stream_simulated: Option<SimSummary>,
+}
+
+impl SweepRow {
+    /// The primary operating point of the row: the prescribed pattern when the
+    /// cell fixes one, the first-order point when it exists, the numerical
+    /// optimum otherwise.
+    pub fn primary_point(&self) -> OperatingPoint {
+        self.prescribed
+            .or(self.first_order)
+            .unwrap_or(self.numerical)
+    }
+
+    /// The first-order/numerical pair as an [`OptimumComparison`].
+    pub fn comparison(&self) -> OptimumComparison {
+        OptimumComparison {
+            first_order: self.first_order,
+            numerical: self.numerical,
+        }
+    }
+}
+
+/// All rows of a sweep, in cell order, plus cache counters.
+#[derive(Debug, Clone, Default)]
+pub struct SweepResults {
+    /// One row per grid cell, in the grid's deterministic order.
+    pub rows: Vec<SweepRow>,
+    /// Hit/miss/eviction counters of the memoisation cache (all zero when the
+    /// cache was disabled).
+    pub cache: CacheStats,
+}
+
+impl SweepResults {
+    /// Renders the rows as the canonical sweep CSV (see [`crate::sink`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(crate::sink::CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&crate::sink::csv_line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Cached analytic (simulation-free) evaluation of one configuration.
+///
+/// Deliberately independent of the cell's fixed pattern length: the optimiser
+/// evaluations (joint search, or period search at fixed `P`) are the expensive
+/// part of a sweep, and grids crossing pattern lengths with the other axes
+/// reuse them; the exact-model evaluation of a prescribed `(T, P)` is a cheap
+/// closed form computed outside the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticEval {
+    first_order: Option<OperatingPoint>,
+    closed_form: Option<ClosedForm>,
+    numerical: OperatingPoint,
+}
+
+/// Derives the simulation base seed of a cell from the sweep seed and the cell
+/// index (same SplitMix64 scheme as `ayd_sim::rng::rng_for_replicate`, so the
+/// result depends only on the grid order, never on thread scheduling).
+pub fn cell_seed(base_seed: u64, cell_index: usize) -> u64 {
+    splitmix64(base_seed ^ splitmix64(cell_index as u64 ^ 0xCE11_5EED_0000_0000))
+}
+
+/// Parallel, deterministic sweep executor.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepExecutor {
+    /// Execution options.
+    pub options: SweepOptions,
+}
+
+impl SweepExecutor {
+    /// Creates an executor with the given options.
+    pub fn new(options: SweepOptions) -> Self {
+        Self { options }
+    }
+
+    /// Evaluates every cell of the grid and returns the rows in cell order.
+    pub fn run(&self, grid: &ScenarioGrid) -> SweepResults {
+        let mut sink = crate::sink::NullSink;
+        self.run_with_sink(grid, &mut sink)
+    }
+
+    /// Evaluates the grid, streaming every row (in cell order) into `sink` as
+    /// soon as it and all its predecessors are available.
+    pub fn run_with_sink(&self, grid: &ScenarioGrid, sink: &mut dyn SweepSink) -> SweepResults {
+        let cells = grid.cells();
+        if cells.is_empty() {
+            // Still honour the sink contract: finish() writes the CSV header
+            // and flushes even when no rows were produced.
+            let results = SweepResults::default();
+            sink.finish(&results);
+            return results;
+        }
+        let cache = self
+            .options
+            .cache_capacity
+            .map(EvalCache::<AnalyticEval>::new);
+        let workers = self
+            .options
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, cells.len());
+
+        let next_cell = AtomicUsize::new(0);
+        let emitter = Mutex::new(Emitter {
+            pending: std::collections::BTreeMap::new(),
+            ordered: Vec::with_capacity(cells.len()),
+            sink,
+        });
+
+        // Panics in workers propagate when the scope joins them at the end.
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next_cell.fetch_add(1, Ordering::Relaxed);
+                    if index >= cells.len() {
+                        break;
+                    }
+                    let row = evaluate_cell(&cells[index], &self.options, cache.as_ref());
+                    emitter.lock().expect("emitter poisoned").push(index, row);
+                });
+            }
+        });
+
+        let emitter = emitter.into_inner().expect("emitter poisoned");
+        debug_assert!(emitter.pending.is_empty(), "all cells must have drained");
+        let results = SweepResults {
+            rows: emitter.ordered,
+            cache: cache.map(|c| c.stats()).unwrap_or_default(),
+        };
+        emitter.sink.finish(&results);
+        results
+    }
+}
+
+/// Reorder buffer: accumulates out-of-order completions, releases rows in cell
+/// order — both into the streaming sink and into the final ordered vector.
+struct Emitter<'a> {
+    pending: std::collections::BTreeMap<usize, SweepRow>,
+    ordered: Vec<SweepRow>,
+    sink: &'a mut dyn SweepSink,
+}
+
+impl Emitter<'_> {
+    fn push(&mut self, index: usize, row: SweepRow) {
+        self.pending.insert(index, row);
+        while let Some(row) = self.pending.remove(&self.ordered.len()) {
+            self.sink.on_row(&row);
+            self.ordered.push(row);
+        }
+    }
+}
+
+fn cache_key(model: &ExactModel, cell: &SweepCell, options: &SweepOptions) -> CacheKey {
+    let absent = f64::NAN;
+    CacheKey::from_inputs(&[
+        model.failures.lambda_ind,
+        model.failures.fail_stop_fraction,
+        model.speedup.sequential_fraction().unwrap_or(absent),
+        model.costs.checkpoint.a,
+        model.costs.checkpoint.b,
+        model.costs.checkpoint.c,
+        model.costs.verification.v,
+        model.costs.verification.u,
+        model.costs.downtime,
+        cell.fixed_processors.unwrap_or(absent),
+        options.processor_range.0,
+        options.processor_range.1,
+        options.period_range.0,
+        options.period_range.1,
+    ])
+}
+
+fn compute_analytic(model: &ExactModel, cell: &SweepCell, options: &SweepOptions) -> AnalyticEval {
+    let analytic_options = RunOptions {
+        simulate: false,
+        ..options.run
+    };
+    let evaluator = Evaluator::new(analytic_options)
+        .with_processor_range(options.processor_range.0, options.processor_range.1)
+        .with_period_range(options.period_range.0, options.period_range.1);
+    let first_order_model = FirstOrder::new(model);
+    let closed_form = first_order_model.joint_optimum().ok().map(|o| ClosedForm {
+        processors: o.processors,
+        period: o.period,
+        overhead: o.overhead,
+    });
+    match cell.fixed_processors {
+        Some(p) => {
+            let period_optimum = first_order_model.optimal_period_for(p);
+            let first_order = OperatingPoint {
+                processors: p,
+                period: period_optimum.period,
+                predicted_overhead: model.expected_overhead(period_optimum.period, p),
+                formula_overhead: Some(period_optimum.overhead),
+                simulated: None,
+            };
+            let (period, overhead) = evaluator.numerical_period_for(model, p);
+            let numerical = OperatingPoint {
+                processors: p,
+                period,
+                predicted_overhead: overhead,
+                formula_overhead: None,
+                simulated: None,
+            };
+            AnalyticEval {
+                first_order: Some(first_order),
+                closed_form,
+                numerical,
+            }
+        }
+        None => {
+            let comparison = evaluator.compare(model);
+            AnalyticEval {
+                first_order: comparison.first_order,
+                closed_form,
+                numerical: comparison.numerical,
+            }
+        }
+    }
+}
+
+fn simulate_point(
+    model: &ExactModel,
+    point: &OperatingPoint,
+    config: &ayd_sim::SimulationConfig,
+) -> SimSummary {
+    let stats = Simulator::new(*model).simulate_overhead(point.period, point.processors, config);
+    SimSummary {
+        mean: stats.mean,
+        ci95: stats.ci95,
+    }
+}
+
+fn evaluate_cell(
+    cell: &SweepCell,
+    options: &SweepOptions,
+    cache: Option<&EvalCache<AnalyticEval>>,
+) -> SweepRow {
+    let model = cell
+        .setup
+        .model()
+        .expect("grid builders only emit valid setups");
+    let analytic = match cache {
+        Some(cache) => cache.get_or_insert_with(cache_key(&model, cell, options), || {
+            compute_analytic(&model, cell, options)
+        }),
+        None => compute_analytic(&model, cell, options),
+    };
+
+    let mut first_order = analytic.first_order;
+    let closed_form = analytic.closed_form;
+    let mut numerical = analytic.numerical;
+    // The prescribed pattern is a cheap exact-model closed form, computed
+    // outside the cache so that pattern-length axes reuse the optimiser work.
+    let mut prescribed = match (cell.fixed_processors, cell.pattern_length) {
+        (Some(p), Some(t)) => Some(OperatingPoint {
+            processors: p,
+            period: t,
+            predicted_overhead: model.expected_overhead(t, p),
+            formula_overhead: None,
+            simulated: None,
+        }),
+        _ => None,
+    };
+    let config = RunOptions {
+        seed: cell_seed(options.run.seed, cell.index),
+        ..options.run
+    }
+    .simulation_config()
+    .with_engine(options.engine);
+
+    if options.run.simulate {
+        match prescribed.as_mut() {
+            // Fully prescribed (T, P): simulate exactly that pattern.
+            Some(point) => {
+                point.simulated = Some(simulate_point(&model, point, &config));
+            }
+            None => {
+                // Fixed P (Figure 3) or jointly optimised (Figures 5–6):
+                // simulate the first-order point, and — for optimised cells —
+                // the numerical optimum as well.
+                if options.simulate_first_order {
+                    if let Some(point) = first_order.as_mut() {
+                        point.simulated = Some(simulate_point(&model, point, &config));
+                    }
+                }
+                if options.simulate_numerical && cell.fixed_processors.is_none() {
+                    numerical.simulated = Some(simulate_point(&model, &numerical, &config));
+                }
+            }
+        }
+    }
+
+    let stream_simulated = (options.run.simulate && options.compare_engines).then(|| {
+        // Engine comparison guarantees a window-engine simulation at the
+        // primary point, even when the standard policy above skipped it (e.g.
+        // no first-order optimum and `simulate_numerical` off), so consumers
+        // can always pair `primary_point().simulated` with this value.
+        let slot = prescribed
+            .as_mut()
+            .or(first_order.as_mut())
+            .unwrap_or(&mut numerical);
+        if slot.simulated.is_none() {
+            slot.simulated = Some(simulate_point(&model, slot, &config));
+        }
+        simulate_point(&model, slot, &config.with_engine(EngineKind::EventStream))
+    });
+
+    SweepRow {
+        platform: cell.setup.platform,
+        scenario: cell.setup.scenario.number(),
+        alpha: cell.setup.alpha,
+        lambda_ind: model.failures.lambda_ind,
+        lambda_multiplier: cell.lambda_multiplier,
+        fixed_processors: cell.fixed_processors,
+        processor_order: cell.processor_order,
+        pattern_length: cell.pattern_length,
+        first_order,
+        closed_form,
+        numerical,
+        prescribed,
+        stream_simulated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcessorAxis;
+    use ayd_platforms::ScenarioId;
+
+    fn analytic_options() -> SweepOptions {
+        SweepOptions::new(RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        })
+    }
+
+    fn small_fixed_grid() -> ScenarioGrid {
+        ScenarioGrid::builder()
+            .scenarios(&ScenarioId::ALL)
+            .processors(ProcessorAxis::Fixed(vec![200.0, 800.0]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rows_come_back_in_cell_order_for_any_thread_count() {
+        let grid = small_fixed_grid();
+        let baseline = SweepExecutor::new(analytic_options().with_threads(1)).run(&grid);
+        assert_eq!(baseline.rows.len(), grid.len());
+        for threads in [2, 8] {
+            let parallel = SweepExecutor::new(analytic_options().with_threads(threads)).run(&grid);
+            assert_eq!(baseline.rows, parallel.rows, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cache_dedupes_repeated_configurations_without_changing_results() {
+        // A degenerate λ axis repeats the same model twice → the analytic part
+        // of the second cell must come from the cache.
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .lambda_multipliers(&[1.0, 1.0])
+            .processors(ProcessorAxis::Fixed(vec![512.0]))
+            .build()
+            .unwrap();
+        let cached = SweepExecutor::new(analytic_options().with_threads(1)).run(&grid);
+        assert!(cached.cache.hits >= 1, "stats: {:?}", cached.cache);
+        let uncached =
+            SweepExecutor::new(analytic_options().with_cache_capacity(None).with_threads(1))
+                .run(&grid);
+        assert_eq!(cached.rows, uncached.rows);
+        assert_eq!(uncached.cache, CacheStats::default());
+    }
+
+    #[test]
+    fn fixed_point_cells_evaluate_the_prescribed_pattern() {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S3])
+            .processors(ProcessorAxis::Fixed(vec![512.0]))
+            .pattern_lengths(&[3_600.0])
+            .build()
+            .unwrap();
+        let results = SweepExecutor::new(analytic_options()).run(&grid);
+        let row = &results.rows[0];
+        let prescribed = row.prescribed.unwrap();
+        assert_eq!(prescribed.period, 3_600.0);
+        assert_eq!(prescribed.processors, 512.0);
+        let model = row_model(row);
+        assert_eq!(
+            prescribed.predicted_overhead,
+            model.expected_overhead(3_600.0, 512.0)
+        );
+        assert_eq!(row.primary_point(), prescribed);
+        // The first-order period and the numerically optimal period at this P
+        // are still reported for reference, and a prescribed-but-suboptimal
+        // pattern cannot beat the optimised period.
+        assert!(row.first_order.unwrap().period > 0.0);
+        assert!(prescribed.predicted_overhead >= row.numerical.predicted_overhead - 1e-12);
+    }
+
+    #[test]
+    fn pattern_length_axes_reuse_the_optimiser_evaluations() {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .processors(ProcessorAxis::Fixed(vec![512.0]))
+            .pattern_lengths(&[1_800.0, 3_600.0, 7_200.0])
+            .build()
+            .unwrap();
+        let results = SweepExecutor::new(analytic_options().with_threads(1)).run(&grid);
+        // One optimiser evaluation, two cache hits: the prescribed-pattern
+        // evaluations are closed forms outside the cache.
+        assert_eq!(results.cache.misses, 1, "stats: {:?}", results.cache);
+        assert_eq!(results.cache.hits, 2, "stats: {:?}", results.cache);
+        let overheads: Vec<f64> = results
+            .rows
+            .iter()
+            .map(|r| r.prescribed.unwrap().predicted_overhead)
+            .collect();
+        assert!(overheads.windows(2).all(|w| w[0] != w[1]), "{overheads:?}");
+        // All three rows share the same cached numerical optimum.
+        assert!(results
+            .rows
+            .iter()
+            .all(|r| r.numerical == results.rows[0].numerical));
+    }
+
+    fn row_model(row: &SweepRow) -> ExactModel {
+        ayd_platforms::ExperimentSetup::paper_default(
+            row.platform,
+            ayd_platforms::ScenarioId::from_number(row.scenario).unwrap(),
+        )
+        .with_alpha(row.alpha)
+        .with_lambda_ind(row.lambda_ind)
+        .model()
+        .unwrap()
+    }
+
+    #[test]
+    fn simulations_attach_where_the_figures_expect_them() {
+        let options = SweepOptions::new(RunOptions::smoke()).with_compare_engines(true);
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .processors(ProcessorAxis::Fixed(vec![400.0]))
+            .build()
+            .unwrap();
+        let row = SweepExecutor::new(options).run(&grid).rows[0];
+        let fo = row.first_order.unwrap();
+        assert!(fo.simulated.is_some(), "fixed-P cells simulate T*_P");
+        assert!(row.numerical.simulated.is_none());
+        let stream = row.stream_simulated.unwrap();
+        // Both engines land near the analytical prediction.
+        assert!((stream.mean - fo.predicted_overhead).abs() / fo.predicted_overhead < 0.15);
+    }
+
+    #[test]
+    fn engine_comparison_simulates_cells_without_a_first_order_optimum() {
+        // Scenario 6 has no first-order solution; even with the numerical
+        // simulation switched off, engine-comparison mode must still produce a
+        // window/stream pair at the primary (numerical) point instead of
+        // leaving `primary_point().simulated` empty.
+        let options = SweepOptions::new(RunOptions::smoke())
+            .with_compare_engines(true)
+            .with_simulate_numerical(false);
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S6])
+            .build()
+            .unwrap();
+        let row = SweepExecutor::new(options).run(&grid).rows[0];
+        assert!(row.first_order.is_none());
+        let primary = row.primary_point();
+        assert_eq!(primary, row.numerical);
+        assert!(primary.simulated.is_some());
+        assert!(row.stream_simulated.is_some());
+    }
+
+    #[test]
+    fn per_cell_seeds_are_deterministic_and_decorrelated() {
+        assert_eq!(cell_seed(2016, 3), cell_seed(2016, 3));
+        assert_ne!(cell_seed(2016, 3), cell_seed(2016, 4));
+        assert_ne!(cell_seed(2016, 3), cell_seed(2017, 3));
+    }
+
+    #[test]
+    fn empty_threads_clamp_and_empty_grid_is_ok() {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .build()
+            .unwrap();
+        // More threads than cells is fine (clamped to the cell count).
+        let results = SweepExecutor::new(analytic_options().with_threads(64)).run(&grid);
+        assert_eq!(results.rows.len(), 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! [`ScenarioGrid`]: cartesian products of sweep axes.
+//!
+//! A grid is the declarative description of a sweep: which platforms, which
+//! resilience scenarios, which applications (sequential fractions `α`), which
+//! error-rate axis, which processor axis and (optionally) which fixed pattern
+//! lengths. [`ScenarioGrid::cells`] flattens the product into an ordered list
+//! of [`SweepCell`]s; the cell order is part of the determinism contract (it
+//! never depends on how the executor schedules cells across threads).
+
+use serde::{Deserialize, Serialize};
+
+use ayd_platforms::{ExperimentSetup, Platform, PlatformId, ScenarioId};
+
+/// The processor axis of a grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProcessorAxis {
+    /// Jointly optimise the processor count per cell (first-order + numerical).
+    Optimize,
+    /// Evaluate every cell at each of these fixed processor counts.
+    Fixed(Vec<f64>),
+    /// Evaluate at `P = λ_ind^{-x}` for each order `x` (the ablation-A1 axis,
+    /// probing the validity region of the first-order formulas).
+    LambdaOrders(Vec<f64>),
+}
+
+/// The error-rate axis of a grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LambdaAxis {
+    /// Keep each platform's measured individual error rate.
+    Measured,
+    /// Multiply each platform's measured rate by each of these factors.
+    Multipliers(Vec<f64>),
+    /// Override the rate with each of these absolute values (Figures 5–6).
+    Absolute(Vec<f64>),
+}
+
+/// One cell of a sweep: a fully specified experiment setup plus the axis
+/// coordinates it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Position of the cell in the grid's deterministic order.
+    pub index: usize,
+    /// The platform/scenario/α/λ configuration to evaluate.
+    pub setup: ExperimentSetup,
+    /// Ratio of the cell's `λ_ind` to the platform's measured rate.
+    pub lambda_multiplier: f64,
+    /// Fixed processor count (`None` when the cell optimises `P`).
+    pub fixed_processors: Option<f64>,
+    /// Order `x` such that `fixed_processors = λ_ind^{-x}`, when the grid used
+    /// [`ProcessorAxis::LambdaOrders`].
+    pub processor_order: Option<f64>,
+    /// Fixed pattern length `T` in seconds (`None` = use the first-order /
+    /// numerically optimal period).
+    pub pattern_length: Option<f64>,
+}
+
+impl SweepCell {
+    /// The individual error rate of this cell (override or platform measurement).
+    pub fn lambda_ind(&self) -> f64 {
+        self.setup
+            .lambda_ind_override
+            .unwrap_or_else(|| Platform::get(self.setup.platform).lambda_ind)
+    }
+}
+
+/// Error raised by [`GridBuilder::build`] on an ill-formed grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridError(String);
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid scenario grid: {}", self.0)
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// A cartesian sweep grid over platforms × scenarios × applications ×
+/// error rates × processor counts × pattern lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioGrid {
+    platforms: Vec<PlatformId>,
+    scenarios: Vec<ScenarioId>,
+    alphas: Vec<f64>,
+    lambdas: LambdaAxis,
+    processors: ProcessorAxis,
+    pattern_lengths: Vec<f64>,
+    downtime: f64,
+}
+
+impl ScenarioGrid {
+    /// Starts building a grid. Defaults: Hera, the representative scenarios
+    /// (1, 3, 5), `α = 0.1`, measured error rates, jointly optimised `P`, no
+    /// fixed pattern length, `D = 3600 s`.
+    pub fn builder() -> GridBuilder {
+        GridBuilder::default()
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.platforms.len()
+            * self.scenarios.len()
+            * self.alphas.len()
+            * self.lambda_axis_len()
+            * self.processor_axis_len()
+            * self.pattern_lengths.len().max(1)
+    }
+
+    /// True when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lambda_axis_len(&self) -> usize {
+        match &self.lambdas {
+            LambdaAxis::Measured => 1,
+            LambdaAxis::Multipliers(m) => m.len(),
+            LambdaAxis::Absolute(v) => v.len(),
+        }
+    }
+
+    fn processor_axis_len(&self) -> usize {
+        match &self.processors {
+            ProcessorAxis::Optimize => 1,
+            ProcessorAxis::Fixed(p) => p.len(),
+            ProcessorAxis::LambdaOrders(orders) => orders.len(),
+        }
+    }
+
+    /// Flattens the grid into its deterministic cell order: platform (outer) →
+    /// scenario → α → λ → processors → pattern length (inner).
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for &platform in &self.platforms {
+            let measured_lambda = Platform::get(platform).lambda_ind;
+            for &scenario in &self.scenarios {
+                for &alpha in &self.alphas {
+                    let base = ExperimentSetup::paper_default(platform, scenario)
+                        .with_alpha(alpha)
+                        .with_downtime(self.downtime);
+                    let lambda_entries: Vec<(Option<f64>, f64)> = match &self.lambdas {
+                        LambdaAxis::Measured => vec![(None, 1.0)],
+                        LambdaAxis::Multipliers(ms) => {
+                            ms.iter().map(|&m| (Some(measured_lambda * m), m)).collect()
+                        }
+                        LambdaAxis::Absolute(vs) => {
+                            vs.iter().map(|&v| (Some(v), v / measured_lambda)).collect()
+                        }
+                    };
+                    for (lambda_override, multiplier) in lambda_entries {
+                        let setup = match lambda_override {
+                            Some(lambda) => base.with_lambda_ind(lambda),
+                            None => base,
+                        };
+                        let lambda = lambda_override.unwrap_or(measured_lambda);
+                        let processor_entries: Vec<(Option<f64>, Option<f64>)> =
+                            match &self.processors {
+                                ProcessorAxis::Optimize => vec![(None, None)],
+                                ProcessorAxis::Fixed(ps) => {
+                                    ps.iter().map(|&p| (Some(p), None)).collect()
+                                }
+                                ProcessorAxis::LambdaOrders(orders) => orders
+                                    .iter()
+                                    .map(|&x| (Some((1.0 / lambda).powf(x)), Some(x)))
+                                    .collect(),
+                            };
+                        for (fixed_processors, processor_order) in processor_entries {
+                            let lengths: Vec<Option<f64>> = if self.pattern_lengths.is_empty() {
+                                vec![None]
+                            } else {
+                                self.pattern_lengths.iter().map(|&t| Some(t)).collect()
+                            };
+                            for pattern_length in lengths {
+                                cells.push(SweepCell {
+                                    index: cells.len(),
+                                    setup,
+                                    lambda_multiplier: multiplier,
+                                    fixed_processors,
+                                    processor_order,
+                                    pattern_length,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Builder of a [`ScenarioGrid`]; see [`ScenarioGrid::builder`].
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    platforms: Vec<PlatformId>,
+    scenarios: Vec<ScenarioId>,
+    alphas: Vec<f64>,
+    lambdas: LambdaAxis,
+    processors: ProcessorAxis,
+    pattern_lengths: Vec<f64>,
+    downtime: f64,
+}
+
+impl Default for GridBuilder {
+    fn default() -> Self {
+        Self {
+            platforms: vec![PlatformId::Hera],
+            scenarios: ScenarioId::REPRESENTATIVE.to_vec(),
+            alphas: vec![0.1],
+            lambdas: LambdaAxis::Measured,
+            processors: ProcessorAxis::Optimize,
+            pattern_lengths: Vec::new(),
+            downtime: 3600.0,
+        }
+    }
+}
+
+impl GridBuilder {
+    /// Sets the platform axis.
+    pub fn platforms(mut self, platforms: &[PlatformId]) -> Self {
+        self.platforms = platforms.to_vec();
+        self
+    }
+
+    /// Sets the scenario axis.
+    pub fn scenarios(mut self, scenarios: &[ScenarioId]) -> Self {
+        self.scenarios = scenarios.to_vec();
+        self
+    }
+
+    /// Sets the application axis (sequential fractions `α`).
+    pub fn alphas(mut self, alphas: &[f64]) -> Self {
+        self.alphas = alphas.to_vec();
+        self
+    }
+
+    /// Sweeps multiples of each platform's measured error rate.
+    pub fn lambda_multipliers(mut self, multipliers: &[f64]) -> Self {
+        self.lambdas = LambdaAxis::Multipliers(multipliers.to_vec());
+        self
+    }
+
+    /// Sweeps absolute individual error rates (Figures 5–6).
+    pub fn lambda_values(mut self, values: &[f64]) -> Self {
+        self.lambdas = LambdaAxis::Absolute(values.to_vec());
+        self
+    }
+
+    /// Sets the processor axis.
+    pub fn processors(mut self, axis: ProcessorAxis) -> Self {
+        self.processors = axis;
+        self
+    }
+
+    /// Sets fixed pattern lengths `T` (requires a fixed-processor axis).
+    pub fn pattern_lengths(mut self, lengths: &[f64]) -> Self {
+        self.pattern_lengths = lengths.to_vec();
+        self
+    }
+
+    /// Sets the downtime `D` in seconds (paper default: 3600).
+    pub fn downtime(mut self, downtime: f64) -> Self {
+        self.downtime = downtime;
+        self
+    }
+
+    /// Validates the axes and produces the grid.
+    pub fn build(self) -> Result<ScenarioGrid, GridError> {
+        let err = |message: &str| Err(GridError(message.to_string()));
+        if self.platforms.is_empty() {
+            return err("at least one platform is required");
+        }
+        if self.scenarios.is_empty() {
+            return err("at least one scenario is required");
+        }
+        if self.alphas.is_empty() {
+            return err("at least one alpha is required");
+        }
+        if self.alphas.iter().any(|a| !(0.0..=1.0).contains(a)) {
+            return err("alphas must lie in [0, 1]");
+        }
+        match &self.lambdas {
+            LambdaAxis::Measured => {}
+            LambdaAxis::Multipliers(ms) => {
+                if ms.is_empty() || ms.iter().any(|&m| !(m.is_finite() && m > 0.0)) {
+                    return err("lambda multipliers must be positive and non-empty");
+                }
+            }
+            LambdaAxis::Absolute(vs) => {
+                if vs.is_empty() || vs.iter().any(|&v| !(v.is_finite() && v > 0.0)) {
+                    return err("lambda values must be positive and non-empty");
+                }
+            }
+        }
+        match &self.processors {
+            ProcessorAxis::Optimize => {
+                if !self.pattern_lengths.is_empty() {
+                    return err("fixed pattern lengths require a fixed processor axis");
+                }
+            }
+            ProcessorAxis::Fixed(ps) => {
+                if ps.is_empty() || ps.iter().any(|&p| !(p.is_finite() && p >= 1.0)) {
+                    return err("fixed processor counts must be >= 1 and non-empty");
+                }
+            }
+            ProcessorAxis::LambdaOrders(orders) => {
+                if orders.is_empty() || orders.iter().any(|&x| !(x.is_finite() && x > 0.0)) {
+                    return err("lambda orders must be positive and non-empty");
+                }
+            }
+        }
+        if self
+            .pattern_lengths
+            .iter()
+            .any(|&t| !(t.is_finite() && t > 0.0))
+        {
+            return err("pattern lengths must be positive");
+        }
+        if !(self.downtime.is_finite() && self.downtime >= 0.0) {
+            return err("downtime must be non-negative");
+        }
+        Ok(ScenarioGrid {
+            platforms: self.platforms,
+            scenarios: self.scenarios,
+            alphas: self.alphas,
+            lambdas: self.lambdas,
+            processors: self.processors,
+            pattern_lengths: self.pattern_lengths,
+            downtime: self.downtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_covers_representative_scenarios() {
+        let grid = ScenarioGrid::builder().build().unwrap();
+        assert_eq!(grid.len(), 3);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 3);
+        let numbers: Vec<usize> = cells.iter().map(|c| c.setup.scenario.number()).collect();
+        assert_eq!(numbers, vec![1, 3, 5]);
+        assert!(cells.iter().all(|c| c.fixed_processors.is_none()));
+        assert!(cells.iter().all(|c| c.lambda_multiplier == 1.0));
+    }
+
+    #[test]
+    fn cell_order_is_the_documented_nesting() {
+        let grid = ScenarioGrid::builder()
+            .platforms(&[PlatformId::Hera, PlatformId::Atlas])
+            .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+            .lambda_multipliers(&[1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(vec![256.0, 512.0]))
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 2 * 2 * 2 * 2);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.len());
+        // Innermost axis (processors) varies fastest.
+        assert_eq!(cells[0].fixed_processors, Some(256.0));
+        assert_eq!(cells[1].fixed_processors, Some(512.0));
+        assert_eq!(cells[0].lambda_multiplier, cells[1].lambda_multiplier);
+        // Platform is the outermost axis.
+        assert!(cells[..8]
+            .iter()
+            .all(|c| c.setup.platform == PlatformId::Hera));
+        assert!(cells[8..]
+            .iter()
+            .all(|c| c.setup.platform == PlatformId::Atlas));
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn lambda_axes_compute_rates_and_multipliers() {
+        let measured = Platform::get(PlatformId::Hera).lambda_ind;
+        let multiplied = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .lambda_multipliers(&[10.0])
+            .build()
+            .unwrap();
+        let cell = multiplied.cells()[0];
+        assert_eq!(cell.lambda_ind(), measured * 10.0);
+        assert_eq!(cell.lambda_multiplier, 10.0);
+
+        let absolute = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .lambda_values(&[1e-9])
+            .build()
+            .unwrap();
+        let cell = absolute.cells()[0];
+        assert_eq!(cell.lambda_ind(), 1e-9);
+        assert!((cell.lambda_multiplier - 1e-9 / measured).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_orders_fix_processor_counts() {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .processors(ProcessorAxis::LambdaOrders(vec![0.25]))
+            .build()
+            .unwrap();
+        let cell = grid.cells()[0];
+        let expected = (1.0 / cell.lambda_ind()).powf(0.25);
+        assert_eq!(cell.fixed_processors, Some(expected));
+        assert_eq!(cell.processor_order, Some(0.25));
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        assert!(ScenarioGrid::builder().platforms(&[]).build().is_err());
+        assert!(ScenarioGrid::builder().scenarios(&[]).build().is_err());
+        assert!(ScenarioGrid::builder().alphas(&[1.5]).build().is_err());
+        assert!(ScenarioGrid::builder()
+            .lambda_multipliers(&[0.0])
+            .build()
+            .is_err());
+        assert!(ScenarioGrid::builder()
+            .lambda_values(&[-1e-9])
+            .build()
+            .is_err());
+        assert!(ScenarioGrid::builder()
+            .processors(ProcessorAxis::Fixed(vec![]))
+            .build()
+            .is_err());
+        assert!(ScenarioGrid::builder()
+            .pattern_lengths(&[3600.0])
+            .build()
+            .is_err());
+        assert!(ScenarioGrid::builder().downtime(-1.0).build().is_err());
+        let err = ScenarioGrid::builder().platforms(&[]).build().unwrap_err();
+        assert!(err.to_string().contains("platform"));
+    }
+
+    #[test]
+    fn every_cell_produces_a_valid_model() {
+        let grid = ScenarioGrid::builder()
+            .platforms(&PlatformId::ALL)
+            .scenarios(&ScenarioId::ALL)
+            .alphas(&[0.0, 0.1])
+            .lambda_multipliers(&[0.1, 1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(vec![512.0]))
+            .pattern_lengths(&[3600.0])
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 4 * 6 * 2 * 3);
+        for cell in grid.cells() {
+            assert!(cell.setup.model().is_ok(), "cell {cell:?}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # ayd-sweep — parallel scenario-sweep engine
+//!
+//! The paper's headline results are sweeps: over processor counts (Figure 3),
+//! error rates (Figures 5–6), sequential fractions (Figure 4), platforms and
+//! scenarios (Figure 2, Tables II–III). This crate turns that pattern into one
+//! reusable subsystem:
+//!
+//! * [`ScenarioGrid`] — a builder of cartesian scenario grids (platforms ×
+//!   scenarios × applications × error rates × processor counts × pattern
+//!   lengths), flattened into a deterministic cell order.
+//! * [`SweepExecutor`] — a parallel executor over `std::thread::scope` (a
+//!   self-scheduling worker pool pulling from a shared atomic work queue)
+//!   that evaluates the exact model, the first-order model and (optionally)
+//!   either simulation engine per cell.
+//! * [`EvalCache`] — LRU-style memoisation of the expensive optimiser
+//!   evaluations, keyed on quantized model inputs.
+//! * [`sink`] — streaming CSV/report sinks fed in cell order through a reorder
+//!   buffer.
+//! * [`Evaluator`] / [`RunOptions`] — the per-cell evaluation kernel and run
+//!   options, shared with (and re-exported by) the `ayd-exp` harness.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed grid and base seed, sweep output is **bit-identical regardless
+//! of the worker-thread count and of whether the cache is enabled**: cells are
+//! seeded from `(base seed, cell index)` with the `ayd-sim` SplitMix64 scheme
+//! (`rng_for_replicate`), and rows are reassembled in cell order. The root
+//! property suite asserts both halves of the contract on the CSV bytes.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod evaluate;
+pub mod executor;
+pub mod grid;
+pub mod options;
+pub mod sink;
+
+pub use cache::{CacheKey, CacheStats, EvalCache};
+pub use evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
+pub use executor::{cell_seed, ClosedForm, SweepExecutor, SweepOptions, SweepResults, SweepRow};
+pub use grid::{GridBuilder, GridError, LambdaAxis, ProcessorAxis, ScenarioGrid, SweepCell};
+pub use options::{Fidelity, RunOptions};
+pub use sink::{csv_line, CsvSink, NullSink, ReportSink, SweepSink, CSV_HEADER};

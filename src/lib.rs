@@ -12,6 +12,9 @@
 //!   six resilience scenarios of Table III.
 //! * [`sim`] (`ayd-sim`) — discrete-event simulation of the VC protocol with
 //!   fail-stop and silent error injection.
+//! * [`sweep`] (`ayd-sweep`) — parallel scenario-sweep engine: cartesian
+//!   scenario grids, a deterministic work-stealing executor, memoised model
+//!   evaluation and streaming CSV sinks.
 //! * [`exp`] (`ayd-exp`) — the experiment harness that regenerates every table and
 //!   figure of the paper's evaluation section.
 //!
@@ -25,6 +28,7 @@ pub use ayd_exp as exp;
 pub use ayd_optim as optim;
 pub use ayd_platforms as platforms;
 pub use ayd_sim as sim;
+pub use ayd_sweep as sweep;
 
 /// Frequently used items from every crate, re-exported flat.
 pub mod prelude {
@@ -32,4 +36,5 @@ pub mod prelude {
     pub use ayd_optim::{JointSearch, OptimizeOptions};
     pub use ayd_platforms::{Platform, PlatformId, Scenario, ScenarioId};
     pub use ayd_sim::{SimulationConfig, Simulator};
+    pub use ayd_sweep::{RunOptions, ScenarioGrid, SweepExecutor, SweepOptions};
 }

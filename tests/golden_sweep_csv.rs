@@ -1,0 +1,70 @@
+//! Golden test of the sweep CSV format.
+//!
+//! Pins the canonical CSV header and the first/last rows of a small fixed grid
+//! (analytical only, so every cell is a deterministic pure-`f64` computation).
+//! Any drift in the output schema, the column order, the value formatting or
+//! the grid's deterministic cell order fails here before it reaches a consumer
+//! of `reproduce sweep --csv` output.
+
+use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_sweep::{ProcessorAxis, RunOptions, ScenarioGrid, SweepExecutor, SweepOptions, CSV_HEADER};
+
+fn golden_grid() -> ScenarioGrid {
+    ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+        .lambda_multipliers(&[1.0, 10.0])
+        .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+        .pattern_lengths(&[3_600.0])
+        .build()
+        .unwrap()
+}
+
+fn golden_csv() -> String {
+    let options = SweepOptions::new(RunOptions {
+        simulate: false,
+        ..RunOptions::smoke()
+    });
+    SweepExecutor::new(options).run(&golden_grid()).to_csv()
+}
+
+#[test]
+fn sweep_csv_header_is_pinned() {
+    assert_eq!(
+        CSV_HEADER,
+        "platform,scenario,alpha,lambda_ind,lambda_multiplier,processors,pattern_length,\
+fo_processors,fo_period,fo_overhead,fo_formula_overhead,fo_sim_mean,fo_sim_ci95,\
+num_processors,num_period,num_overhead,num_sim_mean,num_sim_ci95,\
+pattern_overhead,pattern_sim_mean,pattern_sim_ci95,stream_sim_mean,stream_sim_ci95"
+    );
+}
+
+#[test]
+fn sweep_csv_first_and_last_rows_are_pinned() {
+    let csv = golden_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 8, "2 scenarios × 2 multipliers × 2 P");
+    assert_eq!(lines[0], CSV_HEADER);
+    assert_eq!(
+        lines[1],
+        "Hera,1,0.1,0.0000000169,1,256,3600,256,6551.836818431605,0.10923732682928215,\
+0.10874209350020253,,,256,6469.2375895385285,0.10923689384439697,,,\
+0.11018235679785451,,,,"
+    );
+    assert_eq!(
+        lines[8],
+        "Hera,3,0.1,0.000000169,10,1024,3600,1024,1430.5273600525854,0.17749510125302212,\
+0.14536209184958257,,,1024,1280.6146752871186,0.17710358937015436,,,\
+0.22113748594843097,,,,"
+    );
+}
+
+#[test]
+fn every_golden_row_has_the_full_column_count() {
+    let csv = golden_csv();
+    let columns = CSV_HEADER.split(',').count();
+    assert_eq!(columns, 23);
+    for line in csv.lines() {
+        assert_eq!(line.split(',').count(), columns, "line: {line}");
+    }
+}

@@ -14,6 +14,7 @@ use ayd_core::{
 use ayd_optim::{brent_minimize, golden_section};
 use ayd_platforms::{Platform, PlatformId, Scenario, ScenarioId};
 use ayd_sim::{PatternParams, RunningStats, SimulationConfig};
+use ayd_sweep::{ProcessorAxis, ScenarioGrid, SweepExecutor, SweepOptions};
 
 /// Strategy for a random but physically sensible exact model.
 fn arb_model() -> impl Strategy<Value = ExactModel> {
@@ -221,6 +222,49 @@ proptest! {
 }
 
 proptest! {
+    // Sweep determinism needs several executor runs per case: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sweep determinism contract, analytic half: for any grid and seed, the
+    /// sweep CSV bytes are identical for 1, 2 and 8 worker threads, and with
+    /// the memoisation cache disabled.
+    #[test]
+    fn sweep_csv_is_invariant_under_threads_and_cache(
+        seed in 0u64..1_000,
+        scenario_index in 0usize..6,
+        multipliers in prop::collection::vec(0.2f64..30.0, 1..3),
+        processors in prop::collection::vec(64.0f64..4_096.0, 1..3),
+    ) {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::ALL[scenario_index]])
+            .lambda_multipliers(&multipliers)
+            .processors(ProcessorAxis::Fixed(processors))
+            .build()
+            .unwrap();
+        let run = ayd_sweep::RunOptions {
+            seed,
+            simulate: false,
+            ..ayd_sweep::RunOptions::smoke()
+        };
+        let reference = SweepExecutor::new(SweepOptions::new(run).with_threads(1))
+            .run(&grid)
+            .to_csv();
+        for threads in [2usize, 8] {
+            let csv = SweepExecutor::new(SweepOptions::new(run).with_threads(threads))
+                .run(&grid)
+                .to_csv();
+            prop_assert_eq!(&reference, &csv);
+        }
+        let uncached = SweepExecutor::new(
+            SweepOptions::new(run).with_cache_capacity(None).with_threads(8),
+        )
+        .run(&grid)
+        .to_csv();
+        prop_assert_eq!(&reference, &uncached);
+    }
+}
+
+proptest! {
     // Simulation-backed properties are more expensive: fewer cases.
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -244,4 +288,36 @@ proptest! {
         // 4x20 patterns is noisy; just require the right order of magnitude.
         prop_assert!(stats.mean < predicted * 3.0 + 1.0);
     }
+}
+
+/// Sweep determinism contract, simulation half: with simulation enabled the
+/// CSV bytes are still identical across 1/2/8 worker threads and with the
+/// cache disabled — simulations are seeded per cell index, never per thread.
+/// A different base seed, by contrast, must change the simulated bytes.
+#[test]
+fn simulating_sweep_is_thread_count_and_cache_invariant() {
+    let grid = ScenarioGrid::builder()
+        .scenarios(&[ScenarioId::S1, ScenarioId::S5])
+        .lambda_multipliers(&[1.0, 20.0])
+        .processors(ProcessorAxis::Fixed(vec![400.0]))
+        .build()
+        .unwrap();
+    let run = ayd_sweep::RunOptions::smoke();
+    let csv = |options: SweepOptions| SweepExecutor::new(options).run(&grid).to_csv();
+    let reference = csv(SweepOptions::new(run).with_threads(1));
+    assert!(reference.contains(','), "sanity: rows were produced");
+    for threads in [2usize, 8] {
+        assert_eq!(reference, csv(SweepOptions::new(run).with_threads(threads)));
+    }
+    assert_eq!(
+        reference,
+        csv(SweepOptions::new(run)
+            .with_cache_capacity(None)
+            .with_threads(8))
+    );
+    let reseeded = ayd_sweep::RunOptions {
+        seed: run.seed + 1,
+        ..run
+    };
+    assert_ne!(reference, csv(SweepOptions::new(reseeded).with_threads(8)));
 }

@@ -1,0 +1,62 @@
+//! Serving throughput: an in-process `ayd-serve` instance under the keep-alive
+//! load generator, plus a Criterion timing of a single cache-warm
+//! `/v1/optimize` round-trip over loopback.
+//!
+//! The printed load report is the EXPERIMENTS.md acceptance measurement: with
+//! the shared cache warm, `/v1/optimize` must sustain ≥ 10k req/s.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ayd_bench::loadgen::{run_load, LoadOptions};
+use ayd_serve::{HttpClient, Server, ServerConfig};
+
+fn bench_serve(c: &mut Criterion) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind the bench server");
+    let handle = server.handle().expect("server handle");
+    let addr = handle.addr().to_string();
+    let state = server.state();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Warm the shared cache, then measure sustained throughput.
+    let warmup = run_load(&LoadOptions::optimize(&addr, 200, 4)).expect("warm-up load");
+    assert_eq!(warmup.errors, 0, "warm-up saw request errors");
+    let report = run_load(&LoadOptions::optimize(&addr, 3_000, 4)).expect("main load");
+    println!("\n================================================================");
+    println!("serve_throughput (cache warm): {}", report.render());
+    println!(
+        "serve_throughput: shared cache {:?} over {} entries",
+        state.cache.stats(),
+        state.cache.len(),
+    );
+    assert_eq!(report.errors, 0, "load run saw request errors");
+    assert!(report.req_per_s > 0.0);
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+    group.bench_function("optimize_round_trip_keepalive", |b| {
+        let mut client = HttpClient::connect(&addr).expect("bench client");
+        let body = r#"{"platform":"Hera","scenario":1,"lambda_multiplier":10}"#;
+        b.iter(|| {
+            let response = client.post_json("/v1/optimize", body).expect("round trip");
+            assert_eq!(response.status, 200);
+        })
+    });
+    group.bench_function("healthz_round_trip_keepalive", |b| {
+        let mut client = HttpClient::connect(&addr).expect("bench client");
+        b.iter(|| {
+            let response = client.get("/healthz", None).expect("round trip");
+            assert_eq!(response.status, 200);
+        })
+    });
+    group.finish();
+
+    handle.shutdown();
+    server_thread.join().expect("server thread").expect("serve");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! `loadgen` — load generator and smoke checker for `reproduce serve`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--check]
+//! ```
+//!
+//! Default mode drives `POST /v1/optimize` over `C` keep-alive connections,
+//! prints a one-line throughput/latency report, validates the `/metrics`
+//! payload and exits non-zero when any request failed. `--check` instead runs
+//! the end-to-end golden round-trip of `ayd_serve::smoke_check`: health,
+//! one optimize query compared bit-for-bit against the offline evaluator, one
+//! sweep job compared byte-for-byte against the in-process engine, and a
+//! metrics parse.
+
+use std::process::ExitCode;
+
+use ayd_bench::loadgen::{run_load, LoadOptions};
+
+struct Args {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    check: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut addr = None;
+    let mut requests = 200;
+    let mut concurrency = 8;
+    let mut check = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(iter.next().ok_or("--addr requires a value")?.clone()),
+            "--requests" => {
+                requests = iter
+                    .next()
+                    .ok_or("--requests requires a value")?
+                    .parse()
+                    .map_err(|_| "invalid --requests value".to_string())?;
+            }
+            "--concurrency" => {
+                concurrency = iter
+                    .next()
+                    .ok_or("--concurrency requires a value")?
+                    .parse()
+                    .map_err(|_| "invalid --concurrency value".to_string())?;
+            }
+            "--check" => check = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        addr: addr
+            .ok_or("usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--check]")?,
+        requests,
+        concurrency,
+        check,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if args.check {
+        ayd_serve::smoke_check(&args.addr)?;
+        println!(
+            "loadgen --check: all round-trips passed against {}",
+            args.addr
+        );
+        return Ok(());
+    }
+    let report = run_load(&LoadOptions::optimize(
+        &args.addr,
+        args.requests,
+        args.concurrency,
+    ))?;
+    println!("{}", report.render());
+    // The metrics endpoint must also be live and parsable after the run.
+    let mut client =
+        ayd_serve::HttpClient::connect(&args.addr).map_err(|e| format!("metrics connect: {e}"))?;
+    let metrics = client
+        .get("/metrics", None)
+        .map_err(|e| format!("metrics fetch: {e}"))?;
+    ayd_serve::validate_prometheus(&metrics.body).map_err(|e| format!("metrics: {e}"))?;
+    if report.errors > 0 {
+        return Err(format!(
+            "{} of {} requests failed",
+            report.errors, report.requests
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_defaults() {
+        let args = parse_args(&strings(&["--addr", "127.0.0.1:9"])).unwrap();
+        assert_eq!(args.addr, "127.0.0.1:9");
+        assert_eq!(
+            (args.requests, args.concurrency, args.check),
+            (200, 8, false)
+        );
+        let args = parse_args(&strings(&[
+            "--addr",
+            "x:1",
+            "--requests",
+            "50",
+            "--concurrency",
+            "2",
+            "--check",
+        ]))
+        .unwrap();
+        assert_eq!((args.requests, args.concurrency, args.check), (50, 2, true));
+        assert!(parse_args(&strings(&[])).is_err());
+        assert!(parse_args(&strings(&["--addr"])).is_err());
+        assert!(parse_args(&strings(&["--addr", "x", "--bogus"])).is_err());
+    }
+}

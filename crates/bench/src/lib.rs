@@ -4,6 +4,11 @@
 //! runs the corresponding `ayd-exp` runner once and prints the rendered rows
 //! (so the bench output contains the reproduced series), then times a
 //! representative slice of the computation with Criterion.
+//!
+//! [`loadgen`] holds the `ayd-serve` load generator shared by the `loadgen`
+//! binary, the `serve_throughput` bench and the CI smoke step.
+
+pub mod loadgen;
 
 use ayd_exp::config::RunOptions;
 

@@ -1,0 +1,191 @@
+//! Load generator for the `ayd-serve` query service.
+//!
+//! Drives `POST /v1/optimize` (or any configured endpoint) over `concurrency`
+//! keep-alive connections until `requests` responses are in, then reports
+//! throughput and client-observed latency percentiles. Used three ways: the
+//! `loadgen` binary (CLI + CI smoke step), the `serve_throughput` Criterion
+//! bench, and — via `--check` — the end-to-end golden round-trip of
+//! [`ayd_serve::smoke_check`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ayd_serve::HttpClient;
+
+/// What to send, how often, and how wide.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Total number of requests.
+    pub requests: usize,
+    /// Concurrent keep-alive connections.
+    pub concurrency: usize,
+    /// Request path.
+    pub path: String,
+    /// JSON body sent with every request.
+    pub body: String,
+}
+
+impl LoadOptions {
+    /// Default load: `requests` optimize queries (a realistic Hera/scenario-1
+    /// query that exercises the shared cache) over `concurrency` connections.
+    pub fn optimize(addr: &str, requests: usize, concurrency: usize) -> Self {
+        Self {
+            addr: addr.to_string(),
+            requests,
+            concurrency: concurrency.max(1),
+            path: "/v1/optimize".to_string(),
+            body: r#"{"platform":"Hera","scenario":1,"lambda_multiplier":10}"#.to_string(),
+        }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests completed (successfully or not).
+    pub requests: usize,
+    /// Responses that were errors (non-200 status or I/O failure).
+    pub errors: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Completed requests per second.
+    pub req_per_s: f64,
+    /// Median client-observed latency, in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile client-observed latency, in microseconds.
+    pub p99_us: f64,
+}
+
+impl LoadReport {
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} requests, {} errors, {:.2?} elapsed, {:.0} req/s, \
+             p50 {:.0} µs, p99 {:.0} µs",
+            self.requests, self.errors, self.elapsed, self.req_per_s, self.p50_us, self.p99_us
+        )
+    }
+}
+
+fn percentile(sorted_us: &[u64], fraction: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * fraction).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64
+}
+
+/// Runs the load and gathers the report. Fails only when no connection can be
+/// established at all; per-request failures are counted as errors instead.
+pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
+    // Fail fast (and warm the server's accept path) before spawning workers.
+    HttpClient::connect(&options.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
+
+    let issued = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(options.requests);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..options.concurrency {
+            let issued = Arc::clone(&issued);
+            let errors = Arc::clone(&errors);
+            workers.push(scope.spawn(move || {
+                let mut latencies: Vec<u64> = Vec::new();
+                let mut client = match HttpClient::connect(&options.addr) {
+                    Ok(client) => client,
+                    Err(_) => {
+                        // Count every request this worker would have issued.
+                        loop {
+                            if issued.fetch_add(1, Ordering::Relaxed) >= options.requests {
+                                break;
+                            }
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return latencies;
+                    }
+                };
+                loop {
+                    if issued.fetch_add(1, Ordering::Relaxed) >= options.requests {
+                        break;
+                    }
+                    let begun = Instant::now();
+                    match client.post_json(&options.path, &options.body) {
+                        Ok(response) if response.status == 200 => {
+                            latencies.push(begun.elapsed().as_micros() as u64);
+                        }
+                        Ok(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            // The connection may be dead; try a fresh one.
+                            match HttpClient::connect(&options.addr) {
+                                Ok(fresh) => client = fresh,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                latencies
+            }));
+        }
+        for worker in workers {
+            all_latencies.extend(worker.join().expect("loadgen worker panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+    all_latencies.sort_unstable();
+    let errors = errors.load(Ordering::Relaxed);
+    let completed = all_latencies.len() + errors;
+    Ok(LoadReport {
+        requests: completed,
+        errors,
+        elapsed,
+        req_per_s: all_latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: percentile(&all_latencies, 0.50),
+        p99_us: percentile(&all_latencies, 0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayd_serve::{Server, ServerConfig};
+
+    #[test]
+    fn percentiles_pick_ranked_samples() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn load_run_against_a_local_server_has_no_errors() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let thread = std::thread::spawn(move || server.serve());
+
+        let report = run_load(&LoadOptions::optimize(&addr, 64, 4)).unwrap();
+        assert_eq!(report.requests, 64);
+        assert_eq!(report.errors, 0);
+        assert!(report.req_per_s > 0.0);
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.render().contains("0 errors"));
+
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+}

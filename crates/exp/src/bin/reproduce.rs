@@ -3,13 +3,21 @@
 //! ```text
 //! reproduce <experiment> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]
 //!                        [--threads N] [--no-cache]
+//!                        [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]
 //!
 //! experiments:
 //!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
 //!   sweep       parallel scenario sweep (ayd-sweep demo grid; large when --no-sim)
 //!   checks      headline shape checks (figures 5 and 6 slopes)
-//!   all         everything above
+//!   serve       ayd-serve HTTP query service (runs until killed; not in `all`)
+//!   all         everything above except serve
 //! ```
+//!
+//! `serve` exposes the optimiser over HTTP (see the `ayd-serve` crate docs):
+//! `--addr` picks the listen address (port 0 = ephemeral; the bound address is
+//! printed on stdout), `--threads` sizes the connection/compute pools,
+//! `--cache-capacity` the shared evaluation cache and `--max-body` the largest
+//! accepted request body.
 //!
 //! `--json` requires `serde_json`, which this offline build replaces with a
 //! no-op stand-in (see `vendor/serde`); the flag is accepted but falls back to
@@ -30,16 +38,26 @@ enum OutputFormat {
     Csv,
 }
 
+/// Flags of the `serve` experiment (ignored by every other experiment).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ServeArgs {
+    addr: Option<String>,
+    cache_capacity: Option<usize>,
+    max_body: Option<usize>,
+}
+
 struct Cli {
     experiments: Vec<String>,
     options: RunOptions,
     format: OutputFormat,
+    serve: ServeArgs,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut experiments = Vec::new();
     let mut options = RunOptions::default();
     let mut format = OutputFormat::Text;
+    let mut serve = ServeArgs::default();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -65,6 +83,28 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 options.threads = Some(parsed);
             }
+            "--addr" => {
+                let value = iter.next().ok_or("--addr requires a value")?;
+                serve.addr = Some(value.clone());
+            }
+            "--cache-capacity" => {
+                let value = iter.next().ok_or("--cache-capacity requires a value")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid cache capacity `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--cache-capacity must be at least 1".to_string());
+                }
+                serve.cache_capacity = Some(parsed);
+            }
+            "--max-body" => {
+                let value = iter.next().ok_or("--max-body requires a value")?;
+                serve.max_body = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid body limit `{value}`"))?,
+                );
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => experiments.push(other.to_string()),
@@ -77,15 +117,44 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         experiments,
         options,
         format,
+        serve,
     })
 }
 
 fn usage() -> String {
     "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N] \
-     [--threads N] [--no-cache]\n\
+     [--threads N] [--no-cache] [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
-     checks all"
+     checks serve all"
         .to_string()
+}
+
+/// Runs the `ayd-serve` query service until the process is killed. The bound
+/// address goes to stdout first (and is flushed), so scripts can start the
+/// server on an ephemeral port and parse where it landed.
+fn run_serve(cli: &Cli) -> Result<(), String> {
+    let mut config = ayd_serve::ServerConfig::default();
+    if let Some(addr) = &cli.serve.addr {
+        config.addr = addr.clone();
+    }
+    if let Some(threads) = cli.options.threads {
+        config.threads = threads;
+        config.queue_capacity = 4 * threads;
+    }
+    if let Some(capacity) = cli.serve.cache_capacity {
+        config.cache_capacity = capacity;
+    }
+    if let Some(max_body) = cli.serve.max_body {
+        config.limits.max_body = max_body;
+    }
+    config.run = cli.options;
+    let server = ayd_serve::Server::bind(config).map_err(|e| format!("serve: bind failed: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("serve: no local address: {e}"))?;
+    println!("ayd-serve listening on http://{addr}");
+    std::io::stdout().flush().expect("flush stdout");
+    server.serve().map_err(|e| format!("serve: {e}"))
 }
 
 const JSON_FALLBACK_NOTICE: &str = "note: JSON output needs the real serde_json (unavailable in \
@@ -228,6 +297,7 @@ fn run_experiment(name: &str, cli: &Cli) -> Result<(), String> {
                 OutputFormat::Csv | OutputFormat::Json => emit_sweep_csv(format, &results),
             }
         }
+        "serve" => run_serve(cli)?,
         "checks" => {
             // The slope checks do not need simulation; force it off for speed.
             let analytic = RunOptions {
@@ -316,6 +386,35 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_flags() {
+        let cli = parse_args(&strings(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-capacity",
+            "1024",
+            "--max-body",
+            "4096",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cli.experiments, vec!["serve"]);
+        assert_eq!(cli.serve.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.serve.cache_capacity, Some(1024));
+        assert_eq!(cli.serve.max_body, Some(4096));
+        assert_eq!(cli.options.threads, Some(2));
+        assert!(parse_args(&strings(&["serve", "--cache-capacity", "0"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--addr"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--max-body", "x"])).is_err());
+        // The serve flags default to "unset" for every other experiment.
+        assert_eq!(
+            parse_args(&strings(&["fig2"])).unwrap().serve,
+            ServeArgs::default()
+        );
+    }
+
+    #[test]
     fn paper_and_smoke_set_fidelity() {
         assert_eq!(
             parse_args(&strings(&["fig2", "--paper"]))
@@ -350,6 +449,7 @@ mod tests {
                 ..RunOptions::smoke()
             },
             format: OutputFormat::Text,
+            serve: ServeArgs::default(),
         }
     }
 

@@ -1,0 +1,696 @@
+//! Route table and request handlers.
+//!
+//! Every handler returns a `(&'static str, Response)` pair: the static
+//! endpoint label feeds the metrics registry, the response is written by the
+//! connection loop. Handlers are pure functions of the shared [`AppState`]
+//! plus the parsed request — no I/O — which keeps them trivially testable.
+
+use std::sync::Arc;
+
+use ayd_core::ExactModel;
+use ayd_platforms::{ExperimentSetup, Platform, PlatformId, ScenarioId};
+use ayd_sweep::{
+    evaluate_analytic, OperatingPoint, ProcessorAxis, ScenarioGrid, SweepExecutor, SweepRow,
+    CSV_HEADER,
+};
+
+use crate::app::{AppState, JobView};
+use crate::http::{Request, Response};
+use crate::json::Json;
+
+/// Maximum queries accepted in one `/v1/batch` body.
+const MAX_BATCH: usize = 10_000;
+
+/// Dispatches one parsed request, returning the endpoint label (for metrics)
+/// and the response.
+pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
+    let path = req.target.split('?').next().unwrap_or("");
+    match path {
+        "/healthz" => match req.method.as_str() {
+            "GET" => ("healthz", health(state)),
+            _ => ("healthz", method_not_allowed("GET")),
+        },
+        "/metrics" => match req.method.as_str() {
+            "GET" => (
+                "metrics",
+                Response::text(
+                    200,
+                    "OK",
+                    state.metrics.render_prometheus(&state.cache.stats()),
+                ),
+            ),
+            _ => ("metrics", method_not_allowed("GET")),
+        },
+        "/v1/optimize" => match req.method.as_str() {
+            "POST" => ("optimize", optimize(state, req)),
+            _ => ("optimize", method_not_allowed("POST")),
+        },
+        "/v1/batch" => match req.method.as_str() {
+            "POST" => ("batch", batch(state, req)),
+            _ => ("batch", method_not_allowed("POST")),
+        },
+        "/v1/sweep" => match req.method.as_str() {
+            "POST" => ("sweep_submit", sweep_submit(state, req)),
+            _ => ("sweep_submit", method_not_allowed("POST")),
+        },
+        _ if path.starts_with("/v1/sweep/") => {
+            let id = path["/v1/sweep/".len()..].parse::<u64>().ok();
+            match (req.method.as_str(), id) {
+                ("GET", Some(id)) => ("sweep_poll", sweep_poll(state, req, id)),
+                ("DELETE", Some(id)) => ("sweep_cancel", sweep_cancel(state, id)),
+                (_, Some(_)) => ("sweep_poll", method_not_allowed("GET, DELETE")),
+                (_, None) => ("sweep_poll", not_found()),
+            }
+        }
+        _ => ("unknown", not_found()),
+    }
+}
+
+fn method_not_allowed(allow: &'static str) -> Response {
+    Response::error(405, "Method Not Allowed", "method not allowed").with_header("allow", allow)
+}
+
+fn not_found() -> Response {
+    Response::error(404, "Not Found", "no such route")
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::error(400, "Bad Request", message)
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| bad_request("body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        // An absent body behaves like an empty object: every field optional.
+        return Ok(Json::Obj(Vec::new()));
+    }
+    Json::parse(text).map_err(|e| bad_request(&format!("invalid JSON: {e}")))
+}
+
+fn health(state: &Arc<AppState>) -> Response {
+    Response::json(&Json::obj(vec![
+        ("status", Json::str("ok")),
+        (
+            "uptime_seconds",
+            Json::num(state.started.elapsed().as_secs_f64()),
+        ),
+        ("requests", Json::num(state.metrics.request_count() as f64)),
+        ("cache_entries", Json::num(state.cache.len() as f64)),
+        ("running_jobs", Json::num(state.jobs.running_count() as f64)),
+    ]))
+}
+
+/// One validated optimize query: the experiment setup, its exact model and
+/// the axis coordinates used for rendering.
+pub struct OptimizeQuery {
+    setup: ExperimentSetup,
+    model: ExactModel,
+    lambda_multiplier: f64,
+    fixed_processors: Option<f64>,
+    pattern_length: Option<f64>,
+}
+
+fn field_f64(body: &Json, key: &str) -> Result<Option<f64>, String> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a number")),
+    }
+}
+
+/// Parses one optimize query. Defaults are the paper's: Hera, scenario 1,
+/// `α = 0.1`, `D = 3600 s`, the platform's measured error rate, jointly
+/// optimised `P`.
+pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, String> {
+    let platform = match body.get("platform") {
+        None | Some(Json::Null) => PlatformId::Hera,
+        Some(value) => {
+            let name = value.as_str().ok_or("field 'platform' must be a string")?;
+            PlatformId::parse(name).ok_or_else(|| format!("unknown platform '{name}'"))?
+        }
+    };
+    let scenario = match field_f64(body, "scenario")? {
+        None => ScenarioId::S1,
+        Some(number) => ScenarioId::from_number(number as usize)
+            .filter(|_| number.fract() == 0.0)
+            .ok_or_else(|| format!("scenario must be an integer in 1..=6, got {number}"))?,
+    };
+    let mut setup = ExperimentSetup::paper_default(platform, scenario);
+    if let Some(alpha) = field_f64(body, "alpha")? {
+        setup = setup.with_alpha(alpha);
+    }
+    if let Some(downtime) = field_f64(body, "downtime")? {
+        setup = setup.with_downtime(downtime);
+    }
+    let measured_lambda = Platform::get(platform).lambda_ind;
+    let lambda_ind = field_f64(body, "lambda_ind")?;
+    let lambda_multiplier = field_f64(body, "lambda_multiplier")?;
+    let multiplier = match (lambda_ind, lambda_multiplier) {
+        (Some(_), Some(_)) => {
+            return Err("specify at most one of 'lambda_ind' and 'lambda_multiplier'".to_string())
+        }
+        (Some(lambda), None) => {
+            setup = setup.with_lambda_ind(lambda);
+            lambda / measured_lambda
+        }
+        (None, Some(multiplier)) => {
+            setup = setup.with_lambda_ind(measured_lambda * multiplier);
+            multiplier
+        }
+        (None, None) => 1.0,
+    };
+    let fixed_processors = field_f64(body, "processors")?;
+    if fixed_processors.is_some_and(|p| !p.is_finite() || p <= 0.0) {
+        return Err("'processors' must be positive and finite".to_string());
+    }
+    let pattern_length = field_f64(body, "pattern_length")?;
+    if pattern_length.is_some() && fixed_processors.is_none() {
+        return Err("'pattern_length' requires a fixed 'processors'".to_string());
+    }
+    if pattern_length.is_some_and(|t| !t.is_finite() || t <= 0.0) {
+        return Err("'pattern_length' must be positive and finite".to_string());
+    }
+    let model = setup.model().map_err(|e| e.to_string())?;
+    Ok(OptimizeQuery {
+        setup,
+        model,
+        lambda_multiplier: multiplier,
+        fixed_processors,
+        pattern_length,
+    })
+}
+
+/// Evaluates a query against the process-wide cache, producing the same
+/// [`SweepRow`] an offline sweep over the equivalent one-cell grid would.
+pub fn evaluate_query(state: &AppState, query: &OptimizeQuery) -> SweepRow {
+    let analytic = evaluate_analytic(
+        &query.model,
+        query.fixed_processors,
+        &state.options,
+        Some(&state.cache),
+    );
+    let prescribed = match (query.fixed_processors, query.pattern_length) {
+        (Some(p), Some(t)) => Some(OperatingPoint {
+            processors: p,
+            period: t,
+            predicted_overhead: query.model.expected_overhead(t, p),
+            formula_overhead: None,
+            simulated: None,
+        }),
+        _ => None,
+    };
+    SweepRow {
+        platform: query.setup.platform,
+        scenario: query.setup.scenario.number(),
+        alpha: query.setup.alpha,
+        lambda_ind: query.model.failures.lambda_ind,
+        lambda_multiplier: query.lambda_multiplier,
+        fixed_processors: query.fixed_processors,
+        processor_order: None,
+        pattern_length: query.pattern_length,
+        first_order: analytic.first_order,
+        closed_form: analytic.closed_form,
+        numerical: analytic.numerical,
+        prescribed,
+        stream_simulated: None,
+    }
+}
+
+fn point_json(point: &OperatingPoint) -> Json {
+    Json::obj(vec![
+        ("processors", Json::num(point.processors)),
+        ("period", Json::num(point.period)),
+        ("overhead", Json::num(point.predicted_overhead)),
+        ("formula_overhead", Json::opt_num(point.formula_overhead)),
+    ])
+}
+
+/// Renders one evaluated row as the `/v1/optimize` JSON document.
+pub fn row_json(row: &SweepRow) -> Json {
+    Json::obj(vec![
+        ("platform", Json::str(row.platform.name())),
+        ("scenario", Json::num(row.scenario as f64)),
+        ("alpha", Json::num(row.alpha)),
+        ("lambda_ind", Json::num(row.lambda_ind)),
+        ("lambda_multiplier", Json::num(row.lambda_multiplier)),
+        ("processors", Json::opt_num(row.fixed_processors)),
+        ("pattern_length", Json::opt_num(row.pattern_length)),
+        (
+            "first_order",
+            row.first_order.as_ref().map_or(Json::Null, point_json),
+        ),
+        (
+            "closed_form",
+            row.closed_form.map_or(Json::Null, |cf| {
+                Json::obj(vec![
+                    ("processors", Json::num(cf.processors)),
+                    ("period", Json::num(cf.period)),
+                    ("overhead", Json::num(cf.overhead)),
+                ])
+            }),
+        ),
+        ("numerical", point_json(&row.numerical)),
+        (
+            "prescribed",
+            row.prescribed.as_ref().map_or(Json::Null, point_json),
+        ),
+    ])
+}
+
+/// Renders rows as the canonical sweep CSV (header + one line per row).
+pub fn rows_csv(rows: &[SweepRow]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&ayd_sweep::csv_line(row));
+        out.push('\n');
+    }
+    out
+}
+
+fn optimize(state: &Arc<AppState>, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let query = match parse_optimize(&body) {
+        Ok(query) => query,
+        Err(message) => return bad_request(&message),
+    };
+    let row = evaluate_query(state, &query);
+    if req.accepts("text/csv") {
+        Response::csv(rows_csv(std::slice::from_ref(&row)))
+    } else {
+        Response::json(&row_json(&row))
+    }
+}
+
+fn batch(state: &Arc<AppState>, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let queries = match body.get("queries").and_then(Json::as_array) {
+        Some(queries) => queries,
+        None => return bad_request("body must be {\"queries\": [...]}"),
+    };
+    if queries.len() > MAX_BATCH {
+        return bad_request(&format!("at most {MAX_BATCH} queries per batch"));
+    }
+    let mut parsed = Vec::with_capacity(queries.len());
+    for (index, query) in queries.iter().enumerate() {
+        match parse_optimize(query) {
+            Ok(query) => parsed.push(query),
+            Err(message) => return bad_request(&format!("query {index}: {message}")),
+        }
+    }
+    // Fan the evaluations out over the compute pool (not the connection
+    // pool), then reassemble in query order.
+    let worker_state = Arc::clone(state);
+    let rows = state
+        .compute
+        .run_batch(parsed, move |query| evaluate_query(&worker_state, &query));
+    if req.accepts("text/csv") {
+        Response::csv(rows_csv(&rows))
+    } else {
+        Response::json(&Json::obj(vec![
+            ("count", Json::num(rows.len() as f64)),
+            ("results", Json::Arr(rows.iter().map(row_json).collect())),
+        ]))
+    }
+}
+
+fn f64_list(body: &Json, key: &str) -> Result<Option<Vec<f64>>, String> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => {
+            let items = value
+                .as_array()
+                .ok_or_else(|| format!("field '{key}' must be an array of numbers"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_f64()
+                        .ok_or_else(|| format!("field '{key}' must be an array of numbers"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .map(Some)
+        }
+    }
+}
+
+/// Builds a [`ScenarioGrid`] from a `/v1/sweep` body. Absent fields fall back
+/// to the grid builder's defaults (Hera, representative scenarios, `α = 0.1`,
+/// measured rates, jointly optimised `P`).
+pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, String> {
+    let mut builder = ScenarioGrid::builder();
+    if let Some(platforms) = body.get("platforms") {
+        let names = platforms
+            .as_array()
+            .ok_or("field 'platforms' must be an array of platform names")?;
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            let name = name
+                .as_str()
+                .ok_or("field 'platforms' must be an array of platform names")?;
+            ids.push(PlatformId::parse(name).ok_or_else(|| format!("unknown platform '{name}'"))?);
+        }
+        builder = builder.platforms(&ids);
+    }
+    if let Some(numbers) = f64_list(body, "scenarios")? {
+        let mut ids = Vec::with_capacity(numbers.len());
+        for number in numbers {
+            ids.push(
+                ScenarioId::from_number(number as usize)
+                    .filter(|_| number.fract() == 0.0)
+                    .ok_or_else(|| format!("scenario must be an integer in 1..=6, got {number}"))?,
+            );
+        }
+        builder = builder.scenarios(&ids);
+    }
+    if let Some(alphas) = f64_list(body, "alphas")? {
+        builder = builder.alphas(&alphas);
+    }
+    let multipliers = f64_list(body, "lambda_multipliers")?;
+    let values = f64_list(body, "lambda_values")?;
+    match (multipliers, values) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "specify at most one of 'lambda_multipliers' and 'lambda_values'".to_string(),
+            )
+        }
+        (Some(multipliers), None) => builder = builder.lambda_multipliers(&multipliers),
+        (None, Some(values)) => builder = builder.lambda_values(&values),
+        (None, None) => {}
+    }
+    let processors = f64_list(body, "processors")?;
+    let orders = f64_list(body, "lambda_orders")?;
+    match (processors, orders) {
+        (Some(_), Some(_)) => {
+            return Err("specify at most one of 'processors' and 'lambda_orders'".to_string())
+        }
+        (Some(processors), None) => builder = builder.processors(ProcessorAxis::Fixed(processors)),
+        (None, Some(orders)) => builder = builder.processors(ProcessorAxis::LambdaOrders(orders)),
+        (None, None) => {}
+    }
+    if let Some(lengths) = f64_list(body, "pattern_lengths")? {
+        builder = builder.pattern_lengths(&lengths);
+    }
+    if let Some(downtime) = field_f64(body, "downtime")? {
+        builder = builder.downtime(downtime);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let grid = match parse_grid(&body) {
+        Ok(grid) => grid,
+        Err(message) => return bad_request(&message),
+    };
+    if grid.len() > state.max_sweep_cells {
+        return bad_request(&format!(
+            "grid has {} cells; this server accepts at most {}",
+            grid.len(),
+            state.max_sweep_cells
+        ));
+    }
+    // Admission and registration are one atomic step: concurrent submissions
+    // cannot all pass a separate count check and overshoot the cap.
+    let Some(id) = state.jobs.try_submit(state.max_jobs, || {
+        SweepExecutor::new(state.options).spawn(&grid)
+    }) else {
+        return Response::error(
+            503,
+            "Service Unavailable",
+            "too many sweeps running; retry later",
+        );
+    };
+    Response::json_status(
+        202,
+        "Accepted",
+        &Json::obj(vec![
+            ("id", Json::num(id as f64)),
+            ("status", Json::str("running")),
+            ("cells", Json::num(grid.len() as f64)),
+            ("href", Json::str(format!("/v1/sweep/{id}"))),
+        ]),
+    )
+}
+
+fn sweep_poll(state: &Arc<AppState>, req: &Request, id: u64) -> Response {
+    match state.jobs.poll(id) {
+        None => Response::error(404, "Not Found", "no such sweep job"),
+        Some(JobView::Running(completed, total)) => Response::json(&Json::obj(vec![
+            ("id", Json::num(id as f64)),
+            ("status", Json::str("running")),
+            ("completed", Json::num(completed as f64)),
+            ("total", Json::num(total as f64)),
+        ])),
+        Some(JobView::Finished(done)) => {
+            // Finished jobs stream the canonical CSV by default; clients that
+            // ask for JSON get the status document instead.
+            if req.accepts("application/json") {
+                Response::json(&Json::obj(vec![
+                    ("id", Json::num(id as f64)),
+                    (
+                        "status",
+                        Json::str(if done.cancelled { "cancelled" } else { "done" }),
+                    ),
+                    ("rows", Json::num(done.rows as f64)),
+                    ("cache_hits", Json::num(done.cache.hits as f64)),
+                    ("cache_misses", Json::num(done.cache.misses as f64)),
+                    ("cache_hit_rate", Json::num(done.cache.hit_rate())),
+                ]))
+            } else {
+                Response::csv(done.csv.clone())
+            }
+        }
+    }
+}
+
+fn sweep_cancel(state: &Arc<AppState>, id: u64) -> Response {
+    match state.jobs.cancel(id) {
+        None => Response::error(404, "Not Found", "no such sweep job"),
+        Some(cancelled) => Response::json(&Json::obj(vec![
+            ("id", Json::num(id as f64)),
+            (
+                "status",
+                Json::str(if cancelled { "cancelling" } else { "finished" }),
+            ),
+        ])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::ServerConfig;
+    use ayd_sweep::{Evaluator, RunOptions, SweepOptions};
+
+    fn state() -> Arc<AppState> {
+        AppState::new(&ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            target: target.to_string(),
+            http1_0: false,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            http1_0: false,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn optimize_is_bit_identical_to_the_offline_evaluator() {
+        let state = state();
+        let req = post("/v1/optimize", r#"{"platform":"Hera","scenario":1}"#);
+        let (endpoint, response) = route(&state, &req);
+        assert_eq!((endpoint, response.status), ("optimize", 200));
+        let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+
+        let evaluator = Evaluator::new(RunOptions {
+            simulate: false,
+            ..RunOptions::default()
+        });
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+            .model()
+            .unwrap();
+        let expected = evaluator.compare(&model);
+        let numerical = doc.get("numerical").unwrap();
+        assert_eq!(
+            numerical.get("processors").unwrap().as_f64().unwrap(),
+            expected.numerical.processors
+        );
+        assert_eq!(
+            numerical.get("period").unwrap().as_f64().unwrap(),
+            expected.numerical.period
+        );
+        assert_eq!(
+            numerical.get("overhead").unwrap().as_f64().unwrap(),
+            expected.numerical.predicted_overhead
+        );
+        let fo = doc.get("first_order").unwrap();
+        let expected_fo = expected.first_order.unwrap();
+        assert_eq!(
+            fo.get("processors").unwrap().as_f64().unwrap(),
+            expected_fo.processors
+        );
+        assert_eq!(
+            fo.get("period").unwrap().as_f64().unwrap(),
+            expected_fo.period
+        );
+        // The second identical query hits the shared cache.
+        let (_, again) = route(&state, &req);
+        assert_eq!(again.body, response.body);
+        assert_eq!(state.cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn optimize_csv_matches_the_sweep_engine_bytes() {
+        let state = state();
+        let mut req = post(
+            "/v1/optimize",
+            r#"{"platform":"Hera","scenario":1,"lambda_multiplier":1,"processors":256,"pattern_length":3600}"#,
+        );
+        req.headers
+            .push(("accept".to_string(), "text/csv".to_string()));
+        let (_, response) = route(&state, &req);
+        assert_eq!(response.status, 200);
+        let csv = String::from_utf8(response.body).unwrap();
+
+        // The equivalent one-cell grid through the sweep engine.
+        let grid = ScenarioGrid::builder()
+            .platforms(&[PlatformId::Hera])
+            .scenarios(&[ScenarioId::S1])
+            .lambda_multipliers(&[1.0])
+            .processors(ProcessorAxis::Fixed(vec![256.0]))
+            .pattern_lengths(&[3600.0])
+            .build()
+            .unwrap();
+        let offline = SweepExecutor::new(SweepOptions::new(RunOptions {
+            simulate: false,
+            ..RunOptions::default()
+        }))
+        .run(&grid);
+        assert_eq!(csv, offline.to_csv());
+    }
+
+    #[test]
+    fn batch_preserves_query_order_and_validates_eagerly() {
+        let state = state();
+        let body = r#"{"queries":[
+            {"platform":"Hera","scenario":1,"processors":256},
+            {"platform":"Atlas","scenario":3},
+            {"platform":"Hera","scenario":1,"processors":256}
+        ]}"#;
+        let (endpoint, response) = route(&state, &post("/v1/batch", body));
+        assert_eq!((endpoint, response.status), ("batch", 200));
+        let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(doc.get("count").unwrap().as_f64().unwrap(), 3.0);
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(
+            results[0].get("platform").unwrap().as_str().unwrap(),
+            "Hera"
+        );
+        assert_eq!(
+            results[1].get("platform").unwrap().as_str().unwrap(),
+            "Atlas"
+        );
+        // Identical queries produce identical documents (and share the cache).
+        assert_eq!(results[0].render(), results[2].render());
+
+        let (_, bad) = route(
+            &state,
+            &post("/v1/batch", r#"{"queries":[{"platform":"Nope"}]}"#),
+        );
+        assert_eq!(bad.status, 400);
+        let message = String::from_utf8(bad.body).unwrap();
+        assert!(message.contains("query 0"), "{message}");
+    }
+
+    #[test]
+    fn sweep_jobs_run_to_csv_and_report_status() {
+        let state = state();
+        let body = r#"{"platforms":["Hera"],"scenarios":[1,3],"lambda_multipliers":[1,10],
+                       "processors":[256,1024],"pattern_lengths":[3600]}"#;
+        let (_, accepted) = route(&state, &post("/v1/sweep", body));
+        assert_eq!(accepted.status, 202);
+        let doc = Json::parse(std::str::from_utf8(&accepted.body).unwrap()).unwrap();
+        assert_eq!(doc.get("cells").unwrap().as_f64().unwrap(), 8.0);
+        let id = doc.get("id").unwrap().as_f64().unwrap() as u64;
+
+        // Poll until the CSV arrives.
+        let csv = loop {
+            let (_, poll) = route(&state, &get(&format!("/v1/sweep/{id}")));
+            assert_eq!(poll.status, 200);
+            if poll.content_type.starts_with("text/csv") {
+                break String::from_utf8(poll.body).unwrap();
+            }
+            std::thread::yield_now();
+        };
+        assert!(csv.starts_with(CSV_HEADER));
+        assert_eq!(csv.lines().count(), 9);
+
+        // A JSON status request reports completion instead of the bytes.
+        let mut req = get(&format!("/v1/sweep/{id}"));
+        req.headers
+            .push(("accept".to_string(), "application/json".to_string()));
+        let (_, status) = route(&state, &req);
+        let doc = Json::parse(std::str::from_utf8(&status.body).unwrap()).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str().unwrap(), "done");
+        assert_eq!(doc.get("rows").unwrap().as_f64().unwrap(), 8.0);
+
+        // Unknown ids and bad grids are definite errors.
+        let (_, missing) = route(&state, &get("/v1/sweep/999"));
+        assert_eq!(missing.status, 404);
+        let (_, bad) = route(&state, &post("/v1/sweep", r#"{"scenarios":[9]}"#));
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn routing_errors_are_exact() {
+        let state = state();
+        let (_, response) = route(&state, &get("/nope"));
+        assert_eq!(response.status, 404);
+        let (_, response) = route(&state, &get("/v1/optimize"));
+        assert_eq!(response.status, 405);
+        assert!(response
+            .extra_headers
+            .iter()
+            .any(|(name, value)| *name == "allow" && value == "POST"));
+        let (_, response) = route(&state, &post("/v1/optimize", "{not json"));
+        assert_eq!(response.status, 400);
+        let (_, response) = route(&state, &post("/v1/optimize", r#"{"scenario":7}"#));
+        assert_eq!(response.status, 400);
+        // Overflowing JSON numbers parse to infinity and must be rejected,
+        // not evaluated at P = ∞.
+        let (_, response) = route(&state, &post("/v1/optimize", r#"{"processors":1e999}"#));
+        assert_eq!(response.status, 400);
+        let (_, response) = route(&state, &get("/healthz"));
+        assert_eq!(response.status, 200);
+        let (_, response) = route(&state, &get("/metrics"));
+        assert_eq!(response.status, 200);
+        crate::metrics::validate_prometheus(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,327 @@
+//! Server configuration and shared application state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ayd_sweep::{
+    AnalyticEval, CacheStats, RunOptions, ShardedEvalCache, SweepJobHandle, SweepOptions,
+};
+
+use crate::http::Limits;
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+
+/// Configuration of an [`crate::server::Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Connection-handler thread count (also sizes the batch compute pool and
+    /// the shared cache's shard count).
+    pub threads: usize,
+    /// Total capacity of the shared evaluation cache.
+    pub cache_capacity: usize,
+    /// Pending-connection queue bound (accept blocks when full).
+    pub queue_capacity: usize,
+    /// Request parsing limits; `max_body` is the `--max-body` CLI knob.
+    pub limits: Limits,
+    /// Socket read timeout (idle keep-alive connections close after this).
+    pub read_timeout: Duration,
+    /// Maximum concurrently running sweep jobs (further submissions → 503).
+    pub max_jobs: usize,
+    /// Maximum cells a submitted sweep grid may have (above → 400).
+    pub max_sweep_cells: usize,
+    /// Base run options of every evaluation. Simulation is always forced off:
+    /// the service answers with the analytic/numerical series only.
+    pub run: RunOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            threads,
+            cache_capacity: 65_536,
+            queue_capacity: 4 * threads.max(1),
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+            max_jobs: 4,
+            max_sweep_cells: 200_000,
+            run: RunOptions::default(),
+        }
+    }
+}
+
+/// Shared state of a running server: the process-wide evaluation cache, the
+/// metrics registry, the sweep-job registry and the batch compute pool.
+pub struct AppState {
+    /// Evaluation options (simulation off, default optimiser search ranges).
+    pub options: SweepOptions,
+    /// Process-wide memoisation cache shared by every request and warm across
+    /// requests — the concurrent path the sharded cache exists for.
+    pub cache: ShardedEvalCache<AnalyticEval>,
+    /// Request counters and the latency histogram.
+    pub metrics: Metrics,
+    /// Async sweep jobs by id.
+    pub jobs: JobRegistry,
+    /// Request parsing limits.
+    pub limits: Limits,
+    /// Compute pool for `/v1/batch` fan-out (distinct from the connection
+    /// pool, so a connection worker never waits on its own pool).
+    pub compute: WorkerPool,
+    /// Maximum concurrently running sweep jobs.
+    pub max_jobs: usize,
+    /// Maximum cells per submitted sweep grid.
+    pub max_sweep_cells: usize,
+    /// Server start time (for `/healthz` uptime).
+    pub started: Instant,
+}
+
+impl AppState {
+    /// Builds the shared state for a configuration.
+    pub fn new(config: &ServerConfig) -> Arc<Self> {
+        let run = RunOptions {
+            simulate: false,
+            ..config.run
+        };
+        // Same shard-sizing policy as the sweep executor's per-run caches.
+        let shards = ayd_sweep::cache_shards(config.threads);
+        Arc::new(Self {
+            options: SweepOptions::new(run),
+            cache: ShardedEvalCache::new(shards, config.cache_capacity.max(1)),
+            metrics: Metrics::new(),
+            jobs: JobRegistry::new(),
+            limits: config.limits,
+            compute: WorkerPool::new("ayd-compute", config.threads, 2 * config.threads.max(1)),
+            max_jobs: config.max_jobs.max(1),
+            max_sweep_cells: config.max_sweep_cells.max(1),
+            started: Instant::now(),
+        })
+    }
+}
+
+/// A finished (or cancelled) sweep job, kept for later retrieval.
+#[derive(Debug)]
+pub struct FinishedJob {
+    /// True when the job was cancelled before evaluating every cell.
+    pub cancelled: bool,
+    /// Number of evaluated rows.
+    pub rows: usize,
+    /// The canonical sweep CSV of the evaluated rows.
+    pub csv: String,
+    /// The job's own memoisation-cache counters.
+    pub cache: CacheStats,
+}
+
+enum JobEntry {
+    Running(SweepJobHandle),
+    Finished(Arc<FinishedJob>),
+}
+
+/// A snapshot of one job's state, as reported to clients.
+pub enum JobView {
+    /// Still evaluating: `(completed, total)` cells.
+    Running(usize, usize),
+    /// Finished; the payload is shared, not copied.
+    Finished(Arc<FinishedJob>),
+}
+
+/// How many finished jobs the registry retains for later retrieval. Older
+/// results (by id) are evicted first — the registry's memory use is bounded
+/// by `max_jobs` running handles plus this many CSV payloads.
+const MAX_FINISHED_JOBS: usize = 64;
+
+/// Registry of async sweep jobs.
+pub struct JobRegistry {
+    next_id: AtomicU64,
+    jobs: Mutex<std::collections::HashMap<u64, JobEntry>>,
+}
+
+impl JobRegistry {
+    fn new() -> Self {
+        Self {
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Atomically registers a new job unless `max_running` jobs are already
+    /// running. `spawn` is only called when the admission check passes, under
+    /// the registry lock, so concurrent submissions cannot overshoot the cap.
+    pub fn try_submit(
+        &self,
+        max_running: usize,
+        spawn: impl FnOnce() -> SweepJobHandle,
+    ) -> Option<u64> {
+        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        Self::reap(&mut jobs);
+        let running = jobs
+            .values()
+            .filter(|entry| matches!(entry, JobEntry::Running(_)))
+            .count();
+        if running >= max_running {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        jobs.insert(id, JobEntry::Running(spawn()));
+        Some(id)
+    }
+
+    /// Number of jobs still running (finished handles are reaped first, so a
+    /// drained job never counts against the running cap).
+    pub fn running_count(&self) -> usize {
+        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        Self::reap(&mut jobs);
+        jobs.values()
+            .filter(|entry| matches!(entry, JobEntry::Running(_)))
+            .count()
+    }
+
+    /// Looks up a job, transitioning it to finished when its thread is done.
+    pub fn poll(&self, id: u64) -> Option<JobView> {
+        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        Self::reap(&mut jobs);
+        match jobs.get(&id)? {
+            JobEntry::Running(handle) => Some(JobView::Running(handle.completed(), handle.total())),
+            JobEntry::Finished(done) => Some(JobView::Finished(Arc::clone(done))),
+        }
+    }
+
+    /// Requests cancellation of a running job. Returns `None` for unknown
+    /// ids, `Some(true)` when a cancellation was requested, `Some(false)`
+    /// when the job had already finished.
+    pub fn cancel(&self, id: u64) -> Option<bool> {
+        let jobs = self.jobs.lock().expect("job registry poisoned");
+        match jobs.get(&id)? {
+            JobEntry::Running(handle) => {
+                handle.cancel();
+                Some(true)
+            }
+            JobEntry::Finished(_) => Some(false),
+        }
+    }
+
+    /// Joins every finished handle in place (cheap: `join` on a finished
+    /// thread does not block meaningfully), then evicts the oldest finished
+    /// results beyond [`MAX_FINISHED_JOBS`] so a long-lived server's memory
+    /// stays bounded no matter how many sweeps it has served.
+    fn reap(jobs: &mut std::collections::HashMap<u64, JobEntry>) {
+        let finished: Vec<u64> = jobs
+            .iter()
+            .filter(|(_, entry)| matches!(entry, JobEntry::Running(h) if h.is_finished()))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            if let Some(JobEntry::Running(handle)) = jobs.remove(&id) {
+                let outcome = handle.join();
+                jobs.insert(
+                    id,
+                    JobEntry::Finished(Arc::new(FinishedJob {
+                        cancelled: outcome.cancelled,
+                        rows: outcome.results.rows.len(),
+                        csv: outcome.results.to_csv(),
+                        cache: outcome.results.cache,
+                    })),
+                );
+            }
+        }
+        let mut done_ids: Vec<u64> = jobs
+            .iter()
+            .filter(|(_, entry)| matches!(entry, JobEntry::Finished(_)))
+            .map(|(&id, _)| id)
+            .collect();
+        if done_ids.len() > MAX_FINISHED_JOBS {
+            done_ids.sort_unstable();
+            for id in &done_ids[..done_ids.len() - MAX_FINISHED_JOBS] {
+                jobs.remove(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayd_platforms::ScenarioId;
+    use ayd_sweep::{ProcessorAxis, ScenarioGrid, SweepExecutor};
+
+    fn test_state() -> Arc<AppState> {
+        AppState::new(&ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn job_registry_tracks_running_then_finished() {
+        let state = test_state();
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .processors(ProcessorAxis::Fixed(vec![256.0]))
+            .build()
+            .unwrap();
+        let id = state
+            .jobs
+            .try_submit(4, || SweepExecutor::new(state.options).spawn(&grid))
+            .expect("below the running cap");
+        // Poll until the job drains; it must end Finished with one row.
+        let done = loop {
+            match state.jobs.poll(id).expect("job known") {
+                JobView::Running(completed, total) => {
+                    assert!(completed <= total);
+                    std::thread::yield_now();
+                }
+                JobView::Finished(done) => break done,
+            }
+        };
+        assert!(!done.cancelled);
+        assert_eq!(done.rows, 1);
+        assert!(done.csv.starts_with(ayd_sweep::CSV_HEADER));
+        assert_eq!(state.jobs.running_count(), 0);
+        // Cancelling a finished job is a no-op, unknown ids are None.
+        assert_eq!(state.jobs.cancel(id), Some(false));
+        assert!(state.jobs.cancel(999).is_none());
+        assert!(state.jobs.poll(999).is_none());
+    }
+
+    #[test]
+    fn registry_caps_running_jobs_and_evicts_the_oldest_finished() {
+        let state = test_state();
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .processors(ProcessorAxis::Fixed(vec![256.0]))
+            .build()
+            .unwrap();
+        // A zero cap rejects without ever spawning.
+        assert!(state.jobs.try_submit(0, || unreachable!()).is_none());
+        // Far more finished jobs than the retention cap: the registry must
+        // hold on to at most MAX_FINISHED_JOBS results, oldest evicted first.
+        let mut ids = Vec::new();
+        for _ in 0..(MAX_FINISHED_JOBS + 4) {
+            let id = state
+                .jobs
+                .try_submit(usize::MAX, || {
+                    SweepExecutor::new(state.options).spawn(&grid)
+                })
+                .unwrap();
+            while matches!(state.jobs.poll(id), Some(JobView::Running(..))) {
+                std::thread::yield_now();
+            }
+            ids.push(id);
+        }
+        assert!(state.jobs.poll(ids[0]).is_none(), "oldest result evicted");
+        assert!(state.jobs.poll(*ids.last().unwrap()).is_some());
+    }
+
+    #[test]
+    fn server_state_forces_simulation_off() {
+        let state = test_state();
+        assert!(!state.options.run.simulate);
+        assert!(state.cache.is_empty());
+        assert_eq!(state.jobs.running_count(), 0);
+    }
+}

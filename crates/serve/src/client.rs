@@ -1,0 +1,281 @@
+//! A minimal keep-alive HTTP/1.1 client, plus the end-to-end smoke check
+//! shared by `loadgen --check`, the CI gate and the subprocess integration
+//! tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_sweep::{Evaluator, ProcessorAxis, RunOptions, ScenarioGrid, SweepExecutor, SweepOptions};
+
+use crate::json::Json;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code of the response.
+    pub status: u16,
+    /// `Content-Type` header value (empty when absent).
+    pub content_type: String,
+    /// Body, decoded as UTF-8 (the service only emits text media types).
+    pub body: String,
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (`host:port`) with generous timeouts.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the response. `accept` sets an `Accept`
+    /// header; `body` implies `Content-Length`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        accept: Option<&str>,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: ayd-serve\r\n");
+        if let Some(accept) = accept {
+            head.push_str(&format!("accept: {accept}\r\n"));
+        }
+        if let Some(body) = body {
+            head.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.writer.write_all(body.as_bytes())?;
+        }
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`, optionally with an `Accept` header.
+    pub fn get(&mut self, path: &str, accept: Option<&str>) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, accept, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, None, Some(body))
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad = |message: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
+        };
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before a status line"));
+        }
+        let status = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length: Option<usize> = None;
+        let mut content_type = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed inside response headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
+                } else if name.eq_ignore_ascii_case("content-type") {
+                    content_type = value.to_string();
+                }
+            }
+        }
+        let length = content_length.ok_or_else(|| bad("response without content-length"))?;
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            content_type,
+            body: String::from_utf8(body).map_err(|_| bad("non-UTF-8 response body"))?,
+        })
+    }
+}
+
+/// The golden sweep grid of `tests/golden_sweep_csv.rs`, as a `/v1/sweep`
+/// request body. The smoke check recomputes the same grid in-process and
+/// compares the CSV byte-for-byte.
+pub const GOLDEN_SWEEP_BODY: &str = r#"{"platforms":["Hera"],"scenarios":[1,3],"lambda_multipliers":[1,10],"processors":[256,1024],"pattern_lengths":[3600]}"#;
+
+fn golden_sweep_csv() -> String {
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+        .lambda_multipliers(&[1.0, 10.0])
+        .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+        .pattern_lengths(&[3_600.0])
+        .build()
+        .expect("the golden grid is valid");
+    SweepExecutor::new(SweepOptions::new(RunOptions {
+        simulate: false,
+        ..RunOptions::default()
+    }))
+    .run(&grid)
+    .to_csv()
+}
+
+fn expect_f64(doc: &Json, object: &str, field: &str) -> Result<f64, String> {
+    doc.get(object)
+        .and_then(|inner| inner.get(field))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("response missing {object}.{field}"))
+}
+
+/// End-to-end smoke check against a running server (`loadgen --check`):
+///
+/// 1. `/healthz` answers ok.
+/// 2. `/v1/optimize` answers numbers **bit-identical** to the offline
+///    [`Evaluator`] for the same inputs.
+/// 3. A `/v1/sweep` job over the golden grid streams a CSV byte-identical to
+///    the in-process sweep engine (the same bytes the golden test pins).
+/// 4. `/metrics` renders parsable Prometheus text.
+pub fn smoke_check(addr: &str) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("i/o against {addr}: {e}");
+    let mut client = HttpClient::connect(addr).map_err(io)?;
+
+    // 1. Health.
+    let health = client.get("/healthz", None).map_err(io)?;
+    if health.status != 200 || !health.body.contains("\"ok\"") {
+        return Err(format!(
+            "healthz: status {} body {}",
+            health.status, health.body
+        ));
+    }
+
+    // 2. Optimize, checked bit-for-bit against the offline evaluator.
+    let response = client
+        .post_json("/v1/optimize", r#"{"platform":"Hera","scenario":1}"#)
+        .map_err(io)?;
+    if response.status != 200 {
+        return Err(format!("optimize: status {}", response.status));
+    }
+    let doc = Json::parse(&response.body).map_err(|e| format!("optimize JSON: {e}"))?;
+    let model = ayd_platforms::ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+        .model()
+        .map_err(|e| format!("local model: {e}"))?;
+    let expected = Evaluator::new(RunOptions {
+        simulate: false,
+        ..RunOptions::default()
+    })
+    .compare(&model);
+    let pairs = [
+        ("numerical", "processors", expected.numerical.processors),
+        ("numerical", "period", expected.numerical.period),
+        (
+            "numerical",
+            "overhead",
+            expected.numerical.predicted_overhead,
+        ),
+    ];
+    for (object, field, local) in pairs {
+        let served = expect_f64(&doc, object, field)?;
+        if served.to_bits() != local.to_bits() {
+            return Err(format!(
+                "optimize: {object}.{field} differs from the offline evaluator: \
+                 served {served:?}, local {local:?}"
+            ));
+        }
+    }
+    let fo = expected
+        .first_order
+        .ok_or("local first-order optimum missing")?;
+    let served_fo = expect_f64(&doc, "first_order", "overhead")?;
+    if served_fo.to_bits() != fo.predicted_overhead.to_bits() {
+        return Err("optimize: first_order.overhead differs from the offline evaluator".into());
+    }
+
+    // 3. Sweep round-trip against the golden grid.
+    let accepted = client
+        .post_json("/v1/sweep", GOLDEN_SWEEP_BODY)
+        .map_err(io)?;
+    if accepted.status != 202 {
+        return Err(format!("sweep submit: status {}", accepted.status));
+    }
+    let doc = Json::parse(&accepted.body).map_err(|e| format!("sweep JSON: {e}"))?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_f64)
+        .ok_or("sweep submit: no id")? as u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let csv = loop {
+        let poll = client
+            .get(&format!("/v1/sweep/{id}"), Some("text/csv"))
+            .map_err(io)?;
+        if poll.status != 200 {
+            return Err(format!("sweep poll: status {}", poll.status));
+        }
+        if poll.content_type.starts_with("text/csv") {
+            break poll.body;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err("sweep job did not finish within 60 s".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let expected_csv = golden_sweep_csv();
+    if csv != expected_csv {
+        return Err(format!(
+            "sweep CSV differs from the in-process engine ({} vs {} bytes)",
+            csv.len(),
+            expected_csv.len()
+        ));
+    }
+
+    // 4. Metrics parse.
+    let metrics = client.get("/metrics", None).map_err(io)?;
+    if metrics.status != 200 {
+        return Err(format!("metrics: status {}", metrics.status));
+    }
+    crate::metrics::validate_prometheus(&metrics.body).map_err(|e| format!("metrics: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::ServerConfig;
+    use crate::server::Server;
+
+    #[test]
+    fn smoke_check_passes_against_an_in_process_server() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let thread = std::thread::spawn(move || server.serve());
+        smoke_check(&addr).unwrap();
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+}

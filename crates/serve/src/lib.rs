@@ -1,0 +1,50 @@
+//! # ayd-serve — a zero-dependency concurrent query service
+//!
+//! The paper's deliverable is a decision procedure: platform, scenario, `α`
+//! and `λ` in — optimal processor count `P` and checkpoint period `T` out.
+//! This crate serves that procedure over HTTP/1.1 on `std::net` alone (the
+//! offline build has no async runtime and no HTTP dependencies):
+//!
+//! | Endpoint | Method | Answer |
+//! |----------|--------|--------|
+//! | `/v1/optimize` | POST | one query → first-order + numerical operating points (JSON, or the canonical sweep CSV via `Accept: text/csv`) |
+//! | `/v1/batch` | POST | many queries, fanned out over the compute pool |
+//! | `/v1/sweep` | POST | a [`ayd_sweep::ScenarioGrid`] as an async job (202 + id) |
+//! | `/v1/sweep/{id}` | GET | job status while running; the canonical CSV when done |
+//! | `/v1/sweep/{id}` | DELETE | cooperative cancellation |
+//! | `/healthz` | GET | liveness + uptime |
+//! | `/metrics` | GET | Prometheus text: request counts, latency histogram, cache hit rate |
+//!
+//! Architecture: a fixed [`pool::WorkerPool`] of connection handlers behind a
+//! bounded MPMC queue (accept-loop backpressure), a second pool for
+//! `/v1/batch` fan-out, a process-wide [`ayd_sweep::ShardedEvalCache`] shared
+//! by every request (answers are bit-identical to the offline
+//! [`ayd_sweep::Evaluator`] — asserted by [`client::smoke_check`]), async
+//! sweeps on [`ayd_sweep::SweepExecutor::spawn`] job handles, and graceful
+//! shutdown via a flag + listener wake-up ([`server::ServeHandle`]).
+//!
+//! The request parser ([`http`]) is strict and bounded (header count, line
+//! lengths, body size) with exact 400/404/405/413/414/431/501 mapping; the
+//! malformed-input property suite asserts it never panics and always answers
+//! with a well-formed status line. JSON ([`json`]) is a small strict
+//! parser/renderer whose `f64` round-trips are bit-exact.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+pub mod app;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use app::{AppState, ServerConfig};
+pub use client::{smoke_check, ClientResponse, HttpClient};
+pub use http::{Limits, Request, Response};
+pub use json::Json;
+pub use metrics::{validate_prometheus, Metrics};
+pub use pool::WorkerPool;
+pub use server::{serve_connection, ServeHandle, Server};

@@ -1,0 +1,213 @@
+//! Request counters and a latency histogram, rendered as Prometheus text.
+//!
+//! Counters are lock-free atomics; the per-endpoint/status breakdown lives in
+//! a small mutexed map (the handler path touches it once per request, which
+//! is noise next to an optimiser evaluation). Rendering follows the
+//! Prometheus text exposition format, version `0.0.4` — `# HELP`/`# TYPE`
+//! lines, cumulative histogram buckets, and a `+Inf` bucket equal to
+//! `_count`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ayd_sweep::CacheStats;
+
+/// Upper bounds (in seconds) of the latency histogram buckets.
+const BUCKET_BOUNDS: [f64; 11] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+];
+
+/// Process-wide request metrics.
+#[derive(Default)]
+pub struct Metrics {
+    /// Per-(endpoint, status) request counts.
+    by_route: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// Cumulative request count.
+    requests: AtomicU64,
+    /// Total connections accepted.
+    connections: AtomicU64,
+    /// Latency histogram bucket counts (non-cumulative; bucket `i` counts
+    /// requests with latency ≤ `BUCKET_BOUNDS[i]`, the last slot is overflow).
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    /// Sum of request latencies in nanoseconds.
+    latency_sum_nanos: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one served request: the (static) endpoint label, the response
+    /// status and the handling latency.
+    pub fn observe(&self, endpoint: &'static str, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let seconds = latency.as_secs_f64();
+        let slot = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| seconds <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_nanos
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        *self
+            .by_route
+            .lock()
+            .expect("metrics map poisoned")
+            .entry((endpoint, status))
+            .or_insert(0) += 1;
+    }
+
+    /// Total requests observed so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Renders every metric in the Prometheus text exposition format,
+    /// including the shared evaluation-cache counters.
+    pub fn render_prometheus(&self, cache: &CacheStats) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP ayd_requests_total Requests served, by endpoint and status.\n");
+        out.push_str("# TYPE ayd_requests_total counter\n");
+        for ((endpoint, status), count) in
+            self.by_route.lock().expect("metrics map poisoned").iter()
+        {
+            out.push_str(&format!(
+                "ayd_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# HELP ayd_connections_total Connections accepted.\n");
+        out.push_str("# TYPE ayd_connections_total counter\n");
+        out.push_str(&format!(
+            "ayd_connections_total {}\n",
+            self.connections.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP ayd_request_duration_seconds Request handling latency.\n");
+        out.push_str("# TYPE ayd_request_duration_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "ayd_request_duration_seconds_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "ayd_request_duration_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "ayd_request_duration_seconds_sum {}\n",
+            self.latency_sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "ayd_request_duration_seconds_count {cumulative}\n"
+        ));
+
+        out.push_str("# HELP ayd_cache_hits_total Evaluation-cache hits.\n");
+        out.push_str("# TYPE ayd_cache_hits_total counter\n");
+        out.push_str(&format!("ayd_cache_hits_total {}\n", cache.hits));
+        out.push_str("# HELP ayd_cache_misses_total Evaluation-cache misses.\n");
+        out.push_str("# TYPE ayd_cache_misses_total counter\n");
+        out.push_str(&format!("ayd_cache_misses_total {}\n", cache.misses));
+        out.push_str("# HELP ayd_cache_evictions_total Evaluation-cache evictions.\n");
+        out.push_str("# TYPE ayd_cache_evictions_total counter\n");
+        out.push_str(&format!("ayd_cache_evictions_total {}\n", cache.evictions));
+        out.push_str("# HELP ayd_cache_hit_rate Fraction of lookups answered from the cache.\n");
+        out.push_str("# TYPE ayd_cache_hit_rate gauge\n");
+        out.push_str(&format!("ayd_cache_hit_rate {}\n", cache.hit_rate()));
+        out
+    }
+}
+
+/// Validates one Prometheus text payload: every non-comment line must be
+/// `name{labels} value` or `name value` with a parsable float value, and the
+/// `+Inf` histogram bucket must match the histogram count. Used by the smoke
+/// check and the CI gate (`loadgen --check`).
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut inf_bucket: Option<f64> = None;
+    let mut histogram_count: Option<f64> = None;
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample without value: {line:?}"))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("unparsable value in: {line:?}"))?;
+        if name_part.contains('{') && !name_part.ends_with('}') {
+            return Err(format!("malformed labels in: {line:?}"));
+        }
+        if name_part.contains("le=\"+Inf\"") {
+            inf_bucket = Some(value);
+        }
+        if name_part == "ayd_request_duration_seconds_count" {
+            histogram_count = Some(value);
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in metrics payload".to_string());
+    }
+    match (inf_bucket, histogram_count) {
+        (Some(inf), Some(count)) if inf == count => Ok(()),
+        (Some(_), Some(_)) => Err("+Inf bucket does not equal histogram count".to_string()),
+        _ => Err("histogram series missing".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_buckets_and_render_cumulatively() {
+        let metrics = Metrics::new();
+        metrics.connection_opened();
+        metrics.observe("optimize", 200, Duration::from_micros(50));
+        metrics.observe("optimize", 200, Duration::from_micros(300));
+        metrics.observe("optimize", 400, Duration::from_millis(40));
+        metrics.observe("metrics", 200, Duration::from_secs(1));
+        assert_eq!(metrics.request_count(), 4);
+
+        let text = metrics.render_prometheus(&CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        });
+        assert!(text.contains("ayd_requests_total{endpoint=\"optimize\",status=\"200\"} 2\n"));
+        assert!(text.contains("ayd_requests_total{endpoint=\"optimize\",status=\"400\"} 1\n"));
+        assert!(text.contains("ayd_connections_total 1\n"));
+        // Cumulative buckets: 1 at ≤100µs, 2 at ≤500µs, 3 at ≤50ms, 4 at +Inf.
+        assert!(text.contains("ayd_request_duration_seconds_bucket{le=\"0.0001\"} 1\n"));
+        assert!(text.contains("ayd_request_duration_seconds_bucket{le=\"0.0005\"} 2\n"));
+        assert!(text.contains("ayd_request_duration_seconds_bucket{le=\"0.05\"} 3\n"));
+        assert!(text.contains("ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("ayd_request_duration_seconds_count 4\n"));
+        assert!(text.contains("ayd_cache_hit_rate 0.75\n"));
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_payloads() {
+        assert!(validate_prometheus("").is_err());
+        assert!(validate_prometheus("just words\n").is_err());
+        assert!(validate_prometheus("metric_without_value\n").is_err());
+        let truncated = "ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n\
+                         ayd_request_duration_seconds_count 5\n";
+        assert!(validate_prometheus(truncated).is_err());
+    }
+}

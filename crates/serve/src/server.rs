@@ -1,0 +1,251 @@
+//! The TCP accept loop, keep-alive connection handling and graceful shutdown.
+//!
+//! Connections are jobs on a fixed [`WorkerPool`] behind a bounded queue: when
+//! every handler thread is busy and the queue is full, the accept loop itself
+//! blocks — backpressure, not unbounded buffering. Shutdown is cooperative
+//! (the SIGTERM-equivalent for a `std`-only build): a shared flag plus a
+//! wake-up connection to the listener; the accept loop stops, in-flight
+//! requests finish, keep-alive loops close after their current response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::api::route;
+use crate::app::{AppState, ServerConfig};
+use crate::http::{parse_request, Response};
+use crate::pool::WorkerPool;
+
+/// Upper bound on requests served over one keep-alive connection.
+const MAX_REQUESTS_PER_CONNECTION: usize = 100_000;
+
+/// Handle for stopping a running server from another thread.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServeHandle {
+    /// The server's bound address (useful with an ephemeral `:0` port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: sets the flag and wakes the accept loop
+    /// with a throwaway connection.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop may be parked in accept(2); poke it awake. Errors
+        // are irrelevant — the listener may already be gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound (but not yet serving) query service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. The returned server
+    /// does not accept connections until [`Server::serve`] is called.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = AppState::new(&config);
+        Ok(Server {
+            listener,
+            state,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle usable from any thread.
+    pub fn handle(&self) -> std::io::Result<ServeHandle> {
+        Ok(ServeHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// The shared application state (exposed for tests and benches).
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accepts and serves connections until [`ServeHandle::shutdown`] fires,
+    /// then drains in-flight connections and returns.
+    pub fn serve(self) -> std::io::Result<()> {
+        let pool = WorkerPool::new("ayd-conn", self.config.threads, self.config.queue_capacity);
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(_) if self.shutdown.load(Ordering::SeqCst) => break,
+                // Transient accept errors (EMFILE, ECONNABORTED): keep going.
+                Err(_) => continue,
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            self.state.metrics.connection_opened();
+            let state = Arc::clone(&self.state);
+            let shutdown = Arc::clone(&self.shutdown);
+            let read_timeout = self.config.read_timeout;
+            let job = Box::new(move || {
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_nodelay(true);
+                let Ok(reader_stream) = stream.try_clone() else {
+                    return;
+                };
+                let mut reader = BufReader::new(reader_stream);
+                let mut writer = stream;
+                serve_connection(&mut reader, &mut writer, &state, &shutdown);
+            });
+            if pool.submit(job).is_err() {
+                break;
+            }
+        }
+        // Dropping the pool closes its queue and joins the workers, letting
+        // in-flight requests finish.
+        drop(pool);
+        Ok(())
+    }
+}
+
+/// Serves requests from one connection until close, error or shutdown.
+///
+/// Generic over the byte streams so the malformed-request property suite can
+/// drive it with in-memory buffers: whatever the input bytes, the output is
+/// either empty (clean close / unreadable peer) or a sequence of well-formed
+/// HTTP/1.1 responses.
+pub fn serve_connection<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    state: &Arc<AppState>,
+    shutdown: &AtomicBool,
+) {
+    for _ in 0..MAX_REQUESTS_PER_CONNECTION {
+        let request = match parse_request(reader, &state.limits) {
+            Ok(request) => request,
+            Err(error) => {
+                // Timeouts and closes end the session silently; protocol
+                // errors answer once, then close.
+                if let Some((status, reason)) = error.status() {
+                    let response = Response::error(status, reason, &format!("{error:?}"));
+                    let _ = response.write_to(writer, false);
+                    state
+                        .metrics
+                        .observe("parse_error", status, std::time::Duration::ZERO);
+                }
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (endpoint, response) = route(state, &request);
+        let keep_alive = !request.wants_close() && !shutdown.load(Ordering::SeqCst);
+        let write_ok = response.write_to(writer, keep_alive).is_ok();
+        state
+            .metrics
+            .observe(endpoint, response.status, started.elapsed());
+        if !keep_alive || !write_ok {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn test_state() -> Arc<AppState> {
+        AppState::new(&ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn drive(input: &[u8]) -> String {
+        let state = test_state();
+        let shutdown = AtomicBool::new(false);
+        let mut reader = Cursor::new(input.to_vec());
+        let mut output = Vec::new();
+        serve_connection(&mut reader, &mut output, &state, &shutdown);
+        String::from_utf8_lossy(&output).into_owned()
+    }
+
+    #[test]
+    fn pipelined_requests_are_served_in_order() {
+        let out = drive(
+            b"GET /healthz HTTP/1.1\r\n\r\n\
+              POST /v1/optimize HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}\
+              GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        assert_eq!(out.matches("HTTP/1.1 200 OK\r\n").count(), 3);
+        assert!(out.contains("connection: keep-alive"));
+        assert!(out.ends_with('}') || out.contains("connection: close"));
+    }
+
+    #[test]
+    fn malformed_requests_get_one_response_then_close() {
+        let out = drive(b"BOGUS\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(out.matches("HTTP/1.1").count(), 1);
+        assert!(out.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+        assert!(out.contains("connection: close"));
+    }
+
+    #[test]
+    fn clean_close_produces_no_bytes() {
+        assert!(drive(b"").is_empty());
+    }
+
+    #[test]
+    fn shutdown_flag_turns_off_keep_alive() {
+        let state = test_state();
+        let shutdown = AtomicBool::new(true);
+        let mut reader =
+            Cursor::new(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n".to_vec());
+        let mut output = Vec::new();
+        serve_connection(&mut reader, &mut output, &state, &shutdown);
+        let out = String::from_utf8(output).unwrap();
+        // Only the first request is answered, with connection: close.
+        assert_eq!(out.matches("HTTP/1.1 200 OK").count(), 1);
+        assert!(out.contains("connection: close"));
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket_with_graceful_shutdown() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr();
+        let thread = std::thread::spawn(move || server.serve());
+
+        let mut client = crate::client::HttpClient::connect(&addr.to_string()).unwrap();
+        let response = client
+            .post_json("/v1/optimize", r#"{"platform":"Atlas","scenario":3}"#)
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert!(response.body.contains("\"numerical\""));
+        let health = client.get("/healthz", None).unwrap();
+        assert_eq!(health.status, 200);
+
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+}

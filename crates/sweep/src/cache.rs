@@ -68,6 +68,15 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Component-wise sum of two counter sets (used to merge per-shard stats).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
 }
 
 struct Entry<V> {
@@ -162,6 +171,78 @@ impl<V: Clone> EvalCache<V> {
     }
 }
 
+/// A sharded variant of [`EvalCache`] for highly concurrent callers.
+///
+/// Keys are routed to one of `N` independently locked shards by their hash, so
+/// concurrent lookups of *different* configurations proceed without contending
+/// on a single mutex (the single-lock [`EvalCache`] serialises every lookup).
+/// The long-lived query service (`ayd-serve`) keeps one process-wide instance;
+/// the sweep executor shards by worker count.
+///
+/// Semantics are identical to [`EvalCache`] for any workload that fits in the
+/// per-shard capacity: a key deduplicates onto the same shard every time, so
+/// hit/miss counts — and therefore the hit rate — match the single-shard cache
+/// exactly as long as no shard evicts (asserted by the property suite). Under
+/// eviction pressure the LRU horizon is per-shard rather than global, which can
+/// change *which* entry is evicted but never the cached values themselves.
+pub struct ShardedEvalCache<V> {
+    shards: Vec<EvalCache<V>>,
+}
+
+impl<V: Clone> ShardedEvalCache<V> {
+    /// Creates a cache of `shards` independent shards (minimum 1) holding at
+    /// most `capacity` entries in total (split evenly, rounding up).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| EvalCache::new(per_shard)).collect(),
+        }
+    }
+
+    /// The shard a key routes to (stable for the lifetime of the cache).
+    fn shard(&self, key: &CacheKey) -> &EvalCache<V> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on a
+    /// miss. Same locking contract as [`EvalCache::get_or_insert_with`], but
+    /// only the key's shard is locked.
+    pub fn get_or_insert_with(&self, key: CacheKey, compute: impl FnOnce() -> V) -> V {
+        self.shard(&key).get_or_insert_with(key, compute)
+    }
+
+    /// Merged hit/miss/eviction counters across every shard.
+    pub fn stats(&self) -> CacheStats {
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), CacheStats::merged)
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(EvalCache::stats).collect()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of live entries across every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EvalCache::len).sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +306,135 @@ mod tests {
             }
         });
         assert_eq!(cache.len(), 16);
+    }
+
+    #[test]
+    fn sharded_cache_routes_each_key_to_one_stable_shard() {
+        let cache: ShardedEvalCache<u64> = ShardedEvalCache::new(8, 64);
+        assert_eq!(cache.shard_count(), 8);
+        for i in 0..32u64 {
+            cache.get_or_insert_with(CacheKey::from_inputs(&[i as f64]), || i);
+        }
+        // Replaying the same keys must hit — same key, same shard.
+        for i in 0..32u64 {
+            let got =
+                cache.get_or_insert_with(CacheKey::from_inputs(&[i as f64]), || unreachable!());
+            assert_eq!(got, i);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (32, 32, 0));
+        assert_eq!(cache.len(), 32);
+        // The merged stats are exactly the sum of the per-shard stats.
+        let summed = cache
+            .shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), CacheStats::merged);
+        assert_eq!(stats, summed);
+    }
+
+    #[test]
+    fn sharded_cache_is_consistent_under_concurrency() {
+        let cache: ShardedEvalCache<u64> = ShardedEvalCache::new(4, 256);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..400u64 {
+                        let got = cache
+                            .get_or_insert_with(CacheKey::from_inputs(&[(i % 32) as f64]), || {
+                                (i % 32) * 3
+                            });
+                        assert_eq!(got, (i % 32) * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 32);
+        let stats = cache.stats();
+        // Concurrent misses on one key may compute twice, but every lookup is
+        // accounted for exactly once.
+        assert_eq!(stats.hits + stats.misses, 4 * 400);
+    }
+
+    #[test]
+    fn shard_capacity_splits_the_total_and_enforces_a_floor() {
+        // Total capacity 4 over 8 shards → 1 entry per shard, never 0.
+        let tiny: ShardedEvalCache<u64> = ShardedEvalCache::new(8, 4);
+        for i in 0..64u64 {
+            tiny.get_or_insert_with(CacheKey::from_inputs(&[i as f64]), || i);
+        }
+        assert!(tiny.len() <= 8, "len {} exceeds shard capacity", tiny.len());
+        assert!(tiny.stats().evictions > 0);
+        // A zero-shard request is clamped to one shard.
+        let one: ShardedEvalCache<u64> = ShardedEvalCache::new(0, 16);
+        assert_eq!(one.shard_count(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Replays a workload sequentially and returns (stats, values).
+        fn replay(workload: &[u64], lookup: impl Fn(CacheKey, u64) -> u64) -> Vec<u64> {
+            workload
+                .iter()
+                .map(|&k| lookup(CacheKey::from_inputs(&[k as f64]), k))
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// For any eviction-free workload the sharded cache scores exactly
+            /// the same hit/miss counts (hence hit rate) as the single-shard
+            /// cache, its merged stats are the sum of the shard stats, and the
+            /// returned values are identical.
+            #[test]
+            fn sharded_stats_match_single_shard(
+                workload in prop::collection::vec(0u64..24, 1..160),
+                shards in 1usize..9,
+            ) {
+                // Capacity ≥ domain × shards ⇒ no shard can evict.
+                let capacity = 24 * shards;
+                let single: EvalCache<u64> = EvalCache::new(capacity);
+                let sharded: ShardedEvalCache<u64> = ShardedEvalCache::new(shards, capacity);
+                let single_values =
+                    replay(&workload, |key, k| single.get_or_insert_with(key, || k * 7));
+                let sharded_values =
+                    replay(&workload, |key, k| sharded.get_or_insert_with(key, || k * 7));
+                prop_assert_eq!(single_values, sharded_values);
+
+                let merged = sharded.stats();
+                prop_assert_eq!(single.stats(), merged);
+                prop_assert_eq!(merged.evictions, 0);
+                prop_assert!((single.stats().hit_rate() - merged.hit_rate()).abs() < 1e-15);
+                prop_assert_eq!(single.len(), sharded.len());
+
+                // The merged counters are exactly the component-wise sum of the
+                // per-shard counters.
+                let summed = sharded
+                    .shard_stats()
+                    .into_iter()
+                    .fold(CacheStats::default(), CacheStats::merged);
+                prop_assert_eq!(merged, summed);
+            }
+
+            /// Even under eviction pressure (where LRU horizons differ), every
+            /// lookup is counted exactly once and values stay correct.
+            #[test]
+            fn sharded_lookups_are_fully_accounted(
+                workload in prop::collection::vec(0u64..48, 1..200),
+                shards in 1usize..7,
+                capacity in 1usize..16,
+            ) {
+                let sharded: ShardedEvalCache<u64> = ShardedEvalCache::new(shards, capacity);
+                let values =
+                    replay(&workload, |key, k| sharded.get_or_insert_with(key, || k + 1));
+                for (&k, &v) in workload.iter().zip(&values) {
+                    prop_assert_eq!(v, k + 1);
+                }
+                let stats = sharded.stats();
+                prop_assert_eq!(stats.hits + stats.misses, workload.len() as u64);
+            }
+        }
     }
 }

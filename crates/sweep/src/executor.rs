@@ -22,8 +22,8 @@
 //! recomputation of deterministic values, so cache on/off also yields identical
 //! results. Both halves of the contract are asserted by the property suite.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +32,7 @@ use ayd_platforms::PlatformId;
 use ayd_sim::rng::splitmix64;
 use ayd_sim::{EngineKind, Simulator};
 
-use crate::cache::{CacheKey, CacheStats, EvalCache};
+use crate::cache::{CacheKey, CacheStats, ShardedEvalCache};
 use crate::evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
 use crate::grid::{ScenarioGrid, SweepCell};
 use crate::options::RunOptions;
@@ -224,9 +224,13 @@ impl SweepResults {
 /// closed form computed outside the cache.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyticEval {
-    first_order: Option<OperatingPoint>,
-    closed_form: Option<ClosedForm>,
-    numerical: OperatingPoint,
+    /// First-order series (joint first-order point, or Theorem 1's `T*_P` at
+    /// the fixed `P`); absent when the closed forms do not apply.
+    pub first_order: Option<OperatingPoint>,
+    /// Closed-form joint optimum (Theorem 2/3), when it exists.
+    pub closed_form: Option<ClosedForm>,
+    /// Numerical optimum of the exact model (joint, or at the fixed `P`).
+    pub numerical: OperatingPoint,
 }
 
 /// Derives the simulation base seed of a cell from the sweep seed and the cell
@@ -258,58 +262,210 @@ impl SweepExecutor {
     /// Evaluates the grid, streaming every row (in cell order) into `sink` as
     /// soon as it and all its predecessors are available.
     pub fn run_with_sink(&self, grid: &ScenarioGrid, sink: &mut dyn SweepSink) -> SweepResults {
-        let cells = grid.cells();
-        if cells.is_empty() {
-            // Still honour the sink contract: finish() writes the CSV header
-            // and flushes even when no rows were produced.
-            let results = SweepResults::default();
-            sink.finish(&results);
-            return results;
-        }
-        let cache = self
-            .options
-            .cache_capacity
-            .map(EvalCache::<AnalyticEval>::new);
-        let workers = self
-            .options
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-            .clamp(1, cells.len());
-
-        let next_cell = AtomicUsize::new(0);
-        let emitter = Mutex::new(Emitter {
-            pending: std::collections::BTreeMap::new(),
-            ordered: Vec::with_capacity(cells.len()),
-            sink,
-        });
-
-        // Panics in workers propagate when the scope joins them at the end.
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next_cell.fetch_add(1, Ordering::Relaxed);
-                    if index >= cells.len() {
-                        break;
-                    }
-                    let row = evaluate_cell(&cells[index], &self.options, cache.as_ref());
-                    emitter.lock().expect("emitter poisoned").push(index, row);
-                });
-            }
-        });
-
-        let emitter = emitter.into_inner().expect("emitter poisoned");
-        debug_assert!(emitter.pending.is_empty(), "all cells must have drained");
-        let results = SweepResults {
-            rows: emitter.ordered,
-            cache: cache.map(|c| c.stats()).unwrap_or_default(),
-        };
-        emitter.sink.finish(&results);
-        results
+        run_cells(&self.options, &grid.cells(), sink, None, None)
     }
+
+    /// Starts the sweep on a background thread and returns immediately with a
+    /// [`SweepJobHandle`] for status/progress polling and cancellation.
+    ///
+    /// The handle's thread runs the same scoped-thread core as [`Self::run`]
+    /// (same determinism contract); rows stream into `sink` in cell order.
+    /// Cancelling stops workers from picking up new cells; already-started
+    /// cells finish, and [`SweepJobHandle::join`] returns the completed
+    /// in-order prefix of the rows.
+    pub fn spawn_with_sink(
+        &self,
+        grid: &ScenarioGrid,
+        mut sink: Box<dyn SweepSink>,
+    ) -> SweepJobHandle {
+        let cells = grid.cells();
+        let total = cells.len();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let options = self.options;
+        let (cancel_flag, progress) = (Arc::clone(&cancel), Arc::clone(&completed));
+        let thread = std::thread::spawn(move || {
+            run_cells(
+                &options,
+                &cells,
+                sink.as_mut(),
+                Some(&cancel_flag),
+                Some(&progress),
+            )
+        });
+        SweepJobHandle {
+            total,
+            completed,
+            cancel,
+            thread,
+        }
+    }
+
+    /// [`Self::spawn_with_sink`] with a [`crate::sink::NullSink`] (results are
+    /// only collected into the returned handle).
+    pub fn spawn(&self, grid: &ScenarioGrid) -> SweepJobHandle {
+        self.spawn_with_sink(grid, Box::new(crate::sink::NullSink))
+    }
+}
+
+/// Status of a background sweep job (see [`SweepExecutor::spawn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepJobStatus {
+    /// The job's thread is still evaluating cells.
+    Running,
+    /// Every cell was evaluated (the job thread may still be unwinding its
+    /// scope, but no further work remains).
+    Done,
+    /// Cancellation was requested; workers stop after their current cell.
+    Cancelled,
+}
+
+/// Final outcome of a background sweep job.
+#[derive(Debug, Clone)]
+pub struct SweepJobResult {
+    /// The evaluated rows: all of them for a completed job, the in-order
+    /// prefix completed before cancellation took effect otherwise.
+    pub results: SweepResults,
+    /// True when the job was cancelled before evaluating every cell.
+    pub cancelled: bool,
+}
+
+/// Handle on a sweep running on a background thread: poll progress, cancel,
+/// and eventually [`join`](Self::join) for the results.
+#[derive(Debug)]
+pub struct SweepJobHandle {
+    total: usize,
+    completed: Arc<AtomicUsize>,
+    cancel: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<SweepResults>,
+}
+
+impl SweepJobHandle {
+    /// Total number of cells in the job's grid.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of cells evaluated so far.
+    pub fn completed(&self) -> usize {
+        self.completed.load(Ordering::Relaxed).min(self.total)
+    }
+
+    /// Current status of the job. A job whose every cell completed reports
+    /// [`SweepJobStatus::Done`] even when a cancellation raced in after the
+    /// last cell.
+    pub fn status(&self) -> SweepJobStatus {
+        if self.completed() >= self.total {
+            SweepJobStatus::Done
+        } else if self.cancel.load(Ordering::Relaxed) {
+            SweepJobStatus::Cancelled
+        } else {
+            SweepJobStatus::Running
+        }
+    }
+
+    /// True when the job's thread has finished (all cells done, or the
+    /// cancellation drained).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Requests cancellation: workers stop pulling new cells. Non-blocking;
+    /// use [`join`](Self::join) to wait for the drain.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the job thread and returns the (possibly partial) results.
+    ///
+    /// # Panics
+    /// Propagates a panic from the job's worker threads, like
+    /// [`SweepExecutor::run`] does.
+    pub fn join(self) -> SweepJobResult {
+        let results = self.thread.join().expect("sweep job thread panicked");
+        let cancelled = self.cancel.load(Ordering::Relaxed) && results.rows.len() < self.total;
+        SweepJobResult { results, cancelled }
+    }
+}
+
+/// The shared parallel core of [`SweepExecutor::run_with_sink`] and
+/// [`SweepExecutor::spawn_with_sink`]: a self-scheduling scoped worker pool
+/// over `cells`, with optional cooperative cancellation and a progress
+/// counter (incremented once per evaluated cell).
+fn run_cells(
+    options: &SweepOptions,
+    cells: &[SweepCell],
+    sink: &mut dyn SweepSink,
+    cancel: Option<&AtomicBool>,
+    progress: Option<&AtomicUsize>,
+) -> SweepResults {
+    if cells.is_empty() {
+        // Still honour the sink contract: finish() writes the CSV header
+        // and flushes even when no rows were produced.
+        let results = SweepResults::default();
+        sink.finish(&results);
+        return results;
+    }
+    let workers = options
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, cells.len());
+    // One shard per worker (rounded up to a power of two) keeps concurrent
+    // misses on distinct keys from serialising on a single mutex.
+    let cache = options
+        .cache_capacity
+        .map(|capacity| ShardedEvalCache::<AnalyticEval>::new(cache_shards(workers), capacity));
+
+    let next_cell = AtomicUsize::new(0);
+    let emitter = Mutex::new(Emitter {
+        pending: std::collections::BTreeMap::new(),
+        ordered: Vec::with_capacity(cells.len()),
+        sink,
+    });
+
+    // Panics in workers propagate when the scope joins them at the end.
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                    break;
+                }
+                let index = next_cell.fetch_add(1, Ordering::Relaxed);
+                if index >= cells.len() {
+                    break;
+                }
+                let row = evaluate_cell(&cells[index], options, cache.as_ref());
+                if let Some(counter) = progress {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+                emitter.lock().expect("emitter poisoned").push(index, row);
+            });
+        }
+    });
+
+    let emitter = emitter.into_inner().expect("emitter poisoned");
+    debug_assert!(
+        cancel.is_some() || emitter.pending.is_empty(),
+        "all cells must have drained"
+    );
+    let results = SweepResults {
+        rows: emitter.ordered,
+        cache: cache.map(|c| c.stats()).unwrap_or_default(),
+    };
+    emitter.sink.finish(&results);
+    results
+}
+
+/// Shard count used for a given worker count: the next power of two, capped
+/// at 16 (beyond that the shards outnumber any realistic lock contention).
+/// Public because the `ayd-serve` process-wide cache sizes itself with the
+/// same policy.
+pub fn cache_shards(workers: usize) -> usize {
+    workers.max(1).next_power_of_two().min(16)
 }
 
 /// Reorder buffer: accumulates out-of-order completions, releases rows in cell
@@ -330,7 +486,15 @@ impl Emitter<'_> {
     }
 }
 
-fn cache_key(model: &ExactModel, cell: &SweepCell, options: &SweepOptions) -> CacheKey {
+/// The memoisation key of one analytic evaluation: quantized model inputs,
+/// the fixed processor count (NaN-marked when `P` is optimised) and the
+/// optimiser search ranges. Shared by the sweep executor and the `ayd-serve`
+/// query service, so both populate the same cache entries.
+pub fn analytic_cache_key(
+    model: &ExactModel,
+    fixed_processors: Option<f64>,
+    options: &SweepOptions,
+) -> CacheKey {
     let absent = f64::NAN;
     CacheKey::from_inputs(&[
         model.failures.lambda_ind,
@@ -342,7 +506,7 @@ fn cache_key(model: &ExactModel, cell: &SweepCell, options: &SweepOptions) -> Ca
         model.costs.verification.v,
         model.costs.verification.u,
         model.costs.downtime,
-        cell.fixed_processors.unwrap_or(absent),
+        fixed_processors.unwrap_or(absent),
         options.processor_range.0,
         options.processor_range.1,
         options.period_range.0,
@@ -350,7 +514,33 @@ fn cache_key(model: &ExactModel, cell: &SweepCell, options: &SweepOptions) -> Ca
     ])
 }
 
-fn compute_analytic(model: &ExactModel, cell: &SweepCell, options: &SweepOptions) -> AnalyticEval {
+/// The analytic (simulation-free) evaluation of one configuration, optionally
+/// memoised in a shared [`ShardedEvalCache`].
+///
+/// This is the per-cell kernel of the executor, exposed so that long-lived
+/// services can answer single queries against a process-wide cache with
+/// results bit-identical to a sweep over the same configuration (and to the
+/// offline [`Evaluator`], which it delegates to).
+pub fn evaluate_analytic(
+    model: &ExactModel,
+    fixed_processors: Option<f64>,
+    options: &SweepOptions,
+    cache: Option<&ShardedEvalCache<AnalyticEval>>,
+) -> AnalyticEval {
+    match cache {
+        Some(cache) => cache
+            .get_or_insert_with(analytic_cache_key(model, fixed_processors, options), || {
+                compute_analytic(model, fixed_processors, options)
+            }),
+        None => compute_analytic(model, fixed_processors, options),
+    }
+}
+
+fn compute_analytic(
+    model: &ExactModel,
+    fixed_processors: Option<f64>,
+    options: &SweepOptions,
+) -> AnalyticEval {
     let analytic_options = RunOptions {
         simulate: false,
         ..options.run
@@ -364,7 +554,7 @@ fn compute_analytic(model: &ExactModel, cell: &SweepCell, options: &SweepOptions
         period: o.period,
         overhead: o.overhead,
     });
-    match cell.fixed_processors {
+    match fixed_processors {
         Some(p) => {
             let period_optimum = first_order_model.optimal_period_for(p);
             let first_order = OperatingPoint {
@@ -414,18 +604,13 @@ fn simulate_point(
 fn evaluate_cell(
     cell: &SweepCell,
     options: &SweepOptions,
-    cache: Option<&EvalCache<AnalyticEval>>,
+    cache: Option<&ShardedEvalCache<AnalyticEval>>,
 ) -> SweepRow {
     let model = cell
         .setup
         .model()
         .expect("grid builders only emit valid setups");
-    let analytic = match cache {
-        Some(cache) => cache.get_or_insert_with(cache_key(&model, cell, options), || {
-            compute_analytic(&model, cell, options)
-        }),
-        None => compute_analytic(&model, cell, options),
-    };
+    let analytic = evaluate_analytic(&model, cell.fixed_processors, options, cache);
 
     let mut first_order = analytic.first_order;
     let closed_form = analytic.closed_form;
@@ -660,6 +845,91 @@ mod tests {
         assert_eq!(cell_seed(2016, 3), cell_seed(2016, 3));
         assert_ne!(cell_seed(2016, 3), cell_seed(2016, 4));
         assert_ne!(cell_seed(2016, 3), cell_seed(2017, 3));
+    }
+
+    #[test]
+    fn evaluate_analytic_matches_the_offline_evaluator_bit_for_bit() {
+        let model = ayd_platforms::ExperimentSetup::paper_default(
+            ayd_platforms::PlatformId::Hera,
+            ScenarioId::S1,
+        )
+        .model()
+        .unwrap();
+        let options = analytic_options();
+        let cache = crate::cache::ShardedEvalCache::new(4, 64);
+        let eval = evaluate_analytic(&model, None, &options, Some(&cache));
+        let evaluator = crate::evaluate::Evaluator::new(RunOptions {
+            simulate: false,
+            ..options.run
+        });
+        let cmp = evaluator.compare(&model);
+        assert_eq!(eval.first_order, cmp.first_order);
+        assert_eq!(eval.numerical, cmp.numerical);
+        // A cached replay returns the identical value and scores a hit.
+        let replay = evaluate_analytic(&model, None, &options, Some(&cache));
+        assert_eq!(eval, replay);
+        assert_eq!(cache.stats().hits, 1);
+        // The fixed-P path matches the evaluator's period search, too.
+        let fixed = evaluate_analytic(&model, Some(512.0), &options, Some(&cache));
+        let (period, overhead) = evaluator.numerical_period_for(&model, 512.0);
+        assert_eq!(fixed.numerical.period, period);
+        assert_eq!(fixed.numerical.predicted_overhead, overhead);
+    }
+
+    #[test]
+    fn spawned_jobs_report_progress_and_match_the_blocking_path() {
+        let grid = small_fixed_grid();
+        let executor = SweepExecutor::new(analytic_options().with_threads(2));
+        let handle = executor.spawn(&grid);
+        assert_eq!(handle.total(), grid.len());
+        let result = handle.join();
+        assert!(!result.cancelled);
+        assert_eq!(result.results.rows.len(), grid.len());
+        assert_eq!(result.results.rows, executor.run(&grid).rows);
+    }
+
+    #[test]
+    fn cancel_mid_run_keeps_the_completed_in_order_prefix() {
+        // A sink that parks the emitter on the first row until released: with
+        // the in-order frontier blocked, workers pile up behind the emitter
+        // mutex, so the cancel flag is guaranteed to be observed mid-run.
+        struct GatedSink {
+            rows: usize,
+            gate: std::sync::mpsc::Receiver<()>,
+        }
+        impl crate::sink::SweepSink for GatedSink {
+            fn on_row(&mut self, _row: &SweepRow) {
+                if self.rows == 0 {
+                    self.gate.recv().ok();
+                }
+                self.rows += 1;
+            }
+        }
+
+        let grid = ScenarioGrid::builder()
+            .scenarios(&ScenarioId::ALL)
+            .processors(ProcessorAxis::Fixed(vec![200.0, 400.0, 800.0, 1600.0]))
+            .lambda_multipliers(&[1.0, 10.0])
+            .build()
+            .unwrap();
+        assert!(grid.len() >= 48);
+        let (release, gate) = std::sync::mpsc::channel();
+        let executor = SweepExecutor::new(analytic_options().with_threads(2));
+        let handle = executor.spawn_with_sink(&grid, Box::new(GatedSink { rows: 0, gate }));
+        while handle.completed() == 0 {
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        assert_eq!(handle.status(), SweepJobStatus::Cancelled);
+        release.send(()).unwrap();
+        let result = handle.join();
+        assert!(result.cancelled);
+        let partial = result.results.rows;
+        assert!(!partial.is_empty());
+        assert!(partial.len() < grid.len(), "job was not interrupted");
+        // The partial rows are the in-order prefix of an uncancelled run.
+        let full = SweepExecutor::new(analytic_options().with_threads(1)).run(&grid);
+        assert_eq!(partial[..], full.rows[..partial.len()]);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   self-scheduling worker pool pulling from a shared atomic work queue)
 //!   that evaluates the exact model, the first-order model and (optionally)
 //!   either simulation engine per cell.
-//! * [`EvalCache`] — LRU-style memoisation of the expensive optimiser
-//!   evaluations, keyed on quantized model inputs.
+//! * [`EvalCache`] / [`ShardedEvalCache`] — LRU-style memoisation of the
+//!   expensive optimiser evaluations, keyed on quantized model inputs; the
+//!   sharded variant spreads concurrent lookups over independently locked
+//!   shards (the executor and the `ayd-serve` query service both use it).
 //! * [`sink`] — streaming CSV/report sinks fed in cell order through a reorder
 //!   buffer.
 //! * [`Evaluator`] / [`RunOptions`] — the per-cell evaluation kernel and run
@@ -37,9 +39,13 @@ pub mod grid;
 pub mod options;
 pub mod sink;
 
-pub use cache::{CacheKey, CacheStats, EvalCache};
+pub use cache::{CacheKey, CacheStats, EvalCache, ShardedEvalCache};
 pub use evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
-pub use executor::{cell_seed, ClosedForm, SweepExecutor, SweepOptions, SweepResults, SweepRow};
+pub use executor::{
+    analytic_cache_key, cache_shards, cell_seed, evaluate_analytic, AnalyticEval, ClosedForm,
+    SweepExecutor, SweepJobHandle, SweepJobResult, SweepJobStatus, SweepOptions, SweepResults,
+    SweepRow,
+};
 pub use grid::{GridBuilder, GridError, LambdaAxis, ProcessorAxis, ScenarioGrid, SweepCell};
 pub use options::{Fidelity, RunOptions};
 pub use sink::{csv_line, CsvSink, NullSink, ReportSink, SweepSink, CSV_HEADER};

@@ -15,6 +15,9 @@
 //! * [`sweep`] (`ayd-sweep`) — parallel scenario-sweep engine: cartesian
 //!   scenario grids, a deterministic work-stealing executor, memoised model
 //!   evaluation and streaming CSV sinks.
+//! * [`serve`] (`ayd-serve`) — zero-dependency concurrent HTTP/1.1 query
+//!   service over the optimiser: single/batch queries, async sweep jobs, a
+//!   process-wide sharded evaluation cache and Prometheus metrics.
 //! * [`exp`] (`ayd-exp`) — the experiment harness that regenerates every table and
 //!   figure of the paper's evaluation section.
 //!
@@ -27,6 +30,7 @@ pub use ayd_core as model;
 pub use ayd_exp as exp;
 pub use ayd_optim as optim;
 pub use ayd_platforms as platforms;
+pub use ayd_serve as serve;
 pub use ayd_sim as sim;
 pub use ayd_sweep as sweep;
 
@@ -35,6 +39,7 @@ pub mod prelude {
     pub use ayd_core::prelude::*;
     pub use ayd_optim::{JointSearch, OptimizeOptions};
     pub use ayd_platforms::{Platform, PlatformId, Scenario, ScenarioId};
+    pub use ayd_serve::{Server, ServerConfig};
     pub use ayd_sim::{SimulationConfig, Simulator};
     pub use ayd_sweep::{RunOptions, ScenarioGrid, SweepExecutor, SweepOptions};
 }

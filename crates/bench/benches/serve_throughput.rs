@@ -45,6 +45,16 @@ fn bench_serve(c: &mut Criterion) {
             assert_eq!(response.status, 200);
         })
     });
+    group.bench_function("optimize_powerlaw_round_trip_keepalive", |b| {
+        // A non-Amdahl profile through the generic `profile` field: the
+        // numerical-only fallback served from the same shared cache.
+        let mut client = HttpClient::connect(&addr).expect("bench client");
+        let body = r#"{"platform":"Hera","scenario":1,"profile":"powerlaw:0.8"}"#;
+        b.iter(|| {
+            let response = client.post_json("/v1/optimize", body).expect("round trip");
+            assert_eq!(response.status, 200);
+        })
+    });
     group.bench_function("healthz_round_trip_keepalive", |b| {
         let mut client = HttpClient::connect(&addr).expect("bench client");
         b.iter(|| {

@@ -8,8 +8,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use ayd_exp::sweep::demo_grid;
-use ayd_sweep::{ScenarioGrid, SweepExecutor, SweepOptions};
+use ayd_exp::sweep::{demo_grid, demo_grid_with_profiles};
+use ayd_sweep::{CacheStats, ScenarioGrid, SpeedupProfile, SweepExecutor, SweepOptions};
 
 fn thousand_cell_grid() -> ScenarioGrid {
     // The CLI's analytical demo grid: 4 platforms × 6 scenarios × 2 α ×
@@ -17,9 +17,57 @@ fn thousand_cell_grid() -> ScenarioGrid {
     demo_grid(false)
 }
 
+fn mixed_profile_grid() -> ScenarioGrid {
+    // The same grid with the application axis swapped for one profile of each
+    // family — the non-Amdahl cells exercise the numerical-only fallback.
+    demo_grid_with_profiles(
+        false,
+        Some(&[
+            SpeedupProfile::Amdahl { alpha: 0.1 },
+            SpeedupProfile::PowerLaw { sigma: 0.8 },
+            SpeedupProfile::Gustafson { alpha: 0.05 },
+            SpeedupProfile::PerfectlyParallel,
+        ]),
+    )
+}
+
+/// In-run cache hit rate of one sweep over a single-profile grid, starting
+/// from a cold per-run cache. The grid crosses 4 pattern lengths with the
+/// other axes, so every optimiser evaluation is revisited 4× within the run
+/// (1 miss + 3 hits → a 75% steady-state hit rate); that deduplication rate
+/// is the cache-design acceptance number EXPERIMENTS.md records.
+fn warm_hit_rate(profile: SpeedupProfile) -> CacheStats {
+    let grid = demo_grid_with_profiles(false, Some(&[profile]));
+    let options = SweepOptions::new(ayd_bench::timed_options());
+    SweepExecutor::new(options).run(&grid).cache
+}
+
 fn bench_sweep(c: &mut Criterion) {
     let grid = thousand_cell_grid();
     let options = SweepOptions::new(ayd_bench::timed_options());
+
+    // Warm-cache hit-rate parity: the memoisation layer must not privilege
+    // the Amdahl fast path — a power-law grid of identical shape deduplicates
+    // exactly as well (EXPERIMENTS.md records this pair).
+    let amdahl = warm_hit_rate(SpeedupProfile::Amdahl { alpha: 0.1 });
+    let powerlaw = warm_hit_rate(SpeedupProfile::PowerLaw { sigma: 0.8 });
+    println!("\n================================================================");
+    println!(
+        "sweep_throughput: warm-cache hit rate amdahl:0.1 = {:.4} ({} hits / {} misses), \
+         powerlaw:0.8 = {:.4} ({} hits / {} misses)",
+        amdahl.hit_rate(),
+        amdahl.hits,
+        amdahl.misses,
+        powerlaw.hit_rate(),
+        powerlaw.hits,
+        powerlaw.misses,
+    );
+    assert!(
+        (amdahl.hit_rate() - powerlaw.hit_rate()).abs() < 1e-12,
+        "hit-rate parity broke: amdahl {:?} vs powerlaw {:?}",
+        amdahl,
+        powerlaw
+    );
 
     let start = Instant::now();
     let results = SweepExecutor::new(options).run(&grid);
@@ -46,6 +94,11 @@ fn bench_sweep(c: &mut Criterion) {
     });
     group.bench_function("grid_1152_cells_no_cache", |b| {
         b.iter(|| SweepExecutor::new(options.with_cache_capacity(None)).run(&grid))
+    });
+    let mixed = mixed_profile_grid();
+    assert_eq!(mixed.len(), 4 * 6 * 4 * 2 * 3 * 4);
+    group.bench_function("grid_2304_cells_mixed_profiles", |b| {
+        b.iter(|| SweepExecutor::new(options).run(&mixed))
     });
     group.finish();
 }

@@ -41,6 +41,12 @@ pub enum ModelError {
         /// Explanation of why the approximation breaks down.
         reason: &'static str,
     },
+    /// A speedup-profile spec (string or kind/parameter pair) could not be
+    /// turned into a valid [`crate::speedup::SpeedupProfile`].
+    InvalidProfileSpec {
+        /// What was wrong with the spec.
+        message: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -66,6 +72,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::FirstOrderInapplicable { reason } => {
                 write!(f, "first-order approximation not applicable: {reason}")
+            }
+            ModelError::InvalidProfileSpec { message } => {
+                write!(f, "invalid speedup profile spec: {message}")
             }
         }
     }

@@ -59,6 +59,7 @@ pub mod error;
 pub mod failure;
 pub mod first_order;
 pub mod pattern;
+pub mod profile;
 pub mod regimes;
 pub mod speedup;
 pub mod young_daly;
@@ -69,6 +70,7 @@ pub use error::ModelError;
 pub use failure::FailureModel;
 pub use first_order::{CostCase, FirstOrder, JointOptimum, PeriodOptimum};
 pub use pattern::ExactModel;
+pub use profile::ProfileSpec;
 pub use regimes::{fit_power_law, ValidityBounds};
 pub use speedup::SpeedupProfile;
 pub use young_daly::{daly_period, young_daly_period};
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::failure::FailureModel;
     pub use crate::first_order::{CostCase, FirstOrder, JointOptimum, PeriodOptimum};
     pub use crate::pattern::ExactModel;
+    pub use crate::profile::ProfileSpec;
     pub use crate::regimes::{fit_power_law, ValidityBounds};
     pub use crate::speedup::SpeedupProfile;
     pub use crate::young_daly::{daly_period, young_daly_period};

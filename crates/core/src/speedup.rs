@@ -77,6 +77,18 @@ impl SpeedupProfile {
         Ok(SpeedupProfile::Gustafson { alpha })
     }
 
+    /// Re-validates the parameters of a profile built directly from its
+    /// variant fields (e.g. deserialized, or carried unchecked through a
+    /// builder), returning the same profile on success.
+    pub fn validate(&self) -> Result<Self, ModelError> {
+        match *self {
+            SpeedupProfile::Amdahl { alpha } => Self::amdahl(alpha),
+            SpeedupProfile::PerfectlyParallel => Ok(Self::perfectly_parallel()),
+            SpeedupProfile::PowerLaw { sigma } => Self::power_law(sigma),
+            SpeedupProfile::Gustafson { alpha } => Self::gustafson(alpha),
+        }
+    }
+
     /// The speedup `S(P)` for `p` processors. `p` is treated as a continuous
     /// quantity (the optimisation theorems do the same); callers that need an
     /// integral processor count round the optimum afterwards.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce <experiment> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]
-//!                        [--threads N] [--no-cache]
+//!                        [--threads N] [--no-cache] [--profiles SPEC,...]
 //!                        [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]
 //!
 //! experiments:
@@ -12,6 +12,10 @@
 //!   serve       ayd-serve HTTP query service (runs until killed; not in `all`)
 //!   all         everything above except serve
 //! ```
+//!
+//! `--profiles` (sweep only) replaces the demo grid's application axis with an
+//! explicit comma-separated list of speedup-profile specs, e.g.
+//! `--profiles amdahl:0.1,powerlaw:0.8,gustafson:0.05,perfect`.
 //!
 //! `serve` exposes the optimiser over HTTP (see the `ayd-serve` crate docs):
 //! `--addr` picks the listen address (port 0 = ephemeral; the bound address is
@@ -46,11 +50,29 @@ struct ServeArgs {
     max_body: Option<usize>,
 }
 
+#[derive(Debug)]
 struct Cli {
     experiments: Vec<String>,
     options: RunOptions,
     format: OutputFormat,
     serve: ServeArgs,
+    /// Speedup-profile override of the sweep demo grid (`--profiles`).
+    profiles: Option<Vec<ayd_core::SpeedupProfile>>,
+}
+
+fn parse_profiles(value: &str) -> Result<Vec<ayd_core::SpeedupProfile>, String> {
+    let specs: Vec<&str> = value.split(',').filter(|s| !s.trim().is_empty()).collect();
+    if specs.is_empty() {
+        return Err("--profiles requires at least one profile spec".to_string());
+    }
+    specs
+        .into_iter()
+        .map(|spec| {
+            ayd_core::ProfileSpec::parse(spec)
+                .map(|parsed| parsed.profile())
+                .map_err(|e| format!("invalid profile spec `{spec}`: {e}"))
+        })
+        .collect()
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -58,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut options = RunOptions::default();
     let mut format = OutputFormat::Text;
     let mut serve = ServeArgs::default();
+    let mut profiles = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -82,6 +105,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     return Err("--threads must be at least 1".to_string());
                 }
                 options.threads = Some(parsed);
+            }
+            "--profiles" => {
+                let value = iter.next().ok_or("--profiles requires a value")?;
+                profiles = Some(parse_profiles(value)?);
             }
             "--addr" => {
                 let value = iter.next().ok_or("--addr requires a value")?;
@@ -118,14 +145,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         options,
         format,
         serve,
+        profiles,
     })
 }
 
 fn usage() -> String {
     "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N] \
-     [--threads N] [--no-cache] [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]\n\
+     [--threads N] [--no-cache] [--profiles SPEC,...] [--addr HOST:PORT] [--cache-capacity N] \
+     [--max-body BYTES]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
-     checks serve all"
+     checks serve all\n\
+     profile specs: amdahl:A powerlaw:S gustafson:A perfect (e.g. \
+     --profiles amdahl:0.1,powerlaw:0.8)"
         .to_string()
 }
 
@@ -291,7 +322,7 @@ fn run_experiment(name: &str, cli: &Cli) -> Result<(), String> {
             emit(format, vec![extensions::render(&data)]);
         }
         "sweep" => {
-            let results = sweep::run(options);
+            let results = sweep::run_with_profiles(options, cli.profiles.as_deref());
             match format {
                 OutputFormat::Text => emit(format, vec![sweep::render(&results)]),
                 OutputFormat::Csv | OutputFormat::Json => emit_sweep_csv(format, &results),
@@ -386,6 +417,28 @@ mod tests {
     }
 
     #[test]
+    fn parses_profile_specs() {
+        let cli = parse_args(&strings(&[
+            "sweep",
+            "--profiles",
+            "amdahl:0.1,powerlaw:0.8,gustafson:0.05,perfect",
+        ]))
+        .unwrap();
+        let profiles = cli.profiles.unwrap();
+        assert_eq!(profiles.len(), 4);
+        assert_eq!(profiles[0], ayd_core::SpeedupProfile::amdahl(0.1).unwrap());
+        assert_eq!(profiles[3], ayd_core::SpeedupProfile::perfectly_parallel());
+        // Every other experiment leaves the override unset.
+        assert!(parse_args(&strings(&["fig2"])).unwrap().profiles.is_none());
+        // Malformed specs are rejected with the offending spec named.
+        let err = parse_args(&strings(&["sweep", "--profiles", "amdahl:2"])).unwrap_err();
+        assert!(err.contains("amdahl:2"), "{err}");
+        assert!(parse_args(&strings(&["sweep", "--profiles", ""])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--profiles"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--profiles", "bogus"])).is_err());
+    }
+
+    #[test]
     fn parses_serve_flags() {
         let cli = parse_args(&strings(&[
             "serve",
@@ -450,6 +503,7 @@ mod tests {
             },
             format: OutputFormat::Text,
             serve: ServeArgs::default(),
+            profiles: None,
         }
     }
 

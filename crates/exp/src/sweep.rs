@@ -15,6 +15,7 @@
 //! Both presets honour the sweep determinism contract: for a fixed seed the
 //! output is byte-identical regardless of `--threads` and `--no-cache`.
 
+use ayd_core::{ProfileSpec, SpeedupProfile};
 use ayd_platforms::{PlatformId, ScenarioId};
 use ayd_sweep::{ProcessorAxis, ScenarioGrid, SweepExecutor, SweepOptions, SweepResults};
 
@@ -25,7 +26,17 @@ use crate::table::{fmt_option, fmt_value, TextTable};
 /// the large one; the simulating preset keeps the cell count small enough for
 /// interactive use.
 pub fn demo_grid(simulate: bool) -> ScenarioGrid {
-    let builder = if simulate {
+    demo_grid_with_profiles(simulate, None)
+}
+
+/// [`demo_grid`] with the application axis overridden by an explicit list of
+/// speedup profiles (the CLI's `--profiles` flag). `None` keeps each preset's
+/// default Amdahl axis.
+pub fn demo_grid_with_profiles(
+    simulate: bool,
+    profiles: Option<&[SpeedupProfile]>,
+) -> ScenarioGrid {
+    let mut builder = if simulate {
         ScenarioGrid::builder()
             .platforms(&[PlatformId::Hera, PlatformId::Atlas])
             .scenarios(&ScenarioId::REPRESENTATIVE)
@@ -40,13 +51,26 @@ pub fn demo_grid(simulate: bool) -> ScenarioGrid {
             .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0, 4096.0]))
             .pattern_lengths(&[900.0, 3_600.0, 14_400.0, 57_600.0])
     };
+    if let Some(profiles) = profiles {
+        builder = builder.profiles(profiles);
+    }
     builder.build().expect("the demo grids are valid")
 }
 
 /// Runs the demo sweep. The worker-thread count and the cache switch come
 /// from the run options (`--threads` / `--no-cache` on the CLI).
 pub fn run(options: &RunOptions) -> SweepResults {
-    SweepExecutor::new(SweepOptions::new(*options)).run(&demo_grid(options.simulate))
+    run_with_profiles(options, None)
+}
+
+/// [`run`] over a demo grid whose application axis is the given profiles
+/// (`--profiles` on the CLI); `None` keeps the preset's Amdahl axis.
+pub fn run_with_profiles(
+    options: &RunOptions,
+    profiles: Option<&[SpeedupProfile]>,
+) -> SweepResults {
+    SweepExecutor::new(SweepOptions::new(*options))
+        .run(&demo_grid_with_profiles(options.simulate, profiles))
 }
 
 /// Renders sweep results as a text table (one row per cell).
@@ -59,7 +83,7 @@ pub fn render(results: &SweepResults) -> TextTable {
         &[
             "platform",
             "scenario",
-            "alpha",
+            "profile",
             "lambda_x",
             "P",
             "T*_P (first-order)",
@@ -81,7 +105,7 @@ pub fn render(results: &SweepResults) -> TextTable {
         table.push_row(vec![
             row.platform.name().to_string(),
             row.scenario.to_string(),
-            format!("{}", row.alpha),
+            ProfileSpec::from(row.profile).to_string(),
             fmt_value(row.lambda_multiplier),
             fmt_option(row.fixed_processors),
             fmt_option(fo.map(|p| p.period)),
@@ -122,6 +146,46 @@ mod tests {
         // The pattern-length axis reuses each optimiser evaluation, so the
         // cache must score hits.
         assert!(results.cache.hits > 0);
+    }
+
+    #[test]
+    fn profile_override_reshapes_the_application_axis() {
+        let profiles = [
+            SpeedupProfile::amdahl(0.1).unwrap(),
+            SpeedupProfile::power_law(0.8).unwrap(),
+            SpeedupProfile::gustafson(0.05).unwrap(),
+            SpeedupProfile::perfectly_parallel(),
+        ];
+        let grid = demo_grid_with_profiles(true, Some(&profiles));
+        // 2 platforms × 3 scenarios × 4 profiles × 2 λ × 2 P.
+        assert_eq!(grid.len(), 2 * 3 * 4 * 2 * 2);
+        // Smoke-level simulation on the small preset: the override must also
+        // hold under the simulating grid (and stay deterministic there).
+        let options = RunOptions {
+            threads: Some(2),
+            ..RunOptions::smoke()
+        };
+        let results = run_with_profiles(&options, Some(&profiles));
+        assert_eq!(results.rows.len(), grid.len());
+        // Extension-profile rows carry no first-order series; Amdahl rows do.
+        for row in &results.rows {
+            match row.profile {
+                SpeedupProfile::Amdahl { .. } | SpeedupProfile::PerfectlyParallel => {
+                    assert!(row.first_order.is_some(), "{:?}", row.profile);
+                }
+                _ => assert!(row.first_order.is_none(), "{:?}", row.profile),
+            }
+        }
+        // Determinism holds for mixed-profile grids too.
+        let reran = run_with_profiles(
+            &RunOptions {
+                threads: Some(4),
+                cache: false,
+                ..options
+            },
+            Some(&profiles),
+        );
+        assert_eq!(results.to_csv(), reran.to_csv());
     }
 
     #[test]

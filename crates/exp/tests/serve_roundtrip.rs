@@ -82,14 +82,14 @@ fn serve_round_trips_match_the_offline_engine_and_the_golden_rows() {
     assert_eq!(lines[0], ayd_sweep::CSV_HEADER);
     assert_eq!(
         lines[1],
-        "Hera,1,0.1,0.0000000169,1,256,3600,256,6551.836818431605,0.10923732682928215,\
-0.10874209350020253,,,256,6469.2375895385285,0.10923689384439697,,,\
+        "Hera,1,0.1,amdahl,0.1,0.0000000169,1,256,3600,256,6551.836818431605,\
+0.10923732682928215,0.10874209350020253,,,256,6469.2375895385285,0.10923689384439697,,,\
 0.11018235679785451,,,,"
     );
     assert_eq!(
         lines[8],
-        "Hera,3,0.1,0.000000169,10,1024,3600,1024,1430.5273600525854,0.17749510125302212,\
-0.14536209184958257,,,1024,1280.6146752871186,0.17710358937015436,,,\
+        "Hera,3,0.1,amdahl,0.1,0.000000169,10,1024,3600,1024,1430.5273600525854,\
+0.17749510125302212,0.14536209184958257,,,1024,1280.6146752871186,0.17710358937015436,,,\
 0.22113748594843097,,,,"
     );
 }
@@ -115,10 +115,41 @@ fn serve_enforces_the_request_contract_over_the_wire() {
         .expect("400 round trip");
     assert_eq!(response.status, 400);
     assert!(response.body.contains("unknown platform"));
-    // The connection stays usable after errors (keep-alive survives 4xx).
+    // Invalid model parameters come back as structured field + reason JSON.
     let response = client
-        .post_json("/v1/optimize", r#"{"platform":"Coastal","scenario":5}"#)
+        .post_json("/v1/optimize", r#"{"alpha":1.5}"#)
+        .expect("structured 400 round trip");
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body.contains("\"field\":\"alpha\""),
+        "{}",
+        response.body
+    );
+    let response = client
+        .post_json(
+            "/v1/optimize",
+            r#"{"profile":{"kind":"powerlaw","sigma":1.7}}"#,
+        )
+        .expect("structured 400 round trip");
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body.contains("\"field\":\"sigma\""),
+        "{}",
+        response.body
+    );
+    // The connection stays usable after errors (keep-alive survives 4xx), and
+    // extension profiles answer with their exact round-trip spec.
+    let response = client
+        .post_json(
+            "/v1/optimize",
+            r#"{"platform":"Coastal","scenario":5,"profile":"powerlaw:0.8"}"#,
+        )
         .expect("200 round trip");
     assert_eq!(response.status, 200);
     assert!(response.body.contains("\"numerical\""));
+    assert!(
+        response.body.contains("\"spec\":\"powerlaw:0.8\""),
+        "{}",
+        response.body
+    );
 }

@@ -8,16 +8,21 @@ use crate::platform::{Platform, PlatformId};
 use crate::scenario::{Scenario, ScenarioId};
 
 /// A fully specified experiment setup: a platform, a resilience scenario, the
-/// application's sequential fraction, the downtime and (optionally) an overridden
+/// application's speedup profile, the downtime and (optionally) an overridden
 /// individual error rate. This is the unit every figure of the paper sweeps over.
+///
+/// The profile is stored *unvalidated* (its variant fields may hold any `f64`
+/// the caller supplied, e.g. from a builder or a deserialized request);
+/// [`ExperimentSetup::model`] validates it, so an out-of-range parameter
+/// surfaces as a [`ModelError`] rather than a panic.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentSetup {
     /// Platform whose Table II measurements parameterise the costs and rates.
     pub platform: PlatformId,
     /// Resilience scenario (Table III) describing cost scaling.
     pub scenario: ScenarioId,
-    /// Sequential fraction `α` of the application (paper default: 0.1).
-    pub alpha: f64,
+    /// Speedup profile of the application (paper default: Amdahl, `α = 0.1`).
+    pub profile: SpeedupProfile,
     /// Downtime `D` in seconds after each fail-stop error (paper default: 3600 s,
     /// a repair-based restoration).
     pub downtime: f64,
@@ -28,21 +33,33 @@ pub struct ExperimentSetup {
 
 impl ExperimentSetup {
     /// The paper's default configuration for a platform/scenario pair:
-    /// `α = 0.1`, `D = 3600 s`, measured `λ_ind`.
+    /// Amdahl with `α = 0.1`, `D = 3600 s`, measured `λ_ind`.
     pub fn paper_default(platform: PlatformId, scenario: ScenarioId) -> Self {
         Self {
             platform,
             scenario,
-            alpha: 0.1,
+            profile: SpeedupProfile::Amdahl { alpha: 0.1 },
             downtime: 3600.0,
             lambda_ind_override: None,
         }
     }
 
-    /// Returns a copy with a different sequential fraction (Figure 4 sweep).
-    pub fn with_alpha(mut self, alpha: f64) -> Self {
-        self.alpha = alpha;
+    /// Returns a copy with a different Amdahl sequential fraction (Figure 4
+    /// sweep). Convenience wrapper over [`Self::with_profile`].
+    pub fn with_alpha(self, alpha: f64) -> Self {
+        self.with_profile(SpeedupProfile::Amdahl { alpha })
+    }
+
+    /// Returns a copy with a different speedup profile.
+    pub fn with_profile(mut self, profile: SpeedupProfile) -> Self {
+        self.profile = profile;
         self
+    }
+
+    /// The Amdahl-equivalent sequential fraction of the profile (`α` for
+    /// Amdahl, `0` for perfectly parallel), `None` for extension profiles.
+    pub fn alpha(&self) -> Option<f64> {
+        self.profile.sequential_fraction()
     }
 
     /// Returns a copy with a different downtime (Figure 7 sweep).
@@ -81,7 +98,7 @@ impl ExperimentSetup {
         let platform = self.platform_data();
         let scenario = self.scenario_data();
         let costs = scenario.fit(&platform, self.downtime)?;
-        let speedup = SpeedupProfile::amdahl(self.alpha)?;
+        let speedup = self.profile.validate()?;
         Ok(ExactModel::new(speedup, costs, self.failure_model()?))
     }
 }
@@ -94,7 +111,8 @@ mod tests {
     #[test]
     fn default_setup_uses_paper_parameters() {
         let setup = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1);
-        assert_eq!(setup.alpha, 0.1);
+        assert_eq!(setup.alpha(), Some(0.1));
+        assert_eq!(setup.profile, SpeedupProfile::Amdahl { alpha: 0.1 });
         assert_eq!(setup.downtime, 3600.0);
         assert!(setup.lambda_ind_override.is_none());
         let model = setup.model().unwrap();
@@ -134,6 +152,23 @@ mod tests {
         assert_eq!(model.speedup.sequential_fraction(), Some(0.01));
         // The fail-stop fraction stays that of Atlas.
         assert_eq!(model.failures.fail_stop_fraction, 0.0625);
+    }
+
+    #[test]
+    fn non_amdahl_profiles_build_models() {
+        let setup = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+            .with_profile(SpeedupProfile::PowerLaw { sigma: 0.8 });
+        assert_eq!(setup.alpha(), None);
+        let model = setup.model().unwrap();
+        assert_eq!(model.speedup, SpeedupProfile::power_law(0.8).unwrap());
+        // Invalid extension-profile parameters error at model() time, exactly
+        // like an out-of-range alpha.
+        assert!(
+            ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+                .with_profile(SpeedupProfile::PowerLaw { sigma: 1.5 })
+                .model()
+                .is_err()
+        );
     }
 
     #[test]

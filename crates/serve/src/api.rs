@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use ayd_core::ExactModel;
+use ayd_core::{ExactModel, ModelError, ProfileSpec, SpeedupProfile};
 use ayd_platforms::{ExperimentSetup, Platform, PlatformId, ScenarioId};
 use ayd_sweep::{
     evaluate_analytic, OperatingPoint, ProcessorAxis, ScenarioGrid, SweepExecutor, SweepRow,
@@ -78,6 +78,75 @@ fn bad_request(message: &str) -> Response {
     Response::error(400, "Bad Request", message)
 }
 
+/// A structured bad-request error: the offending request field (when it can
+/// be pinned down) plus a human-readable reason. Rendered as
+/// `{"error": ..., "field": ..., "reason": ...}` with status 400, so clients
+/// can surface validation failures per field instead of parsing prose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiError {
+    /// The request field at fault (`alpha`, `sigma`, `lambda_ind`, …), when known.
+    pub field: Option<String>,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl ApiError {
+    /// An error attributed to one request field.
+    pub fn field(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            field: Some(field.into()),
+            reason: reason.into(),
+        }
+    }
+
+    /// An error with no single offending field.
+    pub fn plain(reason: impl Into<String>) -> Self {
+        Self {
+            field: None,
+            reason: reason.into(),
+        }
+    }
+
+    /// Maps a model-construction error to the request field it came from: the
+    /// model layer names its parameters (`alpha`, `sigma`, `lambda_ind`,
+    /// `downtime`) exactly like the request schema does.
+    pub fn from_model_error(error: ModelError) -> Self {
+        let reason = error.to_string();
+        match error {
+            ModelError::NonPositive { name, .. }
+            | ModelError::Negative { name, .. }
+            | ModelError::NotAFraction { name, .. } => Self::field(name, reason),
+            ModelError::InvalidProfileSpec { .. } => Self::field("profile", reason),
+            _ => Self::plain(reason),
+        }
+    }
+
+    /// Prefixes the reason (used by `/v1/batch` to name the failing query).
+    pub fn prefixed(mut self, prefix: &str) -> Self {
+        self.reason = format!("{prefix}{}", self.reason);
+        self
+    }
+
+    /// The structured 400 response.
+    pub fn response(&self) -> Response {
+        Response::json_status(
+            400,
+            "Bad Request",
+            &Json::obj(vec![
+                ("error", Json::str(self.reason.clone())),
+                ("field", self.field.as_deref().map_or(Json::Null, Json::str)),
+                ("reason", Json::str(self.reason.clone())),
+            ]),
+        )
+    }
+}
+
+impl From<String> for ApiError {
+    fn from(reason: String) -> Self {
+        Self::plain(reason)
+    }
+}
+
 fn parse_body(req: &Request) -> Result<Json, Response> {
     let text =
         std::str::from_utf8(&req.body).map_err(|_| bad_request("body is not valid UTF-8"))?;
@@ -111,36 +180,115 @@ pub struct OptimizeQuery {
     pattern_length: Option<f64>,
 }
 
-fn field_f64(body: &Json, key: &str) -> Result<Option<f64>, String> {
+fn field_f64(body: &Json, key: &str) -> Result<Option<f64>, ApiError> {
     match body.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(value) => value
             .as_f64()
             .map(Some)
-            .ok_or_else(|| format!("field '{key}' must be a number")),
+            .ok_or_else(|| ApiError::field(key, format!("field '{key}' must be a number"))),
     }
 }
 
+/// Parses a `profile` request value: either a canonical spec string
+/// (`"powerlaw:0.8"`) or an object (`{"kind":"powerlaw","sigma":0.8}`,
+/// `{"kind":"amdahl","alpha":0.1}`, `{"kind":"perfect"}`). Rendering a
+/// response profile back through either form reproduces the parameter
+/// bit-identically.
+pub fn parse_profile(value: &Json) -> Result<SpeedupProfile, ApiError> {
+    let spec = match value {
+        Json::Str(spec) => {
+            ProfileSpec::parse(spec).map_err(|e| ApiError::field("profile", e.to_string()))?
+        }
+        Json::Obj(_) => {
+            let kind = value.get("kind").and_then(Json::as_str).ok_or_else(|| {
+                ApiError::field("profile", "profile object needs a 'kind' string")
+            })?;
+            let alpha = field_f64(value, "alpha")?;
+            let sigma = field_f64(value, "sigma")?;
+            let param = match (alpha, sigma) {
+                (Some(_), Some(_)) => {
+                    return Err(ApiError::field(
+                        "profile",
+                        "specify at most one of 'alpha' and 'sigma' in a profile object",
+                    ))
+                }
+                (param, None) | (None, param) => param,
+            };
+            // The parameter key must match the family's parameter name
+            // (amdahl/gustafson take 'alpha', powerlaw takes 'sigma') — checked
+            // before range validation, so a wrong key with an out-of-range
+            // value reports the key mismatch, not a field the request never
+            // contained.
+            let given = if alpha.is_some() {
+                Some("alpha")
+            } else if sigma.is_some() {
+                Some("sigma")
+            } else {
+                None
+            };
+            if let (Some(given), Some(expected)) = (given, ProfileSpec::param_name_for_kind(kind)) {
+                if given != expected {
+                    return Err(ApiError::field(
+                        "profile",
+                        format!("profile kind '{kind}' takes '{expected}', not '{given}'"),
+                    ));
+                }
+            }
+            ProfileSpec::from_kind_param(kind, param).map_err(ApiError::from_model_error)?
+        }
+        _ => {
+            return Err(ApiError::field(
+                "profile",
+                "field 'profile' must be a spec string or an object",
+            ))
+        }
+    };
+    Ok(spec.profile())
+}
+
 /// Parses one optimize query. Defaults are the paper's: Hera, scenario 1,
-/// `α = 0.1`, `D = 3600 s`, the platform's measured error rate, jointly
-/// optimised `P`.
-pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, String> {
+/// Amdahl `α = 0.1`, `D = 3600 s`, the platform's measured error rate,
+/// jointly optimised `P`. The speedup profile comes from either `alpha`
+/// (Amdahl shorthand) or the generic `profile` field, never both.
+pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, ApiError> {
     let platform = match body.get("platform") {
         None | Some(Json::Null) => PlatformId::Hera,
         Some(value) => {
-            let name = value.as_str().ok_or("field 'platform' must be a string")?;
-            PlatformId::parse(name).ok_or_else(|| format!("unknown platform '{name}'"))?
+            let name = value
+                .as_str()
+                .ok_or_else(|| ApiError::field("platform", "field 'platform' must be a string"))?;
+            PlatformId::parse(name)
+                .ok_or_else(|| ApiError::field("platform", format!("unknown platform '{name}'")))?
         }
     };
     let scenario = match field_f64(body, "scenario")? {
         None => ScenarioId::S1,
         Some(number) => ScenarioId::from_number(number as usize)
             .filter(|_| number.fract() == 0.0)
-            .ok_or_else(|| format!("scenario must be an integer in 1..=6, got {number}"))?,
+            .ok_or_else(|| {
+                ApiError::field(
+                    "scenario",
+                    format!("scenario must be an integer in 1..=6, got {number}"),
+                )
+            })?,
     };
     let mut setup = ExperimentSetup::paper_default(platform, scenario);
-    if let Some(alpha) = field_f64(body, "alpha")? {
-        setup = setup.with_alpha(alpha);
+    let alpha = field_f64(body, "alpha")?;
+    let profile = match body.get("profile") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(parse_profile(value)?),
+    };
+    match (alpha, profile) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::field(
+                "profile",
+                "specify at most one of 'alpha' and 'profile'",
+            ))
+        }
+        (Some(alpha), None) => setup = setup.with_alpha(alpha),
+        (None, Some(profile)) => setup = setup.with_profile(profile),
+        (None, None) => {}
     }
     if let Some(downtime) = field_f64(body, "downtime")? {
         setup = setup.with_downtime(downtime);
@@ -150,7 +298,10 @@ pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, String> {
     let lambda_multiplier = field_f64(body, "lambda_multiplier")?;
     let multiplier = match (lambda_ind, lambda_multiplier) {
         (Some(_), Some(_)) => {
-            return Err("specify at most one of 'lambda_ind' and 'lambda_multiplier'".to_string())
+            return Err(ApiError::field(
+                "lambda_ind",
+                "specify at most one of 'lambda_ind' and 'lambda_multiplier'",
+            ))
         }
         (Some(lambda), None) => {
             setup = setup.with_lambda_ind(lambda);
@@ -164,16 +315,25 @@ pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, String> {
     };
     let fixed_processors = field_f64(body, "processors")?;
     if fixed_processors.is_some_and(|p| !p.is_finite() || p <= 0.0) {
-        return Err("'processors' must be positive and finite".to_string());
+        return Err(ApiError::field(
+            "processors",
+            "'processors' must be positive and finite",
+        ));
     }
     let pattern_length = field_f64(body, "pattern_length")?;
     if pattern_length.is_some() && fixed_processors.is_none() {
-        return Err("'pattern_length' requires a fixed 'processors'".to_string());
+        return Err(ApiError::field(
+            "pattern_length",
+            "'pattern_length' requires a fixed 'processors'",
+        ));
     }
     if pattern_length.is_some_and(|t| !t.is_finite() || t <= 0.0) {
-        return Err("'pattern_length' must be positive and finite".to_string());
+        return Err(ApiError::field(
+            "pattern_length",
+            "'pattern_length' must be positive and finite",
+        ));
     }
-    let model = setup.model().map_err(|e| e.to_string())?;
+    let model = setup.model().map_err(ApiError::from_model_error)?;
     Ok(OptimizeQuery {
         setup,
         model,
@@ -205,7 +365,8 @@ pub fn evaluate_query(state: &AppState, query: &OptimizeQuery) -> SweepRow {
     SweepRow {
         platform: query.setup.platform,
         scenario: query.setup.scenario.number(),
-        alpha: query.setup.alpha,
+        profile: query.setup.profile,
+        alpha: query.setup.alpha(),
         lambda_ind: query.model.failures.lambda_ind,
         lambda_multiplier: query.lambda_multiplier,
         fixed_processors: query.fixed_processors,
@@ -228,12 +389,30 @@ fn point_json(point: &OperatingPoint) -> Json {
     ])
 }
 
+/// Renders a speedup profile as its response JSON object: the family `kind`,
+/// the canonical `spec` string, and the parameter under its proper name
+/// (`alpha` or `sigma`). Numbers render with shortest-roundtrip formatting,
+/// so feeding the object (or the spec string) back as a request `profile`
+/// reproduces the profile bit-identically.
+pub fn profile_json(profile: SpeedupProfile) -> Json {
+    let spec = ProfileSpec::from(profile);
+    let mut fields = vec![
+        ("kind", Json::str(spec.kind())),
+        ("spec", Json::str(spec.to_string())),
+    ];
+    if let (Some(name), Some(value)) = (spec.param_name(), spec.param()) {
+        fields.push((name, Json::num(value)));
+    }
+    Json::obj(fields)
+}
+
 /// Renders one evaluated row as the `/v1/optimize` JSON document.
 pub fn row_json(row: &SweepRow) -> Json {
     Json::obj(vec![
         ("platform", Json::str(row.platform.name())),
         ("scenario", Json::num(row.scenario as f64)),
-        ("alpha", Json::num(row.alpha)),
+        ("profile", profile_json(row.profile)),
+        ("alpha", Json::opt_num(row.alpha)),
         ("lambda_ind", Json::num(row.lambda_ind)),
         ("lambda_multiplier", Json::num(row.lambda_multiplier)),
         ("processors", Json::opt_num(row.fixed_processors)),
@@ -278,7 +457,7 @@ fn optimize(state: &Arc<AppState>, req: &Request) -> Response {
     };
     let query = match parse_optimize(&body) {
         Ok(query) => query,
-        Err(message) => return bad_request(&message),
+        Err(error) => return error.response(),
     };
     let row = evaluate_query(state, &query);
     if req.accepts("text/csv") {
@@ -304,7 +483,7 @@ fn batch(state: &Arc<AppState>, req: &Request) -> Response {
     for (index, query) in queries.iter().enumerate() {
         match parse_optimize(query) {
             Ok(query) => parsed.push(query),
-            Err(message) => return bad_request(&format!("query {index}: {message}")),
+            Err(error) => return error.prefixed(&format!("query {index}: ")).response(),
         }
     }
     // Fan the evaluations out over the compute pool (not the connection
@@ -323,40 +502,42 @@ fn batch(state: &Arc<AppState>, req: &Request) -> Response {
     }
 }
 
-fn f64_list(body: &Json, key: &str) -> Result<Option<Vec<f64>>, String> {
+fn f64_list(body: &Json, key: &str) -> Result<Option<Vec<f64>>, ApiError> {
     match body.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(value) => {
-            let items = value
-                .as_array()
-                .ok_or_else(|| format!("field '{key}' must be an array of numbers"))?;
+            let bad = || ApiError::field(key, format!("field '{key}' must be an array of numbers"));
+            let items = value.as_array().ok_or_else(bad)?;
             items
                 .iter()
-                .map(|item| {
-                    item.as_f64()
-                        .ok_or_else(|| format!("field '{key}' must be an array of numbers"))
-                })
-                .collect::<Result<Vec<f64>, String>>()
+                .map(|item| item.as_f64().ok_or_else(bad))
+                .collect::<Result<Vec<f64>, ApiError>>()
                 .map(Some)
         }
     }
 }
 
 /// Builds a [`ScenarioGrid`] from a `/v1/sweep` body. Absent fields fall back
-/// to the grid builder's defaults (Hera, representative scenarios, `α = 0.1`,
-/// measured rates, jointly optimised `P`).
-pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, String> {
+/// to the grid builder's defaults (Hera, representative scenarios, Amdahl
+/// `α = 0.1`, measured rates, jointly optimised `P`). The application axis is
+/// either `alphas` (Amdahl shorthand) or the generic `profiles` array (spec
+/// strings or profile objects), never both.
+pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, ApiError> {
     let mut builder = ScenarioGrid::builder();
     if let Some(platforms) = body.get("platforms") {
-        let names = platforms
-            .as_array()
-            .ok_or("field 'platforms' must be an array of platform names")?;
+        let bad = || {
+            ApiError::field(
+                "platforms",
+                "field 'platforms' must be an array of platform names",
+            )
+        };
+        let names = platforms.as_array().ok_or_else(bad)?;
         let mut ids = Vec::with_capacity(names.len());
         for name in names {
-            let name = name
-                .as_str()
-                .ok_or("field 'platforms' must be an array of platform names")?;
-            ids.push(PlatformId::parse(name).ok_or_else(|| format!("unknown platform '{name}'"))?);
+            let name = name.as_str().ok_or_else(bad)?;
+            ids.push(PlatformId::parse(name).ok_or_else(|| {
+                ApiError::field("platforms", format!("unknown platform '{name}'"))
+            })?);
         }
         builder = builder.platforms(&ids);
     }
@@ -366,21 +547,69 @@ pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, String> {
             ids.push(
                 ScenarioId::from_number(number as usize)
                     .filter(|_| number.fract() == 0.0)
-                    .ok_or_else(|| format!("scenario must be an integer in 1..=6, got {number}"))?,
+                    .ok_or_else(|| {
+                        ApiError::field(
+                            "scenarios",
+                            format!("scenario must be an integer in 1..=6, got {number}"),
+                        )
+                    })?,
             );
         }
         builder = builder.scenarios(&ids);
     }
-    if let Some(alphas) = f64_list(body, "alphas")? {
-        builder = builder.alphas(&alphas);
+    let alphas = f64_list(body, "alphas")?;
+    let profiles = match body.get("profiles") {
+        None | Some(Json::Null) => None,
+        Some(value) => {
+            let items = value.as_array().ok_or_else(|| {
+                ApiError::field(
+                    "profiles",
+                    "field 'profiles' must be an array of profile specs or objects",
+                )
+            })?;
+            let mut parsed = Vec::with_capacity(items.len());
+            for item in items {
+                // parse_profile attributes errors to the optimize schema's
+                // 'profile' field; in a sweep body the field is 'profiles'.
+                parsed.push(parse_profile(item).map_err(|mut e| {
+                    if e.field.as_deref() == Some("profile") {
+                        e.field = Some("profiles".to_string());
+                    }
+                    e
+                })?);
+            }
+            Some(parsed)
+        }
+    };
+    match (alphas, profiles) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::field(
+                "profiles",
+                "specify at most one of 'alphas' and 'profiles'",
+            ))
+        }
+        (Some(alphas), None) => {
+            // Validate the model parameters eagerly so an out-of-range alpha
+            // is attributed to the 'alphas' field rather than surfacing as a
+            // fieldless grid-builder error.
+            for &alpha in &alphas {
+                SpeedupProfile::Amdahl { alpha }
+                    .validate()
+                    .map_err(|e| ApiError::field("alphas", e.to_string()))?;
+            }
+            builder = builder.alphas(&alphas);
+        }
+        (None, Some(profiles)) => builder = builder.profiles(&profiles),
+        (None, None) => {}
     }
     let multipliers = f64_list(body, "lambda_multipliers")?;
     let values = f64_list(body, "lambda_values")?;
     match (multipliers, values) {
         (Some(_), Some(_)) => {
-            return Err(
-                "specify at most one of 'lambda_multipliers' and 'lambda_values'".to_string(),
-            )
+            return Err(ApiError::field(
+                "lambda_multipliers",
+                "specify at most one of 'lambda_multipliers' and 'lambda_values'",
+            ))
         }
         (Some(multipliers), None) => builder = builder.lambda_multipliers(&multipliers),
         (None, Some(values)) => builder = builder.lambda_values(&values),
@@ -390,7 +619,10 @@ pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, String> {
     let orders = f64_list(body, "lambda_orders")?;
     match (processors, orders) {
         (Some(_), Some(_)) => {
-            return Err("specify at most one of 'processors' and 'lambda_orders'".to_string())
+            return Err(ApiError::field(
+                "processors",
+                "specify at most one of 'processors' and 'lambda_orders'",
+            ))
         }
         (Some(processors), None) => builder = builder.processors(ProcessorAxis::Fixed(processors)),
         (None, Some(orders)) => builder = builder.processors(ProcessorAxis::LambdaOrders(orders)),
@@ -402,7 +634,7 @@ pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, String> {
     if let Some(downtime) = field_f64(body, "downtime")? {
         builder = builder.downtime(downtime);
     }
-    builder.build().map_err(|e| e.to_string())
+    builder.build().map_err(|e| ApiError::plain(e.to_string()))
 }
 
 fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
@@ -412,7 +644,7 @@ fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
     };
     let grid = match parse_grid(&body) {
         Ok(grid) => grid,
-        Err(message) => return bad_request(&message),
+        Err(error) => return error.response(),
     };
     if grid.len() > state.max_sweep_cells {
         return bad_request(&format!(

@@ -6,7 +6,8 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_core::SpeedupProfile;
+use ayd_platforms::{ExperimentSetup, PlatformId, ScenarioId};
 use ayd_sweep::{Evaluator, ProcessorAxis, RunOptions, ScenarioGrid, SweepExecutor, SweepOptions};
 
 use crate::json::Json;
@@ -124,6 +125,20 @@ impl HttpClient {
 /// compares the CSV byte-for-byte.
 pub const GOLDEN_SWEEP_BODY: &str = r#"{"platforms":["Hera"],"scenarios":[1,3],"lambda_multipliers":[1,10],"processors":[256,1024],"pattern_lengths":[3600]}"#;
 
+/// A mixed-profile sweep (all four profile families) as a `/v1/sweep` request
+/// body; the smoke check compares the served CSV byte-for-byte against the
+/// in-process engine over the equivalent grid.
+pub const PROFILE_SWEEP_BODY: &str = r#"{"platforms":["Hera"],"scenarios":[1,3],"profiles":["amdahl:0.1","powerlaw:0.8","gustafson:0.05","perfect"],"processors":[256,1024]}"#;
+
+fn offline_sweep_csv(grid: &ScenarioGrid) -> String {
+    SweepExecutor::new(SweepOptions::new(RunOptions {
+        simulate: false,
+        ..RunOptions::default()
+    }))
+    .run(grid)
+    .to_csv()
+}
+
 fn golden_sweep_csv() -> String {
     let grid = ScenarioGrid::builder()
         .platforms(&[PlatformId::Hera])
@@ -133,12 +148,23 @@ fn golden_sweep_csv() -> String {
         .pattern_lengths(&[3_600.0])
         .build()
         .expect("the golden grid is valid");
-    SweepExecutor::new(SweepOptions::new(RunOptions {
-        simulate: false,
-        ..RunOptions::default()
-    }))
-    .run(&grid)
-    .to_csv()
+    offline_sweep_csv(&grid)
+}
+
+fn profile_sweep_csv() -> String {
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+        .profiles(&[
+            SpeedupProfile::amdahl(0.1).expect("valid alpha"),
+            SpeedupProfile::power_law(0.8).expect("valid sigma"),
+            SpeedupProfile::gustafson(0.05).expect("valid alpha"),
+            SpeedupProfile::perfectly_parallel(),
+        ])
+        .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+        .build()
+        .expect("the profile grid is valid");
+    offline_sweep_csv(&grid)
 }
 
 fn expect_f64(doc: &Json, object: &str, field: &str) -> Result<f64, String> {
@@ -148,13 +174,45 @@ fn expect_f64(doc: &Json, object: &str, field: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("response missing {object}.{field}"))
 }
 
+/// Submits a sweep job and polls until its CSV arrives.
+fn run_sweep(client: &mut HttpClient, addr: &str, body: &str) -> Result<String, String> {
+    let io = |e: std::io::Error| format!("i/o against {addr}: {e}");
+    let accepted = client.post_json("/v1/sweep", body).map_err(io)?;
+    if accepted.status != 202 {
+        return Err(format!("sweep submit: status {}", accepted.status));
+    }
+    let doc = Json::parse(&accepted.body).map_err(|e| format!("sweep JSON: {e}"))?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_f64)
+        .ok_or("sweep submit: no id")? as u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let poll = client
+            .get(&format!("/v1/sweep/{id}"), Some("text/csv"))
+            .map_err(io)?;
+        if poll.status != 200 {
+            return Err(format!("sweep poll: status {}", poll.status));
+        }
+        if poll.content_type.starts_with("text/csv") {
+            return Ok(poll.body);
+        }
+        if std::time::Instant::now() > deadline {
+            return Err("sweep job did not finish within 60 s".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 /// End-to-end smoke check against a running server (`loadgen --check`):
 ///
 /// 1. `/healthz` answers ok.
 /// 2. `/v1/optimize` answers numbers **bit-identical** to the offline
-///    [`Evaluator`] for the same inputs.
-/// 3. A `/v1/sweep` job over the golden grid streams a CSV byte-identical to
-///    the in-process sweep engine (the same bytes the golden test pins).
+///    [`Evaluator`] for the same inputs — for the default Amdahl profile and
+///    for a Gustafson extension profile sent through the `profile` field.
+/// 3. `/v1/sweep` jobs over the golden grid and over a mixed-profile grid
+///    both stream a CSV byte-identical to the in-process sweep engine (the
+///    golden grid's bytes are the ones the golden test pins).
 /// 4. `/metrics` renders parsable Prometheus text.
 pub fn smoke_check(addr: &str) -> Result<(), String> {
     let io = |e: std::io::Error| format!("i/o against {addr}: {e}");
@@ -211,38 +269,77 @@ pub fn smoke_check(addr: &str) -> Result<(), String> {
         return Err("optimize: first_order.overhead differs from the offline evaluator".into());
     }
 
-    // 3. Sweep round-trip against the golden grid.
-    let accepted = client
-        .post_json("/v1/sweep", GOLDEN_SWEEP_BODY)
+    // 2b. A non-Amdahl query through the `profile` field: Gustafson weak
+    // scaling, answered numerically only, bit-identical to the offline
+    // evaluator over the same extension-profile model.
+    let response = client
+        .post_json(
+            "/v1/optimize",
+            r#"{"platform":"Hera","scenario":1,"profile":{"kind":"gustafson","alpha":0.05}}"#,
+        )
         .map_err(io)?;
-    if accepted.status != 202 {
-        return Err(format!("sweep submit: status {}", accepted.status));
+    if response.status != 200 {
+        return Err(format!("optimize (gustafson): status {}", response.status));
     }
-    let doc = Json::parse(&accepted.body).map_err(|e| format!("sweep JSON: {e}"))?;
-    let id = doc
-        .get("id")
-        .and_then(Json::as_f64)
-        .ok_or("sweep submit: no id")? as u64;
-    let deadline = std::time::Instant::now() + Duration::from_secs(60);
-    let csv = loop {
-        let poll = client
-            .get(&format!("/v1/sweep/{id}"), Some("text/csv"))
-            .map_err(io)?;
-        if poll.status != 200 {
-            return Err(format!("sweep poll: status {}", poll.status));
+    let doc = Json::parse(&response.body).map_err(|e| format!("optimize JSON: {e}"))?;
+    let gustafson_model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S1)
+        .with_profile(SpeedupProfile::gustafson(0.05).expect("valid alpha"))
+        .model()
+        .map_err(|e| format!("local gustafson model: {e}"))?;
+    let expected = Evaluator::new(RunOptions {
+        simulate: false,
+        ..RunOptions::default()
+    })
+    .compare(&gustafson_model);
+    for (field, local) in [
+        ("processors", expected.numerical.processors),
+        ("period", expected.numerical.period),
+        ("overhead", expected.numerical.predicted_overhead),
+    ] {
+        let served = expect_f64(&doc, "numerical", field)?;
+        if served.to_bits() != local.to_bits() {
+            return Err(format!(
+                "optimize (gustafson): numerical.{field} differs from the offline \
+                 evaluator: served {served:?}, local {local:?}"
+            ));
         }
-        if poll.content_type.starts_with("text/csv") {
-            break poll.body;
-        }
-        if std::time::Instant::now() > deadline {
-            return Err("sweep job did not finish within 60 s".to_string());
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    };
+    }
+    if !matches!(doc.get("first_order"), Some(Json::Null)) {
+        return Err(
+            "optimize (gustafson): extension profiles must not report a \
+                    first-order optimum"
+                .into(),
+        );
+    }
+    let served_spec = doc
+        .get("profile")
+        .and_then(|p| p.get("spec"))
+        .and_then(Json::as_str)
+        .ok_or("optimize (gustafson): response missing profile.spec")?;
+    if served_spec != "gustafson:0.05" {
+        return Err(format!(
+            "optimize (gustafson): profile.spec round-trip broke: {served_spec}"
+        ));
+    }
+
+    // 3. Sweep round-trips: the golden Amdahl grid (the bytes the golden test
+    // pins) and a mixed-profile grid, both byte-identical to the in-process
+    // engine.
+    let csv = run_sweep(&mut client, addr, GOLDEN_SWEEP_BODY)?;
     let expected_csv = golden_sweep_csv();
     if csv != expected_csv {
         return Err(format!(
             "sweep CSV differs from the in-process engine ({} vs {} bytes)",
+            csv.len(),
+            expected_csv.len()
+        ));
+    }
+    let csv = run_sweep(&mut client, addr, PROFILE_SWEEP_BODY)?;
+    let expected_csv = profile_sweep_csv();
+    if csv != expected_csv {
+        return Err(format!(
+            "mixed-profile sweep CSV differs from the in-process engine \
+             ({} vs {} bytes)",
             csv.len(),
             expected_csv.len()
         ));

@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod pool;
 pub mod server;
 
+pub use api::ApiError;
 pub use app::{AppState, ServerConfig};
 pub use client::{smoke_check, ClientResponse, HttpClient};
 pub use http::{Limits, Request, Response};

@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
-use ayd_core::{ExactModel, FirstOrder};
+use ayd_core::{ExactModel, FirstOrder, ProfileSpec, SpeedupProfile};
 use ayd_platforms::PlatformId;
 use ayd_sim::rng::splitmix64;
 use ayd_sim::{EngineKind, Simulator};
@@ -118,6 +118,13 @@ impl SweepOptions {
         self
     }
 
+    /// Controls whether the first-order operating point is simulated (when
+    /// simulation is on).
+    pub fn with_simulate_first_order(mut self, simulate: bool) -> Self {
+        self.simulate_first_order = simulate;
+        self
+    }
+
     /// Controls whether the numerical point of jointly-optimised cells is
     /// simulated.
     pub fn with_simulate_numerical(mut self, simulate: bool) -> Self {
@@ -145,8 +152,11 @@ pub struct SweepRow {
     pub platform: PlatformId,
     /// Scenario number (1–6).
     pub scenario: usize,
-    /// Sequential fraction `α`.
-    pub alpha: f64,
+    /// Speedup profile of the cell.
+    pub profile: SpeedupProfile,
+    /// Amdahl-equivalent sequential fraction (`α` for Amdahl, `0` for
+    /// perfectly parallel, `None` for extension profiles).
+    pub alpha: Option<f64>,
     /// Individual error rate `λ_ind` of the cell.
     pub lambda_ind: f64,
     /// Ratio of `λ_ind` to the platform's measured rate.
@@ -486,20 +496,24 @@ impl Emitter<'_> {
     }
 }
 
-/// The memoisation key of one analytic evaluation: quantized model inputs,
-/// the fixed processor count (NaN-marked when `P` is optimised) and the
-/// optimiser search ranges. Shared by the sweep executor and the `ayd-serve`
-/// query service, so both populate the same cache entries.
+/// The memoisation key of one analytic evaluation: quantized model inputs —
+/// including the speedup-profile family tag and its parameter, so e.g.
+/// `powerlaw:0.8` and `gustafson:0.8` never collide — the fixed processor
+/// count (NaN-marked when `P` is optimised) and the optimiser search ranges.
+/// Shared by the sweep executor and the `ayd-serve` query service, so both
+/// populate the same cache entries.
 pub fn analytic_cache_key(
     model: &ExactModel,
     fixed_processors: Option<f64>,
     options: &SweepOptions,
 ) -> CacheKey {
     let absent = f64::NAN;
+    let profile = ProfileSpec::from(model.speedup);
     CacheKey::from_inputs(&[
         model.failures.lambda_ind,
         model.failures.fail_stop_fraction,
-        model.speedup.sequential_fraction().unwrap_or(absent),
+        profile.kind_tag() as f64,
+        profile.param().unwrap_or(absent),
         model.costs.checkpoint.a,
         model.costs.checkpoint.b,
         model.costs.checkpoint.c,
@@ -548,22 +562,33 @@ fn compute_analytic(
     let evaluator = Evaluator::new(analytic_options)
         .with_processor_range(options.processor_range.0, options.processor_range.1)
         .with_period_range(options.period_range.0, options.period_range.1);
+    // The paper's first-order closed forms apply to the Amdahl family only
+    // (including its perfectly parallel `α = 0` limit). Extension profiles
+    // (power law, Gustafson) fall back to the numerical-only series — the
+    // dispatch that used to live in `ayd-exp`'s extension experiment.
+    let amdahl_family = model.speedup.sequential_fraction().is_some();
     let first_order_model = FirstOrder::new(model);
-    let closed_form = first_order_model.joint_optimum().ok().map(|o| ClosedForm {
-        processors: o.processors,
-        period: o.period,
-        overhead: o.overhead,
-    });
+    let closed_form = if amdahl_family {
+        first_order_model.joint_optimum().ok().map(|o| ClosedForm {
+            processors: o.processors,
+            period: o.period,
+            overhead: o.overhead,
+        })
+    } else {
+        None
+    };
     match fixed_processors {
         Some(p) => {
-            let period_optimum = first_order_model.optimal_period_for(p);
-            let first_order = OperatingPoint {
-                processors: p,
-                period: period_optimum.period,
-                predicted_overhead: model.expected_overhead(period_optimum.period, p),
-                formula_overhead: Some(period_optimum.overhead),
-                simulated: None,
-            };
+            let first_order = amdahl_family.then(|| {
+                let period_optimum = first_order_model.optimal_period_for(p);
+                OperatingPoint {
+                    processors: p,
+                    period: period_optimum.period,
+                    predicted_overhead: model.expected_overhead(period_optimum.period, p),
+                    formula_overhead: Some(period_optimum.overhead),
+                    simulated: None,
+                }
+            });
             let (period, overhead) = evaluator.numerical_period_for(model, p);
             let numerical = OperatingPoint {
                 processors: p,
@@ -573,7 +598,7 @@ fn compute_analytic(
                 simulated: None,
             };
             AnalyticEval {
-                first_order: Some(first_order),
+                first_order,
                 closed_form,
                 numerical,
             }
@@ -581,7 +606,11 @@ fn compute_analytic(
         None => {
             let comparison = evaluator.compare(model);
             AnalyticEval {
-                first_order: comparison.first_order,
+                first_order: if amdahl_family {
+                    comparison.first_order
+                } else {
+                    None
+                },
                 closed_form,
                 numerical: comparison.numerical,
             }
@@ -674,7 +703,8 @@ fn evaluate_cell(
     SweepRow {
         platform: cell.setup.platform,
         scenario: cell.setup.scenario.number(),
-        alpha: cell.setup.alpha,
+        profile: cell.setup.profile,
+        alpha: cell.setup.alpha(),
         lambda_ind: model.failures.lambda_ind,
         lambda_multiplier: cell.lambda_multiplier,
         fixed_processors: cell.fixed_processors,
@@ -796,7 +826,7 @@ mod tests {
             row.platform,
             ayd_platforms::ScenarioId::from_number(row.scenario).unwrap(),
         )
-        .with_alpha(row.alpha)
+        .with_profile(row.profile)
         .with_lambda_ind(row.lambda_ind)
         .model()
         .unwrap()
@@ -874,6 +904,65 @@ mod tests {
         let (period, overhead) = evaluator.numerical_period_for(&model, 512.0);
         assert_eq!(fixed.numerical.period, period);
         assert_eq!(fixed.numerical.predicted_overhead, overhead);
+    }
+
+    #[test]
+    fn extension_profiles_fall_back_to_numerical_only_series() {
+        let profiles = [
+            SpeedupProfile::amdahl(0.1).unwrap(),
+            SpeedupProfile::power_law(0.8).unwrap(),
+            SpeedupProfile::gustafson(0.05).unwrap(),
+        ];
+        // Jointly optimised and fixed-P cells in one grid.
+        for axis in [ProcessorAxis::Optimize, ProcessorAxis::Fixed(vec![512.0])] {
+            let grid = ScenarioGrid::builder()
+                .scenarios(&[ScenarioId::S1])
+                .profiles(&profiles)
+                .processors(axis)
+                .build()
+                .unwrap();
+            let results = SweepExecutor::new(analytic_options()).run(&grid);
+            let by_profile =
+                |p: SpeedupProfile| *results.rows.iter().find(|r| r.profile == p).unwrap();
+            let amdahl = by_profile(profiles[0]);
+            assert!(amdahl.first_order.is_some(), "Amdahl keeps Theorem 1/2");
+            assert_eq!(amdahl.alpha, Some(0.1));
+            for &extension in &profiles[1..] {
+                let row = by_profile(extension);
+                assert!(row.first_order.is_none(), "{extension:?}");
+                assert!(row.closed_form.is_none(), "{extension:?}");
+                assert!(row.numerical.predicted_overhead > 0.0);
+                assert_eq!(row.alpha, None);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_keys_distinguish_profiles_with_equal_parameters() {
+        // powerlaw:0.8 and gustafson:0.8 share the parameter value but must
+        // not share a cache entry.
+        let base = ayd_platforms::ExperimentSetup::paper_default(
+            ayd_platforms::PlatformId::Hera,
+            ScenarioId::S1,
+        );
+        let options = analytic_options();
+        let power = base
+            .with_profile(SpeedupProfile::power_law(0.8).unwrap())
+            .model()
+            .unwrap();
+        let gustafson = base
+            .with_profile(SpeedupProfile::gustafson(0.8).unwrap())
+            .model()
+            .unwrap();
+        assert_ne!(
+            analytic_cache_key(&power, None, &options),
+            analytic_cache_key(&gustafson, None, &options)
+        );
+        let cache = crate::cache::ShardedEvalCache::new(2, 16);
+        let a = evaluate_analytic(&power, None, &options, Some(&cache));
+        let b = evaluate_analytic(&gustafson, None, &options, Some(&cache));
+        assert_eq!(cache.stats().misses, 2, "no spurious sharing");
+        assert_ne!(a.numerical, b.numerical);
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! [`ScenarioGrid`]: cartesian products of sweep axes.
 //!
 //! A grid is the declarative description of a sweep: which platforms, which
-//! resilience scenarios, which applications (sequential fractions `α`), which
-//! error-rate axis, which processor axis and (optionally) which fixed pattern
-//! lengths. [`ScenarioGrid::cells`] flattens the product into an ordered list
-//! of [`SweepCell`]s; the cell order is part of the determinism contract (it
-//! never depends on how the executor schedules cells across threads).
+//! resilience scenarios, which applications (speedup profiles — Amdahl `α`
+//! values or any extension profile), which error-rate axis, which processor
+//! axis and (optionally) which fixed pattern lengths. [`ScenarioGrid::cells`]
+//! flattens the product into an ordered list of [`SweepCell`]s; the cell order
+//! is part of the determinism contract (it never depends on how the executor
+//! schedules cells across threads).
 
 use serde::{Deserialize, Serialize};
 
+use ayd_core::SpeedupProfile;
 use ayd_platforms::{ExperimentSetup, Platform, PlatformId, ScenarioId};
 
 /// The processor axis of a grid.
@@ -61,6 +63,11 @@ impl SweepCell {
             .lambda_ind_override
             .unwrap_or_else(|| Platform::get(self.setup.platform).lambda_ind)
     }
+
+    /// The speedup profile of this cell.
+    pub fn profile(&self) -> SpeedupProfile {
+        self.setup.profile
+    }
 }
 
 /// Error raised by [`GridBuilder::build`] on an ill-formed grid.
@@ -75,13 +82,13 @@ impl std::fmt::Display for GridError {
 
 impl std::error::Error for GridError {}
 
-/// A cartesian sweep grid over platforms × scenarios × applications ×
-/// error rates × processor counts × pattern lengths.
+/// A cartesian sweep grid over platforms × scenarios × applications
+/// (speedup profiles) × error rates × processor counts × pattern lengths.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioGrid {
     platforms: Vec<PlatformId>,
     scenarios: Vec<ScenarioId>,
-    alphas: Vec<f64>,
+    profiles: Vec<SpeedupProfile>,
     lambdas: LambdaAxis,
     processors: ProcessorAxis,
     pattern_lengths: Vec<f64>,
@@ -90,8 +97,8 @@ pub struct ScenarioGrid {
 
 impl ScenarioGrid {
     /// Starts building a grid. Defaults: Hera, the representative scenarios
-    /// (1, 3, 5), `α = 0.1`, measured error rates, jointly optimised `P`, no
-    /// fixed pattern length, `D = 3600 s`.
+    /// (1, 3, 5), Amdahl `α = 0.1`, measured error rates, jointly optimised
+    /// `P`, no fixed pattern length, `D = 3600 s`.
     pub fn builder() -> GridBuilder {
         GridBuilder::default()
     }
@@ -100,7 +107,7 @@ impl ScenarioGrid {
     pub fn len(&self) -> usize {
         self.platforms.len()
             * self.scenarios.len()
-            * self.alphas.len()
+            * self.profiles.len()
             * self.lambda_axis_len()
             * self.processor_axis_len()
             * self.pattern_lengths.len().max(1)
@@ -128,15 +135,18 @@ impl ScenarioGrid {
     }
 
     /// Flattens the grid into its deterministic cell order: platform (outer) →
-    /// scenario → α → λ → processors → pattern length (inner).
+    /// scenario → profile → λ → processors → pattern length (inner). The
+    /// profile axis occupies the position the `α` axis used to, so Amdahl-only
+    /// grids built through [`GridBuilder::alphas`] keep their historical cell
+    /// ordering.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.len());
         for &platform in &self.platforms {
             let measured_lambda = Platform::get(platform).lambda_ind;
             for &scenario in &self.scenarios {
-                for &alpha in &self.alphas {
+                for &profile in &self.profiles {
                     let base = ExperimentSetup::paper_default(platform, scenario)
-                        .with_alpha(alpha)
+                        .with_profile(profile)
                         .with_downtime(self.downtime);
                     let lambda_entries: Vec<(Option<f64>, f64)> = match &self.lambdas {
                         LambdaAxis::Measured => vec![(None, 1.0)],
@@ -194,7 +204,7 @@ impl ScenarioGrid {
 pub struct GridBuilder {
     platforms: Vec<PlatformId>,
     scenarios: Vec<ScenarioId>,
-    alphas: Vec<f64>,
+    profiles: Vec<SpeedupProfile>,
     lambdas: LambdaAxis,
     processors: ProcessorAxis,
     pattern_lengths: Vec<f64>,
@@ -206,7 +216,7 @@ impl Default for GridBuilder {
         Self {
             platforms: vec![PlatformId::Hera],
             scenarios: ScenarioId::REPRESENTATIVE.to_vec(),
-            alphas: vec![0.1],
+            profiles: vec![SpeedupProfile::Amdahl { alpha: 0.1 }],
             lambdas: LambdaAxis::Measured,
             processors: ProcessorAxis::Optimize,
             pattern_lengths: Vec::new(),
@@ -228,10 +238,24 @@ impl GridBuilder {
         self
     }
 
-    /// Sets the application axis (sequential fractions `α`).
-    pub fn alphas(mut self, alphas: &[f64]) -> Self {
-        self.alphas = alphas.to_vec();
+    /// Sets the application axis to a list of speedup profiles (Amdahl,
+    /// perfectly parallel, power law, Gustafson). This generalises
+    /// [`Self::alphas`]; the profile axis occupies the same position in the
+    /// cell ordering.
+    pub fn profiles(mut self, profiles: &[SpeedupProfile]) -> Self {
+        self.profiles = profiles.to_vec();
         self
+    }
+
+    /// Sets the application axis to Amdahl profiles with these sequential
+    /// fractions `α` — a thin convenience over [`Self::profiles`] kept for the
+    /// (very common) Amdahl-only sweeps.
+    pub fn alphas(self, alphas: &[f64]) -> Self {
+        let profiles: Vec<SpeedupProfile> = alphas
+            .iter()
+            .map(|&alpha| SpeedupProfile::Amdahl { alpha })
+            .collect();
+        self.profiles(&profiles)
     }
 
     /// Sweeps multiples of each platform's measured error rate.
@@ -273,11 +297,13 @@ impl GridBuilder {
         if self.scenarios.is_empty() {
             return err("at least one scenario is required");
         }
-        if self.alphas.is_empty() {
-            return err("at least one alpha is required");
+        if self.profiles.is_empty() {
+            return err("at least one speedup profile (or alpha) is required");
         }
-        if self.alphas.iter().any(|a| !(0.0..=1.0).contains(a)) {
-            return err("alphas must lie in [0, 1]");
+        for profile in &self.profiles {
+            if let Err(e) = profile.validate() {
+                return err(&format!("invalid speedup profile: {e}"));
+            }
         }
         match &self.lambdas {
             LambdaAxis::Measured => {}
@@ -322,7 +348,7 @@ impl GridBuilder {
         Ok(ScenarioGrid {
             platforms: self.platforms,
             scenarios: self.scenarios,
-            alphas: self.alphas,
+            profiles: self.profiles,
             lambdas: self.lambdas,
             processors: self.processors,
             pattern_lengths: self.pattern_lengths,
@@ -434,6 +460,72 @@ mod tests {
         assert!(ScenarioGrid::builder().downtime(-1.0).build().is_err());
         let err = ScenarioGrid::builder().platforms(&[]).build().unwrap_err();
         assert!(err.to_string().contains("platform"));
+    }
+
+    #[test]
+    fn profile_axis_generalises_alphas() {
+        let profiles = [
+            SpeedupProfile::amdahl(0.1).unwrap(),
+            SpeedupProfile::power_law(0.8).unwrap(),
+            SpeedupProfile::gustafson(0.05).unwrap(),
+            SpeedupProfile::perfectly_parallel(),
+        ];
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .profiles(&profiles)
+            .processors(ProcessorAxis::Fixed(vec![256.0]))
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 4);
+        let cells = grid.cells();
+        // The profile axis preserves the declared order and every cell's setup
+        // builds a model with exactly that profile.
+        for (cell, &profile) in cells.iter().zip(&profiles) {
+            assert_eq!(cell.profile(), profile);
+            assert_eq!(cell.setup.model().unwrap().speedup, profile);
+        }
+    }
+
+    #[test]
+    fn legacy_alphas_builder_matches_explicit_amdahl_profiles() {
+        // Back-compat: Amdahl-only grids built via the thin `alphas(...)`
+        // convenience produce exactly the same cells (and therefore the same
+        // ordering) as the generic profile axis.
+        let build = |builder: GridBuilder| {
+            builder
+                .platforms(&[PlatformId::Hera, PlatformId::Atlas])
+                .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+                .lambda_multipliers(&[1.0, 10.0])
+                .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+                .build()
+                .unwrap()
+        };
+        let legacy = build(ScenarioGrid::builder().alphas(&[0.05, 0.1]));
+        let generic = build(ScenarioGrid::builder().profiles(&[
+            SpeedupProfile::Amdahl { alpha: 0.05 },
+            SpeedupProfile::Amdahl { alpha: 0.1 },
+        ]));
+        assert_eq!(legacy, generic);
+        assert_eq!(legacy.cells(), generic.cells());
+        // The α axis still varies exactly where it used to: just inside the
+        // scenario axis, just outside the λ axis.
+        let cells = legacy.cells();
+        assert_eq!(cells[0].setup.alpha(), Some(0.05));
+        assert_eq!(cells[4].setup.alpha(), Some(0.1));
+        assert_eq!(cells[0].setup.scenario, cells[4].setup.scenario);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        assert!(ScenarioGrid::builder()
+            .profiles(&[SpeedupProfile::PowerLaw { sigma: 0.0 }])
+            .build()
+            .is_err());
+        assert!(ScenarioGrid::builder()
+            .profiles(&[SpeedupProfile::Gustafson { alpha: 1.5 }])
+            .build()
+            .is_err());
+        assert!(ScenarioGrid::builder().profiles(&[]).build().is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod grid;
 pub mod options;
 pub mod sink;
 
+pub use ayd_core::{ProfileSpec, SpeedupProfile};
 pub use cache::{CacheKey, CacheStats, EvalCache, ShardedEvalCache};
 pub use evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
 pub use executor::{

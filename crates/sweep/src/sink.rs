@@ -12,7 +12,13 @@ use crate::evaluate::SimSummary;
 use crate::executor::{SweepResults, SweepRow};
 
 /// Column header of the canonical sweep CSV, pinned by the golden test suite.
-pub const CSV_HEADER: &str = "platform,scenario,alpha,lambda_ind,lambda_multiplier,processors,\
+///
+/// `profile` holds the profile family (`amdahl`, `perfect`, `powerlaw`,
+/// `gustafson`) and `profile_param` its parameter (`α` or `σ`, empty for
+/// `perfect`); `alpha` keeps the Amdahl-equivalent sequential fraction and is
+/// empty for extension profiles.
+pub const CSV_HEADER: &str = "platform,scenario,alpha,profile,profile_param,\
+lambda_ind,lambda_multiplier,processors,\
 pattern_length,fo_processors,fo_period,fo_overhead,fo_formula_overhead,fo_sim_mean,fo_sim_ci95,\
 num_processors,num_period,num_overhead,num_sim_mean,num_sim_ci95,\
 pattern_overhead,pattern_sim_mean,pattern_sim_ci95,stream_sim_mean,stream_sim_ci95";
@@ -30,16 +36,18 @@ fn push_sim(out: &mut String, sim: Option<SimSummary>) {
 }
 
 /// Renders one row as its canonical CSV line (no trailing newline). Absent
-/// values (no first-order optimum, no simulation, free axes) are empty cells.
+/// values (no first-order optimum, no simulation, free axes, non-Amdahl
+/// `alpha`) are empty cells. The profile parameter uses shortest-roundtrip
+/// `f64` formatting, so parsing the two profile columns back reproduces the
+/// profile bit-identically.
 pub fn csv_line(row: &SweepRow) -> String {
-    let mut out = format!(
-        "{},{},{},{},{}",
-        row.platform.name(),
-        row.scenario,
-        row.alpha,
-        row.lambda_ind,
-        row.lambda_multiplier
-    );
+    let profile = ayd_core::ProfileSpec::from(row.profile);
+    let mut out = format!("{},{}", row.platform.name(), row.scenario);
+    push_value(&mut out, row.alpha);
+    out.push(',');
+    out.push_str(profile.kind());
+    push_value(&mut out, profile.param());
+    out.push_str(&format!(",{},{}", row.lambda_ind, row.lambda_multiplier));
     push_value(&mut out, row.fixed_processors);
     push_value(&mut out, row.pattern_length);
     push_value(&mut out, row.first_order.map(|p| p.processors));

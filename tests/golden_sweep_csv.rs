@@ -4,10 +4,14 @@
 //! (analytical only, so every cell is a deterministic pure-`f64` computation).
 //! Any drift in the output schema, the column order, the value formatting or
 //! the grid's deterministic cell order fails here before it reaches a consumer
-//! of `reproduce sweep --csv` output.
+//! of `reproduce sweep --csv` output. A second grid pins a non-Amdahl row, so
+//! the profile columns and the numerical-only fallback are golden too.
 
 use ayd_platforms::{PlatformId, ScenarioId};
-use ayd_sweep::{ProcessorAxis, RunOptions, ScenarioGrid, SweepExecutor, SweepOptions, CSV_HEADER};
+use ayd_sweep::{
+    ProcessorAxis, RunOptions, ScenarioGrid, SpeedupProfile, SweepExecutor, SweepOptions,
+    CSV_HEADER,
+};
 
 fn golden_grid() -> ScenarioGrid {
     ScenarioGrid::builder()
@@ -20,20 +24,24 @@ fn golden_grid() -> ScenarioGrid {
         .unwrap()
 }
 
-fn golden_csv() -> String {
+fn run_csv(grid: &ScenarioGrid) -> String {
     let options = SweepOptions::new(RunOptions {
         simulate: false,
         ..RunOptions::smoke()
     });
-    SweepExecutor::new(options).run(&golden_grid()).to_csv()
+    SweepExecutor::new(options).run(grid).to_csv()
+}
+
+fn golden_csv() -> String {
+    run_csv(&golden_grid())
 }
 
 #[test]
 fn sweep_csv_header_is_pinned() {
     assert_eq!(
         CSV_HEADER,
-        "platform,scenario,alpha,lambda_ind,lambda_multiplier,processors,pattern_length,\
-fo_processors,fo_period,fo_overhead,fo_formula_overhead,fo_sim_mean,fo_sim_ci95,\
+        "platform,scenario,alpha,profile,profile_param,lambda_ind,lambda_multiplier,processors,\
+pattern_length,fo_processors,fo_period,fo_overhead,fo_formula_overhead,fo_sim_mean,fo_sim_ci95,\
 num_processors,num_period,num_overhead,num_sim_mean,num_sim_ci95,\
 pattern_overhead,pattern_sim_mean,pattern_sim_ci95,stream_sim_mean,stream_sim_ci95"
     );
@@ -47,23 +55,49 @@ fn sweep_csv_first_and_last_rows_are_pinned() {
     assert_eq!(lines[0], CSV_HEADER);
     assert_eq!(
         lines[1],
-        "Hera,1,0.1,0.0000000169,1,256,3600,256,6551.836818431605,0.10923732682928215,\
-0.10874209350020253,,,256,6469.2375895385285,0.10923689384439697,,,\
+        "Hera,1,0.1,amdahl,0.1,0.0000000169,1,256,3600,256,6551.836818431605,\
+0.10923732682928215,0.10874209350020253,,,256,6469.2375895385285,0.10923689384439697,,,\
 0.11018235679785451,,,,"
     );
     assert_eq!(
         lines[8],
-        "Hera,3,0.1,0.000000169,10,1024,3600,1024,1430.5273600525854,0.17749510125302212,\
-0.14536209184958257,,,1024,1280.6146752871186,0.17710358937015436,,,\
+        "Hera,3,0.1,amdahl,0.1,0.000000169,10,1024,3600,1024,1430.5273600525854,\
+0.17749510125302212,0.14536209184958257,,,1024,1280.6146752871186,0.17710358937015436,,,\
 0.22113748594843097,,,,"
     );
+}
+
+#[test]
+fn non_amdahl_rows_are_pinned() {
+    // One power-law cell: the profile columns carry the spec, the alpha column
+    // and the whole first-order series are empty (numerical-only fallback).
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&[ScenarioId::S1])
+        .profiles(&[SpeedupProfile::power_law(0.8).unwrap()])
+        .processors(ProcessorAxis::Fixed(vec![256.0]))
+        .build()
+        .unwrap();
+    let csv = run_csv(&grid);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let line = lines[1];
+    assert!(
+        line.starts_with("Hera,1,,powerlaw,0.8,0.0000000169,1,256,,,,,,,,256,"),
+        "line: {line}"
+    );
+    let columns: Vec<&str> = line.split(',').collect();
+    assert_eq!(columns.len(), CSV_HEADER.split(',').count());
+    // The numerical series is present and positive.
+    let num_overhead: f64 = columns[17].parse().unwrap();
+    assert!(num_overhead > 0.0, "line: {line}");
 }
 
 #[test]
 fn every_golden_row_has_the_full_column_count() {
     let csv = golden_csv();
     let columns = CSV_HEADER.split(',').count();
-    assert_eq!(columns, 23);
+    assert_eq!(columns, 25);
     for line in csv.lines() {
         assert_eq!(line.split(',').count(), columns, "line: {line}");
     }

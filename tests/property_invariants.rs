@@ -221,22 +221,36 @@ proptest! {
     }
 }
 
+/// Strategy for one arbitrary (valid) speedup profile, covering all four
+/// families with a shared in-range parameter.
+fn arb_profile() -> impl Strategy<Value = SpeedupProfile> {
+    (0usize..4, 0.05f64..1.0).prop_map(|(kind, param)| match kind {
+        0 => SpeedupProfile::Amdahl { alpha: param },
+        1 => SpeedupProfile::PerfectlyParallel,
+        2 => SpeedupProfile::PowerLaw { sigma: param },
+        _ => SpeedupProfile::Gustafson { alpha: param },
+    })
+}
+
 proptest! {
     // Sweep determinism needs several executor runs per case: fewer cases.
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Sweep determinism contract, analytic half: for any grid and seed, the
-    /// sweep CSV bytes are identical for 1, 2 and 8 worker threads, and with
-    /// the memoisation cache disabled.
+    /// Sweep determinism contract, analytic half: for any grid — including a
+    /// mixed speedup-profile axis — and seed, the sweep CSV bytes are
+    /// identical for 1, 2 and 8 worker threads, and with the memoisation
+    /// cache disabled.
     #[test]
     fn sweep_csv_is_invariant_under_threads_and_cache(
         seed in 0u64..1_000,
         scenario_index in 0usize..6,
+        profiles in prop::collection::vec(arb_profile(), 1..4),
         multipliers in prop::collection::vec(0.2f64..30.0, 1..3),
         processors in prop::collection::vec(64.0f64..4_096.0, 1..3),
     ) {
         let grid = ScenarioGrid::builder()
             .scenarios(&[ScenarioId::ALL[scenario_index]])
+            .profiles(&profiles)
             .lambda_multipliers(&multipliers)
             .processors(ProcessorAxis::Fixed(processors))
             .build()
@@ -287,6 +301,76 @@ proptest! {
         prop_assume!(predicted.is_finite());
         // 4x20 patterns is noisy; just require the right order of magnitude.
         prop_assert!(stats.mean < predicted * 3.0 + 1.0);
+    }
+}
+
+/// Removes the `profile`/`profile_param` columns from every line of a sweep
+/// CSV, leaving the rest byte-for-byte intact.
+fn strip_profile_columns(csv: &str) -> String {
+    csv.lines()
+        .map(|line| {
+            let fields: Vec<&str> = line.split(',').collect();
+            let mut kept: Vec<&str> = Vec::with_capacity(fields.len() - 2);
+            kept.extend(&fields[..3]); // platform, scenario, alpha
+            kept.extend(&fields[5..]); // everything after profile_param
+            kept.join(",")
+        })
+        .collect::<Vec<String>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `amdahl:0.0` and `perfect` describe the same application: a grid swept
+    /// with one is row-for-row bit-identical to the other modulo the profile
+    /// columns, for any worker-thread count and with the cache on or off.
+    #[test]
+    fn amdahl_zero_sweeps_bit_identical_to_perfect(
+        seed in 0u64..1_000,
+        scenario_index in 0usize..6,
+        threads_index in 0usize..3,
+        cache_switch in 0usize..2,
+        processors in prop::collection::vec(64.0f64..4_096.0, 1..3),
+    ) {
+        let threads = [1usize, 2, 8][threads_index];
+        let cache = cache_switch == 1;
+        let grid_for = |profile: SpeedupProfile| {
+            ScenarioGrid::builder()
+                .scenarios(&[ScenarioId::ALL[scenario_index]])
+                .profiles(&[profile])
+                .lambda_multipliers(&[1.0, 10.0])
+                .processors(ProcessorAxis::Fixed(processors.clone()))
+                .build()
+                .unwrap()
+        };
+        let run = ayd_sweep::RunOptions {
+            seed,
+            simulate: false,
+            ..ayd_sweep::RunOptions::smoke()
+        };
+        let options = SweepOptions::new(run)
+            .with_threads(threads)
+            .with_cache_capacity(cache.then_some(1024));
+        let amdahl_zero = SweepExecutor::new(options)
+            .run(&grid_for(SpeedupProfile::Amdahl { alpha: 0.0 }));
+        let perfect = SweepExecutor::new(options)
+            .run(&grid_for(SpeedupProfile::PerfectlyParallel));
+        prop_assert_eq!(amdahl_zero.rows.len(), perfect.rows.len());
+        for (a, p) in amdahl_zero.rows.iter().zip(&perfect.rows) {
+            // Identical modulo the profile field itself…
+            let mut normalized = *p;
+            normalized.profile = a.profile;
+            prop_assert_eq!(a, &normalized);
+            // …including the Amdahl-equivalent alpha column (both are 0).
+            prop_assert_eq!(a.alpha, Some(0.0));
+            prop_assert_eq!(p.alpha, Some(0.0));
+        }
+        // And the CSV bytes agree once the two profile columns are spliced out.
+        prop_assert_eq!(
+            strip_profile_columns(&amdahl_zero.to_csv()),
+            strip_profile_columns(&perfect.to_csv())
+        );
     }
 }
 

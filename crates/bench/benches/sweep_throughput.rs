@@ -9,7 +9,10 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ayd_exp::sweep::{demo_grid, demo_grid_with_profiles};
-use ayd_sweep::{CacheStats, ScenarioGrid, SpeedupProfile, SweepExecutor, SweepOptions};
+use ayd_sweep::{
+    merge_parts, CacheStats, ScenarioGrid, ShardPart, ShardSpec, SpeedupProfile, SweepExecutor,
+    SweepManifest, SweepOptions,
+};
 
 fn thousand_cell_grid() -> ScenarioGrid {
     // The CLI's analytical demo grid: 4 platforms × 6 scenarios × 2 α ×
@@ -99,6 +102,40 @@ fn bench_sweep(c: &mut Criterion) {
     assert_eq!(mixed.len(), 4 * 6 * 4 * 2 * 3 * 4);
     group.bench_function("grid_2304_cells_mixed_profiles", |b| {
         b.iter(|| SweepExecutor::new(options).run(&mixed))
+    });
+
+    // Sharded execution of the 2304-cell mixed grid: 3 shard runs plus the
+    // deterministic merge. Checked byte-identical to the unsharded CSV once
+    // up front (the merge itself is part of the timed path, so the bench
+    // reflects the real end-to-end sharded pipeline cost).
+    let run_sharded = |count: usize| -> String {
+        let parts: Vec<ShardPart> = (0..count)
+            .map(|index| {
+                let shard = ShardSpec::new(index, count).unwrap();
+                ShardPart {
+                    manifest: SweepManifest::complete(&mixed, &options, shard),
+                    csv: SweepExecutor::new(options)
+                        .run_cells(&mixed.shard_cells(shard))
+                        .to_csv(),
+                }
+            })
+            .collect();
+        merge_parts(&parts).expect("complete shard partition merges")
+    };
+    let start = Instant::now();
+    let merged = run_sharded(3);
+    let sharded_elapsed = start.elapsed();
+    let start = Instant::now();
+    let unsharded = SweepExecutor::new(options).run(&mixed).to_csv();
+    let unsharded_elapsed = start.elapsed();
+    assert_eq!(merged, unsharded, "sharded merge must be byte-identical");
+    println!("\n================================================================");
+    println!(
+        "sweep_throughput: 2304-cell mixed grid — unsharded {unsharded_elapsed:.2?}, \
+         3 shards + merge {sharded_elapsed:.2?} (EXPERIMENTS.md records this pair)",
+    );
+    group.bench_function("grid_2304_cells_sharded_3_plus_merge", |b| {
+        b.iter(|| run_sharded(3))
     });
     group.finish();
 }

@@ -3,19 +3,33 @@
 //! ```text
 //! reproduce <experiment> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]
 //!                        [--threads N] [--no-cache] [--profiles SPEC,...]
+//!                        [--shard I/N] [--out PATH] [--resume] [--inputs CSV,...]
 //!                        [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]
 //!
 //! experiments:
 //!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
 //!   sweep       parallel scenario sweep (ayd-sweep demo grid; large when --no-sim)
+//!   sweep-merge merge shard CSVs (--inputs) into the unsharded CSV (--out)
 //!   checks      headline shape checks (figures 5 and 6 slopes)
 //!   serve       ayd-serve HTTP query service (runs until killed; not in `all`)
-//!   all         everything above except serve
+//!   all         everything above except serve and sweep-merge
 //! ```
+//!
+//! Experiment names are validated up front: an unknown name (or flag) fails
+//! with a usage message *before* anything runs, so a typo can never yield a
+//! partial-success exit.
 //!
 //! `--profiles` (sweep only) replaces the demo grid's application axis with an
 //! explicit comma-separated list of speedup-profile specs, e.g.
 //! `--profiles amdahl:0.1,powerlaw:0.8,gustafson:0.05,perfect`.
+//!
+//! `--out PATH` (sweep only) writes the canonical sweep CSV to `PATH` plus an
+//! atomically-updated progress manifest at `PATH.manifest`, instead of
+//! printing a table. `--shard I/N` restricts the run to one shard of the grid
+//! (cells with `index % N == I`); `--resume` skips rows an interrupted run
+//! already materialised. `sweep-merge --inputs a.csv,b.csv,... --out PATH`
+//! validates the sidecar manifests and re-assembles the shards into bytes
+//! identical to the unsharded sweep.
 //!
 //! `serve` exposes the optimiser over HTTP (see the `ayd-serve` crate docs):
 //! `--addr` picks the listen address (port 0 = ephemeral; the bound address is
@@ -50,14 +64,51 @@ struct ServeArgs {
     max_body: Option<usize>,
 }
 
+/// Flags of the sharded/file-backed sweep modes (`sweep --out/--shard/--resume`
+/// and `sweep-merge --inputs/--out`).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ShardArgs {
+    out: Option<std::path::PathBuf>,
+    shard: Option<ayd_sweep::ShardSpec>,
+    resume: bool,
+    inputs: Vec<std::path::PathBuf>,
+}
+
 #[derive(Debug)]
 struct Cli {
     experiments: Vec<String>,
     options: RunOptions,
     format: OutputFormat,
     serve: ServeArgs,
+    shard: ShardArgs,
     /// Speedup-profile override of the sweep demo grid (`--profiles`).
     profiles: Option<Vec<ayd_core::SpeedupProfile>>,
+}
+
+/// The experiments `all` runs, in order. This single table also drives the
+/// parse-time name validation (via [`is_known_experiment`]), so a new
+/// experiment added here is automatically accepted — the standalone-only
+/// entries (`sweep-merge`, `serve`, `all` itself) are the one extra list.
+const ALL_EXPERIMENTS: &[&str] = &[
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablation",
+    "engines",
+    "extensions",
+    "sweep",
+    "checks",
+];
+
+/// True when the CLI accepts `name` as an experiment; anything else is
+/// rejected at parse time, before any experiment runs.
+fn is_known_experiment(name: &str) -> bool {
+    ALL_EXPERIMENTS.contains(&name) || matches!(name, "sweep-merge" | "serve" | "all")
 }
 
 fn parse_profiles(value: &str) -> Result<Vec<ayd_core::SpeedupProfile>, String> {
@@ -80,10 +131,33 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut options = RunOptions::default();
     let mut format = OutputFormat::Text;
     let mut serve = ServeArgs::default();
+    let mut shard = ShardArgs::default();
     let mut profiles = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--shard" => {
+                let value = iter.next().ok_or("--shard requires a value (I/N)")?;
+                shard.shard = Some(ayd_sweep::ShardSpec::parse(value).map_err(|e| e.to_string())?);
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out requires a path")?;
+                shard.out = Some(std::path::PathBuf::from(value));
+            }
+            "--resume" => shard.resume = true,
+            "--inputs" => {
+                let value = iter
+                    .next()
+                    .ok_or("--inputs requires a comma-separated list")?;
+                shard.inputs = value
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(std::path::PathBuf::from)
+                    .collect();
+                if shard.inputs.is_empty() {
+                    return Err("--inputs requires at least one CSV path".to_string());
+                }
+            }
             "--paper" => options.fidelity = Fidelity::Paper,
             "--smoke" => options.fidelity = Fidelity::Smoke,
             "--no-sim" => options.simulate = false,
@@ -133,31 +207,157 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 );
             }
             "--help" | "-h" => return Err(usage()),
-            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()))
+            }
             other => experiments.push(other.to_string()),
         }
     }
     if experiments.is_empty() {
         return Err(usage());
     }
+    // Validate experiment names *before* anything runs: a typo'd token must
+    // fail the whole invocation with a usage message, not run the experiments
+    // in front of it and only then error out.
+    for experiment in &experiments {
+        if !is_known_experiment(experiment) {
+            return Err(format!("unknown experiment `{experiment}`\n{}", usage()));
+        }
+    }
+    if (shard.shard.is_some() || shard.resume) && shard.out.is_none() {
+        return Err(format!("--shard/--resume require --out PATH\n{}", usage()));
+    }
+    // The shard/file flags only mean something to the sweep experiments; on
+    // anything else they would be silently dropped — fail instead.
+    let runs_a_sweep = experiments
+        .iter()
+        .any(|e| e == "sweep" || e == "sweep-merge" || e == "all");
+    if (shard.out.is_some() || shard.shard.is_some() || shard.resume) && !runs_a_sweep {
+        return Err(format!(
+            "--out/--shard/--resume only apply to sweep and sweep-merge\n{}",
+            usage()
+        ));
+    }
+    if !shard.inputs.is_empty() && !experiments.iter().any(|e| e == "sweep-merge") {
+        return Err(format!("--inputs only applies to sweep-merge\n{}", usage()));
+    }
+    if experiments.iter().any(|e| e == "sweep-merge") {
+        if shard.inputs.is_empty() || shard.out.is_none() {
+            return Err(format!(
+                "sweep-merge requires --inputs CSV,... and --out PATH\n{}",
+                usage()
+            ));
+        }
+        if shard.resume || shard.shard.is_some() {
+            return Err(format!(
+                "sweep-merge takes --inputs/--out only, not --shard/--resume\n{}",
+                usage()
+            ));
+        }
+        // Both would write the single --out path, the second clobbering the
+        // first's validated output.
+        if experiments.iter().any(|e| e == "sweep" || e == "all") {
+            return Err(format!(
+                "sweep-merge cannot be combined with sweep/all (they would share --out)\n{}",
+                usage()
+            ));
+        }
+    }
+    // File output is always the canonical CSV; a stdout format flag alongside
+    // it would be silently meaningless.
+    if shard.out.is_some() && format != OutputFormat::Text {
+        return Err(format!(
+            "--csv/--json cannot be combined with --out (the file is always canonical CSV)\n{}",
+            usage()
+        ));
+    }
     Ok(Cli {
         experiments,
         options,
         format,
         serve,
+        shard,
         profiles,
     })
 }
 
 fn usage() -> String {
     "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N] \
-     [--threads N] [--no-cache] [--profiles SPEC,...] [--addr HOST:PORT] [--cache-capacity N] \
-     [--max-body BYTES]\n\
+     [--threads N] [--no-cache] [--profiles SPEC,...] [--shard I/N] [--out PATH] [--resume] \
+     [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
-     checks serve all\n\
+     sweep-merge checks serve all\n\
      profile specs: amdahl:A powerlaw:S gustafson:A perfect (e.g. \
-     --profiles amdahl:0.1,powerlaw:0.8)"
+     --profiles amdahl:0.1,powerlaw:0.8)\n\
+     sharding: sweep --shard 0/4 --out shard0.csv [--resume]; \
+     sweep-merge --inputs shard0.csv,...,shard3.csv --out merged.csv"
         .to_string()
+}
+
+/// The file-backed `sweep --out` mode: runs one shard (default: the whole
+/// grid as shard 0/1) into the CSV + `.manifest` sidecar pair, resuming an
+/// interrupted run when asked. A human-readable progress summary goes to
+/// stdout; the canonical bytes live in the file.
+fn run_sweep_to_files(cli: &Cli, out: &std::path::Path) -> Result<(), String> {
+    let grid = sweep::demo_grid_with_profiles(cli.options.simulate, cli.profiles.as_deref());
+    let shard = cli.shard.shard.unwrap_or(ayd_sweep::ShardSpec::WHOLE);
+    let executor = ayd_sweep::SweepExecutor::new(ayd_sweep::SweepOptions::new(cli.options));
+    let report =
+        ayd_sweep::run_shard_to_files(&executor, &grid, shard, out, cli.shard.resume, None)
+            .map_err(|e| format!("sweep: {e}"))?;
+    println!(
+        "sweep shard {shard}: {} of {} grid cells ({} resumed, {} evaluated) -> {}",
+        report.shard_cells,
+        grid.len(),
+        report.resumed_rows,
+        report.results.rows.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// The `sweep-merge` experiment: loads every `--inputs` CSV with its sidecar
+/// manifest, validates that they form one complete partition of one sweep,
+/// and writes the deterministic merge (byte-identical to an unsharded run)
+/// to `--out`, with a completed whole-grid manifest alongside.
+fn run_sweep_merge(cli: &Cli, out: &std::path::Path) -> Result<(), String> {
+    let parts: Vec<ayd_sweep::ShardPart> = cli
+        .shard
+        .inputs
+        .iter()
+        .map(|path| ayd_sweep::ShardPart::load(path).map_err(|e| format!("sweep-merge: {e}")))
+        .collect::<Result<_, String>>()?;
+    let merged = ayd_sweep::merge_parts(&parts).map_err(|e| format!("sweep-merge: {e}"))?;
+    // Atomic like every other shard artifact: a kill mid-write must never
+    // leave a truncated merged CSV next to a manifest vouching for it.
+    let mut tmp = out.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &merged)
+        .map_err(|e| format!("sweep-merge: write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, out).map_err(|e| {
+        format!(
+            "sweep-merge: rename {} -> {}: {e}",
+            tmp.display(),
+            out.display()
+        )
+    })?;
+    // The merged output gets a whole-grid manifest, so it can itself be
+    // validated (or fed onward) like any other shard artifact.
+    let mut manifest = parts[0].manifest.clone();
+    manifest.shard = ayd_sweep::ShardSpec::WHOLE;
+    manifest.shard_cells = manifest.grid_cells;
+    manifest.completed = manifest.grid_cells;
+    manifest
+        .write_atomic(&ayd_sweep::manifest_path(out))
+        .map_err(|e| format!("sweep-merge: {e}"))?;
+    println!(
+        "sweep-merge: {} shards, {} rows -> {}",
+        parts.len(),
+        manifest.grid_cells,
+        out.display()
+    );
+    Ok(())
 }
 
 /// Runs the `ayd-serve` query service until the process is killed. The bound
@@ -321,12 +521,23 @@ fn run_experiment(name: &str, cli: &Cli) -> Result<(), String> {
             let data = extensions::run(options);
             emit(format, vec![extensions::render(&data)]);
         }
-        "sweep" => {
-            let results = sweep::run_with_profiles(options, cli.profiles.as_deref());
-            match format {
-                OutputFormat::Text => emit(format, vec![sweep::render(&results)]),
-                OutputFormat::Csv | OutputFormat::Json => emit_sweep_csv(format, &results),
+        "sweep" => match &cli.shard.out {
+            Some(out) => run_sweep_to_files(cli, out)?,
+            None => {
+                let results = sweep::run_with_profiles(options, cli.profiles.as_deref());
+                match format {
+                    OutputFormat::Text => emit(format, vec![sweep::render(&results)]),
+                    OutputFormat::Csv | OutputFormat::Json => emit_sweep_csv(format, &results),
+                }
             }
+        },
+        "sweep-merge" => {
+            let out = cli
+                .shard
+                .out
+                .as_ref()
+                .expect("parse_args enforces --out for sweep-merge");
+            run_sweep_merge(cli, out)?
         }
         "serve" => run_serve(cli)?,
         "checks" => {
@@ -343,21 +554,7 @@ fn run_experiment(name: &str, cli: &Cli) -> Result<(), String> {
             emit(format, vec![table]);
         }
         "all" => {
-            for experiment in [
-                "table2",
-                "table3",
-                "fig2",
-                "fig3",
-                "fig4",
-                "fig5",
-                "fig6",
-                "fig7",
-                "ablation",
-                "engines",
-                "extensions",
-                "sweep",
-                "checks",
-            ] {
+            for experiment in ALL_EXPERIMENTS {
                 run_experiment(experiment, cli)?;
             }
         }
@@ -503,8 +700,86 @@ mod tests {
             },
             format: OutputFormat::Text,
             serve: ServeArgs::default(),
+            shard: ShardArgs::default(),
             profiles: None,
         }
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let cli = parse_args(&strings(&[
+            "sweep", "--shard", "1/4", "--out", "s1.csv", "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.shard.shard,
+            Some(ayd_sweep::ShardSpec { index: 1, count: 4 })
+        );
+        assert_eq!(
+            cli.shard.out.as_deref(),
+            Some(std::path::Path::new("s1.csv"))
+        );
+        assert!(cli.shard.resume);
+        // Shard coordinates are validated at parse time…
+        assert!(parse_args(&strings(&["sweep", "--shard", "4/4", "--out", "x"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--shard", "nope", "--out", "x"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--shard"])).is_err());
+        // …and --shard/--resume are meaningless without a file target.
+        assert!(parse_args(&strings(&["sweep", "--shard", "0/2"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--resume"])).is_err());
+        // The shard/file flags are rejected (not silently dropped) on
+        // experiments that never read them.
+        let err =
+            parse_args(&strings(&["checks", "--shard", "0/2", "--out", "x.csv"])).unwrap_err();
+        assert!(err.contains("only apply to sweep"), "{err}");
+        assert!(parse_args(&strings(&["fig2", "--out", "x.csv"])).is_err());
+        // `all` includes sweep, so a file target is legitimate there.
+        assert!(parse_args(&strings(&["all", "--out", "x.csv"])).is_ok());
+        // Stdout format flags are meaningless (and silently dropped) in file
+        // mode, and sweep+sweep-merge would clobber one another's --out.
+        assert!(parse_args(&strings(&["sweep", "--out", "x.csv", "--csv"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--out", "x.csv", "--json"])).is_err());
+        let err = parse_args(&strings(&[
+            "sweep-merge",
+            "sweep",
+            "--inputs",
+            "a.csv",
+            "--out",
+            "m.csv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn sweep_merge_arguments_are_validated() {
+        let cli = parse_args(&strings(&[
+            "sweep-merge",
+            "--inputs",
+            "a.csv,b.csv",
+            "--out",
+            "m.csv",
+        ]))
+        .unwrap();
+        assert_eq!(cli.shard.inputs.len(), 2);
+        assert!(parse_args(&strings(&["sweep-merge", "--out", "m.csv"])).is_err());
+        assert!(parse_args(&strings(&["sweep-merge", "--inputs", "a.csv"])).is_err());
+        assert!(parse_args(&strings(&["sweep-merge", "--inputs", ",", "--out", "m"])).is_err());
+        // --inputs on any other experiment is rejected.
+        assert!(parse_args(&strings(&["sweep", "--inputs", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn unknown_experiments_fail_at_parse_time_with_usage() {
+        let err = parse_args(&strings(&["sweep", "bogus-experiment"])).unwrap_err();
+        assert!(
+            err.contains("unknown experiment `bogus-experiment`"),
+            "{err}"
+        );
+        assert!(err.contains("usage:"), "{err}");
+        let err = parse_args(&strings(&["sweep", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag `--bogus`"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
     }
 
     #[test]

@@ -54,7 +54,16 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
             _ => ("sweep_submit", method_not_allowed("POST")),
         },
         _ if path.starts_with("/v1/sweep/") => {
-            let id = path["/v1/sweep/".len()..].parse::<u64>().ok();
+            let rest = &path["/v1/sweep/".len()..];
+            if let Some(id_text) = rest.strip_suffix("/shards") {
+                let id = id_text.parse::<u64>().ok();
+                return match (req.method.as_str(), id) {
+                    ("GET", Some(id)) => ("sweep_shards", sweep_shards(state, id)),
+                    (_, Some(_)) => ("sweep_shards", method_not_allowed("GET")),
+                    (_, None) => ("sweep_shards", not_found()),
+                };
+            }
+            let id = rest.parse::<u64>().ok();
             match (req.method.as_str(), id) {
                 ("GET", Some(id)) => ("sweep_poll", sweep_poll(state, req, id)),
                 ("DELETE", Some(id)) => ("sweep_cancel", sweep_cancel(state, id)),
@@ -637,6 +646,56 @@ pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, ApiError> {
     builder.build().map_err(|e| ApiError::plain(e.to_string()))
 }
 
+/// The opaque resume token of a sharded job: the job id plus the grid and
+/// options fingerprints, so a resumed submission can be validated against
+/// the exact sweep the token came from.
+fn resume_token(id: u64, grid_fingerprint: u64, options_fingerprint: u64) -> String {
+    format!("{id}-{grid_fingerprint:016x}{options_fingerprint:016x}")
+}
+
+fn parse_resume_token(token: &str) -> Result<(u64, u64, u64), ApiError> {
+    let bad = || {
+        ApiError::field(
+            "resume_token",
+            "resume_token must be a token returned by a sharded sweep submission",
+        )
+    };
+    let (id, prints) = token.split_once('-').ok_or_else(bad)?;
+    if prints.len() != 32 {
+        return Err(bad());
+    }
+    Ok((
+        id.parse().map_err(|_| bad())?,
+        u64::from_str_radix(&prints[..16], 16).map_err(|_| bad())?,
+        u64::from_str_radix(&prints[16..], 16).map_err(|_| bad())?,
+    ))
+}
+
+/// Parses the sharding fields of a `/v1/sweep` body: the optional shard
+/// count and the optional resume token of an earlier cancelled sharded job.
+fn parse_shards(body: &Json) -> Result<(Option<usize>, Option<&str>), ApiError> {
+    let shards = match field_f64(body, "shards")? {
+        None => None,
+        Some(count) => {
+            let max = ayd_sweep::MAX_SHARDS as f64;
+            if count.fract() != 0.0 || count < 1.0 || count > max {
+                return Err(ApiError::field(
+                    "shards",
+                    format!("shards must be an integer in 1..={max}, got {count}"),
+                ));
+            }
+            Some(count as usize)
+        }
+    };
+    let token = match body.get("resume_token") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(value.as_str().ok_or_else(|| {
+            ApiError::field("resume_token", "field 'resume_token' must be a string")
+        })?),
+    };
+    Ok((shards, token))
+}
+
 fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
     let body = match parse_body(req) {
         Ok(body) => body,
@@ -653,10 +712,80 @@ fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
             state.max_sweep_cells
         ));
     }
-    // Admission and registration are one atomic step: concurrent submissions
-    // cannot all pass a separate count check and overshoot the cap.
+    let (shards, token) = match parse_shards(&body) {
+        Ok(parsed) => parsed,
+        Err(error) => return error.response(),
+    };
+    // A resume token implies a sharded job; its shard count defaults to the
+    // cancelled job's (an explicit mismatching `shards` is rejected below).
+    let sharded = shards.is_some() || token.is_some();
+    if !sharded {
+        let Some(id) = state.jobs.try_submit(state.max_jobs, || {
+            crate::app::JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
+        }) else {
+            return Response::error(
+                503,
+                "Service Unavailable",
+                "too many sweeps running; retry later",
+            );
+        };
+        return Response::json_status(
+            202,
+            "Accepted",
+            &Json::obj(vec![
+                ("id", Json::num(id as f64)),
+                ("status", Json::str("running")),
+                ("cells", Json::num(grid.len() as f64)),
+                ("shards", Json::Null),
+                ("resume_token", Json::Null),
+                ("href", Json::str(format!("/v1/sweep/{id}"))),
+            ]),
+        );
+    }
+
+    let grid_fingerprint = grid.fingerprint();
+    let options_fingerprint = state.options.output_fingerprint();
+    let resumed = match token {
+        None => None,
+        Some(token) => {
+            let (old_id, old_grid, old_options) = match parse_resume_token(token) {
+                Ok(parsed) => parsed,
+                Err(error) => return error.response(),
+            };
+            if old_grid != grid_fingerprint || old_options != options_fingerprint {
+                return ApiError::field(
+                    "resume_token",
+                    "resume_token belongs to a different grid or server configuration",
+                )
+                .response();
+            }
+            // One atomic lookup validates the token and (when the body gave
+            // no explicit `shards`) adopts the cancelled job's shard count.
+            match state
+                .jobs
+                .resume_rows(old_id, grid_fingerprint, options_fingerprint, shards)
+            {
+                Ok((count, rows)) => Some((count, rows)),
+                Err(reason) => return ApiError::field("resume_token", reason).response(),
+            }
+        }
+    };
+    let (count, resumed_rows) = match resumed {
+        Some((count, rows)) => (count, rows),
+        None => {
+            let count = shards.expect("sharded implies shards or token");
+            (count, vec![None; count])
+        }
+    };
     let Some(id) = state.jobs.try_submit(state.max_jobs, || {
-        SweepExecutor::new(state.options).spawn(&grid)
+        crate::app::JobHandle::Sharded(crate::app::spawn_sharded(
+            state.options,
+            &grid,
+            count,
+            resumed_rows,
+            grid_fingerprint,
+            options_fingerprint,
+        ))
     }) else {
         return Response::error(
             503,
@@ -671,9 +800,43 @@ fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
             ("id", Json::num(id as f64)),
             ("status", Json::str("running")),
             ("cells", Json::num(grid.len() as f64)),
+            ("shards", Json::num(count as f64)),
+            (
+                "resume_token",
+                Json::str(resume_token(id, grid_fingerprint, options_fingerprint)),
+            ),
             ("href", Json::str(format!("/v1/sweep/{id}"))),
+            ("shards_href", Json::str(format!("/v1/sweep/{id}/shards"))),
         ]),
     )
+}
+
+/// `GET /v1/sweep/{id}/shards`: per-shard progress of a sharded job.
+fn sweep_shards(state: &Arc<AppState>, id: u64) -> Response {
+    match state.jobs.shards_view(id) {
+        None => Response::error(404, "Not Found", "no such sweep job"),
+        Some(None) => bad_request("sweep job was not submitted with shards"),
+        Some(Some(views)) => Response::json(&Json::obj(vec![
+            ("id", Json::num(id as f64)),
+            ("shards", Json::num(views.len() as f64)),
+            (
+                "progress",
+                Json::Arr(
+                    views
+                        .iter()
+                        .map(|view| {
+                            Json::obj(vec![
+                                ("index", Json::num(view.index as f64)),
+                                ("total", Json::num(view.total as f64)),
+                                ("completed", Json::num(view.completed as f64)),
+                                ("status", Json::str(view.status)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])),
+    }
 }
 
 fn sweep_poll(state: &Arc<AppState>, req: &Request, id: u64) -> Response {
@@ -898,6 +1061,97 @@ mod tests {
         assert_eq!(missing.status, 404);
         let (_, bad) = route(&state, &post("/v1/sweep", r#"{"scenarios":[9]}"#));
         assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn sharded_sweep_jobs_report_shards_and_honour_resume_tokens() {
+        let state = state();
+        let body = r#"{"platforms":["Hera"],"scenarios":[1,3],"lambda_multipliers":[1,10],
+                       "processors":[256,1024],"shards":3}"#;
+        let (_, accepted) = route(&state, &post("/v1/sweep", body));
+        assert_eq!(accepted.status, 202);
+        let doc = Json::parse(std::str::from_utf8(&accepted.body).unwrap()).unwrap();
+        let id = doc.get("id").unwrap().as_f64().unwrap() as u64;
+        assert_eq!(doc.get("shards").unwrap().as_f64(), Some(3.0));
+        let token = doc
+            .get("resume_token")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        // Wait for the CSV; it must equal the unsharded engine's bytes.
+        let csv = loop {
+            let (_, poll) = route(&state, &get(&format!("/v1/sweep/{id}")));
+            if poll.content_type.starts_with("text/csv") {
+                break String::from_utf8(poll.body).unwrap();
+            }
+            std::thread::yield_now();
+        };
+        let grid = ScenarioGrid::builder()
+            .platforms(&[PlatformId::Hera])
+            .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+            .lambda_multipliers(&[1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+            .build()
+            .unwrap();
+        assert_eq!(csv, SweepExecutor::new(state.options).run(&grid).to_csv());
+
+        // The shards view accounts for every cell.
+        let (endpoint, shards) = route(&state, &get(&format!("/v1/sweep/{id}/shards")));
+        assert_eq!((endpoint, shards.status), ("sweep_shards", 200));
+        let doc = Json::parse(std::str::from_utf8(&shards.body).unwrap()).unwrap();
+        let progress = doc.get("progress").unwrap().as_array().unwrap();
+        assert_eq!(progress.len(), 3);
+        let total: f64 = progress
+            .iter()
+            .map(|p| p.get("total").unwrap().as_f64().unwrap())
+            .sum();
+        assert_eq!(total as usize, grid.len());
+
+        // Resuming a *completed* job is a structured 400 pointing the client
+        // at the CSV it can already fetch (resume rows are only retained for
+        // cancelled jobs; the registry-level reuse path is unit-tested in
+        // `app::tests::resume_rows_reuses_finished_shards_…`).
+        let resume_body = format!(
+            r#"{{"platforms":["Hera"],"scenarios":[1,3],"lambda_multipliers":[1,10],
+                "processors":[256,1024],"resume_token":"{token}"}}"#
+        );
+        let (_, resumed) = route(&state, &post("/v1/sweep", &resume_body));
+        assert_eq!(resumed.status, 400, "{:?}", String::from_utf8(resumed.body));
+        let message = String::from_utf8(resumed.body).unwrap();
+        assert!(message.contains("completed"), "{message}");
+
+        // A resume token against a different grid is a structured 400; so are
+        // malformed tokens and out-of-range shard counts.
+        let (_, mismatched) = route(
+            &state,
+            &post(
+                "/v1/sweep",
+                &format!(r#"{{"scenarios":[1],"resume_token":"{token}"}}"#),
+            ),
+        );
+        assert_eq!(mismatched.status, 400);
+        let message = String::from_utf8(mismatched.body).unwrap();
+        assert!(message.contains("resume_token"), "{message}");
+        let (_, bad_token) = route(
+            &state,
+            &post("/v1/sweep", r#"{"scenarios":[1],"resume_token":"nope"}"#),
+        );
+        assert_eq!(bad_token.status, 400);
+        let (_, bad_shards) = route(&state, &post("/v1/sweep", r#"{"shards":0}"#));
+        assert_eq!(bad_shards.status, 400);
+        let (_, frac_shards) = route(&state, &post("/v1/sweep", r#"{"shards":2.5}"#));
+        assert_eq!(frac_shards.status, 400);
+
+        // The shards view of a plain job says "not sharded"; unknown ids 404.
+        let (_, plain) = route(&state, &post("/v1/sweep", r#"{"scenarios":[1]}"#));
+        let doc = Json::parse(std::str::from_utf8(&plain.body).unwrap()).unwrap();
+        let plain_id = doc.get("id").unwrap().as_f64().unwrap() as u64;
+        let (_, view) = route(&state, &get(&format!("/v1/sweep/{plain_id}/shards")));
+        assert_eq!(view.status, 400);
+        let (_, missing) = route(&state, &get("/v1/sweep/424242/shards"));
+        assert_eq!(missing.status, 404);
     }
 
     #[test]

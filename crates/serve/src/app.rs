@@ -1,11 +1,12 @@
 //! Server configuration and shared application state.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ayd_sweep::{
-    AnalyticEval, CacheStats, RunOptions, ShardedEvalCache, SweepJobHandle, SweepOptions,
+    AnalyticEval, CacheStats, NullSink, RunOptions, ScenarioGrid, ShardSpec, ShardedEvalCache,
+    SweepExecutor, SweepJobHandle, SweepOptions, SweepRow,
 };
 
 use crate::http::Limits;
@@ -115,10 +116,317 @@ pub struct FinishedJob {
     pub csv: String,
     /// The job's own memoisation-cache counters.
     pub cache: CacheStats,
+    /// Per-shard outcome of a sharded job (`None` for plain jobs). Retained
+    /// so a cancelled job's finished shards can seed a resumed submission.
+    pub shards: Option<FinishedShards>,
+}
+
+/// The retained shard state of a finished sharded job.
+#[derive(Debug)]
+pub struct FinishedShards {
+    /// Shard count of the job.
+    pub count: usize,
+    /// Fingerprint of the job's grid (resume submissions must match it).
+    pub grid_fingerprint: u64,
+    /// Fingerprint of the job's output-relevant options.
+    pub options_fingerprint: u64,
+    /// Cells each shard owns.
+    pub totals: Vec<usize>,
+    /// Rows each shard materialised (equal to `totals` entries when done).
+    pub completed: Vec<usize>,
+    /// Per-shard rows retained to seed a resume — `Some` only when the job
+    /// was **cancelled**. A completed job's CSV already sits in the registry;
+    /// keeping a second row-structured copy of every cell would roughly
+    /// double its retained memory for no consumer (resuming a completed job
+    /// would only reproduce bytes the client can already fetch).
+    pub rows_by_shard: Option<Vec<Option<Vec<SweepRow>>>>,
+}
+
+/// Progress states of one shard of a sharded job.
+const SHARD_PENDING: u8 = 0;
+const SHARD_RUNNING: u8 = 1;
+const SHARD_DONE: u8 = 2;
+const SHARD_REUSED: u8 = 3;
+
+/// Shared progress cell of one shard.
+struct ShardSlot {
+    total: usize,
+    completed: AtomicUsize,
+    state: AtomicU8,
+}
+
+/// One shard's progress, as reported by `GET /v1/sweep/{id}/shards`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardView {
+    /// Shard index.
+    pub index: usize,
+    /// Cells the shard owns.
+    pub total: usize,
+    /// Cells evaluated (or reused) so far.
+    pub completed: usize,
+    /// `pending`, `running`, `done` or `reused`.
+    pub status: &'static str,
+}
+
+/// Per-shard row sets: `None` marks a shard that never completed.
+pub type ShardRows = Vec<Option<Vec<SweepRow>>>;
+
+/// Result a sharded controller thread hands back on join.
+struct ShardedOutcome {
+    rows_by_shard: ShardRows,
+    cache: CacheStats,
+}
+
+/// Handle on a sharded sweep job: shards run one after another on a
+/// controller thread (each shard still fans its cells out over the
+/// executor's worker pool), so cancellation loses at most the shard in
+/// flight — finished shards stay reusable through `resume_token`.
+pub struct ShardedJobHandle {
+    slots: Arc<Vec<ShardSlot>>,
+    cancel: Arc<AtomicBool>,
+    grid_fingerprint: u64,
+    options_fingerprint: u64,
+    thread: std::thread::JoinHandle<ShardedOutcome>,
+}
+
+/// Spawns a sharded sweep job. `resumed[i]`, when present, short-circuits
+/// shard `i` with rows computed by an earlier (cancelled) job — they are
+/// bit-identical to a fresh evaluation by the determinism contract, so the
+/// reuse is observationally a pure speed-up.
+///
+/// Callers may run inside the job registry's submit lock, so this flattens
+/// the grid exactly **once** (partitioning the single cell list by
+/// `index % count`) — flattening per shard would hold the lock for
+/// `count ×` the grid size — and takes the (cell-list-derived) fingerprints
+/// precomputed rather than re-flattening to hash.
+pub fn spawn_sharded(
+    options: SweepOptions,
+    grid: &ScenarioGrid,
+    count: usize,
+    resumed: Vec<Option<Vec<SweepRow>>>,
+    grid_fingerprint: u64,
+    options_fingerprint: u64,
+) -> ShardedJobHandle {
+    debug_assert_eq!(resumed.len(), count);
+    let mut cells_by_shard: Vec<Vec<ayd_sweep::SweepCell>> = (0..count)
+        .map(|index| {
+            let spec = ShardSpec::new(index, count).expect("validated by the API layer");
+            Vec::with_capacity(spec.cell_count(grid.len()))
+        })
+        .collect();
+    for cell in grid.cells() {
+        cells_by_shard[cell.index % count].push(cell);
+    }
+    let slots: Arc<Vec<ShardSlot>> = Arc::new(
+        cells_by_shard
+            .iter()
+            .map(|cells| ShardSlot {
+                total: cells.len(),
+                completed: AtomicUsize::new(0),
+                state: AtomicU8::new(SHARD_PENDING),
+            })
+            .collect(),
+    );
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (worker_slots, worker_cancel) = (Arc::clone(&slots), Arc::clone(&cancel));
+    let thread = std::thread::spawn(move || {
+        let executor = SweepExecutor::new(options);
+        let mut rows_by_shard: Vec<Option<Vec<SweepRow>>> = vec![None; cells_by_shard.len()];
+        let mut cache = CacheStats::default();
+        let mut resumed = resumed;
+        for (index, cells) in cells_by_shard.into_iter().enumerate() {
+            let slot = &worker_slots[index];
+            if let Some(rows) = resumed[index].take() {
+                // Release pairs with shard_views' Acquire load of `state`: a
+                // reader that sees REUSED also sees the completed count.
+                slot.completed.store(rows.len(), Ordering::Relaxed);
+                slot.state.store(SHARD_REUSED, Ordering::Release);
+                rows_by_shard[index] = Some(rows);
+                continue;
+            }
+            if worker_cancel.load(Ordering::Relaxed) {
+                // `continue`, not `break`: shards resumed from an earlier job
+                // must still be drained into the retained state, or a
+                // cancel-during-resume would throw their finished rows away.
+                continue;
+            }
+            slot.state.store(SHARD_RUNNING, Ordering::Relaxed);
+            let mut sink = NullSink;
+            let results = executor.run_cells_controlled(
+                &cells,
+                &mut sink,
+                Some(&worker_cancel),
+                Some(&slot.completed),
+            );
+            cache = cache.merged(results.cache);
+            if results.rows.len() == cells.len() {
+                // Release for the same reason as the REUSED store above: the
+                // workers' progress increments happened-before the scope join,
+                // so a reader that sees DONE sees the full count.
+                slot.state.store(SHARD_DONE, Ordering::Release);
+                rows_by_shard[index] = Some(results.rows);
+            }
+            // A partially evaluated shard is discarded: resume granularity is
+            // whole shards, and partial rows would not be addressable by the
+            // resume token anyway.
+        }
+        ShardedOutcome {
+            rows_by_shard,
+            cache,
+        }
+    });
+    ShardedJobHandle {
+        slots,
+        cancel,
+        grid_fingerprint,
+        options_fingerprint,
+        thread,
+    }
+}
+
+impl ShardedJobHandle {
+    fn total(&self) -> usize {
+        self.slots.iter().map(|s| s.total).sum()
+    }
+
+    fn completed(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.completed.load(Ordering::Relaxed).min(s.total))
+            .sum()
+    }
+
+    fn shard_views(&self) -> Vec<ShardView> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                // Acquire the state *first*: it pairs with the controller's
+                // Release stores, so a DONE/REUSED status is never reported
+                // with a stale (lower) completed count.
+                let status = match slot.state.load(Ordering::Acquire) {
+                    SHARD_RUNNING => "running",
+                    SHARD_DONE => "done",
+                    SHARD_REUSED => "reused",
+                    _ => "pending",
+                };
+                ShardView {
+                    index,
+                    total: slot.total,
+                    completed: slot.completed.load(Ordering::Relaxed).min(slot.total),
+                    status,
+                }
+            })
+            .collect()
+    }
+
+    fn join(self) -> FinishedJob {
+        let count = self.slots.len();
+        let outcome = self.thread.join().expect("sharded sweep job panicked");
+        let cancelled = outcome.rows_by_shard.iter().any(Option::is_none);
+        let completed: Vec<usize> = outcome
+            .rows_by_shard
+            .iter()
+            .map(|rows| rows.as_ref().map(Vec::len).unwrap_or(0))
+            .collect();
+        // Deterministic merge by global cell id (ShardSpec owns the
+        // shard-to-global mapping, same as ayd-sweep's merge_parts), so
+        // interleaving reproduces the unsharded order — and, for a completed
+        // job, the unsharded CSV bytes.
+        let mut indexed: Vec<(usize, &SweepRow)> = Vec::new();
+        for (index, rows) in outcome.rows_by_shard.iter().enumerate() {
+            if let Some(rows) = rows {
+                let spec = ShardSpec::new(index, count).expect("count validated at submit");
+                indexed.extend(
+                    rows.iter()
+                        .enumerate()
+                        .map(|(k, row)| (spec.global_index(k), row)),
+                );
+            }
+        }
+        indexed.sort_unstable_by_key(|&(id, _)| id);
+        // Render through SweepResults::to_csv — the one canonical CSV
+        // serializer — rather than a second header+csv_line loop here.
+        let merged = ayd_sweep::SweepResults {
+            rows: indexed.iter().map(|&(_, row)| *row).collect(),
+            cache: outcome.cache,
+        };
+        drop(indexed);
+        let csv = merged.to_csv();
+        FinishedJob {
+            cancelled,
+            rows: merged.rows.len(),
+            csv,
+            cache: outcome.cache,
+            shards: Some(FinishedShards {
+                count,
+                grid_fingerprint: self.grid_fingerprint,
+                options_fingerprint: self.options_fingerprint,
+                totals: self.slots.iter().map(|s| s.total).collect(),
+                completed,
+                rows_by_shard: cancelled.then_some(outcome.rows_by_shard),
+            }),
+        }
+    }
+}
+
+/// A running job: the original single-executor path, or the sharded
+/// controller.
+pub enum JobHandle {
+    /// One background executor over the whole grid.
+    Plain(SweepJobHandle),
+    /// The sequential-shard controller (see [`spawn_sharded`]).
+    Sharded(ShardedJobHandle),
+}
+
+impl JobHandle {
+    fn completed(&self) -> usize {
+        match self {
+            JobHandle::Plain(handle) => handle.completed(),
+            JobHandle::Sharded(handle) => handle.completed(),
+        }
+    }
+
+    fn total(&self) -> usize {
+        match self {
+            JobHandle::Plain(handle) => handle.total(),
+            JobHandle::Sharded(handle) => handle.total(),
+        }
+    }
+
+    fn cancel(&self) {
+        match self {
+            JobHandle::Plain(handle) => handle.cancel(),
+            JobHandle::Sharded(handle) => handle.cancel.store(true, Ordering::Relaxed),
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        match self {
+            JobHandle::Plain(handle) => handle.is_finished(),
+            JobHandle::Sharded(handle) => handle.thread.is_finished(),
+        }
+    }
+
+    fn join(self) -> FinishedJob {
+        match self {
+            JobHandle::Plain(handle) => {
+                let outcome = handle.join();
+                FinishedJob {
+                    cancelled: outcome.cancelled,
+                    rows: outcome.results.rows.len(),
+                    csv: outcome.results.to_csv(),
+                    cache: outcome.results.cache,
+                    shards: None,
+                }
+            }
+            JobHandle::Sharded(handle) => handle.join(),
+        }
+    }
 }
 
 enum JobEntry {
-    Running(SweepJobHandle),
+    Running(JobHandle),
     Finished(Arc<FinishedJob>),
 }
 
@@ -152,11 +460,7 @@ impl JobRegistry {
     /// Atomically registers a new job unless `max_running` jobs are already
     /// running. `spawn` is only called when the admission check passes, under
     /// the registry lock, so concurrent submissions cannot overshoot the cap.
-    pub fn try_submit(
-        &self,
-        max_running: usize,
-        spawn: impl FnOnce() -> SweepJobHandle,
-    ) -> Option<u64> {
+    pub fn try_submit(&self, max_running: usize, spawn: impl FnOnce() -> JobHandle) -> Option<u64> {
         let mut jobs = self.jobs.lock().expect("job registry poisoned");
         Self::reap(&mut jobs);
         let running = jobs
@@ -205,6 +509,88 @@ impl JobRegistry {
         }
     }
 
+    /// Per-shard progress of a job: `None` for unknown ids, `Some(None)` for
+    /// jobs that were not submitted with `shards`, `Some(Some(views))`
+    /// otherwise (running or finished).
+    pub fn shards_view(&self, id: u64) -> Option<Option<Vec<ShardView>>> {
+        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        Self::reap(&mut jobs);
+        match jobs.get(&id)? {
+            JobEntry::Running(JobHandle::Sharded(handle)) => Some(Some(handle.shard_views())),
+            JobEntry::Running(JobHandle::Plain(_)) => Some(None),
+            JobEntry::Finished(done) => Some(done.shards.as_ref().map(|shards| {
+                shards
+                    .totals
+                    .iter()
+                    .zip(&shards.completed)
+                    .enumerate()
+                    .map(|(index, (&total, &completed))| ShardView {
+                        index,
+                        total,
+                        completed,
+                        status: if completed >= total {
+                            "done"
+                        } else {
+                            "pending"
+                        },
+                    })
+                    .collect()
+            })),
+        }
+    }
+
+    /// The per-shard rows a resumed submission may reuse: the finished job
+    /// `id` must have been sharded over the same grid and options (by
+    /// fingerprint), and — when the caller requests an explicit shard
+    /// `count` — with that same count; `None` adopts the stored count (one
+    /// atomic lookup, so the job cannot be evicted between a count probe and
+    /// the row fetch). Returns the effective count alongside the rows, or an
+    /// error message suitable for a 400 response.
+    pub fn resume_rows(
+        &self,
+        id: u64,
+        grid_fingerprint: u64,
+        options_fingerprint: u64,
+        count: Option<usize>,
+    ) -> Result<(usize, ShardRows), String> {
+        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        Self::reap(&mut jobs);
+        match jobs.get(&id) {
+            None => Err(format!("resume_token names unknown sweep job {id}")),
+            Some(JobEntry::Running(_)) => Err(format!(
+                "sweep job {id} is still running; cancel it before resuming"
+            )),
+            Some(JobEntry::Finished(done)) => {
+                let shards = done
+                    .shards
+                    .as_ref()
+                    .ok_or_else(|| format!("sweep job {id} was not sharded"))?;
+                if shards.grid_fingerprint != grid_fingerprint
+                    || shards.options_fingerprint != options_fingerprint
+                {
+                    return Err(format!(
+                        "resume_token of job {id} belongs to a different grid or configuration"
+                    ));
+                }
+                if let Some(count) = count {
+                    if shards.count != count {
+                        return Err(format!(
+                            "sweep job {id} ran with {} shards, not {count}",
+                            shards.count
+                        ));
+                    }
+                }
+                let rows = shards.rows_by_shard.clone().ok_or_else(|| {
+                    format!(
+                        "sweep job {id} completed; fetch its CSV from /v1/sweep/{id} \
+                         instead of resuming"
+                    )
+                })?;
+                Ok((shards.count, rows))
+            }
+        }
+    }
+
     /// Joins every finished handle in place (cheap: `join` on a finished
     /// thread does not block meaningfully), then evicts the oldest finished
     /// results beyond [`MAX_FINISHED_JOBS`] so a long-lived server's memory
@@ -217,16 +603,7 @@ impl JobRegistry {
             .collect();
         for id in finished {
             if let Some(JobEntry::Running(handle)) = jobs.remove(&id) {
-                let outcome = handle.join();
-                jobs.insert(
-                    id,
-                    JobEntry::Finished(Arc::new(FinishedJob {
-                        cancelled: outcome.cancelled,
-                        rows: outcome.results.rows.len(),
-                        csv: outcome.results.to_csv(),
-                        cache: outcome.results.cache,
-                    })),
-                );
+                jobs.insert(id, JobEntry::Finished(Arc::new(handle.join())));
             }
         }
         let mut done_ids: Vec<u64> = jobs
@@ -266,7 +643,9 @@ mod tests {
             .unwrap();
         let id = state
             .jobs
-            .try_submit(4, || SweepExecutor::new(state.options).spawn(&grid))
+            .try_submit(4, || {
+                JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
+            })
             .expect("below the running cap");
         // Poll until the job drains; it must end Finished with one row.
         let done = loop {
@@ -305,7 +684,7 @@ mod tests {
             let id = state
                 .jobs
                 .try_submit(usize::MAX, || {
-                    SweepExecutor::new(state.options).spawn(&grid)
+                    JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
                 })
                 .unwrap();
             while matches!(state.jobs.poll(id), Some(JobView::Running(..))) {
@@ -315,6 +694,180 @@ mod tests {
         }
         assert!(state.jobs.poll(ids[0]).is_none(), "oldest result evicted");
         assert!(state.jobs.poll(*ids.last().unwrap()).is_some());
+    }
+
+    #[test]
+    fn sharded_jobs_merge_to_the_unsharded_csv_and_report_shard_views() {
+        let state = test_state();
+        let grid = ScenarioGrid::builder()
+            .scenarios(&ScenarioId::ALL)
+            .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+            .build()
+            .unwrap();
+        let count = 3;
+        let id = state
+            .jobs
+            .try_submit(4, || {
+                JobHandle::Sharded(spawn_sharded(
+                    state.options,
+                    &grid,
+                    count,
+                    vec![None; count],
+                    grid.fingerprint(),
+                    state.options.output_fingerprint(),
+                ))
+            })
+            .unwrap();
+        let done = loop {
+            match state.jobs.poll(id).unwrap() {
+                JobView::Running(..) => std::thread::yield_now(),
+                JobView::Finished(done) => break done,
+            }
+        };
+        assert!(!done.cancelled);
+        assert_eq!(done.rows, grid.len());
+        // The sharded merge is byte-identical to the unsharded engine.
+        let unsharded = SweepExecutor::new(state.options).run(&grid).to_csv();
+        assert_eq!(done.csv, unsharded);
+        // The shard view reports every shard done with its cell count.
+        let views = state.jobs.shards_view(id).unwrap().unwrap();
+        assert_eq!(views.len(), count);
+        assert_eq!(views.iter().map(|v| v.total).sum::<usize>(), grid.len());
+        assert!(views
+            .iter()
+            .all(|v| v.status == "done" && v.completed == v.total));
+        // Plain jobs report "not sharded".
+        let plain = state
+            .jobs
+            .try_submit(4, || {
+                JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
+            })
+            .unwrap();
+        while matches!(state.jobs.poll(plain), Some(JobView::Running(..))) {
+            std::thread::yield_now();
+        }
+        assert!(state.jobs.shards_view(plain).unwrap().is_none());
+        assert!(state.jobs.shards_view(9999).is_none());
+    }
+
+    #[test]
+    fn resume_rows_reuses_finished_shards_and_validates_fingerprints() {
+        let state = test_state();
+        let grid = ScenarioGrid::builder()
+            .scenarios(&ScenarioId::ALL)
+            .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+            .build()
+            .unwrap();
+        let grid_fp = grid.fingerprint();
+        let options_fp = state.options.output_fingerprint();
+        let count = 2;
+        // A *completed* sharded job retains no resume rows (its CSV is the
+        // product; duplicating every row would double its memory), so
+        // resuming it is a definite error pointing at the CSV.
+        let full_id = state
+            .jobs
+            .try_submit(4, || {
+                JobHandle::Sharded(spawn_sharded(
+                    state.options,
+                    &grid,
+                    count,
+                    vec![None; count],
+                    grid_fp,
+                    options_fp,
+                ))
+            })
+            .unwrap();
+        while matches!(state.jobs.poll(full_id), Some(JobView::Running(..))) {
+            std::thread::yield_now();
+        }
+        let err = state
+            .jobs
+            .resume_rows(full_id, grid_fp, options_fp, Some(count))
+            .unwrap_err();
+        assert!(err.contains("completed"), "{err}");
+
+        // Seed a deterministic *cancelled* job (shard 0 done, shard 1 lost) —
+        // cancelling a live controller mid-shard is inherently racy, and this
+        // is exactly the state ShardedJobHandle::join leaves behind.
+        let shard0 = ShardSpec::new(0, count).unwrap();
+        let shard0_rows = SweepExecutor::new(state.options)
+            .run_cells(&grid.shard_cells(shard0))
+            .rows;
+        let totals: Vec<usize> = (0..count)
+            .map(|i| ShardSpec::new(i, count).unwrap().cell_count(grid.len()))
+            .collect();
+        let id = 4242;
+        state.jobs.jobs.lock().unwrap().insert(
+            id,
+            JobEntry::Finished(Arc::new(FinishedJob {
+                cancelled: true,
+                rows: shard0_rows.len(),
+                csv: String::new(),
+                cache: CacheStats::default(),
+                shards: Some(FinishedShards {
+                    count,
+                    grid_fingerprint: grid_fp,
+                    options_fingerprint: options_fp,
+                    completed: vec![shard0_rows.len(), 0],
+                    totals,
+                    rows_by_shard: Some(vec![Some(shard0_rows), None]),
+                }),
+            })),
+        );
+        // `None` adopts the stored shard count in the same atomic lookup.
+        let (stored_count, rows) = state
+            .jobs
+            .resume_rows(id, grid_fp, options_fp, None)
+            .unwrap();
+        assert_eq!(stored_count, count);
+        assert_eq!(rows.len(), count);
+        assert!(rows[0].is_some() && rows[1].is_none());
+        // The incomplete shard shows as pending in the finished view.
+        let views = state.jobs.shards_view(id).unwrap().unwrap();
+        assert_eq!(views[0].status, "done");
+        assert_eq!(views[1].status, "pending");
+        // Mismatches are rejected with a reason.
+        assert!(state
+            .jobs
+            .resume_rows(id, grid_fp ^ 1, options_fp, Some(count))
+            .is_err());
+        assert!(state
+            .jobs
+            .resume_rows(id, grid_fp, options_fp, Some(3))
+            .is_err());
+        assert!(state
+            .jobs
+            .resume_rows(777, grid_fp, options_fp, Some(count))
+            .is_err());
+
+        // A job resumed from that state reuses shard 0, computes only shard 1
+        // and still merges to the exact unsharded bytes.
+        let resumed_id = state
+            .jobs
+            .try_submit(4, || {
+                JobHandle::Sharded(spawn_sharded(
+                    state.options,
+                    &grid,
+                    count,
+                    rows,
+                    grid_fp,
+                    options_fp,
+                ))
+            })
+            .unwrap();
+        let done = loop {
+            match state.jobs.poll(resumed_id).unwrap() {
+                JobView::Running(..) => std::thread::yield_now(),
+                JobView::Finished(done) => break done,
+            }
+        };
+        assert!(!done.cancelled);
+        assert_eq!(
+            done.csv,
+            SweepExecutor::new(state.options).run(&grid).to_csv()
+        );
+        let views = state.jobs.shards_view(resumed_id).unwrap().unwrap();
+        assert!(views.iter().all(|v| v.status == "done"), "{views:?}");
     }
 
     #[test]

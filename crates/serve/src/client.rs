@@ -345,6 +345,82 @@ pub fn smoke_check(addr: &str) -> Result<(), String> {
         ));
     }
 
+    // 3b. The same golden grid as a 3-shard job: the deterministic merge
+    // must reproduce the exact unsharded bytes, the submission must hand
+    // back a resume token, and the shards progress view must account for
+    // every cell.
+    let sharded_body = format!(
+        "{}{}",
+        &GOLDEN_SWEEP_BODY[..GOLDEN_SWEEP_BODY.len() - 1],
+        r#","shards":3}"#
+    );
+    let accepted = client.post_json("/v1/sweep", &sharded_body).map_err(io)?;
+    if accepted.status != 202 {
+        return Err(format!("sharded sweep submit: status {}", accepted.status));
+    }
+    let doc = Json::parse(&accepted.body).map_err(|e| format!("sharded sweep JSON: {e}"))?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_f64)
+        .ok_or("sharded sweep submit: no id")? as u64;
+    if doc.get("shards").and_then(Json::as_f64) != Some(3.0) {
+        return Err("sharded sweep submit: response lacks shards: 3".into());
+    }
+    if doc.get("resume_token").and_then(Json::as_str).is_none() {
+        return Err("sharded sweep submit: response lacks a resume_token".into());
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let csv = loop {
+        let poll = client
+            .get(&format!("/v1/sweep/{id}"), Some("text/csv"))
+            .map_err(io)?;
+        if poll.status != 200 {
+            return Err(format!("sharded sweep poll: status {}", poll.status));
+        }
+        if poll.content_type.starts_with("text/csv") {
+            break poll.body;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err("sharded sweep job did not finish within 60 s".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let expected_csv = golden_sweep_csv();
+    if csv != expected_csv {
+        return Err(format!(
+            "sharded sweep CSV differs from the unsharded engine ({} vs {} bytes)",
+            csv.len(),
+            expected_csv.len()
+        ));
+    }
+    let shards = client
+        .get(&format!("/v1/sweep/{id}/shards"), None)
+        .map_err(io)?;
+    if shards.status != 200 {
+        return Err(format!("sweep shards view: status {}", shards.status));
+    }
+    let doc = Json::parse(&shards.body).map_err(|e| format!("shards view JSON: {e}"))?;
+    let progress = doc
+        .get("progress")
+        .and_then(Json::as_array)
+        .ok_or("shards view: no progress array")?;
+    if progress.len() != 3 {
+        return Err(format!(
+            "shards view: expected 3 shards, got {}",
+            progress.len()
+        ));
+    }
+    let total: f64 = progress
+        .iter()
+        .filter_map(|p| p.get("total").and_then(Json::as_f64))
+        .sum();
+    let cells = (expected_csv.lines().count() - 1) as f64;
+    if total != cells {
+        return Err(format!(
+            "shards view: totals sum to {total}, grid has {cells} cells"
+        ));
+    }
+
     // 4. Metrics parse.
     let metrics = client.get("/metrics", None).map_err(io)?;
     if metrics.status != 200 {

@@ -143,6 +143,42 @@ impl SweepOptions {
         self.period_range = (lo, hi);
         self
     }
+
+    /// A 64-bit fingerprint of every option that can change the *bytes* of a
+    /// sweep's output. Worker-thread count and cache capacity are deliberately
+    /// excluded (the determinism contract guarantees they never matter), so a
+    /// shard computed with `--threads 8` merges cleanly with one computed
+    /// single-threaded. Used by shard manifests to refuse cross-configuration
+    /// resumes and merges.
+    pub fn output_fingerprint(&self) -> u64 {
+        use crate::grid::{bits_or_marker, mix};
+        let mut h: u64 = 0x0B71_0555_F17E_9A2D;
+        h = mix(h, self.run.seed);
+        h = mix(h, self.run.simulate as u64);
+        h = mix(
+            h,
+            match self.run.fidelity {
+                crate::options::Fidelity::Smoke => 0,
+                crate::options::Fidelity::Standard => 1,
+                crate::options::Fidelity::Paper => 2,
+            },
+        );
+        h = mix(
+            h,
+            match self.engine {
+                EngineKind::WindowSampling => 0,
+                EngineKind::EventStream => 1,
+            },
+        );
+        h = mix(h, self.compare_engines as u64);
+        h = mix(h, self.simulate_first_order as u64);
+        h = mix(h, self.simulate_numerical as u64);
+        h = mix(h, bits_or_marker(Some(self.processor_range.0)));
+        h = mix(h, bits_or_marker(Some(self.processor_range.1)));
+        h = mix(h, bits_or_marker(Some(self.period_range.0)));
+        h = mix(h, bits_or_marker(Some(self.period_range.1)));
+        h
+    }
 }
 
 /// One evaluated cell of a sweep.
@@ -273,6 +309,30 @@ impl SweepExecutor {
     /// soon as it and all its predecessors are available.
     pub fn run_with_sink(&self, grid: &ScenarioGrid, sink: &mut dyn SweepSink) -> SweepResults {
         run_cells(&self.options, &grid.cells(), sink, None, None)
+    }
+
+    /// Evaluates an explicit cell list (e.g. one shard of a grid, from
+    /// [`ScenarioGrid::shard_cells`]) and returns the rows in list order.
+    /// Each cell keeps its own (global) `index`, so seeding — and therefore
+    /// every value — matches the full-grid run of the same cells.
+    pub fn run_cells(&self, cells: &[SweepCell]) -> SweepResults {
+        let mut sink = crate::sink::NullSink;
+        self.run_cells_controlled(cells, &mut sink, None, None)
+    }
+
+    /// [`Self::run_cells`] with a streaming sink, cooperative cancellation and
+    /// an external progress counter (incremented once per evaluated cell).
+    /// This is the building block the sharded file runner
+    /// ([`crate::shard::run_shard_to_files`]) and `ayd-serve`'s sharded job
+    /// controller drive directly.
+    pub fn run_cells_controlled(
+        &self,
+        cells: &[SweepCell],
+        sink: &mut dyn SweepSink,
+        cancel: Option<&AtomicBool>,
+        progress: Option<&AtomicUsize>,
+    ) -> SweepResults {
+        run_cells(&self.options, cells, sink, cancel, progress)
     }
 
     /// Starts the sweep on a background thread and returns immediately with a

@@ -134,6 +134,49 @@ impl ScenarioGrid {
         }
     }
 
+    /// The speedup-profile axis of the grid, in declaration order (recorded
+    /// by shard manifests for post-mortems).
+    pub fn profile_axis(&self) -> &[SpeedupProfile] {
+        &self.profiles
+    }
+
+    /// A 64-bit fingerprint of the grid's cells: every semantic field of every
+    /// cell, folded through SplitMix64. Two grids share a fingerprint exactly
+    /// when they flatten to the same cell list, so shard manifests can refuse
+    /// to resume (or merge) against a different grid. The hash covers the
+    /// platform, scenario, profile, error rate, downtime and the
+    /// processor/pattern coordinates of each cell — everything that feeds the
+    /// per-cell evaluation and the CSV text.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xA4D5_EED5_0F5A_4DE5;
+        for cell in self.cells() {
+            let profile = ayd_core::ProfileSpec::from(cell.setup.profile);
+            for byte in cell.setup.platform.name().bytes() {
+                h = mix(h, byte as u64);
+            }
+            h = mix(h, cell.setup.scenario.number() as u64);
+            h = mix(h, profile.kind_tag() as u64);
+            h = mix(h, bits_or_marker(profile.param()));
+            h = mix(h, cell.lambda_ind().to_bits());
+            h = mix(h, cell.lambda_multiplier.to_bits());
+            h = mix(h, cell.setup.downtime.to_bits());
+            h = mix(h, bits_or_marker(cell.fixed_processors));
+            h = mix(h, bits_or_marker(cell.processor_order));
+            h = mix(h, bits_or_marker(cell.pattern_length));
+        }
+        h
+    }
+
+    /// The cells owned by `shard`, in global cell order (their `index` fields
+    /// keep the *global* position, so per-cell seeding — and therefore every
+    /// simulated value — is identical to the unsharded run).
+    pub fn shard_cells(&self, shard: crate::shard::ShardSpec) -> Vec<SweepCell> {
+        self.cells()
+            .into_iter()
+            .filter(|cell| shard.owns(cell.index))
+            .collect()
+    }
+
     /// Flattens the grid into its deterministic cell order: platform (outer) →
     /// scenario → profile → λ → processors → pattern length (inner). The
     /// profile axis occupies the position the `α` axis used to, so Amdahl-only
@@ -197,6 +240,20 @@ impl ScenarioGrid {
         }
         cells
     }
+}
+
+/// One SplitMix64 fingerprint-mixing step (shared with the options
+/// fingerprint in [`crate::executor`]).
+pub(crate) fn mix(h: u64, value: u64) -> u64 {
+    ayd_sim::rng::splitmix64(
+        h ^ ayd_sim::rng::splitmix64(value.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+/// Fingerprint encoding of an optional f64: the raw bits, or a marker that no
+/// finite value can collide with (a non-canonical NaN payload).
+pub(crate) fn bits_or_marker(value: Option<f64>) -> u64 {
+    value.map_or(0x7FF8_DEAD_BEEF_0001, f64::to_bits)
 }
 
 /// Builder of a [`ScenarioGrid`]; see [`ScenarioGrid::builder`].

@@ -18,6 +18,12 @@
 //!   shards (the executor and the `ayd-serve` query service both use it).
 //! * [`sink`] — streaming CSV/report sinks fed in cell order through a reorder
 //!   buffer.
+//! * [`shard`] / [`manifest`] — sharded, resumable execution: a
+//!   [`ShardSpec`] `i/N` partitions any grid by cell index, shard runs stream
+//!   into a CSV plus an atomically-updated sidecar manifest, interrupted
+//!   shards resume without recomputing finished cells, and [`merge_parts`]
+//!   re-assembles the N shard CSVs into bytes identical to the unsharded
+//!   sweep.
 //! * [`Evaluator`] / [`RunOptions`] — the per-cell evaluation kernel and run
 //!   options, shared with (and re-exported by) the `ayd-exp` harness.
 //!
@@ -36,7 +42,9 @@ pub mod cache;
 pub mod evaluate;
 pub mod executor;
 pub mod grid;
+pub mod manifest;
 pub mod options;
+pub mod shard;
 pub mod sink;
 
 pub use ayd_core::{ProfileSpec, SpeedupProfile};
@@ -48,5 +56,9 @@ pub use executor::{
     SweepRow,
 };
 pub use grid::{GridBuilder, GridError, LambdaAxis, ProcessorAxis, ScenarioGrid, SweepCell};
+pub use manifest::{manifest_path, SweepManifest, MANIFEST_MAGIC};
 pub use options::{Fidelity, RunOptions};
+pub use shard::{
+    merge_parts, run_shard_to_files, ShardError, ShardPart, ShardRunReport, ShardSpec, MAX_SHARDS,
+};
 pub use sink::{csv_line, CsvSink, NullSink, ReportSink, SweepSink, CSV_HEADER};

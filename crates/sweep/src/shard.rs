@@ -1,0 +1,677 @@
+//! Sharded, resumable sweep execution and the deterministic shard merge.
+//!
+//! A [`ShardSpec`] `i/N` partitions any [`ScenarioGrid`] by cell index:
+//! shard `i` owns exactly the cells whose global index `g` satisfies
+//! `g % N == i`. Because every cell's seed derives from its *global* index
+//! (see [`crate::executor::cell_seed`]) and every cell's analytic evaluation
+//! depends only on the cell itself, a shard computes bit-identical rows to
+//! the same cells of an unsharded run — for any shard count, worker-thread
+//! count and cache setting. [`merge_parts`] re-assembles the N shard CSVs by
+//! global cell id into bytes **identical** to the unsharded sweep CSV.
+//!
+//! [`run_shard_to_files`] executes one shard against a CSV file plus an
+//! atomically-updated sidecar manifest (see [`crate::manifest`]). Because the
+//! executor emits rows in cell order, the CSV on disk is always the header
+//! plus an in-order prefix of the shard's rows; an interrupted run — torn
+//! final line and all — can therefore be resumed by truncating to the last
+//! complete row and evaluating only the remaining cells.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+
+use crate::executor::{SweepExecutor, SweepResults, SweepRow};
+use crate::grid::{ScenarioGrid, SweepCell};
+use crate::manifest::{manifest_path, SweepManifest};
+use crate::sink::{csv_line, SweepSink, CSV_HEADER};
+
+/// One shard of a sweep: `index` of `count`, partitioning cells by
+/// `global_index % count == index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// Zero-based shard index (`< count`).
+    pub index: usize,
+    /// Total number of shards (`>= 1`).
+    pub count: usize,
+}
+
+/// Upper bound on the shard count: far beyond any useful fan-out, but low
+/// enough that a typo (`--shard 3/30000000`) is caught instead of producing
+/// millions of empty shard files.
+pub const MAX_SHARDS: usize = 4096;
+
+impl ShardSpec {
+    /// The trivial 0/1 shard covering the whole grid.
+    pub const WHOLE: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// Validates and builds a shard spec.
+    pub fn new(index: usize, count: usize) -> Result<Self, ShardError> {
+        if count == 0 || count > MAX_SHARDS {
+            return Err(ShardError::Spec(format!(
+                "shard count must be in 1..={MAX_SHARDS}, got {count}"
+            )));
+        }
+        if index >= count {
+            return Err(ShardError::Spec(format!(
+                "shard index {index} out of range for {count} shards"
+            )));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the `i/N` CLI syntax (e.g. `0/4`).
+    pub fn parse(text: &str) -> Result<Self, ShardError> {
+        let bad = || ShardError::Spec(format!("shard spec must be `i/N` (e.g. 0/4), got `{text}`"));
+        let (index, count) = text.split_once('/').ok_or_else(bad)?;
+        Self::new(
+            index.trim().parse().map_err(|_| bad())?,
+            count.trim().parse().map_err(|_| bad())?,
+        )
+    }
+
+    /// True when this shard owns the cell with the given global index.
+    pub fn owns(&self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index
+    }
+
+    /// Number of cells this shard owns out of `total` grid cells.
+    pub fn cell_count(&self, total: usize) -> usize {
+        total / self.count + usize::from(self.index < total % self.count)
+    }
+
+    /// Global cell index of this shard's `k`-th row.
+    pub fn global_index(&self, k: usize) -> usize {
+        self.index + k * self.count
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Errors of shard parsing, manifest handling, resuming and merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Malformed `i/N` spec or out-of-range shard coordinates.
+    Spec(String),
+    /// Malformed or inconsistent manifest content.
+    Manifest(String),
+    /// A resume or merge input does not belong to the sweep at hand.
+    Mismatch(String),
+    /// Filesystem failure (reading, writing or renaming shard files).
+    Io(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spec(m) => write!(f, "invalid shard spec: {m}"),
+            ShardError::Manifest(m) => write!(f, "invalid manifest: {m}"),
+            ShardError::Mismatch(m) => write!(f, "shard mismatch: {m}"),
+            ShardError::Io(m) => write!(f, "shard i/o: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One merge input: a shard's manifest plus its CSV text.
+#[derive(Debug, Clone)]
+pub struct ShardPart {
+    /// The shard's sidecar manifest.
+    pub manifest: SweepManifest,
+    /// The shard's CSV (header + rows, exactly as written by the shard run).
+    pub csv: String,
+}
+
+impl ShardPart {
+    /// Loads a merge input from a shard CSV path and its sidecar manifest.
+    pub fn load(csv_path: &Path) -> Result<Self, ShardError> {
+        let manifest = SweepManifest::read(&manifest_path(csv_path))?;
+        let csv = std::fs::read_to_string(csv_path)
+            .map_err(|e| ShardError::Io(format!("read {}: {e}", csv_path.display())))?;
+        Ok(Self { manifest, csv })
+    }
+}
+
+/// Merges complete shard outputs into the unsharded sweep CSV.
+///
+/// Validates that the parts all belong to one sweep (fingerprints agree),
+/// that together they form a complete partition (`count` parts with indices
+/// `0..count`, every one fully materialised, headers intact), then re-sorts
+/// the rows by global cell id. The result is **byte-identical** to the CSV an
+/// unsharded run over the same grid and options would produce.
+pub fn merge_parts(parts: &[ShardPart]) -> Result<String, ShardError> {
+    let first = parts
+        .first()
+        .ok_or_else(|| ShardError::Mismatch("no shard inputs to merge".to_string()))?;
+    let count = first.manifest.shard.count;
+    if parts.len() != count {
+        return Err(ShardError::Mismatch(format!(
+            "expected {count} shard inputs (shard count of the first manifest), got {}",
+            parts.len()
+        )));
+    }
+    let mut seen = vec![false; count];
+    let mut rows: Vec<(usize, &str)> = Vec::with_capacity(first.manifest.grid_cells);
+    for part in parts {
+        let manifest = &part.manifest;
+        if !manifest.same_sweep(&first.manifest) {
+            return Err(ShardError::Mismatch(format!(
+                "shard {} belongs to a different sweep (grid {:016x}/options {:016x} \
+                 vs grid {:016x}/options {:016x})",
+                manifest.shard,
+                manifest.grid_fingerprint,
+                manifest.options_fingerprint,
+                first.manifest.grid_fingerprint,
+                first.manifest.options_fingerprint,
+            )));
+        }
+        if !manifest.is_complete() {
+            return Err(ShardError::Mismatch(format!(
+                "shard {} is incomplete ({}/{} rows); resume it before merging",
+                manifest.shard, manifest.completed, manifest.shard_cells
+            )));
+        }
+        if std::mem::replace(&mut seen[manifest.shard.index], true) {
+            return Err(ShardError::Mismatch(format!(
+                "duplicate input for shard {}",
+                manifest.shard
+            )));
+        }
+        let mut lines = part.csv.lines();
+        if lines.next() != Some(CSV_HEADER) {
+            return Err(ShardError::Mismatch(format!(
+                "shard {} CSV does not start with the canonical header",
+                manifest.shard
+            )));
+        }
+        let mut row_count = 0;
+        for (k, line) in lines.enumerate() {
+            rows.push((manifest.shard.global_index(k), line));
+            row_count += 1;
+        }
+        if row_count != manifest.shard_cells {
+            return Err(ShardError::Mismatch(format!(
+                "shard {} CSV has {row_count} rows but the manifest promises {}",
+                manifest.shard, manifest.shard_cells
+            )));
+        }
+    }
+    rows.sort_unstable_by_key(|&(id, _)| id);
+    debug_assert!(rows.iter().enumerate().all(|(i, &(id, _))| i == id));
+    let mut out = String::with_capacity(
+        CSV_HEADER.len() + 1 + rows.iter().map(|(_, l)| l.len() + 1).sum::<usize>(),
+    );
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for (_, line) in rows {
+        out.push_str(line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Outcome of [`run_shard_to_files`].
+#[derive(Debug)]
+pub struct ShardRunReport {
+    /// The shard that ran.
+    pub shard: ShardSpec,
+    /// Cells owned by the shard.
+    pub shard_cells: usize,
+    /// Rows found already materialised and skipped (`--resume`).
+    pub resumed_rows: usize,
+    /// Rows newly evaluated by this run (with the executor's cache counters).
+    pub results: SweepResults,
+    /// True when the run was cancelled before materialising every cell.
+    pub cancelled: bool,
+}
+
+impl ShardRunReport {
+    /// True when the shard's CSV now contains every row.
+    pub fn is_complete(&self) -> bool {
+        self.resumed_rows + self.results.rows.len() >= self.shard_cells
+    }
+}
+
+/// Streaming sink of a shard run: appends each row to the CSV file, then
+/// rewrites the sidecar manifest atomically. The manifest therefore never
+/// claims more rows than the CSV holds; after a kill the CSV may be at most
+/// one torn row ahead, which resume truncates away.
+///
+/// The `SweepSink` trait cannot return errors, so a filesystem failure
+/// (disk full, volume gone read-only) is *recorded*, the shared stop flag is
+/// raised to end the sweep cooperatively, and further rows are dropped;
+/// [`run_shard_to_files`] surfaces the recorded error as a clean
+/// [`ShardError::Io`] instead of panicking mid-run. The files on disk stay
+/// resumable either way (the manifest is never ahead of the CSV).
+struct ShardFileSink<'a> {
+    file: std::fs::File,
+    manifest: SweepManifest,
+    manifest_file: std::path::PathBuf,
+    stop: &'a AtomicBool,
+    error: Option<ShardError>,
+}
+
+impl ShardFileSink<'_> {
+    fn try_row(&mut self, row: &SweepRow) -> Result<(), ShardError> {
+        writeln!(self.file, "{}", csv_line(row))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| ShardError::Io(format!("append shard row: {e}")))?;
+        self.manifest.completed += 1;
+        self.manifest.write_atomic(&self.manifest_file)
+    }
+}
+
+impl SweepSink for ShardFileSink<'_> {
+    fn on_row(&mut self, row: &SweepRow) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = self.try_row(row) {
+            self.error = Some(error);
+            self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn finish(&mut self, _results: &SweepResults) {
+        if self.error.is_none() {
+            if let Err(e) = self.file.flush() {
+                self.error = Some(ShardError::Io(format!("flush shard CSV: {e}")));
+            }
+        }
+    }
+}
+
+/// Number of complete (newline-terminated) data rows in shard CSV `text`,
+/// after validating the header. Returns the byte length of the valid prefix
+/// (header + complete rows) alongside the row count, so a torn final row can
+/// be truncated away on resume.
+fn complete_rows(text: &str) -> Result<(usize, usize), ShardError> {
+    let header_len = CSV_HEADER.len() + 1;
+    // Byte-wise comparison: a clobbered file may put a multibyte character
+    // across the header boundary, where a str slice would panic.
+    let bytes = text.as_bytes();
+    if bytes.len() < header_len
+        || &bytes[..CSV_HEADER.len()] != CSV_HEADER.as_bytes()
+        || bytes[CSV_HEADER.len()] != b'\n'
+    {
+        return Err(ShardError::Mismatch(
+            "existing CSV does not start with the canonical sweep header".to_string(),
+        ));
+    }
+    let mut rows = 0;
+    let mut end = header_len;
+    for line in text[header_len..].split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break; // torn final row from an interrupted write
+        }
+        rows += 1;
+        end += line.len();
+    }
+    Ok((rows, end))
+}
+
+/// Runs one shard of `grid` into `csv_path` (+ its `.manifest` sidecar).
+///
+/// With `resume`, an existing CSV/manifest pair is validated against the
+/// grid, options and shard (fingerprints must match), truncated to its last
+/// complete row, and only the remaining cells are evaluated — finished cells
+/// are **never recomputed**. Without `resume`, existing files are overwritten.
+/// `cancel` (when given) cooperatively stops the run between cells, leaving
+/// resumable files behind.
+pub fn run_shard_to_files(
+    executor: &SweepExecutor,
+    grid: &ScenarioGrid,
+    shard: ShardSpec,
+    csv_path: &Path,
+    resume: bool,
+    cancel: Option<&AtomicBool>,
+) -> Result<ShardRunReport, ShardError> {
+    let cells: Vec<SweepCell> = grid.shard_cells(shard);
+    let manifest_file = manifest_path(csv_path);
+    let mut manifest = SweepManifest::new(grid, &executor.options, shard);
+
+    let completed = if resume && csv_path.exists() {
+        let existing = SweepManifest::read(&manifest_file)?;
+        if !existing.same_sweep(&manifest) || existing.shard != shard {
+            return Err(ShardError::Mismatch(format!(
+                "cannot resume: {} describes {existing}, expected shard {shard} of this sweep",
+                manifest_file.display()
+            )));
+        }
+        let text = std::fs::read_to_string(csv_path)
+            .map_err(|e| ShardError::Io(format!("read {}: {e}", csv_path.display())))?;
+        let (csv_rows, valid_len) = complete_rows(&text)?;
+        // Trust whichever of the manifest and the CSV is *behind*: the CSV may
+        // hold a torn row the manifest never acknowledged, and an unsynced
+        // manifest may trail the CSV by a row.
+        let completed = existing.completed.min(csv_rows).min(cells.len());
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(csv_path)
+            .map_err(|e| ShardError::Io(format!("open {}: {e}", csv_path.display())))?;
+        let keep = (CSV_HEADER.len() + 1)
+            + text[CSV_HEADER.len() + 1..valid_len]
+                .split_inclusive('\n')
+                .take(completed)
+                .map(str::len)
+                .sum::<usize>();
+        file.set_len(keep as u64)
+            .map_err(|e| ShardError::Io(format!("truncate {}: {e}", csv_path.display())))?;
+        completed
+    } else {
+        std::fs::write(csv_path, format!("{CSV_HEADER}\n"))
+            .map_err(|e| ShardError::Io(format!("write {}: {e}", csv_path.display())))?;
+        0
+    };
+
+    manifest.completed = completed;
+    manifest.write_atomic(&manifest_file)?;
+    let file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(csv_path)
+        .map_err(|e| ShardError::Io(format!("open {}: {e}", csv_path.display())))?;
+    // One flag serves both the caller's cancellation and the sink's own
+    // abort-on-I/O-failure (the executor takes a single stop signal).
+    let own_stop = AtomicBool::new(false);
+    let stop = cancel.unwrap_or(&own_stop);
+    let mut sink = ShardFileSink {
+        file,
+        manifest,
+        manifest_file,
+        stop,
+        error: None,
+    };
+    let results = executor.run_cells_controlled(&cells[completed..], &mut sink, Some(stop), None);
+    if let Some(error) = sink.error {
+        return Err(error);
+    }
+    let cancelled = completed + results.rows.len() < cells.len();
+    Ok(ShardRunReport {
+        shard,
+        shard_cells: cells.len(),
+        resumed_rows: completed,
+        results,
+        cancelled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SweepOptions;
+    use crate::grid::ProcessorAxis;
+    use crate::options::RunOptions;
+    use ayd_platforms::ScenarioId;
+    use std::sync::atomic::Ordering;
+
+    fn options() -> SweepOptions {
+        SweepOptions::new(RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        })
+    }
+
+    fn grid() -> ScenarioGrid {
+        ScenarioGrid::builder()
+            .scenarios(&ScenarioId::ALL)
+            .lambda_multipliers(&[1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+            .build()
+            .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ayd-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shard_spec_parses_and_partitions() {
+        let spec = ShardSpec::parse("2/5").unwrap();
+        assert_eq!(spec, ShardSpec { index: 2, count: 5 });
+        assert_eq!(spec.to_string(), "2/5");
+        assert!(spec.owns(2) && spec.owns(7) && !spec.owns(3));
+        assert_eq!(spec.cell_count(12), 2);
+        assert_eq!(spec.cell_count(13), 3);
+        assert_eq!(spec.global_index(2), 12);
+        for bad in ["", "3", "a/b", "5/5", "1/0", "0/999999", "-1/2"] {
+            assert!(ShardSpec::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        // Every cell belongs to exactly one shard, and counts add up.
+        for count in 1..=8usize {
+            let total = 23;
+            let mut owned = 0;
+            for g in 0..total {
+                let owners = (0..count)
+                    .filter(|&i| ShardSpec::new(i, count).unwrap().owns(g))
+                    .count();
+                assert_eq!(owners, 1);
+            }
+            for i in 0..count {
+                owned += ShardSpec::new(i, count).unwrap().cell_count(total);
+            }
+            assert_eq!(owned, total);
+        }
+    }
+
+    #[test]
+    fn merged_shards_are_byte_identical_to_the_unsharded_sweep() {
+        let grid = grid();
+        let options = options();
+        let executor = SweepExecutor::new(options);
+        let unsharded = executor.run(&grid).to_csv();
+        for count in [1usize, 2, 3, 4] {
+            let parts: Vec<ShardPart> = (0..count)
+                .map(|index| {
+                    let shard = ShardSpec::new(index, count).unwrap();
+                    let results = executor.run_cells(&grid.shard_cells(shard));
+                    ShardPart {
+                        manifest: SweepManifest::complete(&grid, &options, shard),
+                        csv: results.to_csv(),
+                    }
+                })
+                .collect();
+            assert_eq!(merge_parts(&parts).unwrap(), unsharded, "count={count}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_foreign_and_duplicate_parts() {
+        let grid = grid();
+        let options = options();
+        let executor = SweepExecutor::new(options);
+        let part = |index: usize, count: usize| {
+            let shard = ShardSpec::new(index, count).unwrap();
+            ShardPart {
+                manifest: SweepManifest::complete(&grid, &options, shard),
+                csv: executor.run_cells(&grid.shard_cells(shard)).to_csv(),
+            }
+        };
+        assert!(merge_parts(&[]).is_err());
+        // Wrong part count for the declared shard count.
+        assert!(merge_parts(&[part(0, 2)]).is_err());
+        // Duplicate shard indices.
+        assert!(merge_parts(&[part(0, 2), part(0, 2)]).is_err());
+        // Incomplete shard.
+        let mut torn = part(0, 2);
+        torn.manifest.completed -= 1;
+        assert!(merge_parts(&[torn, part(1, 2)]).is_err());
+        // A shard of a different sweep (different seed → different options).
+        let reseeded = SweepOptions::new(RunOptions {
+            seed: 99,
+            simulate: false,
+            ..RunOptions::smoke()
+        });
+        let mut foreign = part(0, 2);
+        foreign.manifest = SweepManifest::complete(&grid, &reseeded, ShardSpec::new(0, 2).unwrap());
+        assert!(merge_parts(&[foreign, part(1, 2)]).is_err());
+        // A CSV whose rows do not match its manifest's count.
+        let mut short = part(0, 2);
+        short.csv = short.csv.lines().take(3).collect::<Vec<_>>().join("\n") + "\n";
+        assert!(merge_parts(&[short, part(1, 2)]).is_err());
+    }
+
+    #[test]
+    fn file_runs_produce_resumable_artifacts() {
+        let dir = temp_dir("files");
+        let grid = grid();
+        let executor = SweepExecutor::new(options());
+        let csv_path = dir.join("shard-1-of-3.csv");
+        let shard = ShardSpec::new(1, 3).unwrap();
+        let report = run_shard_to_files(&executor, &grid, shard, &csv_path, false, None).unwrap();
+        assert!(report.is_complete() && !report.cancelled);
+        assert_eq!(report.resumed_rows, 0);
+        assert_eq!(report.results.rows.len(), shard.cell_count(grid.len()));
+        let manifest = SweepManifest::read(&manifest_path(&csv_path)).unwrap();
+        assert!(manifest.is_complete());
+        // The file bytes match the in-memory run of the same cells.
+        let text = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(text, executor.run_cells(&grid.shard_cells(shard)).to_csv());
+        // A no-op resume recomputes nothing.
+        let again = run_shard_to_files(&executor, &grid, shard, &csv_path, true, None).unwrap();
+        assert_eq!(again.resumed_rows, shard.cell_count(grid.len()));
+        assert!(again.results.rows.is_empty());
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), text);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_mid_run_resume_completes_without_recomputing_finished_cells() {
+        // The "gated sink" interruption: cancel the shard run after the first
+        // rows land, then resume. The resume must (a) skip every materialised
+        // cell, (b) complete the shard, (c) end with bytes identical to an
+        // uninterrupted run.
+        let dir = temp_dir("resume");
+        let grid = grid();
+        let executor = SweepExecutor::new(options().with_threads(2));
+        let shard = ShardSpec::new(0, 2).unwrap();
+        let csv_path = dir.join("shard-0-of-2.csv");
+        let manifest_file = manifest_path(&csv_path);
+
+        let cancel = AtomicBool::new(false);
+        let interrupted = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                run_shard_to_files(&executor, &grid, shard, &csv_path, false, Some(&cancel))
+                    .unwrap()
+            });
+            // Wait (via the atomically-written manifest) for real progress,
+            // then kill the run cooperatively.
+            loop {
+                if let Ok(manifest) = SweepManifest::read(&manifest_file) {
+                    if manifest.completed >= 1 {
+                        break;
+                    }
+                }
+                std::thread::yield_now();
+            }
+            cancel.store(true, Ordering::Relaxed);
+            handle.join().unwrap()
+        });
+        // (The scheduler may have drained every cell before the flag landed;
+        // in the common case the run really was interrupted.)
+        let done_early = interrupted.resumed_rows + interrupted.results.rows.len();
+        assert!(done_early >= 1);
+        assert_eq!(
+            interrupted.cancelled,
+            done_early < shard.cell_count(grid.len())
+        );
+
+        // Simulate the torn final row a hard kill can leave behind.
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&csv_path)
+            .unwrap();
+        write!(file, "Hera,1,0.1,amdahl,0.1,1e-8").unwrap();
+        drop(file);
+
+        let resumed = run_shard_to_files(&executor, &grid, shard, &csv_path, true, None).unwrap();
+        assert!(resumed.is_complete() && !resumed.cancelled);
+        assert_eq!(
+            resumed.resumed_rows, done_early,
+            "finished cells recomputed"
+        );
+        assert_eq!(
+            resumed.results.rows.len(),
+            shard.cell_count(grid.len()) - done_early
+        );
+        let text = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(text, executor.run_cells(&grid.shard_cells(shard)).to_csv());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_io_failures_surface_as_clean_errors_not_panics() {
+        // Point the manifest at a directory that does not exist: the first
+        // row's atomic manifest write fails, the sink records the error and
+        // raises the stop flag, and run_shard_to_files returns ShardError::Io
+        // (no worker panic, no poisoned emitter).
+        let dir = temp_dir("sink-io");
+        let grid = grid();
+        let executor = SweepExecutor::new(options().with_threads(2));
+        let csv_path = dir.join("shard.csv");
+        std::fs::write(&csv_path, format!("{CSV_HEADER}\n")).unwrap();
+        let stop = AtomicBool::new(false);
+        let mut sink = ShardFileSink {
+            file: std::fs::OpenOptions::new()
+                .append(true)
+                .open(&csv_path)
+                .unwrap(),
+            manifest: SweepManifest::new(&grid, &executor.options, ShardSpec::WHOLE),
+            manifest_file: dir.join("missing-dir").join("shard.csv.manifest"),
+            stop: &stop,
+            error: None,
+        };
+        let results = executor.run_cells_controlled(
+            &grid.shard_cells(ShardSpec::WHOLE),
+            &mut sink,
+            Some(&stop),
+            None,
+        );
+        assert!(
+            matches!(sink.error, Some(ShardError::Io(_))),
+            "{:?}",
+            sink.error
+        );
+        assert!(stop.load(Ordering::Relaxed), "stop flag raised on failure");
+        assert!(
+            results.rows.len() < grid.len(),
+            "the failed run stopped early instead of draining every cell"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_artifacts() {
+        let dir = temp_dir("mismatch");
+        let grid = grid();
+        let executor = SweepExecutor::new(options());
+        let csv_path = dir.join("shard.csv");
+        let shard = ShardSpec::new(0, 2).unwrap();
+        run_shard_to_files(&executor, &grid, shard, &csv_path, false, None).unwrap();
+        // Wrong shard coordinates.
+        let other = ShardSpec::new(1, 2).unwrap();
+        assert!(run_shard_to_files(&executor, &grid, other, &csv_path, true, None).is_err());
+        // Different seed → different sweep → refuse to resume.
+        let reseeded = SweepExecutor::new(SweepOptions::new(RunOptions {
+            seed: 99,
+            simulate: false,
+            ..RunOptions::smoke()
+        }));
+        assert!(run_shard_to_files(&reseeded, &grid, shard, &csv_path, true, None).is_err());
+        // A clobbered CSV header is caught even when the manifest looks sane —
+        // including multibyte text straddling the header length (a str slice
+        // there would panic on the char boundary).
+        std::fs::write(&csv_path, "bogus,header\n1,2\n").unwrap();
+        assert!(run_shard_to_files(&executor, &grid, shard, &csv_path, true, None).is_err());
+        std::fs::write(&csv_path, "é".repeat(CSV_HEADER.len())).unwrap();
+        assert!(run_shard_to_files(&executor, &grid, shard, &csv_path, true, None).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -94,6 +94,31 @@ fn non_amdahl_rows_are_pinned() {
 }
 
 #[test]
+fn sharded_merge_reproduces_the_golden_bytes() {
+    // The golden grid run as 3 shards and merged must reproduce the exact
+    // golden bytes — the pinned first/last rows included. This is the
+    // golden-level anchor of the shard determinism contract (the property
+    // suite covers arbitrary grids and shard counts).
+    let grid = golden_grid();
+    let options = SweepOptions::new(RunOptions {
+        simulate: false,
+        ..RunOptions::smoke()
+    });
+    let parts: Vec<ayd_sweep::ShardPart> = (0..3)
+        .map(|index| {
+            let shard = ayd_sweep::ShardSpec::new(index, 3).unwrap();
+            ayd_sweep::ShardPart {
+                manifest: ayd_sweep::SweepManifest::complete(&grid, &options, shard),
+                csv: SweepExecutor::new(options)
+                    .run_cells(&grid.shard_cells(shard))
+                    .to_csv(),
+            }
+        })
+        .collect();
+    assert_eq!(ayd_sweep::merge_parts(&parts).unwrap(), golden_csv());
+}
+
+#[test]
 fn every_golden_row_has_the_full_column_count() {
     let csv = golden_csv();
     let columns = CSV_HEADER.split(',').count();

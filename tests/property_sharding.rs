@@ -1,0 +1,138 @@
+//! Property tests of the sharding subsystem (ISSUE 5 acceptance):
+//!
+//! For **any** shard count in `1..=8`, any grid shape and any seed:
+//!
+//! * the shards partition the grid — concatenating the shard runs' rows is a
+//!   permutation of the full grid's rows (same multiset, every cell exactly
+//!   once);
+//! * the deterministic merge of the shard CSVs is **byte-identical** to the
+//!   unsharded sweep CSV — including across different worker-thread counts
+//!   and cache settings per shard, and with simulation enabled (per-cell
+//!   seeding is global-index-based, so sharding cannot reseed anything).
+
+use proptest::prelude::*;
+
+use ayd_platforms::ScenarioId;
+use ayd_sweep::{
+    merge_parts, ProcessorAxis, ScenarioGrid, ShardPart, ShardSpec, SweepExecutor, SweepManifest,
+    SweepOptions, SweepRow,
+};
+
+fn arb_profile() -> impl Strategy<Value = ayd_sweep::SpeedupProfile> {
+    use ayd_sweep::SpeedupProfile;
+    (0usize..4, 0.05f64..1.0).prop_map(|(kind, param)| match kind {
+        0 => SpeedupProfile::Amdahl { alpha: param },
+        1 => SpeedupProfile::PerfectlyParallel,
+        2 => SpeedupProfile::PowerLaw { sigma: param },
+        _ => SpeedupProfile::Gustafson { alpha: param },
+    })
+}
+
+/// A key that identifies one row's cell coordinates (for the permutation
+/// check; full `SweepRow` equality is used via the merged CSV bytes).
+fn row_key(row: &SweepRow) -> String {
+    format!(
+        "{}|{}|{:?}|{}|{}|{:?}|{:?}",
+        row.platform.name(),
+        row.scenario,
+        row.profile,
+        row.lambda_ind,
+        row.lambda_multiplier,
+        row.fixed_processors,
+        row.pattern_length,
+    )
+}
+
+proptest! {
+    // Each case runs the executor count+1 times; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn shards_partition_and_merge_byte_identically(
+        seed in 0u64..1_000,
+        count in 1usize..=8,
+        threads_per_shard in prop::collection::vec(1usize..5, 8..9),
+        scenario_index in 0usize..6,
+        profiles in prop::collection::vec(arb_profile(), 1..3),
+        multipliers in prop::collection::vec(0.2f64..30.0, 1..3),
+        processors in prop::collection::vec(64.0f64..4_096.0, 1..3),
+    ) {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::ALL[scenario_index]])
+            .profiles(&profiles)
+            .lambda_multipliers(&multipliers)
+            .processors(ProcessorAxis::Fixed(processors))
+            .build()
+            .unwrap();
+        let run = ayd_sweep::RunOptions {
+            seed,
+            simulate: false,
+            ..ayd_sweep::RunOptions::smoke()
+        };
+        let options = SweepOptions::new(run);
+        let full = SweepExecutor::new(options.with_threads(2)).run(&grid);
+
+        let mut concatenated: Vec<SweepRow> = Vec::new();
+        let mut parts: Vec<ShardPart> = Vec::new();
+        for (index, &threads) in threads_per_shard.iter().enumerate().take(count) {
+            let shard = ShardSpec::new(index, count).unwrap();
+            // Every shard may use a different thread count — and shard 0 (when
+            // sharded at all) runs uncached — without changing a byte.
+            let shard_options = if index == 0 && count > 1 {
+                options.with_threads(threads).with_cache_capacity(None)
+            } else {
+                options.with_threads(threads)
+            };
+            let results = SweepExecutor::new(shard_options).run_cells(&grid.shard_cells(shard));
+            prop_assert_eq!(results.rows.len(), shard.cell_count(grid.len()));
+            concatenated.extend(results.rows.iter().copied());
+            parts.push(ShardPart {
+                manifest: SweepManifest::complete(&grid, &options, shard),
+                csv: results.to_csv(),
+            });
+        }
+
+        // Permutation: same row multiset, same total count.
+        prop_assert_eq!(concatenated.len(), full.rows.len());
+        let mut full_keys: Vec<String> = full.rows.iter().map(row_key).collect();
+        let mut shard_keys: Vec<String> = concatenated.iter().map(row_key).collect();
+        full_keys.sort();
+        shard_keys.sort();
+        prop_assert_eq!(full_keys, shard_keys);
+
+        // Byte-identical merge.
+        let merged = merge_parts(&parts).unwrap();
+        prop_assert_eq!(merged, full.to_csv());
+    }
+}
+
+/// The simulation half of the contract on a fixed grid: shard runs simulate
+/// each cell with its global-index seed, so merging shards of a *simulating*
+/// sweep still reproduces the unsharded bytes exactly.
+#[test]
+fn simulating_shards_merge_byte_identically() {
+    let grid = ScenarioGrid::builder()
+        .scenarios(&[ScenarioId::S1, ScenarioId::S5])
+        .lambda_multipliers(&[1.0, 20.0])
+        .processors(ProcessorAxis::Fixed(vec![400.0, 800.0]))
+        .build()
+        .unwrap();
+    let options = SweepOptions::new(ayd_sweep::RunOptions::smoke());
+    let full = SweepExecutor::new(options.with_threads(2))
+        .run(&grid)
+        .to_csv();
+    for count in [2usize, 3] {
+        let parts: Vec<ShardPart> = (0..count)
+            .map(|index| {
+                let shard = ShardSpec::new(index, count).unwrap();
+                ShardPart {
+                    manifest: SweepManifest::complete(&grid, &options, shard),
+                    csv: SweepExecutor::new(options.with_threads(1))
+                        .run_cells(&grid.shard_cells(shard))
+                        .to_csv(),
+                }
+            })
+            .collect();
+        assert_eq!(merge_parts(&parts).unwrap(), full, "count={count}");
+    }
+}

@@ -1,16 +1,18 @@
 //! `loadgen` — load generator and smoke checker for `reproduce serve`.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--check]
+//! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--cache-bust] [--check]
 //! ```
 //!
 //! Default mode drives `POST /v1/optimize` over `C` keep-alive connections,
 //! prints a one-line throughput/latency report, validates the `/metrics`
-//! payload and exits non-zero when any request failed. `--check` instead runs
-//! the end-to-end golden round-trip of `ayd_serve::smoke_check`: health,
-//! one optimize query compared bit-for-bit against the offline evaluator, one
-//! sweep job compared byte-for-byte against the in-process engine, and a
-//! metrics parse.
+//! payload and exits non-zero when any request failed. `--cache-bust` gives
+//! every request a unique error rate so each evaluation misses the server's
+//! cache (measuring the cold optimiser path). `--check` instead runs the
+//! end-to-end golden round-trip of `ayd_serve::smoke_check`: health, one
+//! optimize query compared bit-for-bit against the offline evaluator, one
+//! sweep job compared byte-for-byte against the in-process engine, the
+//! cold-path latency bound, and a metrics parse.
 
 use std::process::ExitCode;
 
@@ -20,6 +22,7 @@ struct Args {
     addr: String,
     requests: usize,
     concurrency: usize,
+    cache_bust: bool,
     check: bool,
 }
 
@@ -27,6 +30,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut addr = None;
     let mut requests = 200;
     let mut concurrency = 8;
+    let mut cache_bust = false;
     let mut check = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -46,15 +50,19 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "invalid --concurrency value".to_string())?;
             }
+            "--cache-bust" => cache_bust = true,
             "--check" => check = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(Args {
-        addr: addr
-            .ok_or("usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--check]")?,
+        addr: addr.ok_or(
+            "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] \
+             [--cache-bust] [--check]",
+        )?,
         requests,
         concurrency,
+        cache_bust,
         check,
     })
 }
@@ -68,11 +76,12 @@ fn run(args: &Args) -> Result<(), String> {
         );
         return Ok(());
     }
-    let report = run_load(&LoadOptions::optimize(
-        &args.addr,
-        args.requests,
-        args.concurrency,
-    ))?;
+    let options = if args.cache_bust {
+        LoadOptions::optimize_cache_busting(&args.addr, args.requests, args.concurrency)
+    } else {
+        LoadOptions::optimize(&args.addr, args.requests, args.concurrency)
+    };
+    let report = run_load(&options)?;
     println!("{}", report.render());
     // The metrics endpoint must also be live and parsable after the run.
     let mut client =
@@ -114,8 +123,8 @@ mod tests {
         let args = parse_args(&strings(&["--addr", "127.0.0.1:9"])).unwrap();
         assert_eq!(args.addr, "127.0.0.1:9");
         assert_eq!(
-            (args.requests, args.concurrency, args.check),
-            (200, 8, false)
+            (args.requests, args.concurrency, args.cache_bust, args.check),
+            (200, 8, false, false)
         );
         let args = parse_args(&strings(&[
             "--addr",
@@ -124,10 +133,14 @@ mod tests {
             "50",
             "--concurrency",
             "2",
+            "--cache-bust",
             "--check",
         ]))
         .unwrap();
-        assert_eq!((args.requests, args.concurrency, args.check), (50, 2, true));
+        assert_eq!(
+            (args.requests, args.concurrency, args.cache_bust, args.check),
+            (50, 2, true, true)
+        );
         assert!(parse_args(&strings(&[])).is_err());
         assert!(parse_args(&strings(&["--addr"])).is_err());
         assert!(parse_args(&strings(&["--addr", "x", "--bogus"])).is_err());

@@ -26,6 +26,11 @@ pub struct LoadOptions {
     pub path: String,
     /// JSON body sent with every request.
     pub body: String,
+    /// Cache-busting mode: ignore `body` and send each request with a
+    /// **unique** `lambda_multiplier` (derived from the global request
+    /// index), so every evaluation misses the server's cache and the run
+    /// measures the cold optimiser path instead of cache-hit throughput.
+    pub cache_bust: bool,
 }
 
 impl LoadOptions {
@@ -38,6 +43,31 @@ impl LoadOptions {
             concurrency: concurrency.max(1),
             path: "/v1/optimize".to_string(),
             body: r#"{"platform":"Hera","scenario":1,"lambda_multiplier":10}"#.to_string(),
+            cache_bust: false,
+        }
+    }
+
+    /// The cache-hostile variant of [`LoadOptions::optimize`]: every request
+    /// carries a distinct error rate, so no two requests share a cache entry.
+    pub fn optimize_cache_busting(addr: &str, requests: usize, concurrency: usize) -> Self {
+        Self {
+            cache_bust: true,
+            ..Self::optimize(addr, requests, concurrency)
+        }
+    }
+
+    /// The body of request number `index`. In cache-busting mode the
+    /// multiplier steps by `10⁻³` per request — about nine orders of
+    /// magnitude above the cache key's quantization granularity, so every
+    /// body lands in its own cache entry.
+    pub fn body_for(&self, index: usize) -> String {
+        if self.cache_bust {
+            format!(
+                r#"{{"platform":"Hera","scenario":1,"lambda_multiplier":{}}}"#,
+                1.0 + index as f64 * 1e-3
+            )
+        } else {
+            self.body.clone()
         }
     }
 }
@@ -110,11 +140,13 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
                     }
                 };
                 loop {
-                    if issued.fetch_add(1, Ordering::Relaxed) >= options.requests {
+                    let index = issued.fetch_add(1, Ordering::Relaxed);
+                    if index >= options.requests {
                         break;
                     }
+                    let body = options.body_for(index);
                     let begun = Instant::now();
-                    match client.post_json(&options.path, &options.body) {
+                    match client.post_json(&options.path, &body) {
                         Ok(response) if response.status == 200 => {
                             latencies.push(begun.elapsed().as_micros() as u64);
                         }
@@ -184,6 +216,44 @@ mod tests {
         assert!(report.req_per_s > 0.0);
         assert!(report.p50_us <= report.p99_us);
         assert!(report.render().contains("0 errors"));
+
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn cache_busting_bodies_are_unique_and_every_request_runs_cold() {
+        let options = LoadOptions::optimize_cache_busting("x:1", 4, 1);
+        assert_ne!(options.body_for(0), options.body_for(1));
+        assert_ne!(options.body_for(1), options.body_for(2));
+        let plain = LoadOptions::optimize("x:1", 4, 1);
+        assert_eq!(plain.body_for(0), plain.body);
+        assert_eq!(plain.body_for(3), plain.body);
+
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let thread = std::thread::spawn(move || server.serve());
+
+        let report = run_load(&LoadOptions::optimize_cache_busting(&addr, 32, 4)).unwrap();
+        assert_eq!(report.errors, 0, "{}", report.render());
+
+        // Every unique body must have missed the cache: the server's cold
+        // histogram counts at least one evaluation per request.
+        let mut client = ayd_serve::HttpClient::connect(&addr).unwrap();
+        let metrics = client.get("/metrics", None).unwrap().body;
+        let cold_count: f64 = metrics
+            .lines()
+            .find_map(|line| line.strip_prefix("ayd_optimize_cold_seconds_count "))
+            .expect("cold histogram rendered")
+            .parse()
+            .unwrap();
+        assert!(cold_count >= 32.0, "only {cold_count} cold evaluations");
 
         handle.shutdown();
         thread.join().unwrap().unwrap();

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! reproduce <experiment> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]
-//!                        [--threads N] [--no-cache] [--profiles SPEC,...]
-//!                        [--shard I/N] [--out PATH] [--resume] [--inputs CSV,...]
-//!                        [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]
+//!                        [--threads N] [--no-cache] [--search STRATEGY]
+//!                        [--profiles SPEC,...] [--shard I/N] [--out PATH] [--resume]
+//!                        [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N]
+//!                        [--max-body BYTES]
 //!
 //! experiments:
 //!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
@@ -45,7 +46,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use ayd_exp::config::{Fidelity, RunOptions};
+use ayd_exp::config::{Fidelity, RunOptions, SearchStrategy};
 use ayd_exp::{ablation, extensions, figure2, figure3, figure4, figure5, figure6, figure7, sweep};
 use ayd_exp::{report, tables, TextTable};
 
@@ -164,6 +165,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--json" => format = OutputFormat::Json,
             "--csv" => format = OutputFormat::Csv,
             "--no-cache" => options.cache = false,
+            "--search" => {
+                let value = iter
+                    .next()
+                    .ok_or("--search requires a value (reference, fast or fast-strict)")?;
+                options.search = SearchStrategy::parse(value)?;
+            }
             "--seed" => {
                 let value = iter.next().ok_or("--seed requires a value")?;
                 options.seed = value
@@ -283,10 +290,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 
 fn usage() -> String {
     "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N] \
-     [--threads N] [--no-cache] [--profiles SPEC,...] [--shard I/N] [--out PATH] [--resume] \
-     [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N] [--max-body BYTES]\n\
+     [--threads N] [--no-cache] [--search STRATEGY] [--profiles SPEC,...] [--shard I/N] \
+     [--out PATH] [--resume] [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N] \
+     [--max-body BYTES]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
      sweep-merge checks serve all\n\
+     search strategies: reference | fast | fast-strict (default; all three are bit-identical, \
+     the fast paths only change cold-evaluation cost)\n\
      profile specs: amdahl:A powerlaw:S gustafson:A perfect (e.g. \
      --profiles amdahl:0.1,powerlaw:0.8)\n\
      sharding: sweep --shard 0/4 --out shard0.csv [--resume]; \
@@ -611,6 +621,39 @@ mod tests {
         assert!(parse_args(&strings(&["sweep", "--threads", "0"])).is_err());
         assert!(parse_args(&strings(&["sweep", "--threads"])).is_err());
         assert!(parse_args(&strings(&["sweep", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_search_strategies() {
+        // Default is the strict fast path; every spec string round-trips.
+        assert_eq!(
+            parse_args(&strings(&["sweep"])).unwrap().options.search,
+            SearchStrategy::FastStrict
+        );
+        assert_eq!(
+            parse_args(&strings(&["sweep", "--search", "reference"]))
+                .unwrap()
+                .options
+                .search,
+            SearchStrategy::Reference
+        );
+        assert_eq!(
+            parse_args(&strings(&["sweep", "--search", "fast"]))
+                .unwrap()
+                .options
+                .search,
+            SearchStrategy::Fast
+        );
+        assert_eq!(
+            parse_args(&strings(&["serve", "--search", "fast-strict"]))
+                .unwrap()
+                .options
+                .search,
+            SearchStrategy::FastStrict
+        );
+        let err = parse_args(&strings(&["sweep", "--search", "newton"])).unwrap_err();
+        assert!(err.contains("newton"), "{err}");
+        assert!(parse_args(&strings(&["sweep", "--search"])).is_err());
     }
 
     #[test]

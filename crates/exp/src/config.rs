@@ -4,4 +4,4 @@
 //! figure runners share one evaluation kernel); this module re-exports them
 //! under the historical `ayd_exp::config` path.
 
-pub use ayd_sweep::options::{Fidelity, RunOptions};
+pub use ayd_sweep::options::{Fidelity, RunOptions, SearchStrategy};

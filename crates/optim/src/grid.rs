@@ -21,17 +21,29 @@ pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
         n >= 2,
         "need at least two points to span a non-degenerate range"
     );
-    let (llo, lhi) = (lo.ln(), hi.ln());
-    let step = (lhi - llo) / (n as f64 - 1.0);
-    (0..n)
-        .map(|i| {
-            if i == n - 1 {
-                hi // avoid drift on the last point
-            } else {
-                (llo + step * i as f64).exp()
-            }
-        })
-        .collect()
+    (0..n).map(|i| log_space_point(lo, hi, n, i)).collect()
+}
+
+/// The `i`-th point of the grid [`log_space`] would generate for `(lo, hi, n)`,
+/// computed with the identical floating-point expression — callers that probe
+/// individual grid indices (the seeded search of [`crate::seeded`]) therefore
+/// observe bit-identical values to a full scan.
+///
+/// # Panics
+/// Panics if `i >= n` (or `i > 0` on a degenerate `lo == hi` range).
+pub fn log_space_point(lo: f64, hi: f64, n: usize, i: usize) -> f64 {
+    if lo == hi {
+        assert!(i == 0, "index {i} out of range for a degenerate grid");
+        return lo;
+    }
+    assert!(i < n, "index {i} out of range for a {n}-point grid");
+    if i == n - 1 {
+        hi // avoid drift on the last point
+    } else {
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        let step = (lhi - llo) / (n as f64 - 1.0);
+        (llo + step * i as f64).exp()
+    }
 }
 
 /// Scans `f` over a logarithmic grid of `n` points on `[lo, hi]` and returns the
@@ -140,6 +152,27 @@ mod tests {
     #[should_panic(expected = "positive bounds")]
     fn rejects_non_positive_bounds() {
         let _ = log_space(0.0, 10.0, 5);
+    }
+
+    #[test]
+    fn log_space_point_is_bit_identical_to_the_full_scan() {
+        for &(lo, hi, n) in &[(1.0, 1e7, 64), (1.0, 1e9, 40), (2.5, 3.25e4, 7)] {
+            let grid = log_space(lo, hi, n);
+            for (i, &x) in grid.iter().enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    log_space_point(lo, hi, n, i).to_bits(),
+                    "point {i} of ({lo}, {hi}, {n})"
+                );
+            }
+        }
+        assert_eq!(log_space_point(5.0, 5.0, 1, 0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn log_space_point_rejects_out_of_range_indices() {
+        let _ = log_space_point(1.0, 10.0, 5, 5);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`joint::JointSearch`] — nested 2-D minimisation over `(P, T)`: for every
 //!   candidate `P` the inner dimension `T` is minimised, and the outer envelope
 //!   `P ↦ min_T f(P, T)` is minimised in turn.
+//! * [`seeded::minimize_scalar_seeded`] — warm-started variant of the scalar
+//!   search: a seed (e.g. a first-order closed form) predicts the basin, a
+//!   short hill descent replaces the coarse scan, and the result is proven
+//!   bit-identical to the reference (or the call self-demotes to it).
 //!
 //! The crate is deliberately generic: objectives are arbitrary `Fn(f64) -> f64`
 //! closures, so it has no dependency on `ayd-core`. The experiment harness wires
@@ -32,10 +36,12 @@ pub mod grid;
 pub mod integer;
 pub mod joint;
 pub mod scalar;
+pub mod seeded;
 
 pub use brent::brent_minimize;
 pub use golden::golden_section;
-pub use grid::log_grid_minimum;
+pub use grid::{log_grid_minimum, log_space_point};
 pub use integer::minimize_integer;
 pub use joint::{JointResult, JointSearch};
 pub use scalar::{minimize_scalar, OptimizeOptions, ScalarMinimum};
+pub use seeded::{minimize_scalar_seeded, FallbackReason, SearchReport};

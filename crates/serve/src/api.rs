@@ -6,12 +6,13 @@
 //! plus the parsed request — no I/O — which keeps them trivially testable.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use ayd_core::{ExactModel, ModelError, ProfileSpec, SpeedupProfile};
 use ayd_platforms::{ExperimentSetup, Platform, PlatformId, ScenarioId};
 use ayd_sweep::{
-    evaluate_analytic, OperatingPoint, ProcessorAxis, ScenarioGrid, SweepExecutor, SweepRow,
-    CSV_HEADER,
+    evaluate_analytic_observed, evaluate_many, AnalyticEval, OperatingPoint, ProcessorAxis,
+    ScenarioGrid, SweepExecutor, SweepRow, CSV_HEADER,
 };
 
 use crate::app::{AppState, JobView};
@@ -354,13 +355,25 @@ pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, ApiError> {
 
 /// Evaluates a query against the process-wide cache, producing the same
 /// [`SweepRow`] an offline sweep over the equivalent one-cell grid would.
+/// Cache-cold evaluations feed the `ayd_optimize_cold_seconds` histogram and
+/// the fast/fallback search counters.
 pub fn evaluate_query(state: &AppState, query: &OptimizeQuery) -> SweepRow {
-    let analytic = evaluate_analytic(
+    let started = Instant::now();
+    let (analytic, observation) = evaluate_analytic_observed(
         &query.model,
         query.fixed_processors,
         &state.options,
         Some(&state.cache),
     );
+    if observation.computed {
+        state.metrics.observe_cold(started.elapsed());
+    }
+    state.metrics.observe_search(observation.search);
+    query_row(query, analytic)
+}
+
+/// Assembles the [`SweepRow`] of one already-evaluated query.
+fn query_row(query: &OptimizeQuery, analytic: AnalyticEval) -> SweepRow {
     let prescribed = match (query.fixed_processors, query.pattern_length) {
         (Some(p), Some(t)) => Some(OperatingPoint {
             processors: p,
@@ -496,11 +509,39 @@ fn batch(state: &Arc<AppState>, req: &Request) -> Response {
         }
     }
     // Fan the evaluations out over the compute pool (not the connection
-    // pool), then reassemble in query order.
+    // pool) in small chunks — each chunk goes through `evaluate_many`, which
+    // builds the optimiser context once per chunk — then reassemble in query
+    // order.
+    const BATCH_CHUNK: usize = 8;
+    let mut chunks: Vec<Vec<OptimizeQuery>> = Vec::new();
+    let mut parsed = parsed.into_iter();
+    loop {
+        let chunk: Vec<OptimizeQuery> = parsed.by_ref().take(BATCH_CHUNK).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
     let worker_state = Arc::clone(state);
-    let rows = state
+    let rows: Vec<SweepRow> = state
         .compute
-        .run_batch(parsed, move |query| evaluate_query(&worker_state, &query));
+        .run_batch(chunks, move |chunk| {
+            let queries: Vec<(ExactModel, Option<f64>)> = chunk
+                .iter()
+                .map(|query| (query.model, query.fixed_processors))
+                .collect();
+            let (evals, search) =
+                evaluate_many(&queries, &worker_state.options, Some(&worker_state.cache));
+            worker_state.metrics.observe_search(search);
+            chunk
+                .iter()
+                .zip(evals)
+                .map(|(query, eval)| query_row(query, eval))
+                .collect::<Vec<SweepRow>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     if req.accepts("text/csv") {
         Response::csv(rows_csv(&rows))
     } else {

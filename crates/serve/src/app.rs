@@ -5,8 +5,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ayd_sweep::{
-    AnalyticEval, CacheStats, NullSink, RunOptions, ScenarioGrid, ShardSpec, ShardedEvalCache,
-    SweepExecutor, SweepJobHandle, SweepOptions, SweepRow,
+    AnalyticEval, CacheStats, NullSink, RunOptions, ScenarioGrid, SearchReport, ShardSpec,
+    ShardedEvalCache, SweepExecutor, SweepJobHandle, SweepOptions, SweepRow,
 };
 
 use crate::http::Limits;
@@ -175,6 +175,7 @@ pub type ShardRows = Vec<Option<Vec<SweepRow>>>;
 struct ShardedOutcome {
     rows_by_shard: ShardRows,
     cache: CacheStats,
+    search: SearchReport,
 }
 
 /// Handle on a sharded sweep job: shards run one after another on a
@@ -233,6 +234,7 @@ pub fn spawn_sharded(
         let executor = SweepExecutor::new(options);
         let mut rows_by_shard: Vec<Option<Vec<SweepRow>>> = vec![None; cells_by_shard.len()];
         let mut cache = CacheStats::default();
+        let mut search = SearchReport::default();
         let mut resumed = resumed;
         for (index, cells) in cells_by_shard.into_iter().enumerate() {
             let slot = &worker_slots[index];
@@ -259,6 +261,7 @@ pub fn spawn_sharded(
                 Some(&slot.completed),
             );
             cache = cache.merged(results.cache);
+            search.merge(&results.search);
             if results.rows.len() == cells.len() {
                 // Release for the same reason as the REUSED store above: the
                 // workers' progress increments happened-before the scope join,
@@ -273,6 +276,7 @@ pub fn spawn_sharded(
         ShardedOutcome {
             rows_by_shard,
             cache,
+            search,
         }
     });
     ShardedJobHandle {
@@ -350,6 +354,7 @@ impl ShardedJobHandle {
         let merged = ayd_sweep::SweepResults {
             rows: indexed.iter().map(|&(_, row)| *row).collect(),
             cache: outcome.cache,
+            search: outcome.search,
         };
         drop(indexed);
         let csv = merged.to_csv();

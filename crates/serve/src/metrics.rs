@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use ayd_sweep::CacheStats;
+use ayd_sweep::{CacheStats, SearchReport};
 
 /// Upper bounds (in seconds) of the latency histogram buckets.
 const BUCKET_BOUNDS: [f64; 11] = [
@@ -33,6 +33,24 @@ pub struct Metrics {
     buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
     /// Sum of request latencies in nanoseconds.
     latency_sum_nanos: AtomicU64,
+    /// Cold-evaluation histogram buckets: latencies of `/v1/optimize`
+    /// evaluations that actually ran the optimiser (cache misses), same
+    /// bounds as the request histogram.
+    cold_buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    /// Sum of cold-evaluation latencies in nanoseconds.
+    cold_sum_nanos: AtomicU64,
+    /// Scalar searches answered by the warm-started fast path.
+    search_fast: AtomicU64,
+    /// Scalar searches that fell back to the reference search.
+    search_fallback: AtomicU64,
+}
+
+/// Non-cumulative bucket slot of a latency (last slot is overflow).
+fn bucket_slot(seconds: f64) -> usize {
+    BUCKET_BOUNDS
+        .iter()
+        .position(|&bound| seconds <= bound)
+        .unwrap_or(BUCKET_BOUNDS.len())
 }
 
 impl Metrics {
@@ -50,12 +68,7 @@ impl Metrics {
     /// status and the handling latency.
     pub fn observe(&self, endpoint: &'static str, status: u16, latency: Duration) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let seconds = latency.as_secs_f64();
-        let slot = BUCKET_BOUNDS
-            .iter()
-            .position(|&bound| seconds <= bound)
-            .unwrap_or(BUCKET_BOUNDS.len());
-        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_slot(latency.as_secs_f64())].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_nanos
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
         *self
@@ -64,6 +77,26 @@ impl Metrics {
             .expect("metrics map poisoned")
             .entry((endpoint, status))
             .or_insert(0) += 1;
+    }
+
+    /// Records one **cold** optimiser evaluation: an `/v1/optimize` query
+    /// that missed the cache (or ran uncached) and therefore paid for a
+    /// numerical search.
+    pub fn observe_cold(&self, latency: Duration) {
+        self.cold_buckets[bucket_slot(latency.as_secs_f64())].fetch_add(1, Ordering::Relaxed);
+        self.cold_sum_nanos
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Accumulates the fast/fallback tallies of one batch of scalar searches.
+    pub fn observe_search(&self, report: SearchReport) {
+        if report.fast > 0 {
+            self.search_fast.fetch_add(report.fast, Ordering::Relaxed);
+        }
+        if report.fallback > 0 {
+            self.search_fallback
+                .fetch_add(report.fallback, Ordering::Relaxed);
+        }
     }
 
     /// Total requests observed so far.
@@ -93,25 +126,34 @@ impl Metrics {
             self.connections.load(Ordering::Relaxed)
         ));
 
-        out.push_str("# HELP ayd_request_duration_seconds Request handling latency.\n");
-        out.push_str("# TYPE ayd_request_duration_seconds histogram\n");
-        let mut cumulative = 0u64;
-        for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!(
-                "ayd_request_duration_seconds_bucket{{le=\"{bound}\"}} {cumulative}\n"
-            ));
-        }
-        cumulative += self.buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+        render_histogram(
+            &mut out,
+            "ayd_request_duration_seconds",
+            "Request handling latency.",
+            &self.buckets,
+            self.latency_sum_nanos.load(Ordering::Relaxed),
+        );
+        render_histogram(
+            &mut out,
+            "ayd_optimize_cold_seconds",
+            "Cold (cache-miss) optimiser evaluation latency of /v1/optimize.",
+            &self.cold_buckets,
+            self.cold_sum_nanos.load(Ordering::Relaxed),
+        );
+
+        out.push_str("# HELP ayd_search_fast_total Scalar searches answered by the warm-started fast path.\n");
+        out.push_str("# TYPE ayd_search_fast_total counter\n");
         out.push_str(&format!(
-            "ayd_request_duration_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+            "ayd_search_fast_total {}\n",
+            self.search_fast.load(Ordering::Relaxed)
         ));
+        out.push_str(
+            "# HELP ayd_search_fallback_total Scalar searches demoted to the reference search.\n",
+        );
+        out.push_str("# TYPE ayd_search_fallback_total counter\n");
         out.push_str(&format!(
-            "ayd_request_duration_seconds_sum {}\n",
-            self.latency_sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
-        ));
-        out.push_str(&format!(
-            "ayd_request_duration_seconds_count {cumulative}\n"
+            "ayd_search_fallback_total {}\n",
+            self.search_fallback.load(Ordering::Relaxed)
         ));
 
         out.push_str("# HELP ayd_cache_hits_total Evaluation-cache hits.\n");
@@ -130,13 +172,38 @@ impl Metrics {
     }
 }
 
+/// Appends one histogram in the Prometheus text format: `# HELP`/`# TYPE`,
+/// cumulative buckets over [`BUCKET_BOUNDS`], a `+Inf` bucket, `_sum` (the
+/// nanosecond tally rendered in seconds) and `_count`.
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    buckets: &[AtomicU64; BUCKET_BOUNDS.len() + 1],
+    sum_nanos: u64,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+        cumulative += buckets[i].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+    }
+    cumulative += buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+    out.push_str(&format!("{name}_sum {}\n", sum_nanos as f64 / 1e9));
+    out.push_str(&format!("{name}_count {cumulative}\n"));
+}
+
 /// Validates one Prometheus text payload: every non-comment line must be
-/// `name{labels} value` or `name value` with a parsable float value, and the
-/// `+Inf` histogram bucket must match the histogram count. Used by the smoke
-/// check and the CI gate (`loadgen --check`).
+/// `name{labels} value` or `name value` with a parsable float value, and
+/// **every** histogram's `+Inf` bucket must match that same histogram's
+/// `_count` (each `<name>_bucket{le="+Inf"}` is paired with its own
+/// `<name>_count`, so one well-formed histogram can't mask another broken
+/// one). Used by the smoke check and the CI gate (`loadgen --check`).
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
-    let mut inf_bucket: Option<f64> = None;
-    let mut histogram_count: Option<f64> = None;
+    let mut inf_buckets: BTreeMap<String, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
     let mut samples = 0usize;
     for line in text.lines() {
         if line.starts_with('#') || line.trim().is_empty() {
@@ -151,22 +218,40 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
         if name_part.contains('{') && !name_part.ends_with('}') {
             return Err(format!("malformed labels in: {line:?}"));
         }
+        let bare_name = name_part.split('{').next().unwrap_or(name_part);
         if name_part.contains("le=\"+Inf\"") {
-            inf_bucket = Some(value);
+            if let Some(histogram) = bare_name.strip_suffix("_bucket") {
+                inf_buckets.insert(histogram.to_string(), value);
+            }
         }
-        if name_part == "ayd_request_duration_seconds_count" {
-            histogram_count = Some(value);
+        if let Some(histogram) = bare_name.strip_suffix("_count") {
+            counts.insert(histogram.to_string(), value);
         }
         samples += 1;
     }
     if samples == 0 {
         return Err("no samples in metrics payload".to_string());
     }
-    match (inf_bucket, histogram_count) {
-        (Some(inf), Some(count)) if inf == count => Ok(()),
-        (Some(_), Some(_)) => Err("+Inf bucket does not equal histogram count".to_string()),
-        _ => Err("histogram series missing".to_string()),
+    if inf_buckets.is_empty() {
+        return Err("histogram series missing".to_string());
     }
+    for (histogram, inf) in &inf_buckets {
+        match counts.get(histogram) {
+            Some(count) if count == inf => {}
+            Some(_) => {
+                return Err(format!(
+                    "+Inf bucket of {histogram} does not equal its count"
+                ))
+            }
+            None => return Err(format!("{histogram} has buckets but no _count")),
+        }
+    }
+    for histogram in counts.keys() {
+        if !inf_buckets.contains_key(histogram) {
+            return Err(format!("{histogram} has a _count but no +Inf bucket"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -182,6 +267,16 @@ mod tests {
         metrics.observe("optimize", 400, Duration::from_millis(40));
         metrics.observe("metrics", 200, Duration::from_secs(1));
         assert_eq!(metrics.request_count(), 4);
+        metrics.observe_cold(Duration::from_micros(80));
+        metrics.observe_cold(Duration::from_micros(700));
+        metrics.observe_search(SearchReport {
+            fast: 5,
+            fallback: 2,
+        });
+        metrics.observe_search(SearchReport {
+            fast: 1,
+            fallback: 0,
+        });
 
         let text = metrics.render_prometheus(&CacheStats {
             hits: 3,
@@ -197,6 +292,14 @@ mod tests {
         assert!(text.contains("ayd_request_duration_seconds_bucket{le=\"0.05\"} 3\n"));
         assert!(text.contains("ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n"));
         assert!(text.contains("ayd_request_duration_seconds_count 4\n"));
+        // The cold histogram only sees the two cache-miss evaluations.
+        assert!(text.contains("ayd_optimize_cold_seconds_bucket{le=\"0.0001\"} 1\n"));
+        assert!(text.contains("ayd_optimize_cold_seconds_bucket{le=\"0.001\"} 2\n"));
+        assert!(text.contains("ayd_optimize_cold_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ayd_optimize_cold_seconds_count 2\n"));
+        // Search counters accumulate across reports.
+        assert!(text.contains("ayd_search_fast_total 6\n"));
+        assert!(text.contains("ayd_search_fallback_total 2\n"));
         assert!(text.contains("ayd_cache_hit_rate 0.75\n"));
         validate_prometheus(&text).unwrap();
     }
@@ -209,5 +312,35 @@ mod tests {
         let truncated = "ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n\
                          ayd_request_duration_seconds_count 5\n";
         assert!(validate_prometheus(truncated).is_err());
+    }
+
+    #[test]
+    fn validator_pairs_every_histogram_with_its_own_count() {
+        // A consistent histogram must not mask a broken second one: each
+        // +Inf bucket is checked against its *own* _count.
+        let one_good_one_broken = "ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n\
+                                   ayd_request_duration_seconds_count 4\n\
+                                   ayd_optimize_cold_seconds_bucket{le=\"+Inf\"} 2\n\
+                                   ayd_optimize_cold_seconds_count 3\n";
+        let err = validate_prometheus(one_good_one_broken).unwrap_err();
+        assert!(err.contains("ayd_optimize_cold_seconds"), "{err}");
+
+        let missing_count = "ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n\
+                             ayd_request_duration_seconds_count 4\n\
+                             ayd_optimize_cold_seconds_bucket{le=\"+Inf\"} 2\n";
+        let err = validate_prometheus(missing_count).unwrap_err();
+        assert!(err.contains("no _count"), "{err}");
+
+        let orphan_count = "ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n\
+                            ayd_request_duration_seconds_count 4\n\
+                            ayd_optimize_cold_seconds_count 2\n";
+        let err = validate_prometheus(orphan_count).unwrap_err();
+        assert!(err.contains("no +Inf bucket"), "{err}");
+
+        let both_good = "ayd_request_duration_seconds_bucket{le=\"+Inf\"} 4\n\
+                         ayd_request_duration_seconds_count 4\n\
+                         ayd_optimize_cold_seconds_bucket{le=\"+Inf\"} 2\n\
+                         ayd_optimize_cold_seconds_count 2\n";
+        validate_prometheus(both_good).unwrap();
     }
 }

@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use ayd_core::{ExactModel, FirstOrder};
-use ayd_optim::{JointSearch, OptimizeOptions};
+use ayd_optim::{JointSearch, OptimizeOptions, SearchReport};
 use ayd_sim::Simulator;
 
 use crate::options::RunOptions;
@@ -158,6 +158,71 @@ impl Evaluator {
         (minimum.argument, minimum.value)
     }
 
+    /// Theorem 1's `T*_P = sqrt((V_P + C_P)/Λ_P)` as a warm start for the
+    /// period search at processor count `p`. Valid for every profile family —
+    /// the closed form only involves the cost and failure models — but only
+    /// used as a *seed*: correctness never depends on it.
+    fn period_seed(model: &ExactModel, p: f64) -> Option<f64> {
+        let seed = FirstOrder::new(model).optimal_period_for(p).period;
+        (seed.is_finite() && seed > 0.0).then_some(seed)
+    }
+
+    /// [`Self::numerical_point`], evaluated through the warm-started search:
+    /// the outer processor search is seeded with the closed-form `P*` of
+    /// Theorem 2/3 (when the profile family has one) and every inner period
+    /// search with Theorem 1's `T*_P`. The result is bit-identical to
+    /// [`Self::numerical_point`] — every scalar sub-search either proves it
+    /// matched the reference or self-demotes to it — and `report` tallies the
+    /// fast/fallback split.
+    pub fn numerical_point_seeded(
+        &self,
+        model: &ExactModel,
+        strict: bool,
+        report: &mut SearchReport,
+    ) -> OperatingPoint {
+        let processor_seed = FirstOrder::new(model)
+            .joint_optimum()
+            .ok()
+            .map(|o| o.processors)
+            .filter(|p| p.is_finite() && *p > 0.0);
+        let result = self.joint_search().optimize_seeded(
+            processor_seed,
+            |p| Self::period_seed(model, p),
+            strict,
+            report,
+            |p, t| model.expected_overhead(t, p),
+        );
+        let mut point = OperatingPoint {
+            processors: result.processors,
+            period: result.period,
+            predicted_overhead: result.value,
+            formula_overhead: None,
+            simulated: None,
+        };
+        self.maybe_simulate(model, &mut point);
+        point
+    }
+
+    /// [`Self::numerical_period_for`] through the warm-started search (seeded
+    /// with Theorem 1's `T*_P`); bit-identical by the same argument as
+    /// [`Self::numerical_point_seeded`].
+    pub fn numerical_period_for_seeded(
+        &self,
+        model: &ExactModel,
+        p: f64,
+        strict: bool,
+        report: &mut SearchReport,
+    ) -> (f64, f64) {
+        let minimum = self.joint_search().optimize_period_seeded(
+            p,
+            Self::period_seed(model, p),
+            strict,
+            report,
+            |pp, t| model.expected_overhead(t, pp),
+        );
+        (minimum.argument, minimum.value)
+    }
+
     /// Both optima (and, if requested, their simulated overheads).
     pub fn compare(&self, model: &ExactModel) -> OptimumComparison {
         OptimumComparison {
@@ -259,6 +324,68 @@ mod tests {
         let sim = with_sim.simulated.unwrap();
         // Smoke-level simulation still lands in the right ballpark (±10%).
         assert!((sim.mean - with_sim.predicted_overhead).abs() / with_sim.predicted_overhead < 0.1);
+    }
+
+    #[test]
+    fn seeded_numerical_point_is_bit_identical_across_scenarios() {
+        use ayd_core::SpeedupProfile;
+        let eval = evaluator(false);
+        for platform in [PlatformId::Hera, PlatformId::Atlas] {
+            for scenario in [ScenarioId::S1, ScenarioId::S3, ScenarioId::S6] {
+                for profile in [
+                    SpeedupProfile::amdahl(0.1).unwrap(),
+                    SpeedupProfile::power_law(0.8).unwrap(),
+                    SpeedupProfile::gustafson(0.05).unwrap(),
+                    SpeedupProfile::perfectly_parallel(),
+                ] {
+                    let model = ayd_platforms::ExperimentSetup::paper_default(platform, scenario)
+                        .with_profile(profile)
+                        .model()
+                        .unwrap();
+                    let reference = eval.numerical_point(&model);
+                    for strict in [false, true] {
+                        let mut report = SearchReport::default();
+                        let fast = eval.numerical_point_seeded(&model, strict, &mut report);
+                        assert_eq!(
+                            fast.processors.to_bits(),
+                            reference.processors.to_bits(),
+                            "{platform:?}/{scenario:?}/{profile:?} strict={strict}"
+                        );
+                        assert_eq!(fast.period.to_bits(), reference.period.to_bits());
+                        assert_eq!(
+                            fast.predicted_overhead.to_bits(),
+                            reference.predicted_overhead.to_bits()
+                        );
+                        assert!(report.total() > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_period_search_is_bit_identical_and_mostly_fast() {
+        let eval = evaluator(false);
+        let model = ExperimentSetup::paper_default(PlatformId::Hera, ScenarioId::S3)
+            .model()
+            .unwrap();
+        for p in [64.0, 512.0, 4096.0] {
+            let (t_ref, h_ref) = eval.numerical_period_for(&model, p);
+            let mut report = SearchReport::default();
+            let (t_fast, h_fast) = eval.numerical_period_for_seeded(&model, p, true, &mut report);
+            assert_eq!(t_fast.to_bits(), t_ref.to_bits(), "P={p}");
+            assert_eq!(h_fast.to_bits(), h_ref.to_bits(), "P={p}");
+            // Theorem 1 lands within a grid cell of the optimum: the single
+            // inner search must be answered by the fast path.
+            assert_eq!(
+                report,
+                SearchReport {
+                    fast: 1,
+                    fallback: 0
+                },
+                "P={p}"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
 
 use ayd_core::{ExactModel, FirstOrder, ProfileSpec, SpeedupProfile};
+use ayd_optim::SearchReport;
 use ayd_platforms::PlatformId;
 use ayd_sim::rng::splitmix64;
 use ayd_sim::{EngineKind, Simulator};
@@ -93,6 +94,13 @@ impl SweepOptions {
         }
     }
 
+    /// Selects the numerical-search strategy (a shorthand for setting
+    /// `run.search`).
+    pub fn with_search(mut self, search: crate::options::SearchStrategy) -> Self {
+        self.run.search = search;
+        self
+    }
+
     /// Sets an explicit worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
@@ -148,8 +156,11 @@ impl SweepOptions {
     /// sweep's output. Worker-thread count and cache capacity are deliberately
     /// excluded (the determinism contract guarantees they never matter), so a
     /// shard computed with `--threads 8` merges cleanly with one computed
-    /// single-threaded. Used by shard manifests to refuse cross-configuration
-    /// resumes and merges.
+    /// single-threaded. The search strategy is excluded for the same reason:
+    /// all strategies are bit-identical, so a shard computed under
+    /// `--search fast` merges and resumes cleanly with a `--search reference`
+    /// one. Used by shard manifests to refuse cross-configuration resumes and
+    /// merges.
     pub fn output_fingerprint(&self) -> u64 {
         use crate::grid::{bits_or_marker, mix};
         let mut h: u64 = 0x0B71_0555_F17E_9A2D;
@@ -238,7 +249,7 @@ impl SweepRow {
     }
 }
 
-/// All rows of a sweep, in cell order, plus cache counters.
+/// All rows of a sweep, in cell order, plus cache and search counters.
 #[derive(Debug, Clone, Default)]
 pub struct SweepResults {
     /// One row per grid cell, in the grid's deterministic order.
@@ -246,6 +257,11 @@ pub struct SweepResults {
     /// Hit/miss/eviction counters of the memoisation cache (all zero when the
     /// cache was disabled).
     pub cache: CacheStats,
+    /// Fast/fallback tallies of the warm-started search (all zero under the
+    /// reference strategy). Like the cache counters, these may vary with
+    /// thread scheduling (concurrent misses can compute twice) and are
+    /// therefore never part of the CSV output.
+    pub search: SearchReport,
 }
 
 impl SweepResults {
@@ -491,11 +507,20 @@ fn run_cells(
         .map(|capacity| ShardedEvalCache::<AnalyticEval>::new(cache_shards(workers), capacity));
 
     let next_cell = AtomicUsize::new(0);
+    let search_fast = std::sync::atomic::AtomicU64::new(0);
+    let search_fallback = std::sync::atomic::AtomicU64::new(0);
     let emitter = Mutex::new(Emitter {
         pending: std::collections::BTreeMap::new(),
         ordered: Vec::with_capacity(cells.len()),
         sink,
     });
+    // Analytic-only sweeps pull small chunks from the work queue so that one
+    // `evaluate_many` batch amortises the evaluator setup across cells;
+    // simulating sweeps keep per-cell scheduling (each cell is expensive, so
+    // load balance matters more than setup amortisation). Chunking cannot
+    // affect the output: rows keep their global indices through the reorder
+    // buffer and every evaluation depends only on its cell.
+    let chunk = if options.run.simulate { 1 } else { 8 };
 
     // Panics in workers propagate when the scope joins them at the end.
     std::thread::scope(|scope| {
@@ -504,15 +529,35 @@ fn run_cells(
                 if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
                     break;
                 }
-                let index = next_cell.fetch_add(1, Ordering::Relaxed);
-                if index >= cells.len() {
+                let start = next_cell.fetch_add(chunk, Ordering::Relaxed);
+                if start >= cells.len() {
                     break;
                 }
-                let row = evaluate_cell(&cells[index], options, cache.as_ref());
-                if let Some(counter) = progress {
-                    counter.fetch_add(1, Ordering::Relaxed);
+                let batch = &cells[start..(start + chunk).min(cells.len())];
+                let queries: Vec<(ExactModel, Option<f64>)> = batch
+                    .iter()
+                    .map(|cell| {
+                        (
+                            cell.setup
+                                .model()
+                                .expect("grid builders only emit valid setups"),
+                            cell.fixed_processors,
+                        )
+                    })
+                    .collect();
+                let (evals, search) = evaluate_many(&queries, options, cache.as_ref());
+                search_fast.fetch_add(search.fast, Ordering::Relaxed);
+                search_fallback.fetch_add(search.fallback, Ordering::Relaxed);
+                for (offset, (cell, eval)) in batch.iter().zip(evals).enumerate() {
+                    let row = finish_row(cell, options, &queries[offset].0, eval);
+                    if let Some(counter) = progress {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    emitter
+                        .lock()
+                        .expect("emitter poisoned")
+                        .push(start + offset, row);
                 }
-                emitter.lock().expect("emitter poisoned").push(index, row);
             });
         }
     });
@@ -525,6 +570,10 @@ fn run_cells(
     let results = SweepResults {
         rows: emitter.ordered,
         cache: cache.map(|c| c.stats()).unwrap_or_default(),
+        search: SearchReport {
+            fast: search_fast.load(Ordering::Relaxed),
+            fallback: search_fallback.load(Ordering::Relaxed),
+        },
     };
     emitter.sink.finish(&results);
     results
@@ -585,6 +634,10 @@ pub fn analytic_cache_key(
         options.processor_range.1,
         options.period_range.0,
         options.period_range.1,
+        // The strategies are bit-identical, but each keeps its own cache
+        // entries so fast/fallback accounting (and any strategy comparison)
+        // is never confounded by values another strategy computed.
+        options.run.search.cache_tag(),
     ])
 }
 
@@ -601,80 +654,192 @@ pub fn evaluate_analytic(
     options: &SweepOptions,
     cache: Option<&ShardedEvalCache<AnalyticEval>>,
 ) -> AnalyticEval {
-    match cache {
-        Some(cache) => cache
-            .get_or_insert_with(analytic_cache_key(model, fixed_processors, options), || {
-                compute_analytic(model, fixed_processors, options)
-            }),
-        None => compute_analytic(model, fixed_processors, options),
-    }
+    evaluate_analytic_observed(model, fixed_processors, options, cache).0
+}
+
+/// What actually happened during one [`evaluate_analytic_observed`] call:
+/// whether the optimiser ran (a cache-cold evaluation) and, if so, how its
+/// scalar sub-searches split between the warm-started fast path and the
+/// reference fallback. Cache hits report `computed: false` and an empty
+/// search tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalObservation {
+    /// True when the optimiser ran (cache miss or cache disabled).
+    pub computed: bool,
+    /// Fast/fallback tallies of the scalar sub-searches of this evaluation.
+    pub search: SearchReport,
+}
+
+/// [`evaluate_analytic`] plus an [`EvalObservation`]: long-lived services use
+/// the observation to time *cold* evaluations separately from cache hits and
+/// to export fast/fallback counters.
+pub fn evaluate_analytic_observed(
+    model: &ExactModel,
+    fixed_processors: Option<f64>,
+    options: &SweepOptions,
+    cache: Option<&ShardedEvalCache<AnalyticEval>>,
+) -> (AnalyticEval, EvalObservation) {
+    let mut observation = EvalObservation::default();
+    let eval = match cache {
+        Some(cache) => {
+            cache.get_or_insert_with(analytic_cache_key(model, fixed_processors, options), || {
+                observation.computed = true;
+                let (eval, search) = compute_analytic(model, fixed_processors, options);
+                observation.search = search;
+                eval
+            })
+        }
+        None => {
+            observation.computed = true;
+            let (eval, search) = compute_analytic(model, fixed_processors, options);
+            observation.search = search;
+            eval
+        }
+    };
+    (eval, observation)
+}
+
+/// Batch variant of [`evaluate_analytic`]: evaluates every `(model, fixed P)`
+/// query against the same options and shared cache, amortising the
+/// evaluator/strategy setup across the batch. Returns the evaluations in
+/// query order plus the merged fast/fallback tally of the cache-cold queries.
+/// Used by the sweep executor (per worker chunk) and `ayd-serve`'s
+/// `/v1/batch` fan-out.
+pub fn evaluate_many(
+    queries: &[(ExactModel, Option<f64>)],
+    options: &SweepOptions,
+    cache: Option<&ShardedEvalCache<AnalyticEval>>,
+) -> (Vec<AnalyticEval>, SearchReport) {
+    let context = AnalyticContext::new(options);
+    let mut search = SearchReport::default();
+    let evals = queries
+        .iter()
+        .map(|(model, fixed_processors)| match cache {
+            Some(cache) => cache.get_or_insert_with(
+                analytic_cache_key(model, *fixed_processors, options),
+                || {
+                    let (eval, report) = context.evaluate(model, *fixed_processors);
+                    search.merge(&report);
+                    eval
+                },
+            ),
+            None => {
+                let (eval, report) = context.evaluate(model, *fixed_processors);
+                search.merge(&report);
+                eval
+            }
+        })
+        .collect();
+    (evals, search)
 }
 
 fn compute_analytic(
     model: &ExactModel,
     fixed_processors: Option<f64>,
     options: &SweepOptions,
-) -> AnalyticEval {
-    let analytic_options = RunOptions {
-        simulate: false,
-        ..options.run
-    };
-    let evaluator = Evaluator::new(analytic_options)
-        .with_processor_range(options.processor_range.0, options.processor_range.1)
-        .with_period_range(options.period_range.0, options.period_range.1);
-    // The paper's first-order closed forms apply to the Amdahl family only
-    // (including its perfectly parallel `α = 0` limit). Extension profiles
-    // (power law, Gustafson) fall back to the numerical-only series — the
-    // dispatch that used to live in `ayd-exp`'s extension experiment.
-    let amdahl_family = model.speedup.sequential_fraction().is_some();
-    let first_order_model = FirstOrder::new(model);
-    let closed_form = if amdahl_family {
-        first_order_model.joint_optimum().ok().map(|o| ClosedForm {
-            processors: o.processors,
-            period: o.period,
-            overhead: o.overhead,
-        })
-    } else {
-        None
-    };
-    match fixed_processors {
-        Some(p) => {
-            let first_order = amdahl_family.then(|| {
-                let period_optimum = first_order_model.optimal_period_for(p);
-                OperatingPoint {
-                    processors: p,
-                    period: period_optimum.period,
-                    predicted_overhead: model.expected_overhead(period_optimum.period, p),
-                    formula_overhead: Some(period_optimum.overhead),
-                    simulated: None,
-                }
-            });
-            let (period, overhead) = evaluator.numerical_period_for(model, p);
-            let numerical = OperatingPoint {
-                processors: p,
-                period,
-                predicted_overhead: overhead,
-                formula_overhead: None,
-                simulated: None,
-            };
-            AnalyticEval {
-                first_order,
-                closed_form,
-                numerical,
-            }
+) -> (AnalyticEval, SearchReport) {
+    AnalyticContext::new(options).evaluate(model, fixed_processors)
+}
+
+/// Per-batch evaluation context: the configured [`Evaluator`] and strategy,
+/// built once and reused across the queries of an [`evaluate_many`] batch.
+struct AnalyticContext {
+    evaluator: Evaluator,
+    search: crate::options::SearchStrategy,
+}
+
+impl AnalyticContext {
+    fn new(options: &SweepOptions) -> Self {
+        let analytic_options = RunOptions {
+            simulate: false,
+            ..options.run
+        };
+        Self {
+            evaluator: Evaluator::new(analytic_options)
+                .with_processor_range(options.processor_range.0, options.processor_range.1)
+                .with_period_range(options.period_range.0, options.period_range.1),
+            search: options.run.search,
         }
-        None => {
-            let comparison = evaluator.compare(model);
-            AnalyticEval {
-                first_order: if amdahl_family {
-                    comparison.first_order
+    }
+
+    fn evaluate(
+        &self,
+        model: &ExactModel,
+        fixed_processors: Option<f64>,
+    ) -> (AnalyticEval, SearchReport) {
+        let evaluator = &self.evaluator;
+        let mut report = SearchReport::default();
+        // The paper's first-order closed forms apply to the Amdahl family only
+        // (including its perfectly parallel `α = 0` limit). Extension profiles
+        // (power law, Gustafson) fall back to the numerical-only series — the
+        // dispatch that used to live in `ayd-exp`'s extension experiment.
+        let amdahl_family = model.speedup.sequential_fraction().is_some();
+        let first_order_model = FirstOrder::new(model);
+        let closed_form = if amdahl_family {
+            first_order_model.joint_optimum().ok().map(|o| ClosedForm {
+                processors: o.processors,
+                period: o.period,
+                overhead: o.overhead,
+            })
+        } else {
+            None
+        };
+        let eval = match fixed_processors {
+            Some(p) => {
+                let first_order = amdahl_family.then(|| {
+                    let period_optimum = first_order_model.optimal_period_for(p);
+                    OperatingPoint {
+                        processors: p,
+                        period: period_optimum.period,
+                        predicted_overhead: model.expected_overhead(period_optimum.period, p),
+                        formula_overhead: Some(period_optimum.overhead),
+                        simulated: None,
+                    }
+                });
+                let (period, overhead) = if self.search.is_fast() {
+                    evaluator.numerical_period_for_seeded(
+                        model,
+                        p,
+                        self.search.is_strict(),
+                        &mut report,
+                    )
+                } else {
+                    evaluator.numerical_period_for(model, p)
+                };
+                let numerical = OperatingPoint {
+                    processors: p,
+                    period,
+                    predicted_overhead: overhead,
+                    formula_overhead: None,
+                    simulated: None,
+                };
+                AnalyticEval {
+                    first_order,
+                    closed_form,
+                    numerical,
+                }
+            }
+            None => {
+                // The first-order point is a closed form (no search); only the
+                // numerical optimum dispatches on the strategy.
+                let first_order = if amdahl_family {
+                    evaluator.first_order_point(model)
                 } else {
                     None
-                },
-                closed_form,
-                numerical: comparison.numerical,
+                };
+                let numerical = if self.search.is_fast() {
+                    evaluator.numerical_point_seeded(model, self.search.is_strict(), &mut report)
+                } else {
+                    evaluator.numerical_point(model)
+                };
+                AnalyticEval {
+                    first_order,
+                    closed_form,
+                    numerical,
+                }
             }
-        }
+        };
+        (eval, report)
     }
 }
 
@@ -690,17 +855,16 @@ fn simulate_point(
     }
 }
 
-fn evaluate_cell(
+/// Assembles a cell's row from its (possibly cached) analytic evaluation:
+/// prescribed-pattern closed form, simulation attachment policy, engine
+/// comparison.
+fn finish_row(
     cell: &SweepCell,
     options: &SweepOptions,
-    cache: Option<&ShardedEvalCache<AnalyticEval>>,
+    model: &ExactModel,
+    analytic: AnalyticEval,
 ) -> SweepRow {
-    let model = cell
-        .setup
-        .model()
-        .expect("grid builders only emit valid setups");
-    let analytic = evaluate_analytic(&model, cell.fixed_processors, options, cache);
-
+    let model = *model;
     let mut first_order = analytic.first_order;
     let closed_form = analytic.closed_form;
     let mut numerical = analytic.numerical;
@@ -1090,5 +1254,108 @@ mod tests {
         // More threads than cells is fine (clamped to the cell count).
         let results = SweepExecutor::new(analytic_options().with_threads(64)).run(&grid);
         assert_eq!(results.rows.len(), 1);
+    }
+
+    fn test_model() -> ExactModel {
+        ayd_platforms::ExperimentSetup::paper_default(
+            ayd_platforms::PlatformId::Hera,
+            ScenarioId::S1,
+        )
+        .model()
+        .unwrap()
+    }
+
+    #[test]
+    fn observed_evaluations_report_cold_and_warm_paths() {
+        let options = analytic_options();
+        let cache = ShardedEvalCache::new(64, 4);
+        let model = test_model();
+        // First call computes (cache miss) and, under the default fast-strict
+        // strategy, answers at least one scalar search via the fast path.
+        let (first, observation) = evaluate_analytic_observed(&model, None, &options, Some(&cache));
+        assert!(observation.computed);
+        assert!(observation.search.total() > 0, "{:?}", observation.search);
+        // Second call is a cache hit: same bits, no computation, no searches.
+        let (second, observation) =
+            evaluate_analytic_observed(&model, None, &options, Some(&cache));
+        assert!(!observation.computed);
+        assert_eq!(observation.search, SearchReport::default());
+        assert_eq!(first, second);
+        // Without a cache every call computes.
+        let (uncached, observation) = evaluate_analytic_observed(&model, None, &options, None);
+        assert!(observation.computed);
+        assert_eq!(first, uncached);
+    }
+
+    #[test]
+    fn evaluate_many_matches_one_by_one_evaluation_and_consults_the_cache() {
+        let options = analytic_options();
+        let model = test_model();
+        let queries: Vec<(ExactModel, Option<f64>)> = vec![
+            (model, None),
+            (model, Some(512.0)),
+            (model, None), // repeat → cache hit inside the batch
+            (model, Some(2_048.0)),
+        ];
+        let cache = ShardedEvalCache::new(64, 4);
+        let (evals, search) = evaluate_many(&queries, &options, Some(&cache));
+        assert_eq!(evals.len(), queries.len());
+        assert!(search.total() > 0);
+        // The repeated query was answered from the cache (3 misses, 1 hit).
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (3, 1), "{stats:?}");
+        // Each batched answer is bit-identical to a standalone evaluation.
+        for ((model, fixed), eval) in queries.iter().zip(&evals) {
+            let alone = evaluate_analytic(model, *fixed, &options, None);
+            assert_eq!(&alone, eval);
+        }
+        // Uncached batches agree too.
+        let (uncached, _) = evaluate_many(&queries, &options, None);
+        assert_eq!(evals, uncached);
+    }
+
+    #[test]
+    fn sweep_results_tally_fast_and_fallback_searches() {
+        let grid = small_fixed_grid();
+        // The default strategy is fast-strict: the tally must account for
+        // every scalar search the grid ran.
+        let results = SweepExecutor::new(analytic_options().with_threads(2)).run(&grid);
+        assert!(results.search.total() > 0, "{:?}", results.search);
+        // The reference strategy never touches the fast path.
+        let reference_run = RunOptions {
+            simulate: false,
+            search: crate::options::SearchStrategy::Reference,
+            ..RunOptions::smoke()
+        };
+        let reference = SweepExecutor::new(SweepOptions::new(reference_run)).run(&grid);
+        assert_eq!(reference.search, SearchReport::default());
+        // And the rows agree byte-for-byte regardless (the core contract).
+        assert_eq!(results.rows, reference.rows);
+    }
+
+    #[test]
+    fn cache_entries_are_keyed_per_search_strategy() {
+        let model = test_model();
+        let fast = analytic_options();
+        let reference = SweepOptions::new(RunOptions {
+            simulate: false,
+            search: crate::options::SearchStrategy::Reference,
+            ..RunOptions::smoke()
+        });
+        assert_ne!(
+            analytic_cache_key(&model, None, &fast),
+            analytic_cache_key(&model, None, &reference),
+            "strategies must not share cache entries"
+        );
+        // A shared cache serves both strategies without cross-talk: two
+        // strategies, two misses, then one hit each.
+        let cache = ShardedEvalCache::new(64, 4);
+        let (a, _) = evaluate_analytic_observed(&model, None, &fast, Some(&cache));
+        let (b, _) = evaluate_analytic_observed(&model, None, &reference, Some(&cache));
+        assert_eq!(a, b, "strategies are bit-identical");
+        assert_eq!(cache.stats().misses, 2);
+        evaluate_analytic_observed(&model, None, &fast, Some(&cache));
+        evaluate_analytic_observed(&model, None, &reference, Some(&cache));
+        assert_eq!(cache.stats().hits, 2);
     }
 }

@@ -48,16 +48,17 @@ pub mod shard;
 pub mod sink;
 
 pub use ayd_core::{ProfileSpec, SpeedupProfile};
+pub use ayd_optim::SearchReport;
 pub use cache::{CacheKey, CacheStats, EvalCache, ShardedEvalCache};
 pub use evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
 pub use executor::{
-    analytic_cache_key, cache_shards, cell_seed, evaluate_analytic, AnalyticEval, ClosedForm,
-    SweepExecutor, SweepJobHandle, SweepJobResult, SweepJobStatus, SweepOptions, SweepResults,
-    SweepRow,
+    analytic_cache_key, cache_shards, cell_seed, evaluate_analytic, evaluate_analytic_observed,
+    evaluate_many, AnalyticEval, ClosedForm, EvalObservation, SweepExecutor, SweepJobHandle,
+    SweepJobResult, SweepJobStatus, SweepOptions, SweepResults, SweepRow,
 };
 pub use grid::{GridBuilder, GridError, LambdaAxis, ProcessorAxis, ScenarioGrid, SweepCell};
 pub use manifest::{manifest_path, SweepManifest, MANIFEST_MAGIC};
-pub use options::{Fidelity, RunOptions};
+pub use options::{Fidelity, RunOptions, SearchStrategy};
 pub use shard::{
     merge_parts, run_shard_to_files, ShardError, ShardPart, ShardRunReport, ShardSpec, MAX_SHARDS,
 };

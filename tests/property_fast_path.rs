@@ -1,0 +1,203 @@
+//! Property-based equivalence of the warm-started search strategies.
+//!
+//! The `SearchStrategy` contract (see `ayd_optim::seeded`) is that `fast` and
+//! `fast-strict` are **bit-identical** to the `reference` grid-scan + Brent
+//! search on every output: the fast path either proves it located the
+//! reference search's operating point or silently demotes itself to the
+//! reference search for that scalar call. This suite exercises the contract
+//! end-to-end through the sweep engine on randomized grids spanning all four
+//! speedup-profile families, every platform, both lambda axes, fixed and
+//! jointly-optimised processor counts, pattern-length axes, several worker
+//! thread counts, and the cache both on and off.
+
+use proptest::prelude::*;
+
+use ayd_core::SpeedupProfile;
+use ayd_platforms::{PlatformId, ScenarioId};
+use ayd_sweep::{
+    ProcessorAxis, RunOptions, ScenarioGrid, SearchStrategy, SweepExecutor, SweepOptions,
+};
+
+/// One arbitrary (valid) speedup profile, covering all four families.
+fn arb_profile() -> impl Strategy<Value = SpeedupProfile> {
+    (0usize..4, 0.05f64..1.0).prop_map(|(kind, param)| match kind {
+        0 => SpeedupProfile::Amdahl { alpha: param },
+        1 => SpeedupProfile::PerfectlyParallel,
+        2 => SpeedupProfile::PowerLaw { sigma: param },
+        _ => SpeedupProfile::Gustafson { alpha: param },
+    })
+}
+
+/// One arbitrary processor axis: jointly optimised, fixed counts, or the
+/// lambda-order ablation axis.
+fn arb_processor_axis() -> impl Strategy<Value = ProcessorAxis> {
+    (
+        0usize..3,
+        prop::collection::vec(64.0f64..65_536.0, 1..3),
+        prop::collection::vec(0.2f64..0.5, 1..3),
+    )
+        .prop_map(|(kind, fixed, orders)| match kind {
+            0 => ProcessorAxis::Optimize,
+            1 => ProcessorAxis::Fixed(fixed),
+            _ => ProcessorAxis::LambdaOrders(orders),
+        })
+}
+
+/// One arbitrary grid: random platform, scenario, profiles, error-rate axis,
+/// processor axis and (for fixed-P cells) pattern lengths.
+fn arb_grid() -> impl Strategy<Value = ScenarioGrid> {
+    (
+        0usize..4,
+        0usize..6,
+        prop::collection::vec(arb_profile(), 1..3),
+        prop::collection::vec(0.2f64..30.0, 1..3),
+        arb_processor_axis(),
+        prop::collection::vec(600.0f64..100_000.0, 0..3),
+    )
+        .prop_map(
+            |(platform, scenario, profiles, multipliers, axis, patterns)| {
+                let mut builder = ScenarioGrid::builder()
+                    .platforms(&[PlatformId::ALL[platform]])
+                    .scenarios(&[ScenarioId::ALL[scenario]])
+                    .profiles(&profiles)
+                    .lambda_multipliers(&multipliers)
+                    .processors(axis.clone());
+                // Pattern-length axes only combine with fixed processor counts.
+                if !patterns.is_empty() && matches!(axis, ProcessorAxis::Fixed(_)) {
+                    builder = builder.pattern_lengths(&patterns);
+                }
+                builder.build().unwrap()
+            },
+        )
+}
+
+fn run_csv(grid: &ScenarioGrid, options: SweepOptions) -> String {
+    SweepExecutor::new(options).run(grid).to_csv()
+}
+
+proptest! {
+    // Each case runs the sweep engine several times; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any grid, the three search strategies produce byte-for-byte
+    /// identical sweep CSVs — i.e. bit-identical `(P*, T*, overhead)` per
+    /// cell — regardless of thread count, and with the cache on or off.
+    #[test]
+    fn search_strategies_are_byte_identical_on_random_grids(
+        grid in arb_grid(),
+        seed in 0u64..1_000,
+        threads_index in 0usize..3,
+        cache_switch in 0usize..2,
+    ) {
+        let threads = [1usize, 2, 8][threads_index];
+        let cache = cache_switch == 1;
+        let run_for = |search: SearchStrategy| RunOptions {
+            seed,
+            simulate: false,
+            search,
+            ..RunOptions::smoke()
+        };
+        let options_for = |search: SearchStrategy| {
+            SweepOptions::new(run_for(search))
+                .with_threads(threads)
+                .with_cache_capacity(cache.then_some(1024))
+        };
+        let reference = run_csv(&grid, options_for(SearchStrategy::Reference));
+        prop_assert!(reference.contains(','), "sanity: rows were produced");
+        let fast = run_csv(&grid, options_for(SearchStrategy::Fast));
+        prop_assert_eq!(&reference, &fast, "fast differs from reference");
+        let strict = run_csv(&grid, options_for(SearchStrategy::FastStrict));
+        prop_assert_eq!(&reference, &strict, "fast-strict differs from reference");
+    }
+
+    /// Simulation rides on the analytic operating points, so with simulation
+    /// enabled the strategies must still agree byte-for-byte (the simulated
+    /// columns are seeded per cell index, independent of the search path).
+    #[test]
+    fn search_strategies_agree_with_simulation_enabled(
+        seed in 0u64..1_000,
+        scenario_index in 0usize..6,
+        processors in prop::collection::vec(64.0f64..4_096.0, 1..3),
+    ) {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::ALL[scenario_index]])
+            .lambda_multipliers(&[1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(processors))
+            .build()
+            .unwrap();
+        let csv_for = |search: SearchStrategy| {
+            let run = RunOptions {
+                seed,
+                search,
+                ..RunOptions::smoke()
+            };
+            run_csv(&grid, SweepOptions::new(run).with_threads(2))
+        };
+        let reference = csv_for(SearchStrategy::Reference);
+        prop_assert_eq!(&reference, &csv_for(SearchStrategy::Fast));
+        prop_assert_eq!(&reference, &csv_for(SearchStrategy::FastStrict));
+    }
+}
+
+/// The strict fast path on the demo-scale mixed axes never *diverges* from
+/// the reference: a deterministic spot-check pinning the exact cell set the
+/// CI equivalence step sweeps (platforms × scenarios × profiles × lambdas ×
+/// fixed P × pattern lengths), small enough to run in a unit-test budget.
+#[test]
+fn mixed_profile_fixed_p_grid_is_strategy_invariant() {
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::ALL[0], PlatformId::ALL[2]])
+        .scenarios(&[ScenarioId::S1, ScenarioId::S6])
+        .profiles(&[
+            SpeedupProfile::amdahl(0.1).unwrap(),
+            SpeedupProfile::power_law(0.8).unwrap(),
+            SpeedupProfile::gustafson(0.05).unwrap(),
+            SpeedupProfile::perfectly_parallel(),
+        ])
+        .lambda_multipliers(&[1.0, 10.0])
+        .processors(ProcessorAxis::Fixed(vec![256.0, 4_096.0]))
+        .pattern_lengths(&[3_600.0, 57_600.0])
+        .build()
+        .unwrap();
+    let csv_for = |search: SearchStrategy| {
+        let run = RunOptions {
+            simulate: false,
+            search,
+            ..RunOptions::default()
+        };
+        SweepExecutor::new(SweepOptions::new(run))
+            .run(&grid)
+            .to_csv()
+    };
+    let reference = csv_for(SearchStrategy::Reference);
+    assert_eq!(reference, csv_for(SearchStrategy::Fast));
+    assert_eq!(reference, csv_for(SearchStrategy::FastStrict));
+    assert_eq!(reference.lines().count(), 1 + grid.len());
+}
+
+/// Joint-optimisation cells (the expensive path the warm start exists for)
+/// are strategy-invariant across every platform and scenario at the default
+/// paper error rates.
+#[test]
+fn joint_optimisation_cells_are_strategy_invariant_everywhere() {
+    let grid = ScenarioGrid::builder()
+        .platforms(PlatformId::ALL.as_slice())
+        .scenarios(ScenarioId::ALL.as_slice())
+        .lambda_multipliers(&[1.0, 10.0])
+        .processors(ProcessorAxis::Optimize)
+        .build()
+        .unwrap();
+    let csv_for = |search: SearchStrategy| {
+        let run = RunOptions {
+            simulate: false,
+            search,
+            ..RunOptions::default()
+        };
+        SweepExecutor::new(SweepOptions::new(run))
+            .run(&grid)
+            .to_csv()
+    };
+    let reference = csv_for(SearchStrategy::Reference);
+    assert_eq!(reference, csv_for(SearchStrategy::Fast));
+    assert_eq!(reference, csv_for(SearchStrategy::FastStrict));
+}

@@ -77,6 +77,9 @@ impl LoadOptions {
 pub struct LoadReport {
     /// Requests completed (successfully or not).
     pub requests: usize,
+    /// Successful (HTTP 200) responses — the sample count behind the latency
+    /// percentiles and the throughput figure.
+    pub successes: usize,
     /// Responses that were errors (non-200 status or I/O failure).
     pub errors: usize,
     /// Wall-clock time of the whole run.
@@ -90,8 +93,16 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. A run in which every request failed
+    /// has no latency samples, so the percentile/throughput figures would be
+    /// meaningless zeros — say so instead of printing them.
     pub fn render(&self) -> String {
+        if self.successes == 0 {
+            return format!(
+                "loadgen: {} requests, 0 successful requests, {} errors, {:.2?} elapsed",
+                self.requests, self.errors, self.elapsed
+            );
+        }
         format!(
             "loadgen: {} requests, {} errors, {:.2?} elapsed, {:.0} req/s, \
              p50 {:.0} µs, p99 {:.0} µs",
@@ -167,7 +178,9 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
             }));
         }
         for worker in workers {
-            all_latencies.extend(worker.join().expect("loadgen worker panicked"));
+            // A panicked worker contributes no samples; the run's other
+            // workers still produce a usable report.
+            all_latencies.extend(worker.join().unwrap_or_default());
         }
     });
     let elapsed = started.elapsed();
@@ -176,6 +189,7 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
     let completed = all_latencies.len() + errors;
     Ok(LoadReport {
         requests: completed,
+        successes: all_latencies.len(),
         errors,
         elapsed,
         req_per_s: all_latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -195,7 +209,45 @@ mod tests {
         assert_eq!(percentile(&sorted, 0.50), 51.0);
         assert_eq!(percentile(&sorted, 0.99), 99.0);
         assert_eq!(percentile(&sorted, 1.0), 100.0);
+        // Degenerate sample sets must not panic or index out of range.
         assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+        assert_eq!(percentile(&[42], 0.0), 42.0);
+        assert_eq!(percentile(&[42], 0.5), 42.0);
+        assert_eq!(percentile(&[42], 1.0), 42.0);
+    }
+
+    #[test]
+    fn an_all_error_run_reports_zero_successes_cleanly() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let thread = std::thread::spawn(move || server.serve());
+
+        // Every request 404s: zero successes, and the summary says so instead
+        // of printing zero-sample percentiles and a zero throughput figure.
+        let options = LoadOptions {
+            path: "/nope".to_string(),
+            ..LoadOptions::optimize(&addr, 16, 4)
+        };
+        let report = run_load(&options).unwrap();
+        assert_eq!(report.requests, 16);
+        assert_eq!(report.successes, 0);
+        assert_eq!(report.errors, 16);
+        assert_eq!(report.req_per_s, 0.0);
+        assert_eq!((report.p50_us, report.p99_us), (0.0, 0.0));
+        let rendered = report.render();
+        assert!(rendered.contains("0 successful requests"), "{rendered}");
+        assert!(!rendered.contains("req/s"), "{rendered}");
+
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum ModelError {
         /// What was wrong with the spec.
         message: String,
     },
+    /// A failure-model spec (string or kind/parameter pair) could not be
+    /// turned into a valid [`crate::failure_spec::FailureModelSpec`].
+    InvalidFailureSpec {
+        /// What was wrong with the spec.
+        message: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -75,6 +81,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::InvalidProfileSpec { message } => {
                 write!(f, "invalid speedup profile spec: {message}")
+            }
+            ModelError::InvalidFailureSpec { message } => {
+                write!(f, "invalid failure model spec: {message}")
             }
         }
     }

@@ -57,6 +57,7 @@ pub mod application;
 pub mod cost;
 pub mod error;
 pub mod failure;
+pub mod failure_spec;
 pub mod first_order;
 pub mod pattern;
 pub mod profile;
@@ -68,6 +69,7 @@ pub use application::Application;
 pub use cost::{CheckpointCost, ResilienceCosts, VerificationCost};
 pub use error::ModelError;
 pub use failure::FailureModel;
+pub use failure_spec::{FailureLaw, FailureModelSpec};
 pub use first_order::{CostCase, FirstOrder, JointOptimum, PeriodOptimum};
 pub use pattern::ExactModel;
 pub use profile::ProfileSpec;
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::cost::{CheckpointCost, ResilienceCosts, VerificationCost};
     pub use crate::error::ModelError;
     pub use crate::failure::FailureModel;
+    pub use crate::failure_spec::{FailureLaw, FailureModelSpec};
     pub use crate::first_order::{CostCase, FirstOrder, JointOptimum, PeriodOptimum};
     pub use crate::pattern::ExactModel;
     pub use crate::profile::ProfileSpec;

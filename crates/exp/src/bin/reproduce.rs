@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce <experiment> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N]
 //!                        [--threads N] [--no-cache] [--search STRATEGY]
-//!                        [--profiles SPEC,...] [--shard I/N] [--out PATH] [--resume]
+//!                        [--profiles SPEC,...] [--failure-models SPEC,...]
+//!                        [--shard I/N] [--out PATH] [--resume]
 //!                        [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N]
 //!                        [--max-body BYTES]
 //!
@@ -23,6 +24,13 @@
 //! `--profiles` (sweep only) replaces the demo grid's application axis with an
 //! explicit comma-separated list of speedup-profile specs, e.g.
 //! `--profiles amdahl:0.1,powerlaw:0.8,gustafson:0.05,perfect`.
+//!
+//! `--failure-models` (sweep only) likewise replaces the failure-model axis,
+//! e.g. `--failure-models exp,weibull:0.7,shifted:600`. The specs must be
+//! rate-free — grid cells take their rate from the λ axis. Non-exponential
+//! cells simulate under the true law; when simulation is on, the sweep prints
+//! a misspecification report comparing the exponential model's prediction
+//! with those simulations.
 //!
 //! `--out PATH` (sweep only) writes the canonical sweep CSV to `PATH` plus an
 //! atomically-updated progress manifest at `PATH.manifest`, instead of
@@ -84,6 +92,9 @@ struct Cli {
     shard: ShardArgs,
     /// Speedup-profile override of the sweep demo grid (`--profiles`).
     profiles: Option<Vec<ayd_core::SpeedupProfile>>,
+    /// Failure-model axis override of the sweep demo grid
+    /// (`--failure-models`).
+    failure_models: Option<Vec<ayd_core::FailureModelSpec>>,
 }
 
 /// The experiments `all` runs, in order. This single table also drives the
@@ -127,6 +138,27 @@ fn parse_profiles(value: &str) -> Result<Vec<ayd_core::SpeedupProfile>, String> 
         .collect()
 }
 
+fn parse_failure_models(value: &str) -> Result<Vec<ayd_core::FailureModelSpec>, String> {
+    let specs: Vec<&str> = value.split(',').filter(|s| !s.trim().is_empty()).collect();
+    if specs.is_empty() {
+        return Err("--failure-models requires at least one failure-model spec".to_string());
+    }
+    specs
+        .into_iter()
+        .map(|spec| {
+            let parsed = ayd_core::FailureModelSpec::parse(spec)
+                .map_err(|e| format!("invalid failure-model spec `{spec}`: {e}"))?;
+            if parsed.lambda().is_some() {
+                return Err(format!(
+                    "failure-model spec `{spec}` pins an explicit rate; \
+                     grid cells take their rate from the lambda axis"
+                ));
+            }
+            Ok(parsed)
+        })
+        .collect()
+}
+
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut experiments = Vec::new();
     let mut options = RunOptions::default();
@@ -134,6 +166,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut serve = ServeArgs::default();
     let mut shard = ShardArgs::default();
     let mut profiles = None;
+    let mut failure_models = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -190,6 +223,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--profiles" => {
                 let value = iter.next().ok_or("--profiles requires a value")?;
                 profiles = Some(parse_profiles(value)?);
+            }
+            "--failure-models" => {
+                let value = iter.next().ok_or("--failure-models requires a value")?;
+                failure_models = Some(parse_failure_models(value)?);
             }
             "--addr" => {
                 let value = iter.next().ok_or("--addr requires a value")?;
@@ -285,12 +322,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         serve,
         shard,
         profiles,
+        failure_models,
     })
 }
 
 fn usage() -> String {
     "usage: reproduce <experiment...> [--paper|--smoke] [--no-sim] [--json] [--csv] [--seed N] \
-     [--threads N] [--no-cache] [--search STRATEGY] [--profiles SPEC,...] [--shard I/N] \
+     [--threads N] [--no-cache] [--search STRATEGY] [--profiles SPEC,...] \
+     [--failure-models SPEC,...] [--shard I/N] \
      [--out PATH] [--resume] [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N] \
      [--max-body BYTES]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
@@ -299,6 +338,8 @@ fn usage() -> String {
      the fast paths only change cold-evaluation cost)\n\
      profile specs: amdahl:A powerlaw:S gustafson:A perfect (e.g. \
      --profiles amdahl:0.1,powerlaw:0.8)\n\
+     failure-model specs: exp weibull:K shifted:D trace:PATH, rate-free (e.g. \
+     --failure-models exp,weibull:0.7)\n\
      sharding: sweep --shard 0/4 --out shard0.csv [--resume]; \
      sweep-merge --inputs shard0.csv,...,shard3.csv --out merged.csv"
         .to_string()
@@ -309,7 +350,11 @@ fn usage() -> String {
 /// interrupted run when asked. A human-readable progress summary goes to
 /// stdout; the canonical bytes live in the file.
 fn run_sweep_to_files(cli: &Cli, out: &std::path::Path) -> Result<(), String> {
-    let grid = sweep::demo_grid_with_profiles(cli.options.simulate, cli.profiles.as_deref());
+    let grid = sweep::demo_grid_with_axes(
+        cli.options.simulate,
+        cli.profiles.as_deref(),
+        cli.failure_models.as_deref(),
+    );
     let shard = cli.shard.shard.unwrap_or(ayd_sweep::ShardSpec::WHOLE);
     let executor = ayd_sweep::SweepExecutor::new(ayd_sweep::SweepOptions::new(cli.options));
     let report =
@@ -534,9 +579,23 @@ fn run_experiment(name: &str, cli: &Cli) -> Result<(), String> {
         "sweep" => match &cli.shard.out {
             Some(out) => run_sweep_to_files(cli, out)?,
             None => {
-                let results = sweep::run_with_profiles(options, cli.profiles.as_deref());
+                let results = sweep::run_with_axes(
+                    options,
+                    cli.profiles.as_deref(),
+                    cli.failure_models.as_deref(),
+                );
                 match format {
-                    OutputFormat::Text => emit(format, vec![sweep::render(&results)]),
+                    OutputFormat::Text => {
+                        let mut tables = vec![sweep::render(&results)];
+                        // Non-exponential cells carry simulations under the
+                        // true law; report how far the exponential analytics
+                        // drift from them.
+                        let misspec = sweep::misspecification(&results);
+                        if !misspec.is_empty() {
+                            tables.push(sweep::render_misspecification(&misspec));
+                        }
+                        emit(format, tables)
+                    }
                     OutputFormat::Csv | OutputFormat::Json => emit_sweep_csv(format, &results),
                 }
             }
@@ -679,6 +738,38 @@ mod tests {
     }
 
     #[test]
+    fn parses_failure_model_specs() {
+        let cli = parse_args(&strings(&[
+            "sweep",
+            "--failure-models",
+            "exp,weibull:0.7,shifted:600",
+        ]))
+        .unwrap();
+        let models = cli.failure_models.unwrap();
+        assert_eq!(models.len(), 3);
+        assert_eq!(models[0], ayd_core::FailureModelSpec::exponential());
+        assert_eq!(models[1], ayd_core::FailureModelSpec::weibull(0.7).unwrap());
+        assert_eq!(
+            models[2],
+            ayd_core::FailureModelSpec::shifted(600.0).unwrap()
+        );
+        // Every other experiment leaves the override unset.
+        assert!(parse_args(&strings(&["fig2"]))
+            .unwrap()
+            .failure_models
+            .is_none());
+        // Malformed specs are rejected with the offending spec named; so are
+        // specs that pin an explicit rate (the grid's λ axis owns the rate).
+        let err = parse_args(&strings(&["sweep", "--failure-models", "weibull:0"])).unwrap_err();
+        assert!(err.contains("weibull:0"), "{err}");
+        let err = parse_args(&strings(&["sweep", "--failure-models", "exp:1e-8"])).unwrap_err();
+        assert!(err.contains("lambda axis"), "{err}");
+        assert!(parse_args(&strings(&["sweep", "--failure-models", ""])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--failure-models"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--failure-models", "gamma:2"])).is_err());
+    }
+
+    #[test]
     fn parses_serve_flags() {
         let cli = parse_args(&strings(&[
             "serve",
@@ -745,6 +836,7 @@ mod tests {
             serve: ServeArgs::default(),
             shard: ShardArgs::default(),
             profiles: None,
+            failure_models: None,
         }
     }
 

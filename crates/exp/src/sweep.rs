@@ -15,9 +15,12 @@
 //! Both presets honour the sweep determinism contract: for a fixed seed the
 //! output is byte-identical regardless of `--threads` and `--no-cache`.
 
-use ayd_core::{ProfileSpec, SpeedupProfile};
+use ayd_core::{FailureModelSpec, ProfileSpec, SpeedupProfile};
 use ayd_platforms::{PlatformId, ScenarioId};
-use ayd_sweep::{ProcessorAxis, ScenarioGrid, SweepExecutor, SweepOptions, SweepResults};
+use ayd_sweep::{
+    misspecification_report, MisspecificationReport, ProcessorAxis, ScenarioGrid, SweepExecutor,
+    SweepOptions, SweepResults,
+};
 
 use crate::config::RunOptions;
 use crate::table::{fmt_option, fmt_value, TextTable};
@@ -35,6 +38,18 @@ pub fn demo_grid(simulate: bool) -> ScenarioGrid {
 pub fn demo_grid_with_profiles(
     simulate: bool,
     profiles: Option<&[SpeedupProfile]>,
+) -> ScenarioGrid {
+    demo_grid_with_axes(simulate, profiles, None)
+}
+
+/// [`demo_grid`] with the application and failure-model axes overridden by
+/// explicit lists (the CLI's `--profiles` and `--failure-models` flags).
+/// `None` keeps each preset's default: the Amdahl application axis and the
+/// paper's exponential failure law.
+pub fn demo_grid_with_axes(
+    simulate: bool,
+    profiles: Option<&[SpeedupProfile]>,
+    failure_models: Option<&[FailureModelSpec]>,
 ) -> ScenarioGrid {
     let mut builder = if simulate {
         ScenarioGrid::builder()
@@ -54,6 +69,9 @@ pub fn demo_grid_with_profiles(
     if let Some(profiles) = profiles {
         builder = builder.profiles(profiles);
     }
+    if let Some(failure_models) = failure_models {
+        builder = builder.failure_models(failure_models);
+    }
     builder.build().expect("the demo grids are valid")
 }
 
@@ -69,8 +87,21 @@ pub fn run_with_profiles(
     options: &RunOptions,
     profiles: Option<&[SpeedupProfile]>,
 ) -> SweepResults {
-    SweepExecutor::new(SweepOptions::new(*options))
-        .run(&demo_grid_with_profiles(options.simulate, profiles))
+    run_with_axes(options, profiles, None)
+}
+
+/// [`run`] over a demo grid with both the application and failure-model axes
+/// overridden (`--profiles` / `--failure-models` on the CLI).
+pub fn run_with_axes(
+    options: &RunOptions,
+    profiles: Option<&[SpeedupProfile]>,
+    failure_models: Option<&[FailureModelSpec]>,
+) -> SweepResults {
+    SweepExecutor::new(SweepOptions::new(*options)).run(&demo_grid_with_axes(
+        options.simulate,
+        profiles,
+        failure_models,
+    ))
 }
 
 /// Renders sweep results as a text table (one row per cell).
@@ -84,6 +115,7 @@ pub fn render(results: &SweepResults) -> TextTable {
             "platform",
             "scenario",
             "profile",
+            "failure",
             "lambda_x",
             "P",
             "T*_P (first-order)",
@@ -106,6 +138,7 @@ pub fn render(results: &SweepResults) -> TextTable {
             row.platform.name().to_string(),
             row.scenario.to_string(),
             ProfileSpec::from(row.profile).to_string(),
+            row.failure_model.to_string(),
             fmt_value(row.lambda_multiplier),
             fmt_option(row.fixed_processors),
             fmt_option(fo.map(|p| p.period)),
@@ -116,6 +149,50 @@ pub fn render(results: &SweepResults) -> TextTable {
             fmt_option(row.prescribed.map(|p| p.predicted_overhead)),
             fmt_option(simulated.map(|s| s.mean)),
             fmt_option(row.stream_simulated.map(|s| s.mean)),
+        ]);
+    }
+    table
+}
+
+/// The misspecification report of a sweep: how far the paper's exponential
+/// analytics drift on non-exponential cells (empty on all-exponential or
+/// analytic-only runs).
+pub fn misspecification(results: &SweepResults) -> MisspecificationReport {
+    misspecification_report(results)
+}
+
+/// Renders a misspecification report as a text table (one row per
+/// non-exponential cell that carries a primary-point simulation).
+pub fn render_misspecification(report: &MisspecificationReport) -> TextTable {
+    let mut table = TextTable::new(
+        format!(
+            "Misspecification under non-exponential failures — {} of {} rows beyond 3 sigma",
+            report.significant_count(),
+            report.rows.len()
+        ),
+        &[
+            "platform",
+            "scenario",
+            "failure",
+            "lambda_ind",
+            "H (model)",
+            "H (simulated)",
+            "ci95",
+            "rel_error_%",
+            "3-sigma",
+        ],
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.platform.name().to_string(),
+            row.scenario.to_string(),
+            row.failure_model.to_string(),
+            fmt_value(row.lambda_ind),
+            fmt_value(row.predicted_overhead),
+            fmt_value(row.simulated_overhead),
+            fmt_value(row.simulated_ci95),
+            format!("{:+.2}", 100.0 * row.relative_error),
+            (if row.significant { "yes" } else { "no" }).to_string(),
         ]);
     }
     table
@@ -184,6 +261,40 @@ mod tests {
                 ..options
             },
             Some(&profiles),
+        );
+        assert_eq!(results.to_csv(), reran.to_csv());
+    }
+
+    #[test]
+    fn failure_model_override_reshapes_the_grid_and_reports_misspecification() {
+        let models = [
+            FailureModelSpec::exponential(),
+            FailureModelSpec::weibull(0.7).unwrap(),
+        ];
+        let grid = demo_grid_with_axes(true, None, Some(&models));
+        assert_eq!(grid.len(), 2 * 3 * 2 * 2 * 2);
+        let options = RunOptions {
+            threads: Some(2),
+            ..RunOptions::smoke()
+        };
+        let results = run_with_axes(&options, None, Some(&models));
+        assert_eq!(results.rows.len(), grid.len());
+        // Every weibull:0.7 cell is compared against its simulation; no
+        // exponential cell is.
+        let report = misspecification(&results);
+        assert_eq!(report.rows.len(), grid.len() / 2);
+        let table = render_misspecification(&report);
+        assert_eq!(table.len(), report.rows.len());
+        assert!(table.render().contains("weibull:0.7"));
+        // Determinism holds for mixed-law grids too.
+        let reran = run_with_axes(
+            &RunOptions {
+                threads: Some(4),
+                cache: false,
+                ..options
+            },
+            None,
+            Some(&models),
         );
         assert_eq!(results.to_csv(), reran.to_csv());
     }

@@ -82,13 +82,13 @@ fn serve_round_trips_match_the_offline_engine_and_the_golden_rows() {
     assert_eq!(lines[0], ayd_sweep::CSV_HEADER);
     assert_eq!(
         lines[1],
-        "Hera,1,0.1,amdahl,0.1,0.0000000169,1,256,3600,256,6551.836818431605,\
+        "Hera,1,0.1,amdahl,0.1,exp,,0.0000000169,1,256,3600,256,6551.836818431605,\
 0.10923732682928215,0.10874209350020253,,,256,6469.2375895385285,0.10923689384439697,,,\
 0.11018235679785451,,,,"
     );
     assert_eq!(
         lines[8],
-        "Hera,3,0.1,amdahl,0.1,0.000000169,10,1024,3600,1024,1430.5273600525854,\
+        "Hera,3,0.1,amdahl,0.1,exp,,0.000000169,10,1024,3600,1024,1430.5273600525854,\
 0.17749510125302212,0.14536209184958257,,,1024,1280.6146752871186,0.17710358937015436,,,\
 0.22113748594843097,,,,"
     );

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ayd_core::{ExactModel, ModelError, ProfileSpec, SpeedupProfile};
+use ayd_core::{ExactModel, FailureModelSpec, ModelError, ProfileSpec, SpeedupProfile};
 use ayd_platforms::{ExperimentSetup, Platform, PlatformId, ScenarioId};
 use ayd_sweep::{
     evaluate_analytic_observed, evaluate_many, AnalyticEval, OperatingPoint, ProcessorAxis,
@@ -127,6 +127,7 @@ impl ApiError {
             | ModelError::Negative { name, .. }
             | ModelError::NotAFraction { name, .. } => Self::field(name, reason),
             ModelError::InvalidProfileSpec { .. } => Self::field("profile", reason),
+            ModelError::InvalidFailureSpec { .. } => Self::field("failure_model", reason),
             _ => Self::plain(reason),
         }
     }
@@ -185,6 +186,7 @@ fn health(state: &Arc<AppState>) -> Response {
 pub struct OptimizeQuery {
     setup: ExperimentSetup,
     model: ExactModel,
+    failure_model: FailureModelSpec,
     lambda_multiplier: f64,
     fixed_processors: Option<f64>,
     pattern_length: Option<f64>,
@@ -257,6 +259,104 @@ pub fn parse_profile(value: &Json) -> Result<SpeedupProfile, ApiError> {
     Ok(spec.profile())
 }
 
+/// Parses a `failure_model` request value: either a canonical spec string
+/// (`"weibull:0.7"`, `"shifted:600,1e-7"`, `"trace:logs/a.trace"`) or an
+/// object (`{"kind":"weibull","shape":0.7}`, `{"kind":"shifted","shift":600}`,
+/// `{"kind":"trace","path":"logs/a.trace"}`, optionally with an explicit
+/// `"lambda"` rate on the parametric families). Rendering a response model
+/// back through either form reproduces the parameters bit-identically.
+pub fn parse_failure_model(value: &Json) -> Result<FailureModelSpec, ApiError> {
+    match value {
+        Json::Str(spec) => FailureModelSpec::parse(spec)
+            .map_err(|e| ApiError::field("failure_model", e.to_string())),
+        Json::Obj(_) => {
+            let kind = value.get("kind").and_then(Json::as_str).ok_or_else(|| {
+                ApiError::field(
+                    "failure_model",
+                    "failure model object needs a 'kind' string",
+                )
+            })?;
+            let shape = field_f64(value, "shape").map_err(remap_to_failure_model)?;
+            let shift = field_f64(value, "shift").map_err(remap_to_failure_model)?;
+            let param = match (shape, shift) {
+                (Some(_), Some(_)) => {
+                    return Err(ApiError::field(
+                        "failure_model",
+                        "specify at most one of 'shape' and 'shift' in a failure model object",
+                    ))
+                }
+                (param, None) | (None, param) => param,
+            };
+            // Like profile objects: the parameter key must match the family
+            // (weibull takes 'shape', shifted takes 'shift'), checked before
+            // range validation.
+            let given = if shape.is_some() {
+                Some("shape")
+            } else if shift.is_some() {
+                Some("shift")
+            } else {
+                None
+            };
+            if let (Some(given), Some(expected)) =
+                (given, FailureModelSpec::param_name_for_kind(kind))
+            {
+                if given != expected {
+                    return Err(ApiError::field(
+                        "failure_model",
+                        format!("failure model kind '{kind}' takes '{expected}', not '{given}'"),
+                    ));
+                }
+            }
+            let path = match value.get("path") {
+                None | Some(Json::Null) => None,
+                Some(path) => Some(path.as_str().ok_or_else(|| {
+                    ApiError::field("failure_model", "field 'path' must be a string")
+                })?),
+            };
+            let spec = match (kind, path) {
+                ("trace", Some(path)) => {
+                    if param.is_some() {
+                        return Err(ApiError::field(
+                            "failure_model",
+                            "trace models take a 'path', not 'shape'/'shift'",
+                        ));
+                    }
+                    FailureModelSpec::trace(path).map_err(ApiError::from_model_error)?
+                }
+                ("trace", None) => {
+                    return Err(ApiError::field(
+                        "failure_model",
+                        "failure model kind 'trace' needs a 'path' string",
+                    ))
+                }
+                (_, Some(_)) => {
+                    return Err(ApiError::field(
+                        "failure_model",
+                        format!("failure model kind '{kind}' takes no 'path'"),
+                    ))
+                }
+                (_, None) => FailureModelSpec::from_kind_param(kind, param)
+                    .map_err(ApiError::from_model_error)?,
+            };
+            match field_f64(value, "lambda").map_err(remap_to_failure_model)? {
+                None => Ok(spec),
+                Some(lambda) => spec.with_lambda(lambda).map_err(ApiError::from_model_error),
+            }
+        }
+        _ => Err(ApiError::field(
+            "failure_model",
+            "field 'failure_model' must be a spec string or an object",
+        )),
+    }
+}
+
+/// Re-attributes a sub-field error (`shape`, `shift`, `lambda`) of a failure
+/// model object to the enclosing `failure_model` request field.
+fn remap_to_failure_model(mut error: ApiError) -> ApiError {
+    error.field = Some("failure_model".to_string());
+    error
+}
+
 /// Parses one optimize query. Defaults are the paper's: Hera, scenario 1,
 /// Amdahl `α = 0.1`, `D = 3600 s`, the platform's measured error rate,
 /// jointly optimised `P`. The speedup profile comes from either `alpha`
@@ -303,9 +403,25 @@ pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, ApiError> {
     if let Some(downtime) = field_f64(body, "downtime")? {
         setup = setup.with_downtime(downtime);
     }
+    let failure_model = match body.get("failure_model") {
+        None | Some(Json::Null) => FailureModelSpec::exponential(),
+        Some(value) => parse_failure_model(value)?,
+    };
     let measured_lambda = Platform::get(platform).lambda_ind;
     let lambda_ind = field_f64(body, "lambda_ind")?;
     let lambda_multiplier = field_f64(body, "lambda_multiplier")?;
+    if failure_model.lambda().is_some() && (lambda_ind.is_some() || lambda_multiplier.is_some()) {
+        return Err(ApiError::field(
+            "failure_model",
+            "the failure model pins an explicit rate; specify the rate once \
+             (drop 'lambda_ind'/'lambda_multiplier', or the model's rate)",
+        ));
+    }
+    // A rate pinned in the failure model spec behaves exactly like
+    // 'lambda_ind'; the spec itself is stored rate-free (the row's
+    // lambda_ind column carries the rate, as in sweep grids).
+    let lambda_ind = lambda_ind.or(failure_model.lambda());
+    let failure_model = failure_model.without_lambda();
     let multiplier = match (lambda_ind, lambda_multiplier) {
         (Some(_), Some(_)) => {
             return Err(ApiError::field(
@@ -347,6 +463,7 @@ pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, ApiError> {
     Ok(OptimizeQuery {
         setup,
         model,
+        failure_model,
         lambda_multiplier: multiplier,
         fixed_processors,
         pattern_length,
@@ -362,6 +479,7 @@ pub fn evaluate_query(state: &AppState, query: &OptimizeQuery) -> SweepRow {
     let (analytic, observation) = evaluate_analytic_observed(
         &query.model,
         query.fixed_processors,
+        &query.failure_model,
         &state.options,
         Some(&state.cache),
     );
@@ -388,6 +506,7 @@ fn query_row(query: &OptimizeQuery, analytic: AnalyticEval) -> SweepRow {
         platform: query.setup.platform,
         scenario: query.setup.scenario.number(),
         profile: query.setup.profile,
+        failure_model: query.failure_model.clone(),
         alpha: query.setup.alpha(),
         lambda_ind: query.model.failures.lambda_ind,
         lambda_multiplier: query.lambda_multiplier,
@@ -428,12 +547,32 @@ pub fn profile_json(profile: SpeedupProfile) -> Json {
     Json::obj(fields)
 }
 
+/// Renders a failure model as its response JSON object: the family `kind`,
+/// the canonical `spec` string, and the parameter under its proper name
+/// (`shape` or `shift`); trace models carry their `path`. Feeding the object
+/// (or the spec string) back as a request `failure_model` reproduces the
+/// model bit-identically.
+pub fn failure_model_json(spec: &FailureModelSpec) -> Json {
+    let mut fields = vec![
+        ("kind", Json::str(spec.kind())),
+        ("spec", Json::str(spec.to_string())),
+    ];
+    if let (Some(name), Some(value)) = (spec.param_name(), spec.param()) {
+        fields.push((name, Json::num(value)));
+    }
+    if let Some(path) = spec.trace_path() {
+        fields.push(("path", Json::str(path)));
+    }
+    Json::obj(fields)
+}
+
 /// Renders one evaluated row as the `/v1/optimize` JSON document.
 pub fn row_json(row: &SweepRow) -> Json {
     Json::obj(vec![
         ("platform", Json::str(row.platform.name())),
         ("scenario", Json::num(row.scenario as f64)),
         ("profile", profile_json(row.profile)),
+        ("failure_model", failure_model_json(&row.failure_model)),
         ("alpha", Json::opt_num(row.alpha)),
         ("lambda_ind", Json::num(row.lambda_ind)),
         ("lambda_multiplier", Json::num(row.lambda_multiplier)),
@@ -526,9 +665,15 @@ fn batch(state: &Arc<AppState>, req: &Request) -> Response {
     let rows: Vec<SweepRow> = state
         .compute
         .run_batch(chunks, move |chunk| {
-            let queries: Vec<(ExactModel, Option<f64>)> = chunk
+            let queries: Vec<(ExactModel, Option<f64>, FailureModelSpec)> = chunk
                 .iter()
-                .map(|query| (query.model, query.fixed_processors))
+                .map(|query| {
+                    (
+                        query.model,
+                        query.fixed_processors,
+                        query.failure_model.clone(),
+                    )
+                })
                 .collect();
             let (evals, search) =
                 evaluate_many(&queries, &worker_state.options, Some(&worker_state.cache));
@@ -651,6 +796,37 @@ pub fn parse_grid(body: &Json) -> Result<ScenarioGrid, ApiError> {
         }
         (None, Some(profiles)) => builder = builder.profiles(&profiles),
         (None, None) => {}
+    }
+    match body.get("failure_models") {
+        None | Some(Json::Null) => {}
+        Some(value) => {
+            let items = value.as_array().ok_or_else(|| {
+                ApiError::field(
+                    "failure_models",
+                    "field 'failure_models' must be an array of failure model specs or objects",
+                )
+            })?;
+            let mut parsed = Vec::with_capacity(items.len());
+            for item in items {
+                // parse_failure_model attributes errors to the optimize
+                // schema's 'failure_model' field; here the field is plural.
+                let spec = parse_failure_model(item).map_err(|mut e| {
+                    if e.field.as_deref() == Some("failure_model") {
+                        e.field = Some("failure_models".to_string());
+                    }
+                    e
+                })?;
+                if spec.lambda().is_some() {
+                    return Err(ApiError::field(
+                        "failure_models",
+                        "a sweep failure model must not pin an explicit rate; \
+                         grid cells take their rate from the lambda axis",
+                    ));
+                }
+                parsed.push(spec);
+            }
+            builder = builder.failure_models(&parsed);
+        }
     }
     let multipliers = f64_list(body, "lambda_multipliers")?;
     let values = f64_list(body, "lambda_values")?;
@@ -813,10 +989,18 @@ fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
     };
     let (count, resumed_rows) = match resumed {
         Some((count, rows)) => (count, rows),
-        None => {
-            let count = shards.expect("sharded implies shards or token");
-            (count, vec![None; count])
-        }
+        None => match shards {
+            Some(count) => (count, vec![None; count]),
+            // Unreachable while the plain-job early return above holds, but a
+            // logic slip here must answer 500, not panic the worker.
+            None => {
+                return Response::error(
+                    500,
+                    "Internal Server Error",
+                    "sweep submission lost its shard count",
+                )
+            }
+        },
     };
     let Some(id) = state.jobs.try_submit(state.max_jobs, || {
         crate::app::JobHandle::Sharded(crate::app::spawn_sharded(
@@ -1193,6 +1377,157 @@ mod tests {
         assert_eq!(view.status, 400);
         let (_, missing) = route(&state, &get("/v1/sweep/424242/shards"));
         assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn optimize_failure_models_round_trip_and_fold_pinned_rates() {
+        let state = state();
+        // Spec string and object form produce byte-identical documents.
+        let (_, by_spec) = route(
+            &state,
+            &post(
+                "/v1/optimize",
+                r#"{"platform":"Hera","scenario":1,"failure_model":"weibull:0.7"}"#,
+            ),
+        );
+        assert_eq!(by_spec.status, 200);
+        let (_, by_object) = route(
+            &state,
+            &post(
+                "/v1/optimize",
+                r#"{"platform":"Hera","scenario":1,"failure_model":{"kind":"weibull","shape":0.7}}"#,
+            ),
+        );
+        assert_eq!(by_object.body, by_spec.body);
+        let doc = Json::parse(std::str::from_utf8(&by_spec.body).unwrap()).unwrap();
+        let model = doc.get("failure_model").unwrap();
+        assert_eq!(model.get("kind").unwrap().as_str().unwrap(), "weibull");
+        assert_eq!(model.get("spec").unwrap().as_str().unwrap(), "weibull:0.7");
+        assert_eq!(model.get("shape").unwrap().as_f64().unwrap(), 0.7);
+
+        // weibull with shape 1 *is* the exponential law: same analytics.
+        let (_, exp) = route(
+            &state,
+            &post("/v1/optimize", r#"{"platform":"Hera","scenario":1}"#),
+        );
+        let (_, weib1) = route(
+            &state,
+            &post(
+                "/v1/optimize",
+                r#"{"platform":"Hera","scenario":1,"failure_model":"weibull:1"}"#,
+            ),
+        );
+        let exp_doc = Json::parse(std::str::from_utf8(&exp.body).unwrap()).unwrap();
+        let weib_doc = Json::parse(std::str::from_utf8(&weib1.body).unwrap()).unwrap();
+        assert_eq!(
+            exp_doc.get("numerical").unwrap().render(),
+            weib_doc.get("numerical").unwrap().render()
+        );
+
+        // A rate pinned in the spec behaves exactly like 'lambda_ind': the
+        // stored model is rate-free, so the documents are byte-identical.
+        let (_, pinned) = route(
+            &state,
+            &post(
+                "/v1/optimize",
+                r#"{"platform":"Hera","scenario":1,"failure_model":"exp:2e-8"}"#,
+            ),
+        );
+        let (_, explicit) = route(
+            &state,
+            &post(
+                "/v1/optimize",
+                r#"{"platform":"Hera","scenario":1,"lambda_ind":2e-8}"#,
+            ),
+        );
+        assert_eq!(pinned.status, 200);
+        assert_eq!(pinned.body, explicit.body);
+    }
+
+    #[test]
+    fn malformed_failure_models_are_structured_400s() {
+        let state = state();
+        let cases = [
+            (
+                r#"{"failure_model":"gamma:2"}"#,
+                "unknown failure-model kind",
+            ),
+            (r#"{"failure_model":"weibull:0"}"#, "shape"),
+            (
+                r#"{"failure_model":{"kind":"weibull","shift":0.7}}"#,
+                "takes 'shape', not 'shift'",
+            ),
+            (r#"{"failure_model":{"kind":"trace"}}"#, "needs a 'path'"),
+            (
+                r#"{"failure_model":{"kind":"exp","path":"x"}}"#,
+                "takes no 'path'",
+            ),
+            (
+                r#"{"failure_model":"weibull:0.7,1e-8","lambda_multiplier":10}"#,
+                "specify the rate once",
+            ),
+            (r#"{"failure_model":42}"#, "spec string or an object"),
+        ];
+        for (body, needle) in cases {
+            let (_, response) = route(&state, &post("/v1/optimize", body));
+            assert_eq!(response.status, 400, "{body}");
+            let message = String::from_utf8(response.body).unwrap();
+            assert!(message.contains(needle), "{body} -> {message}");
+        }
+    }
+
+    #[test]
+    fn sweep_failure_model_axes_match_the_engine_and_reject_pinned_rates() {
+        let state = state();
+        let body = r#"{"platforms":["Hera"],"scenarios":[1],
+                       "failure_models":["exp","weibull:0.7"],
+                       "lambda_multipliers":[1,10],"processors":[256]}"#;
+        let (_, accepted) = route(&state, &post("/v1/sweep", body));
+        assert_eq!(
+            accepted.status,
+            202,
+            "{:?}",
+            String::from_utf8(accepted.body)
+        );
+        let doc = Json::parse(std::str::from_utf8(&accepted.body).unwrap()).unwrap();
+        assert_eq!(doc.get("cells").unwrap().as_f64().unwrap(), 4.0);
+        let id = doc.get("id").unwrap().as_f64().unwrap() as u64;
+        let csv = loop {
+            let (_, poll) = route(&state, &get(&format!("/v1/sweep/{id}")));
+            if poll.content_type.starts_with("text/csv") {
+                break String::from_utf8(poll.body).unwrap();
+            }
+            std::thread::yield_now();
+        };
+        let grid = ScenarioGrid::builder()
+            .platforms(&[PlatformId::Hera])
+            .scenarios(&[ScenarioId::S1])
+            .failure_models(&[
+                FailureModelSpec::exponential(),
+                FailureModelSpec::weibull(0.7).unwrap(),
+            ])
+            .lambda_multipliers(&[1.0, 10.0])
+            .processors(ProcessorAxis::Fixed(vec![256.0]))
+            .build()
+            .unwrap();
+        assert_eq!(csv, SweepExecutor::new(state.options).run(&grid).to_csv());
+        assert!(csv.contains(",weibull,0.7,"), "{csv}");
+
+        // Pinned rates and malformed entries are rejected at submission.
+        let (_, pinned) = route(
+            &state,
+            &post("/v1/sweep", r#"{"failure_models":["weibull:0.7,1e-8"]}"#),
+        );
+        assert_eq!(pinned.status, 400);
+        let message = String::from_utf8(pinned.body).unwrap();
+        assert!(message.contains("lambda axis"), "{message}");
+        let (_, bad) = route(
+            &state,
+            &post("/v1/sweep", r#"{"failure_models":["nope:1"]}"#),
+        );
+        assert_eq!(bad.status, 400);
+        let message = String::from_utf8(bad.body).unwrap();
+        assert!(message.contains("failure_models"), "{message}");
     }
 
     #[test]

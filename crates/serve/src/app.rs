@@ -326,7 +326,15 @@ impl ShardedJobHandle {
 
     fn join(self) -> FinishedJob {
         let count = self.slots.len();
-        let outcome = self.thread.join().expect("sharded sweep job panicked");
+        // A panicked controller thread must not take the registry down with
+        // it: treat it as a job that was cancelled before finishing any
+        // shard, so clients see a failed (cancelled, zero-row) result and
+        // every other endpoint keeps answering.
+        let outcome = self.thread.join().unwrap_or_else(|_| ShardedOutcome {
+            rows_by_shard: vec![None; count],
+            cache: CacheStats::default(),
+            search: SearchReport::default(),
+        });
         let cancelled = outcome.rows_by_shard.iter().any(Option::is_none);
         let completed: Vec<usize> = outcome
             .rows_by_shard
@@ -352,11 +360,10 @@ impl ShardedJobHandle {
         // Render through SweepResults::to_csv — the one canonical CSV
         // serializer — rather than a second header+csv_line loop here.
         let merged = ayd_sweep::SweepResults {
-            rows: indexed.iter().map(|&(_, row)| *row).collect(),
+            rows: indexed.into_iter().map(|(_, row)| row.clone()).collect(),
             cache: outcome.cache,
             search: outcome.search,
         };
-        drop(indexed);
         let csv = merged.to_csv();
         FinishedJob {
             cancelled,
@@ -462,11 +469,22 @@ impl JobRegistry {
         }
     }
 
+    /// Locks the registry, recovering from poisoning: a panic on a thread
+    /// that held the lock must not cascade a panic into every later request.
+    /// The map itself stays structurally valid across any of our critical
+    /// sections (single `insert`/`remove` calls), and `reap` re-derives the
+    /// running/finished split from the entries on the next access.
+    fn lock_jobs(&self) -> std::sync::MutexGuard<'_, std::collections::HashMap<u64, JobEntry>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Atomically registers a new job unless `max_running` jobs are already
     /// running. `spawn` is only called when the admission check passes, under
     /// the registry lock, so concurrent submissions cannot overshoot the cap.
     pub fn try_submit(&self, max_running: usize, spawn: impl FnOnce() -> JobHandle) -> Option<u64> {
-        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        let mut jobs = self.lock_jobs();
         Self::reap(&mut jobs);
         let running = jobs
             .values()
@@ -483,7 +501,7 @@ impl JobRegistry {
     /// Number of jobs still running (finished handles are reaped first, so a
     /// drained job never counts against the running cap).
     pub fn running_count(&self) -> usize {
-        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        let mut jobs = self.lock_jobs();
         Self::reap(&mut jobs);
         jobs.values()
             .filter(|entry| matches!(entry, JobEntry::Running(_)))
@@ -492,7 +510,7 @@ impl JobRegistry {
 
     /// Looks up a job, transitioning it to finished when its thread is done.
     pub fn poll(&self, id: u64) -> Option<JobView> {
-        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        let mut jobs = self.lock_jobs();
         Self::reap(&mut jobs);
         match jobs.get(&id)? {
             JobEntry::Running(handle) => Some(JobView::Running(handle.completed(), handle.total())),
@@ -504,7 +522,7 @@ impl JobRegistry {
     /// ids, `Some(true)` when a cancellation was requested, `Some(false)`
     /// when the job had already finished.
     pub fn cancel(&self, id: u64) -> Option<bool> {
-        let jobs = self.jobs.lock().expect("job registry poisoned");
+        let jobs = self.lock_jobs();
         match jobs.get(&id)? {
             JobEntry::Running(handle) => {
                 handle.cancel();
@@ -518,7 +536,7 @@ impl JobRegistry {
     /// jobs that were not submitted with `shards`, `Some(Some(views))`
     /// otherwise (running or finished).
     pub fn shards_view(&self, id: u64) -> Option<Option<Vec<ShardView>>> {
-        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        let mut jobs = self.lock_jobs();
         Self::reap(&mut jobs);
         match jobs.get(&id)? {
             JobEntry::Running(JobHandle::Sharded(handle)) => Some(Some(handle.shard_views())),
@@ -558,7 +576,7 @@ impl JobRegistry {
         options_fingerprint: u64,
         count: Option<usize>,
     ) -> Result<(usize, ShardRows), String> {
-        let mut jobs = self.jobs.lock().expect("job registry poisoned");
+        let mut jobs = self.lock_jobs();
         Self::reap(&mut jobs);
         match jobs.get(&id) {
             None => Err(format!("resume_token names unknown sweep job {id}")),
@@ -873,6 +891,82 @@ mod tests {
         );
         let views = state.jobs.shards_view(resumed_id).unwrap().unwrap();
         assert!(views.iter().all(|v| v.status == "done"), "{views:?}");
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        let state = test_state();
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .processors(ProcessorAxis::Fixed(vec![256.0]))
+            .build()
+            .unwrap();
+        // Poison the registry mutex: a thread panics while holding the lock.
+        let poisoner = Arc::clone(&state);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.jobs.jobs.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(state.jobs.jobs.lock().is_err(), "mutex must be poisoned");
+        // Every registry operation still answers instead of cascading the
+        // panic into each later request.
+        assert_eq!(state.jobs.running_count(), 0);
+        assert!(state.jobs.poll(1).is_none());
+        assert!(state.jobs.cancel(1).is_none());
+        assert!(state.jobs.shards_view(1).is_none());
+        assert!(state.jobs.resume_rows(1, 0, 0, None).is_err());
+        let id = state
+            .jobs
+            .try_submit(4, || {
+                JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
+            })
+            .expect("submission works on a poisoned registry");
+        let done = loop {
+            match state.jobs.poll(id).expect("job known") {
+                JobView::Running(..) => std::thread::yield_now(),
+                JobView::Finished(done) => break done,
+            }
+        };
+        assert_eq!(done.rows, 1);
+    }
+
+    #[test]
+    fn a_panicked_sharded_controller_finishes_as_cancelled() {
+        let state = test_state();
+        // Hand-build a handle whose controller thread dies: join must fold
+        // the panic into a cancelled zero-row job, not propagate it.
+        let slots: Arc<Vec<ShardSlot>> = Arc::new(
+            (0..2)
+                .map(|_| ShardSlot {
+                    total: 1,
+                    completed: AtomicUsize::new(0),
+                    state: AtomicU8::new(SHARD_PENDING),
+                })
+                .collect(),
+        );
+        let handle = ShardedJobHandle {
+            slots,
+            cancel: Arc::new(AtomicBool::new(false)),
+            grid_fingerprint: 0,
+            options_fingerprint: 0,
+            thread: std::thread::spawn(|| panic!("deliberate controller crash")),
+        };
+        let id = state
+            .jobs
+            .try_submit(4, || JobHandle::Sharded(handle))
+            .unwrap();
+        let done = loop {
+            match state.jobs.poll(id).expect("job known") {
+                JobView::Running(..) => std::thread::yield_now(),
+                JobView::Finished(done) => break done,
+            }
+        };
+        assert!(done.cancelled);
+        assert_eq!(done.rows, 0);
+        assert!(done.csv.starts_with(ayd_sweep::CSV_HEADER));
+        // The registry keeps serving other submissions afterwards.
+        assert_eq!(state.jobs.running_count(), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use ayd_core::ExactModel;
 
 use crate::engine::{PatternOutcome, WindowSamplingEngine};
+use crate::law::ArrivalLaw;
 use crate::params::PatternParams;
 use crate::rng::rng_for_replicate;
 use crate::run::simulate_run;
@@ -128,6 +129,23 @@ impl Simulator {
         simulate_params(&params, config)
     }
 
+    /// Like [`Self::simulate_overhead`], but with failure inter-arrivals drawn
+    /// from `law` instead of the exponential. The memoryless exponential law
+    /// takes exactly the same code path as [`Self::simulate_overhead`] (so the
+    /// results are bit-identical); any other law is routed to the event-stream
+    /// engine regardless of `config.engine`, because the window engine's
+    /// per-attempt redraw is exact only under memorylessness.
+    pub fn simulate_overhead_with_law(
+        &self,
+        t: f64,
+        p: f64,
+        config: &SimulationConfig,
+        law: &ArrivalLaw,
+    ) -> OverheadStats {
+        let params = PatternParams::from_model(&self.model, t, p);
+        simulate_params_with_law(&params, config, law)
+    }
+
     /// Convenience: simulated overhead using the first-order optimal period for
     /// the given processor count (Theorem 1).
     pub fn simulate_at_first_order_period(
@@ -144,6 +162,19 @@ impl Simulator {
 
 /// Simulates a batch directly from flattened pattern parameters.
 pub fn simulate_params(params: &PatternParams, config: &SimulationConfig) -> OverheadStats {
+    simulate_params_with_law(params, config, &ArrivalLaw::Exponential)
+}
+
+/// Simulates a batch under an arbitrary failure inter-arrival law.
+///
+/// Non-memoryless laws always run on the event-stream engine (whose persistent
+/// countdowns implement a correct renewal process); `config.engine` is honoured
+/// only for the exponential law, where both engines are exact.
+pub fn simulate_params_with_law(
+    params: &PatternParams,
+    config: &SimulationConfig,
+    law: &ArrivalLaw,
+) -> OverheadStats {
     assert!(config.runs > 0, "at least one run is required");
     let workers = config
         .threads
@@ -172,15 +203,20 @@ pub fn simulate_params(params: &PatternParams, config: &SimulationConfig) -> Ove
                         break;
                     }
                     let mut rng = rng_for_replicate(config.seed, run);
-                    let result = match config.engine {
-                        EngineKind::WindowSampling => {
-                            let mut engine = WindowSamplingEngine::new();
-                            simulate_run(&mut engine, params, config.patterns_per_run, &mut rng)
+                    let result = if law.is_memoryless() {
+                        match config.engine {
+                            EngineKind::WindowSampling => {
+                                let mut engine = WindowSamplingEngine::new();
+                                simulate_run(&mut engine, params, config.patterns_per_run, &mut rng)
+                            }
+                            EngineKind::EventStream => {
+                                let mut engine = EventStreamEngine::new();
+                                simulate_run(&mut engine, params, config.patterns_per_run, &mut rng)
+                            }
                         }
-                        EngineKind::EventStream => {
-                            let mut engine = EventStreamEngine::new();
-                            simulate_run(&mut engine, params, config.patterns_per_run, &mut rng)
-                        }
+                    } else {
+                        let mut engine = EventStreamEngine::with_law(law.clone());
+                        simulate_run(&mut engine, params, config.patterns_per_run, &mut rng)
                     };
                     local.push((run, result.overhead, result.events));
                 }

@@ -45,6 +45,7 @@
 
 pub mod batch;
 pub mod engine;
+pub mod law;
 pub mod params;
 pub mod rng;
 pub mod run;
@@ -53,6 +54,7 @@ pub mod stream;
 
 pub use batch::{OverheadStats, SimulationConfig, Simulator};
 pub use engine::{PatternEngine, PatternOutcome, WindowSamplingEngine};
+pub use law::ArrivalLaw;
 pub use params::PatternParams;
 pub use run::{simulate_run, RunResult};
 pub use stats::RunningStats;

@@ -14,20 +14,34 @@
 //! of the exponential distribution, the same stochastic process; they differ only
 //! in implementation strategy, which makes them useful cross-checks of one
 //! another (ablation A2 in DESIGN.md).
+//!
+//! Because its countdowns persist across phases, attempts and patterns, this
+//! engine implements a genuine renewal process — residual lifetimes carry over
+//! checkpoint windows instead of being re-drawn — so it stays correct under
+//! **any** iid inter-arrival law, not just the exponential. Construct it with
+//! [`EventStreamEngine::with_law`] to simulate a non-memoryless
+//! [`ArrivalLaw`]; the default law is the exponential, for which the sampling
+//! path is bit-identical to the original engine.
 
 use rand::rngs::StdRng;
 
 use crate::engine::{PatternEngine, PatternOutcome};
+use crate::law::{sample_arrival, ArrivalLaw};
 use crate::params::PatternParams;
-use crate::rng::sample_exponential;
 
 /// Simulation engine with persistent arrival-process state.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EventStreamEngine {
+    /// The inter-arrival law of both error processes.
+    law: ArrivalLaw,
     /// Busy time remaining until the next fail-stop error (`None` = not yet armed).
     fail_stop_countdown: Option<f64>,
     /// Computation time remaining until the next silent error.
     silent_countdown: Option<f64>,
+    /// Trace-replay position of the fail-stop process (trace law only).
+    fail_stop_cursor: Option<usize>,
+    /// Trace-replay position of the silent process (trace law only).
+    silent_cursor: Option<usize>,
 }
 
 /// What happened while trying to execute one phase.
@@ -39,16 +53,30 @@ enum PhaseResult {
 }
 
 impl EventStreamEngine {
-    /// Creates the engine with unarmed countdowns.
+    /// Creates the engine with unarmed countdowns and the exponential law.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates the engine with unarmed countdowns and the given inter-arrival
+    /// law for both error processes.
+    pub fn with_law(law: ArrivalLaw) -> Self {
+        Self {
+            law,
+            ..Self::default()
+        }
     }
 
     fn arm_fail_stop(&mut self, params: &PatternParams, rng: &mut StdRng) -> f64 {
         match self.fail_stop_countdown {
             Some(v) => v,
             None => {
-                let v = sample_exponential(rng, params.lambda_fail_stop);
+                let v = sample_arrival(
+                    &self.law,
+                    rng,
+                    params.lambda_fail_stop,
+                    &mut self.fail_stop_cursor,
+                );
                 self.fail_stop_countdown = Some(v);
                 v
             }
@@ -59,7 +87,12 @@ impl EventStreamEngine {
         match self.silent_countdown {
             Some(v) => v,
             None => {
-                let v = sample_exponential(rng, params.lambda_silent);
+                let v = sample_arrival(
+                    &self.law,
+                    rng,
+                    params.lambda_silent,
+                    &mut self.silent_cursor,
+                );
                 self.silent_countdown = Some(v);
                 v
             }
@@ -202,6 +235,8 @@ impl PatternEngine for EventStreamEngine {
     fn reset(&mut self) {
         self.fail_stop_countdown = None;
         self.silent_countdown = None;
+        self.fail_stop_cursor = None;
+        self.silent_cursor = None;
     }
 }
 
@@ -278,6 +313,49 @@ mod tests {
         assert!(
             rel < 0.02,
             "stream={mean_stream} window={mean_window} rel={rel}"
+        );
+    }
+
+    #[test]
+    fn default_law_is_bit_identical_to_the_exponential_engine() {
+        let p = params(1.9e-6, 6.8e-6);
+        let mut plain = EventStreamEngine::new();
+        let mut lawful = EventStreamEngine::with_law(ArrivalLaw::Exponential);
+        let mut rng1 = rng_for_replicate(21, 3);
+        let mut rng2 = rng_for_replicate(21, 3);
+        for _ in 0..500 {
+            let a = plain.execute_pattern(&p, &mut rng1);
+            let b = lawful.execute_pattern(&p, &mut rng2);
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.fail_stop_errors, b.fail_stop_errors);
+        }
+    }
+
+    #[test]
+    fn non_memoryless_laws_shift_the_mean_pattern_time() {
+        // Same mean error rate, different inter-arrival shape: a clustering
+        // law (Weibull k < 1) and a grace-period law (shifted) both move the
+        // mean pattern time away from the exponential baseline.
+        let p = params(5e-5, 0.0);
+        let n = 30_000;
+        let mean_for = |law: ArrivalLaw, stream: u64| {
+            let mut engine = EventStreamEngine::with_law(law);
+            let mut rng = rng_for_replicate(31, stream);
+            (0..n)
+                .map(|_| engine.execute_pattern(&p, &mut rng).time)
+                .sum::<f64>()
+                / n as f64
+        };
+        let exp = mean_for(ArrivalLaw::Exponential, 1);
+        let weibull = mean_for(ArrivalLaw::weibull(0.5), 2);
+        let shifted = mean_for(ArrivalLaw::shifted(30_000.0), 3);
+        assert!(
+            (weibull - exp).abs() / exp > 0.02,
+            "weibull {weibull} vs exp {exp}"
+        );
+        assert!(
+            (shifted - exp).abs() / exp > 0.02,
+            "shifted {shifted} vs exp {exp}"
         );
     }
 

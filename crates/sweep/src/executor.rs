@@ -27,11 +27,11 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
-use ayd_core::{ExactModel, FirstOrder, ProfileSpec, SpeedupProfile};
+use ayd_core::{ExactModel, FailureModelSpec, FirstOrder, ProfileSpec, SpeedupProfile};
 use ayd_optim::SearchReport;
 use ayd_platforms::PlatformId;
 use ayd_sim::rng::splitmix64;
-use ayd_sim::{EngineKind, Simulator};
+use ayd_sim::{ArrivalLaw, EngineKind, Simulator};
 
 use crate::cache::{CacheKey, CacheStats, ShardedEvalCache};
 use crate::evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
@@ -193,7 +193,7 @@ impl SweepOptions {
 }
 
 /// One evaluated cell of a sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepRow {
     /// Platform of the cell.
     pub platform: PlatformId,
@@ -201,6 +201,10 @@ pub struct SweepRow {
     pub scenario: usize,
     /// Speedup profile of the cell.
     pub profile: SpeedupProfile,
+    /// Failure-arrival model the cell's simulations sample from. The analytic
+    /// series always assume the paper's exponential model, so a
+    /// non-exponential row measures the model's misspecification error.
+    pub failure_model: FailureModelSpec,
     /// Amdahl-equivalent sequential fraction (`α` for Amdahl, `0` for
     /// perfectly parallel, `None` for extension profiles).
     pub alpha: Option<f64>,
@@ -534,7 +538,7 @@ fn run_cells(
                     break;
                 }
                 let batch = &cells[start..(start + chunk).min(cells.len())];
-                let queries: Vec<(ExactModel, Option<f64>)> = batch
+                let queries: Vec<(ExactModel, Option<f64>, FailureModelSpec)> = batch
                     .iter()
                     .map(|cell| {
                         (
@@ -542,6 +546,7 @@ fn run_cells(
                                 .model()
                                 .expect("grid builders only emit valid setups"),
                             cell.fixed_processors,
+                            cell.failure_model.clone(),
                         )
                     })
                     .collect();
@@ -607,13 +612,16 @@ impl Emitter<'_> {
 
 /// The memoisation key of one analytic evaluation: quantized model inputs —
 /// including the speedup-profile family tag and its parameter, so e.g.
-/// `powerlaw:0.8` and `gustafson:0.8` never collide — the fixed processor
+/// `powerlaw:0.8` and `gustafson:0.8` never collide — the failure-model
+/// family tag and parameters (so `weibull:1.0` and `exp` never collide
+/// either, even though their rows are bit-identical), the fixed processor
 /// count (NaN-marked when `P` is optimised) and the optimiser search ranges.
 /// Shared by the sweep executor and the `ayd-serve` query service, so both
 /// populate the same cache entries.
 pub fn analytic_cache_key(
     model: &ExactModel,
     fixed_processors: Option<f64>,
+    failure_model: &FailureModelSpec,
     options: &SweepOptions,
 ) -> CacheKey {
     let absent = f64::NAN;
@@ -623,6 +631,10 @@ pub fn analytic_cache_key(
         model.failures.fail_stop_fraction,
         profile.kind_tag() as f64,
         profile.param().unwrap_or(absent),
+        failure_model.kind_tag() as f64,
+        failure_model.param().unwrap_or(absent),
+        failure_model.lambda().unwrap_or(absent),
+        trace_path_hash(failure_model),
         model.costs.checkpoint.a,
         model.costs.checkpoint.b,
         model.costs.checkpoint.c,
@@ -641,6 +653,22 @@ pub fn analytic_cache_key(
     ])
 }
 
+/// A 40-bit hash of a trace spec's path, widened to `f64` (NaN for the
+/// parametric families). Any integer below 2^41 has an all-zero low mantissa
+/// chunk, so the value survives the cache key's low-bit quantization exactly.
+fn trace_path_hash(failure_model: &FailureModelSpec) -> f64 {
+    match failure_model.trace_path() {
+        None => f64::NAN,
+        Some(path) => {
+            let mut h: u64 = 0x7AC3_5EED_0000_0001;
+            for byte in path.as_bytes() {
+                h = splitmix64(h ^ u64::from(*byte));
+            }
+            (h >> 24) as f64
+        }
+    }
+}
+
 /// The analytic (simulation-free) evaluation of one configuration, optionally
 /// memoised in a shared [`ShardedEvalCache`].
 ///
@@ -651,10 +679,11 @@ pub fn analytic_cache_key(
 pub fn evaluate_analytic(
     model: &ExactModel,
     fixed_processors: Option<f64>,
+    failure_model: &FailureModelSpec,
     options: &SweepOptions,
     cache: Option<&ShardedEvalCache<AnalyticEval>>,
 ) -> AnalyticEval {
-    evaluate_analytic_observed(model, fixed_processors, options, cache).0
+    evaluate_analytic_observed(model, fixed_processors, failure_model, options, cache).0
 }
 
 /// What actually happened during one [`evaluate_analytic_observed`] call:
@@ -676,19 +705,21 @@ pub struct EvalObservation {
 pub fn evaluate_analytic_observed(
     model: &ExactModel,
     fixed_processors: Option<f64>,
+    failure_model: &FailureModelSpec,
     options: &SweepOptions,
     cache: Option<&ShardedEvalCache<AnalyticEval>>,
 ) -> (AnalyticEval, EvalObservation) {
     let mut observation = EvalObservation::default();
     let eval = match cache {
-        Some(cache) => {
-            cache.get_or_insert_with(analytic_cache_key(model, fixed_processors, options), || {
+        Some(cache) => cache.get_or_insert_with(
+            analytic_cache_key(model, fixed_processors, failure_model, options),
+            || {
                 observation.computed = true;
                 let (eval, search) = compute_analytic(model, fixed_processors, options);
                 observation.search = search;
                 eval
-            })
-        }
+            },
+        ),
         None => {
             observation.computed = true;
             let (eval, search) = compute_analytic(model, fixed_processors, options);
@@ -699,14 +730,14 @@ pub fn evaluate_analytic_observed(
     (eval, observation)
 }
 
-/// Batch variant of [`evaluate_analytic`]: evaluates every `(model, fixed P)`
-/// query against the same options and shared cache, amortising the
-/// evaluator/strategy setup across the batch. Returns the evaluations in
-/// query order plus the merged fast/fallback tally of the cache-cold queries.
-/// Used by the sweep executor (per worker chunk) and `ayd-serve`'s
-/// `/v1/batch` fan-out.
+/// Batch variant of [`evaluate_analytic`]: evaluates every
+/// `(model, fixed P, failure model)` query against the same options and
+/// shared cache, amortising the evaluator/strategy setup across the batch.
+/// Returns the evaluations in query order plus the merged fast/fallback tally
+/// of the cache-cold queries. Used by the sweep executor (per worker chunk)
+/// and `ayd-serve`'s `/v1/batch` fan-out.
 pub fn evaluate_many(
-    queries: &[(ExactModel, Option<f64>)],
+    queries: &[(ExactModel, Option<f64>, FailureModelSpec)],
     options: &SweepOptions,
     cache: Option<&ShardedEvalCache<AnalyticEval>>,
 ) -> (Vec<AnalyticEval>, SearchReport) {
@@ -714,9 +745,9 @@ pub fn evaluate_many(
     let mut search = SearchReport::default();
     let evals = queries
         .iter()
-        .map(|(model, fixed_processors)| match cache {
+        .map(|(model, fixed_processors, failure_model)| match cache {
             Some(cache) => cache.get_or_insert_with(
-                analytic_cache_key(model, *fixed_processors, options),
+                analytic_cache_key(model, *fixed_processors, failure_model, options),
                 || {
                     let (eval, report) = context.evaluate(model, *fixed_processors);
                     search.merge(&report);
@@ -847,8 +878,14 @@ fn simulate_point(
     model: &ExactModel,
     point: &OperatingPoint,
     config: &ayd_sim::SimulationConfig,
+    law: &ArrivalLaw,
 ) -> SimSummary {
-    let stats = Simulator::new(*model).simulate_overhead(point.period, point.processors, config);
+    let stats = Simulator::new(*model).simulate_overhead_with_law(
+        point.period,
+        point.processors,
+        config,
+        law,
+    );
     SimSummary {
         mean: stats.mean,
         ci95: stats.ci95,
@@ -886,12 +923,26 @@ fn finish_row(
     }
     .simulation_config()
     .with_engine(options.engine);
+    // Degenerate parameterisations (weibull:1.0, shifted:0) canonicalise to
+    // the exponential law here, which keeps their rows bit-identical to
+    // `exp` rows: the exponential arm of the sampler is the very code path
+    // exponential cells take.
+    let law = if options.run.simulate {
+        ArrivalLaw::from_spec(&cell.failure_model).unwrap_or_else(|e| {
+            panic!(
+                "cell {}: failure model `{}` cannot simulate: {e}",
+                cell.index, cell.failure_model
+            )
+        })
+    } else {
+        ArrivalLaw::Exponential
+    };
 
     if options.run.simulate {
         match prescribed.as_mut() {
             // Fully prescribed (T, P): simulate exactly that pattern.
             Some(point) => {
-                point.simulated = Some(simulate_point(&model, point, &config));
+                point.simulated = Some(simulate_point(&model, point, &config, &law));
             }
             None => {
                 // Fixed P (Figure 3) or jointly optimised (Figures 5–6):
@@ -899,12 +950,26 @@ fn finish_row(
                 // the numerical optimum as well.
                 if options.simulate_first_order {
                     if let Some(point) = first_order.as_mut() {
-                        point.simulated = Some(simulate_point(&model, point, &config));
+                        point.simulated = Some(simulate_point(&model, point, &config, &law));
                     }
                 }
                 if options.simulate_numerical && cell.fixed_processors.is_none() {
-                    numerical.simulated = Some(simulate_point(&model, &numerical, &config));
+                    numerical.simulated = Some(simulate_point(&model, &numerical, &config, &law));
                 }
+            }
+        }
+        if !law.is_memoryless() {
+            // Simulation-first policy for non-exponential cells: whatever the
+            // attachment flags say, the primary point always carries a
+            // simulation under the true law — it is the ground truth the
+            // misspecification report compares the (exponential-model)
+            // analytics against.
+            let slot = prescribed
+                .as_mut()
+                .or(first_order.as_mut())
+                .unwrap_or(&mut numerical);
+            if slot.simulated.is_none() {
+                slot.simulated = Some(simulate_point(&model, slot, &config, &law));
             }
         }
     }
@@ -919,15 +984,21 @@ fn finish_row(
             .or(first_order.as_mut())
             .unwrap_or(&mut numerical);
         if slot.simulated.is_none() {
-            slot.simulated = Some(simulate_point(&model, slot, &config));
+            slot.simulated = Some(simulate_point(&model, slot, &config, &law));
         }
-        simulate_point(&model, slot, &config.with_engine(EngineKind::EventStream))
+        simulate_point(
+            &model,
+            slot,
+            &config.with_engine(EngineKind::EventStream),
+            &law,
+        )
     });
 
     SweepRow {
         platform: cell.setup.platform,
         scenario: cell.setup.scenario.number(),
         profile: cell.setup.profile,
+        failure_model: cell.failure_model.clone(),
         alpha: cell.setup.alpha(),
         lambda_ind: model.failures.lambda_ind,
         lambda_multiplier: cell.lambda_multiplier,
@@ -1064,7 +1135,7 @@ mod tests {
             .processors(ProcessorAxis::Fixed(vec![400.0]))
             .build()
             .unwrap();
-        let row = SweepExecutor::new(options).run(&grid).rows[0];
+        let row = SweepExecutor::new(options).run(&grid).rows[0].clone();
         let fo = row.first_order.unwrap();
         assert!(fo.simulated.is_some(), "fixed-P cells simulate T*_P");
         assert!(row.numerical.simulated.is_none());
@@ -1086,7 +1157,7 @@ mod tests {
             .scenarios(&[ScenarioId::S6])
             .build()
             .unwrap();
-        let row = SweepExecutor::new(options).run(&grid).rows[0];
+        let row = SweepExecutor::new(options).run(&grid).rows[0].clone();
         assert!(row.first_order.is_none());
         let primary = row.primary_point();
         assert_eq!(primary, row.numerical);
@@ -1110,8 +1181,9 @@ mod tests {
         .model()
         .unwrap();
         let options = analytic_options();
+        let exp = FailureModelSpec::exponential();
         let cache = crate::cache::ShardedEvalCache::new(4, 64);
-        let eval = evaluate_analytic(&model, None, &options, Some(&cache));
+        let eval = evaluate_analytic(&model, None, &exp, &options, Some(&cache));
         let evaluator = crate::evaluate::Evaluator::new(RunOptions {
             simulate: false,
             ..options.run
@@ -1120,11 +1192,11 @@ mod tests {
         assert_eq!(eval.first_order, cmp.first_order);
         assert_eq!(eval.numerical, cmp.numerical);
         // A cached replay returns the identical value and scores a hit.
-        let replay = evaluate_analytic(&model, None, &options, Some(&cache));
+        let replay = evaluate_analytic(&model, None, &exp, &options, Some(&cache));
         assert_eq!(eval, replay);
         assert_eq!(cache.stats().hits, 1);
         // The fixed-P path matches the evaluator's period search, too.
-        let fixed = evaluate_analytic(&model, Some(512.0), &options, Some(&cache));
+        let fixed = evaluate_analytic(&model, Some(512.0), &exp, &options, Some(&cache));
         let (period, overhead) = evaluator.numerical_period_for(&model, 512.0);
         assert_eq!(fixed.numerical.period, period);
         assert_eq!(fixed.numerical.predicted_overhead, overhead);
@@ -1146,8 +1218,14 @@ mod tests {
                 .build()
                 .unwrap();
             let results = SweepExecutor::new(analytic_options()).run(&grid);
-            let by_profile =
-                |p: SpeedupProfile| *results.rows.iter().find(|r| r.profile == p).unwrap();
+            let by_profile = |p: SpeedupProfile| {
+                results
+                    .rows
+                    .iter()
+                    .find(|r| r.profile == p)
+                    .unwrap()
+                    .clone()
+            };
             let amdahl = by_profile(profiles[0]);
             assert!(amdahl.first_order.is_some(), "Amdahl keeps Theorem 1/2");
             assert_eq!(amdahl.alpha, Some(0.1));
@@ -1178,13 +1256,14 @@ mod tests {
             .with_profile(SpeedupProfile::gustafson(0.8).unwrap())
             .model()
             .unwrap();
+        let exp = FailureModelSpec::exponential();
         assert_ne!(
-            analytic_cache_key(&power, None, &options),
-            analytic_cache_key(&gustafson, None, &options)
+            analytic_cache_key(&power, None, &exp, &options),
+            analytic_cache_key(&gustafson, None, &exp, &options)
         );
         let cache = crate::cache::ShardedEvalCache::new(2, 16);
-        let a = evaluate_analytic(&power, None, &options, Some(&cache));
-        let b = evaluate_analytic(&gustafson, None, &options, Some(&cache));
+        let a = evaluate_analytic(&power, None, &exp, &options, Some(&cache));
+        let b = evaluate_analytic(&gustafson, None, &exp, &options, Some(&cache));
         assert_eq!(cache.stats().misses, 2, "no spurious sharing");
         assert_ne!(a.numerical, b.numerical);
     }
@@ -1268,21 +1347,24 @@ mod tests {
     #[test]
     fn observed_evaluations_report_cold_and_warm_paths() {
         let options = analytic_options();
+        let exp = FailureModelSpec::exponential();
         let cache = ShardedEvalCache::new(64, 4);
         let model = test_model();
         // First call computes (cache miss) and, under the default fast-strict
         // strategy, answers at least one scalar search via the fast path.
-        let (first, observation) = evaluate_analytic_observed(&model, None, &options, Some(&cache));
+        let (first, observation) =
+            evaluate_analytic_observed(&model, None, &exp, &options, Some(&cache));
         assert!(observation.computed);
         assert!(observation.search.total() > 0, "{:?}", observation.search);
         // Second call is a cache hit: same bits, no computation, no searches.
         let (second, observation) =
-            evaluate_analytic_observed(&model, None, &options, Some(&cache));
+            evaluate_analytic_observed(&model, None, &exp, &options, Some(&cache));
         assert!(!observation.computed);
         assert_eq!(observation.search, SearchReport::default());
         assert_eq!(first, second);
         // Without a cache every call computes.
-        let (uncached, observation) = evaluate_analytic_observed(&model, None, &options, None);
+        let (uncached, observation) =
+            evaluate_analytic_observed(&model, None, &exp, &options, None);
         assert!(observation.computed);
         assert_eq!(first, uncached);
     }
@@ -1291,13 +1373,14 @@ mod tests {
     fn evaluate_many_matches_one_by_one_evaluation_and_consults_the_cache() {
         let options = analytic_options();
         let model = test_model();
-        let queries: Vec<(ExactModel, Option<f64>)> = vec![
-            (model, None),
-            (model, Some(512.0)),
-            (model, None), // repeat → cache hit inside the batch
-            (model, Some(2_048.0)),
+        let exp = FailureModelSpec::exponential();
+        let queries: Vec<(ExactModel, Option<f64>, FailureModelSpec)> = vec![
+            (model, None, exp.clone()),
+            (model, Some(512.0), exp.clone()),
+            (model, None, exp.clone()), // repeat → cache hit inside the batch
+            (model, Some(2_048.0), exp.clone()),
         ];
-        let cache = ShardedEvalCache::new(64, 4);
+        let cache = ShardedEvalCache::new(4, 64);
         let (evals, search) = evaluate_many(&queries, &options, Some(&cache));
         assert_eq!(evals.len(), queries.len());
         assert!(search.total() > 0);
@@ -1305,13 +1388,95 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.misses, stats.hits), (3, 1), "{stats:?}");
         // Each batched answer is bit-identical to a standalone evaluation.
-        for ((model, fixed), eval) in queries.iter().zip(&evals) {
-            let alone = evaluate_analytic(model, *fixed, &options, None);
+        for ((model, fixed, failure), eval) in queries.iter().zip(&evals) {
+            let alone = evaluate_analytic(model, *fixed, failure, &options, None);
             assert_eq!(&alone, eval);
         }
         // Uncached batches agree too.
         let (uncached, _) = evaluate_many(&queries, &options, None);
         assert_eq!(evals, uncached);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_failure_families_with_identical_rows() {
+        // weibull:1.0 rows are bit-identical to exp rows, but the families
+        // must still keep separate cache entries (the family tag is part of
+        // the key), exactly like powerlaw:0.8 vs gustafson:0.8 above.
+        let model = test_model();
+        let options = analytic_options();
+        let exp = FailureModelSpec::exponential();
+        let weibull_one = FailureModelSpec::weibull(1.0).unwrap();
+        let weibull = FailureModelSpec::weibull(0.7).unwrap();
+        let shifted = FailureModelSpec::shifted(0.0).unwrap();
+        let keys = [
+            analytic_cache_key(&model, None, &exp, &options),
+            analytic_cache_key(&model, None, &weibull_one, &options),
+            analytic_cache_key(&model, None, &weibull, &options),
+            analytic_cache_key(&model, None, &shifted, &options),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "failure families must not share cache entries");
+            }
+        }
+        // Distinct traces hash to distinct keys; the same trace twice agrees.
+        let trace_a = FailureModelSpec::trace("logs/a.trace").unwrap();
+        let trace_b = FailureModelSpec::trace("logs/b.trace").unwrap();
+        assert_ne!(
+            analytic_cache_key(&model, None, &trace_a, &options),
+            analytic_cache_key(&model, None, &trace_b, &options)
+        );
+        assert_eq!(
+            analytic_cache_key(&model, None, &trace_a, &options),
+            analytic_cache_key(
+                &model,
+                None,
+                &FailureModelSpec::trace("logs/a.trace").unwrap(),
+                &options
+            )
+        );
+        // The values behind the distinct exp/weibull:1.0 entries are still
+        // bit-identical — the keystone of the degenerate-spec contract.
+        let a = evaluate_analytic(&model, None, &exp, &options, None);
+        let b = evaluate_analytic(&model, None, &weibull_one, &options, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_exponential_cells_simulate_the_primary_point_under_the_true_law() {
+        // Even with every simulation-attachment flag off, a weibull cell gets
+        // a primary-point simulation (the misspecification ground truth), and
+        // it differs from the exponential cell's simulation.
+        let options = SweepOptions::new(RunOptions::smoke())
+            .with_simulate_first_order(false)
+            .with_simulate_numerical(false);
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .failure_models(&[
+                FailureModelSpec::exponential(),
+                FailureModelSpec::weibull(0.7).unwrap(),
+            ])
+            .lambda_multipliers(&[10.0])
+            .processors(ProcessorAxis::Fixed(vec![512.0]))
+            .build()
+            .unwrap();
+        let results = SweepExecutor::new(options).run(&grid);
+        let exp_row = &results.rows[0];
+        let weibull_row = &results.rows[1];
+        assert!(exp_row.failure_model.is_exponential());
+        assert_eq!(weibull_row.failure_model.kind(), "weibull");
+        // The flags suppressed the exponential cell's simulations entirely…
+        assert!(exp_row.primary_point().simulated.is_none());
+        // …but the weibull cell still simulated its primary point.
+        let simulated = weibull_row.primary_point().simulated.unwrap();
+        assert!(simulated.mean.is_finite() && simulated.mean > 0.0);
+        // And the analytic series are identical across the two rows: the
+        // model is exponential regardless of the sampling law.
+        assert_eq!(exp_row.numerical, {
+            let mut n = weibull_row.numerical;
+            n.simulated = None;
+            n
+        });
     }
 
     #[test]
@@ -1336,6 +1501,7 @@ mod tests {
     #[test]
     fn cache_entries_are_keyed_per_search_strategy() {
         let model = test_model();
+        let exp = FailureModelSpec::exponential();
         let fast = analytic_options();
         let reference = SweepOptions::new(RunOptions {
             simulate: false,
@@ -1343,19 +1509,19 @@ mod tests {
             ..RunOptions::smoke()
         });
         assert_ne!(
-            analytic_cache_key(&model, None, &fast),
-            analytic_cache_key(&model, None, &reference),
+            analytic_cache_key(&model, None, &exp, &fast),
+            analytic_cache_key(&model, None, &exp, &reference),
             "strategies must not share cache entries"
         );
         // A shared cache serves both strategies without cross-talk: two
         // strategies, two misses, then one hit each.
         let cache = ShardedEvalCache::new(64, 4);
-        let (a, _) = evaluate_analytic_observed(&model, None, &fast, Some(&cache));
-        let (b, _) = evaluate_analytic_observed(&model, None, &reference, Some(&cache));
+        let (a, _) = evaluate_analytic_observed(&model, None, &exp, &fast, Some(&cache));
+        let (b, _) = evaluate_analytic_observed(&model, None, &exp, &reference, Some(&cache));
         assert_eq!(a, b, "strategies are bit-identical");
         assert_eq!(cache.stats().misses, 2);
-        evaluate_analytic_observed(&model, None, &fast, Some(&cache));
-        evaluate_analytic_observed(&model, None, &reference, Some(&cache));
+        evaluate_analytic_observed(&model, None, &exp, &fast, Some(&cache));
+        evaluate_analytic_observed(&model, None, &exp, &reference, Some(&cache));
         assert_eq!(cache.stats().hits, 2);
     }
 }

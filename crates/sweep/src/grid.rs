@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use ayd_core::SpeedupProfile;
+use ayd_core::{FailureModelSpec, SpeedupProfile};
 use ayd_platforms::{ExperimentSetup, Platform, PlatformId, ScenarioId};
 
 /// The processor axis of a grid.
@@ -38,12 +38,14 @@ pub enum LambdaAxis {
 
 /// One cell of a sweep: a fully specified experiment setup plus the axis
 /// coordinates it came from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCell {
     /// Position of the cell in the grid's deterministic order.
     pub index: usize,
     /// The platform/scenario/α/λ configuration to evaluate.
     pub setup: ExperimentSetup,
+    /// The failure inter-arrival law of the cell (default: exponential).
+    pub failure_model: FailureModelSpec,
     /// Ratio of the cell's `λ_ind` to the platform's measured rate.
     pub lambda_multiplier: f64,
     /// Fixed processor count (`None` when the cell optimises `P`).
@@ -89,6 +91,7 @@ pub struct ScenarioGrid {
     platforms: Vec<PlatformId>,
     scenarios: Vec<ScenarioId>,
     profiles: Vec<SpeedupProfile>,
+    failure_models: Vec<FailureModelSpec>,
     lambdas: LambdaAxis,
     processors: ProcessorAxis,
     pattern_lengths: Vec<f64>,
@@ -108,6 +111,7 @@ impl ScenarioGrid {
         self.platforms.len()
             * self.scenarios.len()
             * self.profiles.len()
+            * self.failure_models.len()
             * self.lambda_axis_len()
             * self.processor_axis_len()
             * self.pattern_lengths.len().max(1)
@@ -140,6 +144,11 @@ impl ScenarioGrid {
         &self.profiles
     }
 
+    /// The failure-model axis of the grid, in declaration order.
+    pub fn failure_axis(&self) -> &[FailureModelSpec] {
+        &self.failure_models
+    }
+
     /// A 64-bit fingerprint of the grid's cells: every semantic field of every
     /// cell, folded through SplitMix64. Two grids share a fingerprint exactly
     /// when they flatten to the same cell list, so shard manifests can refuse
@@ -163,6 +172,18 @@ impl ScenarioGrid {
             h = mix(h, bits_or_marker(cell.fixed_processors));
             h = mix(h, bits_or_marker(cell.processor_order));
             h = mix(h, bits_or_marker(cell.pattern_length));
+            // The failure law is mixed only when non-default, so fingerprints
+            // of pre-existing (exponential) grids — and any manifests recorded
+            // against them — are unchanged.
+            if cell.failure_model != FailureModelSpec::exponential() {
+                h = mix(h, 0xFA11_0B5E_55ED_0002);
+                h = mix(h, cell.failure_model.kind_tag() as u64);
+                h = mix(h, bits_or_marker(cell.failure_model.param()));
+                h = mix(h, bits_or_marker(cell.failure_model.lambda()));
+                for byte in cell.failure_model.trace_path().unwrap_or("").bytes() {
+                    h = mix(h, byte as u64);
+                }
+            }
         }
         h
     }
@@ -178,10 +199,11 @@ impl ScenarioGrid {
     }
 
     /// Flattens the grid into its deterministic cell order: platform (outer) →
-    /// scenario → profile → λ → processors → pattern length (inner). The
-    /// profile axis occupies the position the `α` axis used to, so Amdahl-only
-    /// grids built through [`GridBuilder::alphas`] keep their historical cell
-    /// ordering.
+    /// scenario → profile → failure model → λ → processors → pattern length
+    /// (inner). The profile axis occupies the position the `α` axis used to,
+    /// so Amdahl-only grids built through [`GridBuilder::alphas`] keep their
+    /// historical cell ordering; the failure axis defaults to the single
+    /// exponential law, so grids that never set it keep their cell list too.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.len());
         for &platform in &self.platforms {
@@ -191,47 +213,50 @@ impl ScenarioGrid {
                     let base = ExperimentSetup::paper_default(platform, scenario)
                         .with_profile(profile)
                         .with_downtime(self.downtime);
-                    let lambda_entries: Vec<(Option<f64>, f64)> = match &self.lambdas {
-                        LambdaAxis::Measured => vec![(None, 1.0)],
-                        LambdaAxis::Multipliers(ms) => {
-                            ms.iter().map(|&m| (Some(measured_lambda * m), m)).collect()
-                        }
-                        LambdaAxis::Absolute(vs) => {
-                            vs.iter().map(|&v| (Some(v), v / measured_lambda)).collect()
-                        }
-                    };
-                    for (lambda_override, multiplier) in lambda_entries {
-                        let setup = match lambda_override {
-                            Some(lambda) => base.with_lambda_ind(lambda),
-                            None => base,
+                    for failure_model in &self.failure_models {
+                        let lambda_entries: Vec<(Option<f64>, f64)> = match &self.lambdas {
+                            LambdaAxis::Measured => vec![(None, 1.0)],
+                            LambdaAxis::Multipliers(ms) => {
+                                ms.iter().map(|&m| (Some(measured_lambda * m), m)).collect()
+                            }
+                            LambdaAxis::Absolute(vs) => {
+                                vs.iter().map(|&v| (Some(v), v / measured_lambda)).collect()
+                            }
                         };
-                        let lambda = lambda_override.unwrap_or(measured_lambda);
-                        let processor_entries: Vec<(Option<f64>, Option<f64>)> =
-                            match &self.processors {
-                                ProcessorAxis::Optimize => vec![(None, None)],
-                                ProcessorAxis::Fixed(ps) => {
-                                    ps.iter().map(|&p| (Some(p), None)).collect()
+                        for (lambda_override, multiplier) in lambda_entries {
+                            let setup = match lambda_override {
+                                Some(lambda) => base.with_lambda_ind(lambda),
+                                None => base,
+                            };
+                            let lambda = lambda_override.unwrap_or(measured_lambda);
+                            let processor_entries: Vec<(Option<f64>, Option<f64>)> =
+                                match &self.processors {
+                                    ProcessorAxis::Optimize => vec![(None, None)],
+                                    ProcessorAxis::Fixed(ps) => {
+                                        ps.iter().map(|&p| (Some(p), None)).collect()
+                                    }
+                                    ProcessorAxis::LambdaOrders(orders) => orders
+                                        .iter()
+                                        .map(|&x| (Some((1.0 / lambda).powf(x)), Some(x)))
+                                        .collect(),
+                                };
+                            for (fixed_processors, processor_order) in processor_entries {
+                                let lengths: Vec<Option<f64>> = if self.pattern_lengths.is_empty() {
+                                    vec![None]
+                                } else {
+                                    self.pattern_lengths.iter().map(|&t| Some(t)).collect()
+                                };
+                                for pattern_length in lengths {
+                                    cells.push(SweepCell {
+                                        index: cells.len(),
+                                        setup,
+                                        failure_model: failure_model.clone(),
+                                        lambda_multiplier: multiplier,
+                                        fixed_processors,
+                                        processor_order,
+                                        pattern_length,
+                                    });
                                 }
-                                ProcessorAxis::LambdaOrders(orders) => orders
-                                    .iter()
-                                    .map(|&x| (Some((1.0 / lambda).powf(x)), Some(x)))
-                                    .collect(),
-                            };
-                        for (fixed_processors, processor_order) in processor_entries {
-                            let lengths: Vec<Option<f64>> = if self.pattern_lengths.is_empty() {
-                                vec![None]
-                            } else {
-                                self.pattern_lengths.iter().map(|&t| Some(t)).collect()
-                            };
-                            for pattern_length in lengths {
-                                cells.push(SweepCell {
-                                    index: cells.len(),
-                                    setup,
-                                    lambda_multiplier: multiplier,
-                                    fixed_processors,
-                                    processor_order,
-                                    pattern_length,
-                                });
                             }
                         }
                     }
@@ -262,6 +287,7 @@ pub struct GridBuilder {
     platforms: Vec<PlatformId>,
     scenarios: Vec<ScenarioId>,
     profiles: Vec<SpeedupProfile>,
+    failure_models: Vec<FailureModelSpec>,
     lambdas: LambdaAxis,
     processors: ProcessorAxis,
     pattern_lengths: Vec<f64>,
@@ -274,6 +300,7 @@ impl Default for GridBuilder {
             platforms: vec![PlatformId::Hera],
             scenarios: ScenarioId::REPRESENTATIVE.to_vec(),
             profiles: vec![SpeedupProfile::Amdahl { alpha: 0.1 }],
+            failure_models: vec![FailureModelSpec::exponential()],
             lambdas: LambdaAxis::Measured,
             processors: ProcessorAxis::Optimize,
             pattern_lengths: Vec::new(),
@@ -313,6 +340,14 @@ impl GridBuilder {
             .map(|&alpha| SpeedupProfile::Amdahl { alpha })
             .collect();
         self.profiles(&profiles)
+    }
+
+    /// Sets the failure-model axis: one cell block per inter-arrival law
+    /// (default: the single exponential law of the paper). Specs must not pin
+    /// an explicit rate — the grid's lambda axis owns the rate.
+    pub fn failure_models(mut self, models: &[FailureModelSpec]) -> Self {
+        self.failure_models = models.to_vec();
+        self
     }
 
     /// Sweeps multiples of each platform's measured error rate.
@@ -362,6 +397,22 @@ impl GridBuilder {
                 return err(&format!("invalid speedup profile: {e}"));
             }
         }
+        if self.failure_models.is_empty() {
+            return err("at least one failure model is required");
+        }
+        for model in &self.failure_models {
+            // Re-parse the canonical rendering: constructed values go through
+            // the same validation as parsed spec strings.
+            if let Err(e) = FailureModelSpec::parse(&model.to_string()) {
+                return err(&format!("invalid failure model: {e}"));
+            }
+            if model.lambda().is_some() {
+                return err(&format!(
+                    "failure model '{model}' pins an explicit rate; grid cells take their rate \
+                     from the lambda axis"
+                ));
+            }
+        }
         match &self.lambdas {
             LambdaAxis::Measured => {}
             LambdaAxis::Multipliers(ms) => {
@@ -406,6 +457,7 @@ impl GridBuilder {
             platforms: self.platforms,
             scenarios: self.scenarios,
             profiles: self.profiles,
+            failure_models: self.failure_models,
             lambdas: self.lambdas,
             processors: self.processors,
             pattern_lengths: self.pattern_lengths,
@@ -466,7 +518,7 @@ mod tests {
             .lambda_multipliers(&[10.0])
             .build()
             .unwrap();
-        let cell = multiplied.cells()[0];
+        let cell = multiplied.cells()[0].clone();
         assert_eq!(cell.lambda_ind(), measured * 10.0);
         assert_eq!(cell.lambda_multiplier, 10.0);
 
@@ -475,7 +527,7 @@ mod tests {
             .lambda_values(&[1e-9])
             .build()
             .unwrap();
-        let cell = absolute.cells()[0];
+        let cell = absolute.cells()[0].clone();
         assert_eq!(cell.lambda_ind(), 1e-9);
         assert!((cell.lambda_multiplier - 1e-9 / measured).abs() < 1e-12);
     }
@@ -487,7 +539,7 @@ mod tests {
             .processors(ProcessorAxis::LambdaOrders(vec![0.25]))
             .build()
             .unwrap();
-        let cell = grid.cells()[0];
+        let cell = grid.cells()[0].clone();
         let expected = (1.0 / cell.lambda_ind()).powf(0.25);
         assert_eq!(cell.fixed_processors, Some(expected));
         assert_eq!(cell.processor_order, Some(0.25));
@@ -570,6 +622,79 @@ mod tests {
         assert_eq!(cells[0].setup.alpha(), Some(0.05));
         assert_eq!(cells[4].setup.alpha(), Some(0.1));
         assert_eq!(cells[0].setup.scenario, cells[4].setup.scenario);
+    }
+
+    #[test]
+    fn failure_axis_sits_between_profile_and_lambda() {
+        let grid = ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1])
+            .alphas(&[0.05, 0.1])
+            .failure_models(&[
+                FailureModelSpec::exponential(),
+                FailureModelSpec::weibull(0.7).unwrap(),
+            ])
+            .lambda_multipliers(&[1.0, 10.0])
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 2 * 2 * 2);
+        let cells = grid.cells();
+        // λ varies fastest, then the failure model, then α.
+        assert_eq!(cells[0].failure_model.kind(), "exp");
+        assert_eq!(cells[1].failure_model.kind(), "exp");
+        assert_eq!(cells[2].failure_model.kind(), "weibull");
+        assert_eq!(cells[3].failure_model.kind(), "weibull");
+        assert_eq!(cells[0].setup.alpha(), Some(0.05));
+        assert_eq!(cells[4].setup.alpha(), Some(0.1));
+        assert_eq!(cells[0].lambda_multiplier, 1.0);
+        assert_eq!(cells[1].lambda_multiplier, 10.0);
+    }
+
+    #[test]
+    fn default_failure_axis_leaves_grids_unchanged() {
+        // Back-compat: a grid that never mentions failure models flattens to
+        // exactly the same cells (and fingerprint) as one that sets the
+        // default exponential axis explicitly.
+        let implicit = ScenarioGrid::builder()
+            .lambda_multipliers(&[1.0, 10.0])
+            .build()
+            .unwrap();
+        let explicit = ScenarioGrid::builder()
+            .failure_models(&[FailureModelSpec::exponential()])
+            .lambda_multipliers(&[1.0, 10.0])
+            .build()
+            .unwrap();
+        assert_eq!(implicit, explicit);
+        assert_eq!(implicit.cells(), explicit.cells());
+        assert_eq!(implicit.fingerprint(), explicit.fingerprint());
+    }
+
+    #[test]
+    fn failure_axes_change_the_fingerprint() {
+        let base = ScenarioGrid::builder().build().unwrap();
+        let weibull = ScenarioGrid::builder()
+            .failure_models(&[FailureModelSpec::weibull(0.7).unwrap()])
+            .build()
+            .unwrap();
+        let degenerate = ScenarioGrid::builder()
+            .failure_models(&[FailureModelSpec::weibull(1.0).unwrap()])
+            .build()
+            .unwrap();
+        assert_ne!(base.fingerprint(), weibull.fingerprint());
+        // weibull:1.0 evaluates like exp but is a *different grid*: its CSV
+        // carries different spec columns, so its fingerprint must differ too.
+        assert_ne!(base.fingerprint(), degenerate.fingerprint());
+        assert_ne!(weibull.fingerprint(), degenerate.fingerprint());
+    }
+
+    #[test]
+    fn invalid_failure_models_are_rejected() {
+        assert!(ScenarioGrid::builder().failure_models(&[]).build().is_err());
+        let pinned = FailureModelSpec::parse("weibull:0.7,1e-8").unwrap();
+        let err = ScenarioGrid::builder()
+            .failure_models(&[pinned])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("lambda axis"), "{err}");
     }
 
     #[test]

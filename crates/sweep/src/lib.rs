@@ -43,11 +43,12 @@ pub mod evaluate;
 pub mod executor;
 pub mod grid;
 pub mod manifest;
+pub mod misspec;
 pub mod options;
 pub mod shard;
 pub mod sink;
 
-pub use ayd_core::{ProfileSpec, SpeedupProfile};
+pub use ayd_core::{FailureModelSpec, ProfileSpec, SpeedupProfile};
 pub use ayd_optim::SearchReport;
 pub use cache::{CacheKey, CacheStats, EvalCache, ShardedEvalCache};
 pub use evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
@@ -58,6 +59,9 @@ pub use executor::{
 };
 pub use grid::{GridBuilder, GridError, LambdaAxis, ProcessorAxis, ScenarioGrid, SweepCell};
 pub use manifest::{manifest_path, SweepManifest, MANIFEST_MAGIC};
+pub use misspec::{
+    misspecification_of, misspecification_report, MisspecificationReport, MisspecificationRow,
+};
 pub use options::{Fidelity, RunOptions, SearchStrategy};
 pub use shard::{
     merge_parts, run_shard_to_files, ShardError, ShardPart, ShardRunReport, ShardSpec, MAX_SHARDS,

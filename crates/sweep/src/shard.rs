@@ -336,33 +336,56 @@ pub fn run_shard_to_files(
     let mut manifest = SweepManifest::new(grid, &executor.options, shard);
 
     let completed = if resume && csv_path.exists() {
-        let existing = SweepManifest::read(&manifest_file)?;
-        if !existing.same_sweep(&manifest) || existing.shard != shard {
-            return Err(ShardError::Mismatch(format!(
-                "cannot resume: {} describes {existing}, expected shard {shard} of this sweep",
-                manifest_file.display()
-            )));
-        }
         let text = std::fs::read_to_string(csv_path)
             .map_err(|e| ShardError::Io(format!("read {}: {e}", csv_path.display())))?;
-        let (csv_rows, valid_len) = complete_rows(&text)?;
-        // Trust whichever of the manifest and the CSV is *behind*: the CSV may
-        // hold a torn row the manifest never acknowledged, and an unsynced
-        // manifest may trail the CSV by a row.
-        let completed = existing.completed.min(csv_rows).min(cells.len());
-        let file = std::fs::OpenOptions::new()
-            .write(true)
-            .open(csv_path)
-            .map_err(|e| ShardError::Io(format!("open {}: {e}", csv_path.display())))?;
-        let keep = (CSV_HEADER.len() + 1)
-            + text[CSV_HEADER.len() + 1..valid_len]
-                .split_inclusive('\n')
-                .take(completed)
-                .map(str::len)
-                .sum::<usize>();
-        file.set_len(keep as u64)
-            .map_err(|e| ShardError::Io(format!("truncate {}: {e}", csv_path.display())))?;
-        completed
+        if format!("{CSV_HEADER}\n")
+            .as_bytes()
+            .starts_with(text.as_bytes())
+        {
+            // The CSV holds zero data rows — at most a (possibly torn) header,
+            // from a run killed before its first row. Resume degenerates to a
+            // fresh start: rewrite the header and evaluate every cell. The
+            // manifest may not exist yet (the kill can land between the two
+            // file creations), but one that *does* read back and describes a
+            // different sweep still refuses, like any other resume.
+            if let Ok(existing) = SweepManifest::read(&manifest_file) {
+                if !existing.same_sweep(&manifest) || existing.shard != shard {
+                    return Err(ShardError::Mismatch(format!(
+                        "cannot resume: {} describes {existing}, expected shard {shard} of this sweep",
+                        manifest_file.display()
+                    )));
+                }
+            }
+            std::fs::write(csv_path, format!("{CSV_HEADER}\n"))
+                .map_err(|e| ShardError::Io(format!("write {}: {e}", csv_path.display())))?;
+            0
+        } else {
+            let existing = SweepManifest::read(&manifest_file)?;
+            if !existing.same_sweep(&manifest) || existing.shard != shard {
+                return Err(ShardError::Mismatch(format!(
+                    "cannot resume: {} describes {existing}, expected shard {shard} of this sweep",
+                    manifest_file.display()
+                )));
+            }
+            let (csv_rows, valid_len) = complete_rows(&text)?;
+            // Trust whichever of the manifest and the CSV is *behind*: the CSV
+            // may hold a torn row the manifest never acknowledged, and an
+            // unsynced manifest may trail the CSV by a row.
+            let completed = existing.completed.min(csv_rows).min(cells.len());
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(csv_path)
+                .map_err(|e| ShardError::Io(format!("open {}: {e}", csv_path.display())))?;
+            let keep = (CSV_HEADER.len() + 1)
+                + text[CSV_HEADER.len() + 1..valid_len]
+                    .split_inclusive('\n')
+                    .take(completed)
+                    .map(str::len)
+                    .sum::<usize>();
+            file.set_len(keep as u64)
+                .map_err(|e| ShardError::Io(format!("truncate {}: {e}", csv_path.display())))?;
+            completed
+        }
     } else {
         std::fs::write(csv_path, format!("{CSV_HEADER}\n"))
             .map_err(|e| ShardError::Io(format!("write {}: {e}", csv_path.display())))?;
@@ -603,6 +626,53 @@ mod tests {
         );
         let text = std::fs::read_to_string(&csv_path).unwrap();
         assert_eq!(text, executor.run_cells(&grid.shard_cells(shard)).to_csv());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_only_csv_resumes_as_a_fresh_start() {
+        // A run killed before its first row leaves a CSV holding exactly the
+        // header (zero data rows) — possibly before the manifest was ever
+        // created. Resuming such a shard must behave like a fresh start, not
+        // error out or mis-count rows.
+        let dir = temp_dir("header-only");
+        let grid = grid();
+        let executor = SweepExecutor::new(options().with_threads(2));
+        let shard = ShardSpec::new(0, 2).unwrap();
+        let expected = executor.run_cells(&grid.shard_cells(shard)).to_csv();
+
+        // Exactly the header, no manifest sidecar at all.
+        let csv_path = dir.join("shard.csv");
+        std::fs::write(&csv_path, format!("{CSV_HEADER}\n")).unwrap();
+        let report = run_shard_to_files(&executor, &grid, shard, &csv_path, true, None).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.resumed_rows, 0);
+        assert_eq!(report.results.rows.len(), shard.cell_count(grid.len()));
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), expected);
+
+        // A header torn mid-write (hard kill during the very first write):
+        // still a fresh start, with the header repaired.
+        let torn_path = dir.join("torn-header.csv");
+        std::fs::write(&torn_path, &CSV_HEADER[..CSV_HEADER.len() / 2]).unwrap();
+        let report = run_shard_to_files(&executor, &grid, shard, &torn_path, true, None).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.resumed_rows, 0);
+        assert_eq!(std::fs::read_to_string(&torn_path).unwrap(), expected);
+
+        // But a header-only CSV whose sidecar manifest describes a *different*
+        // sweep still refuses, like any other resume.
+        let foreign_path = dir.join("foreign.csv");
+        std::fs::write(&foreign_path, format!("{CSV_HEADER}\n")).unwrap();
+        let foreign_options = SweepOptions::new(RunOptions {
+            seed: 999,
+            simulate: false,
+            ..RunOptions::smoke()
+        });
+        SweepManifest::new(&grid, &foreign_options, shard)
+            .write_atomic(&manifest_path(&foreign_path))
+            .unwrap();
+        let err = run_shard_to_files(&executor, &grid, shard, &foreign_path, true, None);
+        assert!(matches!(err, Err(ShardError::Mismatch(_))), "{err:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,8 +16,11 @@ use crate::executor::{SweepResults, SweepRow};
 /// `profile` holds the profile family (`amdahl`, `perfect`, `powerlaw`,
 /// `gustafson`) and `profile_param` its parameter (`α` or `σ`, empty for
 /// `perfect`); `alpha` keeps the Amdahl-equivalent sequential fraction and is
-/// empty for extension profiles.
+/// empty for extension profiles. `failure_model` holds the failure-arrival
+/// family (`exp`, `weibull`, `shifted`, `trace`) and `failure_param` its
+/// parameter (shape `k` or shift `d`; empty for `exp` and `trace`).
 pub const CSV_HEADER: &str = "platform,scenario,alpha,profile,profile_param,\
+failure_model,failure_param,\
 lambda_ind,lambda_multiplier,processors,\
 pattern_length,fo_processors,fo_period,fo_overhead,fo_formula_overhead,fo_sim_mean,fo_sim_ci95,\
 num_processors,num_period,num_overhead,num_sim_mean,num_sim_ci95,\
@@ -47,6 +50,9 @@ pub fn csv_line(row: &SweepRow) -> String {
     out.push(',');
     out.push_str(profile.kind());
     push_value(&mut out, profile.param());
+    out.push(',');
+    out.push_str(row.failure_model.kind());
+    push_value(&mut out, row.failure_model.param());
     out.push_str(&format!(",{},{}", row.lambda_ind, row.lambda_multiplier));
     push_value(&mut out, row.fixed_processors);
     push_value(&mut out, row.pattern_length);
@@ -163,11 +169,19 @@ pub struct SharedSink<S: SweepSink>(pub Arc<Mutex<S>>);
 
 impl<S: SweepSink> SweepSink for SharedSink<S> {
     fn on_row(&mut self, row: &SweepRow) {
-        self.0.lock().expect("shared sink poisoned").on_row(row);
+        // A panic in an unrelated holder must not cascade: the protected data
+        // (an append-only sink) stays coherent, so recover the guard.
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .on_row(row);
     }
 
     fn finish(&mut self, results: &SweepResults) {
-        self.0.lock().expect("shared sink poisoned").finish(results);
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .finish(results);
     }
 }
 

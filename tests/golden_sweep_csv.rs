@@ -40,7 +40,8 @@ fn golden_csv() -> String {
 fn sweep_csv_header_is_pinned() {
     assert_eq!(
         CSV_HEADER,
-        "platform,scenario,alpha,profile,profile_param,lambda_ind,lambda_multiplier,processors,\
+        "platform,scenario,alpha,profile,profile_param,failure_model,failure_param,\
+lambda_ind,lambda_multiplier,processors,\
 pattern_length,fo_processors,fo_period,fo_overhead,fo_formula_overhead,fo_sim_mean,fo_sim_ci95,\
 num_processors,num_period,num_overhead,num_sim_mean,num_sim_ci95,\
 pattern_overhead,pattern_sim_mean,pattern_sim_ci95,stream_sim_mean,stream_sim_ci95"
@@ -55,13 +56,13 @@ fn sweep_csv_first_and_last_rows_are_pinned() {
     assert_eq!(lines[0], CSV_HEADER);
     assert_eq!(
         lines[1],
-        "Hera,1,0.1,amdahl,0.1,0.0000000169,1,256,3600,256,6551.836818431605,\
+        "Hera,1,0.1,amdahl,0.1,exp,,0.0000000169,1,256,3600,256,6551.836818431605,\
 0.10923732682928215,0.10874209350020253,,,256,6469.2375895385285,0.10923689384439697,,,\
 0.11018235679785451,,,,"
     );
     assert_eq!(
         lines[8],
-        "Hera,3,0.1,amdahl,0.1,0.000000169,10,1024,3600,1024,1430.5273600525854,\
+        "Hera,3,0.1,amdahl,0.1,exp,,0.000000169,10,1024,3600,1024,1430.5273600525854,\
 0.17749510125302212,0.14536209184958257,,,1024,1280.6146752871186,0.17710358937015436,,,\
 0.22113748594843097,,,,"
     );
@@ -83,14 +84,61 @@ fn non_amdahl_rows_are_pinned() {
     assert_eq!(lines.len(), 2);
     let line = lines[1];
     assert!(
-        line.starts_with("Hera,1,,powerlaw,0.8,0.0000000169,1,256,,,,,,,,256,"),
+        line.starts_with("Hera,1,,powerlaw,0.8,exp,,0.0000000169,1,256,,,,,,,,256,"),
         "line: {line}"
     );
     let columns: Vec<&str> = line.split(',').collect();
     assert_eq!(columns.len(), CSV_HEADER.split(',').count());
     // The numerical series is present and positive.
-    let num_overhead: f64 = columns[17].parse().unwrap();
+    let num_overhead: f64 = columns[19].parse().unwrap();
     assert!(num_overhead > 0.0, "line: {line}");
+}
+
+#[test]
+fn non_exponential_rows_are_pinned() {
+    // One Weibull cell: the failure-model columns carry the family and its
+    // shape, while the analytic series stays the exponential model's (the
+    // misspecification report, not the CSV, carries the comparison).
+    let grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&[ScenarioId::S1])
+        .failure_models(&[ayd_sweep::FailureModelSpec::weibull(0.7).unwrap()])
+        .processors(ProcessorAxis::Fixed(vec![256.0]))
+        .pattern_lengths(&[3_600.0])
+        .build()
+        .unwrap();
+    let csv = run_csv(&grid);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let line = lines[1];
+    assert!(
+        line.starts_with("Hera,1,0.1,amdahl,0.1,weibull,0.7,0.0000000169,1,256,3600,"),
+        "line: {line}"
+    );
+    assert_eq!(line.split(',').count(), CSV_HEADER.split(',').count());
+    // Analytic-only run: the analytic columns are identical to the same grid
+    // under the default exponential axis (stripping the two failure columns).
+    let exp_grid = ScenarioGrid::builder()
+        .platforms(&[PlatformId::Hera])
+        .scenarios(&[ScenarioId::S1])
+        .processors(ProcessorAxis::Fixed(vec![256.0]))
+        .pattern_lengths(&[3_600.0])
+        .build()
+        .unwrap();
+    let exp_line = run_csv(&exp_grid).lines().nth(1).unwrap().to_string();
+    assert_eq!(
+        strip_failure_columns(line),
+        strip_failure_columns(&exp_line)
+    );
+}
+
+/// Drops the `failure_model`/`failure_param` columns (1-indexed 6 and 7) from
+/// a CSV line, mirroring the CI smoke step's `cut -d, -f1-5,8-`.
+fn strip_failure_columns(line: &str) -> String {
+    let columns: Vec<&str> = line.split(',').collect();
+    let mut kept: Vec<&str> = columns[..5].to_vec();
+    kept.extend(&columns[7..]);
+    kept.join(",")
 }
 
 #[test]
@@ -122,7 +170,7 @@ fn sharded_merge_reproduces_the_golden_bytes() {
 fn every_golden_row_has_the_full_column_count() {
     let csv = golden_csv();
     let columns = CSV_HEADER.split(',').count();
-    assert_eq!(columns, 25);
+    assert_eq!(columns, 27);
     for line in csv.lines() {
         assert_eq!(line.split(',').count(), columns, "line: {line}");
     }

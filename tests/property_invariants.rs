@@ -359,7 +359,7 @@ proptest! {
         prop_assert_eq!(amdahl_zero.rows.len(), perfect.rows.len());
         for (a, p) in amdahl_zero.rows.iter().zip(&perfect.rows) {
             // Identical modulo the profile field itself…
-            let mut normalized = *p;
+            let mut normalized = p.clone();
             normalized.profile = a.profile;
             prop_assert_eq!(a, &normalized);
             // …including the Amdahl-equivalent alpha column (both are 0).

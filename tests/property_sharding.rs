@@ -85,7 +85,7 @@ proptest! {
             };
             let results = SweepExecutor::new(shard_options).run_cells(&grid.shard_cells(shard));
             prop_assert_eq!(results.rows.len(), shard.cell_count(grid.len()));
-            concatenated.extend(results.rows.iter().copied());
+            concatenated.extend(results.rows.iter().cloned());
             parts.push(ShardPart {
                 manifest: SweepManifest::complete(&grid, &options, shard),
                 csv: results.to_csv(),

@@ -5,7 +5,10 @@
 //! ```
 //!
 //! Default mode drives `POST /v1/optimize` over `C` keep-alive connections,
-//! prints a one-line throughput/latency report, validates the `/metrics`
+//! prints a one-line throughput/latency report (p50/p90/p99/p99.9/max, with
+//! an error-by-status breakdown when anything failed), checks the server-side
+//! `ayd_requests_total{endpoint="optimize"}` delta against the number of
+//! requests actually sent, validates the `/metrics`
 //! payload and exits non-zero when any request failed. `--cache-bust` gives
 //! every request a unique error rate so each evaluation misses the server's
 //! cache (measuring the cold optimiser path). `--check` instead runs the
@@ -16,7 +19,9 @@
 
 use std::process::ExitCode;
 
-use ayd_bench::loadgen::{run_load, LoadOptions};
+use ayd_bench::loadgen::{
+    await_request_delta, endpoint_requests, run_load, scrape_metrics, LoadOptions,
+};
 
 struct Args {
     addr: String,
@@ -81,9 +86,16 @@ fn run(args: &Args) -> Result<(), String> {
     } else {
         LoadOptions::optimize(&args.addr, args.requests, args.concurrency)
     };
+    // Scrape before and after: the server must count exactly the requests
+    // this client sends — a lost or double-counted request is a metrics bug,
+    // whatever the latency report says.
+    let baseline = endpoint_requests(&scrape_metrics(&args.addr)?, "optimize");
     let report = run_load(&options)?;
     println!("{}", report.render());
-    // The metrics endpoint must also be live and parsable after the run.
+    let accepted = report.requests - report.io_errors;
+    await_request_delta(&args.addr, "optimize", baseline, accepted)?;
+    println!("loadgen: metrics delta ok ({accepted} optimize requests counted server-side)");
+    // The metrics endpoint must also stay valid after the run.
     let mut client =
         ayd_serve::HttpClient::connect(&args.addr).map_err(|e| format!("metrics connect: {e}"))?;
     let metrics = client

@@ -7,6 +7,7 @@
 //! bench, and — via `--check` — the end-to-end golden round-trip of
 //! [`ayd_serve::smoke_check`].
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -88,25 +89,64 @@ pub struct LoadReport {
     pub req_per_s: f64,
     /// Median client-observed latency, in microseconds.
     pub p50_us: f64,
+    /// 90th-percentile client-observed latency, in microseconds.
+    pub p90_us: f64,
     /// 99th-percentile client-observed latency, in microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile client-observed latency, in microseconds.
+    pub p999_us: f64,
+    /// Worst client-observed latency, in microseconds.
+    pub max_us: f64,
+    /// Error breakdown by HTTP status (non-200 responses only); transport
+    /// failures are under [`LoadReport::io_errors`] instead.
+    pub error_statuses: BTreeMap<u16, usize>,
+    /// Errors with no HTTP status: connect/read/write failures.
+    pub io_errors: usize,
 }
 
 impl LoadReport {
+    /// The error breakdown as `status 404 x3, io x1` (empty when error-free).
+    pub fn render_errors(&self) -> String {
+        let mut parts: Vec<String> = self
+            .error_statuses
+            .iter()
+            .map(|(status, count)| format!("status {status} x{count}"))
+            .collect();
+        if self.io_errors > 0 {
+            parts.push(format!("io x{}", self.io_errors));
+        }
+        parts.join(", ")
+    }
+
     /// One-line human-readable summary. A run in which every request failed
     /// has no latency samples, so the percentile/throughput figures would be
-    /// meaningless zeros — say so instead of printing them.
+    /// meaningless zeros — say so instead of printing them. Any errors get a
+    /// by-status breakdown in parentheses.
     pub fn render(&self) -> String {
+        let breakdown = if self.errors > 0 {
+            format!(" ({})", self.render_errors())
+        } else {
+            String::new()
+        };
         if self.successes == 0 {
             return format!(
-                "loadgen: {} requests, 0 successful requests, {} errors, {:.2?} elapsed",
+                "loadgen: {} requests, 0 successful requests, {} errors{breakdown}, \
+                 {:.2?} elapsed",
                 self.requests, self.errors, self.elapsed
             );
         }
         format!(
-            "loadgen: {} requests, {} errors, {:.2?} elapsed, {:.0} req/s, \
-             p50 {:.0} µs, p99 {:.0} µs",
-            self.requests, self.errors, self.elapsed, self.req_per_s, self.p50_us, self.p99_us
+            "loadgen: {} requests, {} errors{breakdown}, {:.2?} elapsed, {:.0} req/s, \
+             p50 {:.0} µs, p90 {:.0} µs, p99 {:.0} µs, p99.9 {:.0} µs, max {:.0} µs",
+            self.requests,
+            self.errors,
+            self.elapsed,
+            self.req_per_s,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us
         )
     }
 }
@@ -127,16 +167,16 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
         .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
 
     let issued = Arc::new(AtomicUsize::new(0));
-    let errors = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
     let mut all_latencies: Vec<u64> = Vec::with_capacity(options.requests);
+    let mut error_statuses: BTreeMap<u16, usize> = BTreeMap::new();
+    let mut io_errors = 0usize;
     std::thread::scope(|scope| {
         let mut workers = Vec::new();
         for _ in 0..options.concurrency {
             let issued = Arc::clone(&issued);
-            let errors = Arc::clone(&errors);
             workers.push(scope.spawn(move || {
-                let mut latencies: Vec<u64> = Vec::new();
+                let mut outcome = WorkerOutcome::default();
                 let mut client = match HttpClient::connect(&options.addr) {
                     Ok(client) => client,
                     Err(_) => {
@@ -145,9 +185,9 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
                             if issued.fetch_add(1, Ordering::Relaxed) >= options.requests {
                                 break;
                             }
-                            errors.fetch_add(1, Ordering::Relaxed);
+                            outcome.io_errors += 1;
                         }
-                        return latencies;
+                        return outcome;
                     }
                 };
                 loop {
@@ -159,13 +199,13 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
                     let begun = Instant::now();
                     match client.post_json(&options.path, &body) {
                         Ok(response) if response.status == 200 => {
-                            latencies.push(begun.elapsed().as_micros() as u64);
+                            outcome.latencies.push(begun.elapsed().as_micros() as u64);
                         }
-                        Ok(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                        Ok(response) => {
+                            *outcome.statuses.entry(response.status).or_default() += 1;
                         }
                         Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                            outcome.io_errors += 1;
                             // The connection may be dead; try a fresh one.
                             match HttpClient::connect(&options.addr) {
                                 Ok(fresh) => client = fresh,
@@ -174,18 +214,23 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
                         }
                     }
                 }
-                latencies
+                outcome
             }));
         }
         for worker in workers {
             // A panicked worker contributes no samples; the run's other
             // workers still produce a usable report.
-            all_latencies.extend(worker.join().unwrap_or_default());
+            let outcome = worker.join().unwrap_or_default();
+            all_latencies.extend(outcome.latencies);
+            for (status, count) in outcome.statuses {
+                *error_statuses.entry(status).or_default() += count;
+            }
+            io_errors += outcome.io_errors;
         }
     });
     let elapsed = started.elapsed();
     all_latencies.sort_unstable();
-    let errors = errors.load(Ordering::Relaxed);
+    let errors = io_errors + error_statuses.values().sum::<usize>();
     let completed = all_latencies.len() + errors;
     Ok(LoadReport {
         requests: completed,
@@ -194,8 +239,59 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
         elapsed,
         req_per_s: all_latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         p50_us: percentile(&all_latencies, 0.50),
+        p90_us: percentile(&all_latencies, 0.90),
         p99_us: percentile(&all_latencies, 0.99),
+        p999_us: percentile(&all_latencies, 0.999),
+        max_us: all_latencies.last().copied().unwrap_or(0) as f64,
+        error_statuses,
+        io_errors,
     })
+}
+
+/// What one load worker brings home.
+#[derive(Debug, Default)]
+struct WorkerOutcome {
+    latencies: Vec<u64>,
+    statuses: BTreeMap<u16, usize>,
+    io_errors: usize,
+}
+
+/// Scrapes and parses `/metrics` into the typed model.
+pub fn scrape_metrics(addr: &str) -> Result<ayd_serve::PrometheusText, String> {
+    let mut client =
+        HttpClient::connect(addr).map_err(|e| format!("metrics connect to {addr}: {e}"))?;
+    let response = client
+        .get("/metrics", None)
+        .map_err(|e| format!("metrics fetch: {e}"))?;
+    ayd_serve::PrometheusText::parse(&response.body).map_err(|e| format!("metrics parse: {e}"))
+}
+
+/// The server-side request count of `endpoint` (all statuses) in a scrape.
+pub fn endpoint_requests(scrape: &ayd_serve::PrometheusText, endpoint: &str) -> f64 {
+    scrape.sum_labeled("ayd_requests_total", "endpoint", endpoint)
+}
+
+/// Asserts the server counted exactly `expected` more requests on `endpoint`
+/// than `baseline`. The server observes a request *after* writing its
+/// response, so the client can scrape before the last observation lands —
+/// retry briefly before declaring a lost or double-counted request.
+pub fn await_request_delta(
+    addr: &str,
+    endpoint: &str,
+    baseline: f64,
+    expected: usize,
+) -> Result<(), String> {
+    let mut delta = 0.0;
+    for _ in 0..40 {
+        delta = endpoint_requests(&scrape_metrics(addr)?, endpoint) - baseline;
+        if delta == expected as f64 {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err(format!(
+        "metrics delta: endpoint {endpoint} counted {delta} new requests, client sent {expected}"
+    ))
 }
 
 #[cfg(test)]
@@ -242,8 +338,13 @@ mod tests {
         assert_eq!(report.errors, 16);
         assert_eq!(report.req_per_s, 0.0);
         assert_eq!((report.p50_us, report.p99_us), (0.0, 0.0));
+        // Every error carries its status: 16 x 404, no transport failures.
+        assert_eq!(report.error_statuses.get(&404), Some(&16));
+        assert_eq!(report.io_errors, 0);
+        assert_eq!(report.render_errors(), "status 404 x16");
         let rendered = report.render();
         assert!(rendered.contains("0 successful requests"), "{rendered}");
+        assert!(rendered.contains("status 404 x16"), "{rendered}");
         assert!(!rendered.contains("req/s"), "{rendered}");
 
         handle.shutdown();
@@ -262,12 +363,21 @@ mod tests {
         let addr = handle.addr().to_string();
         let thread = std::thread::spawn(move || server.serve());
 
+        // The server must count exactly the requests the client sends.
+        let baseline = endpoint_requests(&scrape_metrics(&addr).unwrap(), "optimize");
         let report = run_load(&LoadOptions::optimize(&addr, 64, 4)).unwrap();
         assert_eq!(report.requests, 64);
         assert_eq!(report.errors, 0);
         assert!(report.req_per_s > 0.0);
-        assert!(report.p50_us <= report.p99_us);
+        // Percentiles are monotone and bounded by the worst sample.
+        assert!(report.p50_us <= report.p90_us);
+        assert!(report.p90_us <= report.p99_us);
+        assert!(report.p99_us <= report.p999_us);
+        assert!(report.p999_us <= report.max_us);
         assert!(report.render().contains("0 errors"));
+        assert!(report.render().contains("max"), "{}", report.render());
+        assert_eq!(report.render_errors(), "");
+        await_request_delta(&addr, "optimize", baseline, 64).unwrap();
 
         handle.shutdown();
         thread.join().unwrap().unwrap();

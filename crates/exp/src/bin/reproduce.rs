@@ -6,7 +6,7 @@
 //!                        [--profiles SPEC,...] [--failure-models SPEC,...]
 //!                        [--shard I/N] [--out PATH] [--resume]
 //!                        [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N]
-//!                        [--max-body BYTES]
+//!                        [--max-body BYTES] [--trace-log PATH]
 //!
 //! experiments:
 //!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
@@ -14,7 +14,8 @@
 //!   sweep-merge merge shard CSVs (--inputs) into the unsharded CSV (--out)
 //!   checks      headline shape checks (figures 5 and 6 slopes)
 //!   serve       ayd-serve HTTP query service (runs until killed; not in `all`)
-//!   all         everything above except serve and sweep-merge
+//!   obs-report  paper-style time accounting from a --trace-log file (standalone)
+//!   all         everything above except serve, sweep-merge and obs-report
 //! ```
 //!
 //! Experiment names are validated up front: an unknown name (or flag) fails
@@ -45,6 +46,14 @@
 //! printed on stdout), `--threads` sizes the connection/compute pools,
 //! `--cache-capacity` the shared evaluation cache and `--max-body` the largest
 //! accepted request body.
+//!
+//! `--trace-log PATH` wears two hats. On any running experiment it installs
+//! an `ayd-obs` JSON-lines sink, so every span the run records (sweep stages,
+//! server requests, optimiser fallbacks) streams to `PATH`; the sweep CSV is
+//! byte-identical with tracing on or off — tracing reads clocks and counters,
+//! never values. On `obs-report` the same flag names the *input*: the log is
+//! parsed and re-rendered as paper-style time-accounting tables (per-endpoint
+//! request stages, connection queue waits, per-strategy sweep execution).
 //!
 //! `--json` requires `serde_json`, which this offline build replaces with a
 //! no-op stand-in (see `vendor/serde`); the flag is accepted but falls back to
@@ -95,6 +104,9 @@ struct Cli {
     /// Failure-model axis override of the sweep demo grid
     /// (`--failure-models`).
     failure_models: Option<Vec<ayd_core::FailureModelSpec>>,
+    /// `--trace-log PATH`: ayd-obs JSON-lines sink for running experiments,
+    /// or the input log for `obs-report`.
+    trace_log: Option<std::path::PathBuf>,
 }
 
 /// The experiments `all` runs, in order. This single table also drives the
@@ -120,7 +132,8 @@ const ALL_EXPERIMENTS: &[&str] = &[
 /// True when the CLI accepts `name` as an experiment; anything else is
 /// rejected at parse time, before any experiment runs.
 fn is_known_experiment(name: &str) -> bool {
-    ALL_EXPERIMENTS.contains(&name) || matches!(name, "sweep-merge" | "serve" | "all")
+    ALL_EXPERIMENTS.contains(&name)
+        || matches!(name, "sweep-merge" | "serve" | "obs-report" | "all")
 }
 
 fn parse_profiles(value: &str) -> Result<Vec<ayd_core::SpeedupProfile>, String> {
@@ -167,6 +180,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut shard = ShardArgs::default();
     let mut profiles = None;
     let mut failure_models = None;
+    let mut trace_log = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -250,6 +264,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| format!("invalid body limit `{value}`"))?,
                 );
             }
+            "--trace-log" => {
+                let value = iter.next().ok_or("--trace-log requires a path")?;
+                trace_log = Some(std::path::PathBuf::from(value));
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()))
@@ -315,6 +333,21 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             usage()
         ));
     }
+    // `--trace-log` flips meaning on obs-report (input, not sink), so the
+    // report can never run in the same invocation as the experiments that
+    // would be writing the very file it reads.
+    if experiments.iter().any(|e| e == "obs-report") {
+        if experiments.len() > 1 {
+            return Err(format!(
+                "obs-report must be the only experiment (its --trace-log is an input, \
+                 not a sink)\n{}",
+                usage()
+            ));
+        }
+        if trace_log.is_none() {
+            return Err(format!("obs-report requires --trace-log PATH\n{}", usage()));
+        }
+    }
     Ok(Cli {
         experiments,
         options,
@@ -323,6 +356,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         shard,
         profiles,
         failure_models,
+        trace_log,
     })
 }
 
@@ -331,9 +365,9 @@ fn usage() -> String {
      [--threads N] [--no-cache] [--search STRATEGY] [--profiles SPEC,...] \
      [--failure-models SPEC,...] [--shard I/N] \
      [--out PATH] [--resume] [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N] \
-     [--max-body BYTES]\n\
+     [--max-body BYTES] [--trace-log PATH]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
-     sweep-merge checks serve all\n\
+     sweep-merge checks serve obs-report all\n\
      search strategies: reference | fast | fast-strict (default; all three are bit-identical, \
      the fast paths only change cold-evaluation cost)\n\
      profile specs: amdahl:A powerlaw:S gustafson:A perfect (e.g. \
@@ -341,7 +375,9 @@ fn usage() -> String {
      failure-model specs: exp weibull:K shifted:D trace:PATH, rate-free (e.g. \
      --failure-models exp,weibull:0.7)\n\
      sharding: sweep --shard 0/4 --out shard0.csv [--resume]; \
-     sweep-merge --inputs shard0.csv,...,shard3.csv --out merged.csv"
+     sweep-merge --inputs shard0.csv,...,shard3.csv --out merged.csv\n\
+     tracing: any experiment --trace-log trace.jsonl streams ayd-obs spans to the file; \
+     obs-report --trace-log trace.jsonl renders the time-accounting tables"
         .to_string()
 }
 
@@ -441,6 +477,24 @@ fn run_serve(cli: &Cli) -> Result<(), String> {
     println!("ayd-serve listening on http://{addr}");
     std::io::stdout().flush().expect("flush stdout");
     server.serve().map_err(|e| format!("serve: {e}"))
+}
+
+/// The `obs-report` experiment: parses a `--trace-log` file back into span
+/// records and renders the paper-style time-accounting tables (per-endpoint
+/// request stages that sum to the total, connection queue waits, per-strategy
+/// sweep execution).
+fn run_obs_report(cli: &Cli) -> Result<(), String> {
+    let path = cli
+        .trace_log
+        .as_ref()
+        .expect("parse_args enforces --trace-log for obs-report");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("obs-report: read {}: {e}", path.display()))?;
+    let spans = ayd_exp::obsreport::parse_trace_log(&text)
+        .map_err(|e| format!("obs-report: {}: {e}", path.display()))?;
+    let accounting = ayd_exp::obsreport::account(&spans);
+    emit(cli.format, ayd_exp::obsreport::render(&accounting));
+    Ok(())
 }
 
 const JSON_FALLBACK_NOTICE: &str = "note: JSON output needs the real serde_json (unavailable in \
@@ -609,6 +663,7 @@ fn run_experiment(name: &str, cli: &Cli) -> Result<(), String> {
             run_sweep_merge(cli, out)?
         }
         "serve" => run_serve(cli)?,
+        "obs-report" => run_obs_report(cli)?,
         "checks" => {
             // The slope checks do not need simulation; force it off for speed.
             let analytic = RunOptions {
@@ -641,11 +696,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Install the JSON-lines trace sink before anything runs (obs-report
+    // *reads* the file instead). Tracing is enabled ring-only by default in
+    // the server; the CLI turns recording on exactly when a sink wants the
+    // spans, so a sink-less run records nothing.
+    let tracing = cli.trace_log.is_some() && cli.experiments.iter().all(|e| e != "obs-report");
+    if tracing {
+        let path = cli.trace_log.as_ref().expect("checked above");
+        match ayd_obs::JsonLinesSink::create(path) {
+            Ok(sink) => {
+                ayd_obs::set_sink(Some(std::sync::Arc::new(sink)));
+                ayd_obs::enable();
+            }
+            Err(error) => {
+                eprintln!("--trace-log: create {}: {error}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     for experiment in &cli.experiments {
         if let Err(message) = run_experiment(experiment, &cli) {
             eprintln!("{message}");
+            if tracing {
+                ayd_obs::flush();
+                ayd_obs::set_sink(None);
+            }
             return ExitCode::FAILURE;
         }
+    }
+    if tracing {
+        // Drain thread buffers and the process ring through the sink, then
+        // detach it so its BufWriter flushes on drop.
+        ayd_obs::flush();
+        ayd_obs::set_sink(None);
     }
     ExitCode::SUCCESS
 }
@@ -837,6 +920,7 @@ mod tests {
             shard: ShardArgs::default(),
             profiles: None,
             failure_models: None,
+            trace_log: None,
         }
     }
 
@@ -902,6 +986,66 @@ mod tests {
         assert!(parse_args(&strings(&["sweep-merge", "--inputs", ",", "--out", "m"])).is_err());
         // --inputs on any other experiment is rejected.
         assert!(parse_args(&strings(&["sweep", "--inputs", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_log_and_obs_report() {
+        // --trace-log as a sink on a running experiment…
+        let cli = parse_args(&strings(&["sweep", "--trace-log", "t.jsonl"])).unwrap();
+        assert_eq!(
+            cli.trace_log.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+        // …and as the input of the standalone report.
+        let cli = parse_args(&strings(&["obs-report", "--trace-log", "t.jsonl"])).unwrap();
+        assert_eq!(cli.experiments, vec!["obs-report"]);
+        assert!(parse_args(&strings(&["sweep", "--trace-log"])).is_err());
+        // obs-report needs the log and cannot share an invocation with the
+        // experiments that would be writing it.
+        let err = parse_args(&strings(&["obs-report"])).unwrap_err();
+        assert!(err.contains("requires --trace-log"), "{err}");
+        let err =
+            parse_args(&strings(&["sweep", "obs-report", "--trace-log", "t.jsonl"])).unwrap_err();
+        assert!(err.contains("only experiment"), "{err}");
+        // `all` keeps excluding the standalone experiments.
+        assert!(!ALL_EXPERIMENTS.contains(&"obs-report"));
+    }
+
+    #[test]
+    fn obs_report_renders_accounting_tables_from_a_log() {
+        let dir = std::env::temp_dir().join("ayd-obs-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let records = [
+            ayd_obs::SpanRecord {
+                trace: 0xfeed,
+                id: 1,
+                parent: 0,
+                name: "request",
+                start_ns: 0,
+                duration_ns: 1_000,
+                fields: vec![("endpoint", ayd_obs::FieldValue::Str("optimize".to_string()))],
+            },
+            ayd_obs::SpanRecord {
+                trace: 0xfeed,
+                id: 2,
+                parent: 1,
+                name: "parse",
+                start_ns: 0,
+                duration_ns: 990,
+                fields: vec![],
+            },
+        ];
+        let log: String = records.iter().map(|r| r.to_json_line() + "\n").collect();
+        std::fs::write(&path, log).unwrap();
+        let mut cli = test_cli(&["obs-report"]);
+        cli.trace_log = Some(path.clone());
+        run_obs_report(&cli).unwrap();
+        // A malformed log fails with the path and line named.
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = run_obs_report(&cli).unwrap_err();
+        assert!(err.contains("trace line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

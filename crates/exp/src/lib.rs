@@ -39,6 +39,7 @@ pub mod figure4;
 pub mod figure5;
 pub mod figure6;
 pub mod figure7;
+pub mod obsreport;
 pub mod report;
 pub mod sweep;
 pub mod table;

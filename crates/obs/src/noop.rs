@@ -1,0 +1,99 @@
+//! The `trace`-featureless build: the span API as inert no-ops, so
+//! downstream crates compile identically with tracing compiled out.
+
+use std::sync::Arc;
+
+use crate::record::SpanContext;
+use crate::sink::Sink;
+use crate::SpanRecord;
+
+/// Ring capacity (no ring exists in no-op builds).
+pub const RING_CAPACITY: usize = 0;
+
+/// Always `false`.
+#[inline]
+pub fn enabled() -> bool {
+    false
+}
+
+/// No-op.
+pub fn enable() {}
+
+/// No-op.
+pub fn disable() {}
+
+/// No-op (the sink is dropped immediately).
+pub fn set_sink(_sink: Option<Arc<dyn Sink>>) {}
+
+/// Always empty.
+pub fn recent(_limit: usize) -> Vec<SpanRecord> {
+    Vec::new()
+}
+
+/// No-op.
+pub fn flush() {}
+
+/// An inert span guard.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span;
+
+impl Span {
+    /// The only kind of span in a no-op build.
+    pub fn disabled() -> Self {
+        Span
+    }
+
+    /// Always `false`.
+    pub fn is_recording(&self) -> bool {
+        false
+    }
+
+    /// Always the zeroed context.
+    pub fn context(&self) -> SpanContext {
+        SpanContext::default()
+    }
+
+    /// No-op.
+    pub fn field_u64(&mut self, _key: &'static str, _value: u64) {}
+    /// No-op.
+    pub fn field_f64(&mut self, _key: &'static str, _value: f64) {}
+    /// No-op.
+    pub fn field_bool(&mut self, _key: &'static str, _value: bool) {}
+    /// No-op.
+    pub fn field_str(&mut self, _key: &'static str, _value: &str) {}
+    /// No-op.
+    pub fn finish(self) {}
+    /// No-op.
+    pub fn cancel(self) {}
+}
+
+/// Always disabled.
+pub fn span(_name: &'static str) -> Span {
+    Span
+}
+
+/// Always disabled.
+pub fn root_span(_name: &'static str, _trace: u64) -> Span {
+    Span
+}
+
+/// Always disabled.
+pub fn child_of(_ctx: SpanContext, _name: &'static str) -> Span {
+    Span
+}
+
+/// No-op.
+pub fn event(_name: &'static str) {}
+
+/// A fresh process-unique ID. Still real in no-op builds: response headers
+/// stamp request IDs whether or not spans record.
+pub fn fresh_trace_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let mut z = NEXT
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31) | 1
+}

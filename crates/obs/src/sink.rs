@@ -1,0 +1,170 @@
+//! Pluggable span sinks: JSON-lines writer and in-memory recorder.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::SpanRecord;
+
+/// A destination for batches of completed spans. Implementations must be
+/// cheap enough to run on the recording thread (the per-thread buffer hands
+/// over up to a few dozen records at a time).
+pub trait Sink: Send + Sync {
+    /// Records one batch of completed spans.
+    fn record(&self, spans: &[SpanRecord]);
+}
+
+/// Writes one JSON object per span (see [`SpanRecord::to_json_line`]) to any
+/// [`Write`], newline-terminated — the `--trace-log PATH` format.
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer. Use a `BufWriter` for file targets.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("trace writer poisoned").flush()
+    }
+}
+
+impl JsonLinesSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a trace-log file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn record(&self, spans: &[SpanRecord]) {
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        for span in spans {
+            // A full disk must not take the traced computation down with it;
+            // tracing is best-effort by design.
+            let _ = writeln!(writer, "{}", span.to_json_line());
+        }
+        let _ = writer.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        if let Ok(writer) = self.writer.get_mut() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Accumulates spans in memory, for assertions in tests.
+#[derive(Default)]
+pub struct MemorySink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemorySink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every span recorded so far (clears the recorder).
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("memory sink poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, spans: &[SpanRecord]) {
+        self.spans
+            .lock()
+            .expect("memory sink poisoned")
+            .extend_from_slice(spans);
+    }
+}
+
+/// Renders `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FieldValue;
+
+    fn record(name: &'static str) -> SpanRecord {
+        SpanRecord {
+            trace: 1,
+            id: 2,
+            parent: 0,
+            name,
+            start_ns: 5,
+            duration_ns: 10,
+            fields: vec![("k", FieldValue::U64(1))],
+        }
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_span() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.record(&[record("a"), record("b")]);
+        let bytes = sink.writer.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains("\"name\":\"a\""));
+        assert!(text.contains("\"name\":\"b\""));
+    }
+
+    #[test]
+    fn memory_sink_accumulates_and_clears() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&[record("x")]);
+        sink.record(&[record("y")]);
+        assert_eq!(sink.len(), 2);
+        let taken = sink.take();
+        assert_eq!(taken.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

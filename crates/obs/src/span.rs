@@ -1,0 +1,560 @@
+//! The tracing runtime: span guards, per-thread buffers, the global ring.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::record::{FieldValue, SpanContext, SpanRecord};
+use crate::sink::Sink;
+
+/// Completed spans kept in the process-wide ring (newest win on overflow).
+pub const RING_CAPACITY: usize = 2048;
+
+/// Completed spans a thread buffers before draining into the ring even when
+/// no root span completes (worker threads producing only child spans).
+const THREAD_BUFFER: usize = 64;
+
+struct Runtime {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    ring: Mutex<std::collections::VecDeque<SpanRecord>>,
+    sink: Mutex<Option<Arc<dyn Sink>>>,
+    epoch: Instant,
+}
+
+fn runtime() -> &'static Runtime {
+    static RUNTIME: OnceLock<Runtime> = OnceLock::new();
+    RUNTIME.get_or_init(|| Runtime {
+        enabled: AtomicBool::new(false),
+        next_id: AtomicU64::new(1),
+        ring: Mutex::new(std::collections::VecDeque::with_capacity(RING_CAPACITY)),
+        sink: Mutex::new(None),
+        epoch: Instant::now(),
+    })
+}
+
+thread_local! {
+    /// Innermost-open-span stack of this thread: (trace, span id) pairs.
+    static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Completed spans awaiting a flush into the global ring.
+    static BUFFER: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True when tracing is recording (one relaxed atomic load — this is the
+/// entire cost of a span site while tracing is off).
+#[inline]
+pub fn enabled() -> bool {
+    runtime().enabled.load(Ordering::Relaxed)
+}
+
+/// Turns recording on without installing a sink (completed spans land in the
+/// in-process ring only — what `/v1/trace/recent` serves).
+pub fn enable() {
+    runtime().enabled.store(true, Ordering::Relaxed);
+}
+
+/// Stops recording. Already-buffered spans stay in the ring.
+pub fn disable() {
+    runtime().enabled.store(false, Ordering::Relaxed);
+}
+
+/// Installs (or, with `None`, removes) the process-wide sink. Installing a
+/// sink also enables recording; removing it leaves recording on — call
+/// [`disable`] to stop entirely.
+pub fn set_sink(sink: Option<Arc<dyn Sink>>) {
+    let enable_now = sink.is_some();
+    *runtime().sink.lock().expect("obs sink poisoned") = sink;
+    if enable_now {
+        enable();
+    }
+}
+
+/// Last `limit` completed records from the ring, oldest first.
+pub fn recent(limit: usize) -> Vec<SpanRecord> {
+    let ring = runtime().ring.lock().expect("obs ring poisoned");
+    let skip = ring.len().saturating_sub(limit);
+    ring.iter().skip(skip).cloned().collect()
+}
+
+/// Drains this thread's buffered spans into the ring and sink. Call at the
+/// end of a worker loop that only ever produces child spans (their buffers
+/// otherwise wait for the high-water mark).
+pub fn flush() {
+    BUFFER.with(|buffer| flush_buffer(&mut buffer.borrow_mut()));
+}
+
+fn flush_buffer(buffer: &mut Vec<SpanRecord>) {
+    if buffer.is_empty() {
+        return;
+    }
+    let batch: Vec<SpanRecord> = std::mem::take(buffer);
+    let rt = runtime();
+    if let Some(sink) = rt.sink.lock().expect("obs sink poisoned").clone() {
+        sink.record(&batch);
+    }
+    let mut ring = rt.ring.lock().expect("obs ring poisoned");
+    for record in batch {
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+}
+
+fn now_ns() -> u64 {
+    runtime().epoch.elapsed().as_nanos() as u64
+}
+
+fn next_id() -> u64 {
+    runtime().next_id.fetch_add(1, Ordering::Relaxed)
+}
+
+struct Inner {
+    trace: u64,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    started: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An open span. Finishes (and records itself) on [`Span::finish`] or on
+/// drop, whichever comes first. All methods are no-ops on a disabled span.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    inner: Option<Inner>,
+}
+
+impl Span {
+    /// A guard that records nothing (what every span call returns while
+    /// tracing is disabled).
+    pub fn disabled() -> Self {
+        Span { inner: None }
+    }
+
+    /// True when this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Cross-thread handle to this span ([`SpanContext::default`] when
+    /// disabled, which [`child_of`] treats as "record nothing").
+    pub fn context(&self) -> SpanContext {
+        match &self.inner {
+            Some(inner) => SpanContext {
+                trace: inner.trace,
+                span: inner.id,
+            },
+            None => SpanContext::default(),
+        }
+    }
+
+    /// Attaches an unsigned-integer field.
+    pub fn field_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, FieldValue::U64(value)));
+        }
+    }
+
+    /// Attaches a float field.
+    pub fn field_f64(&mut self, key: &'static str, value: f64) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, FieldValue::F64(value)));
+        }
+    }
+
+    /// Attaches a boolean field.
+    pub fn field_bool(&mut self, key: &'static str, value: bool) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, FieldValue::Bool(value)));
+        }
+    }
+
+    /// Attaches a string field.
+    pub fn field_str(&mut self, key: &'static str, value: &str) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, FieldValue::Str(value.to_string())));
+        }
+    }
+
+    /// Closes the span now (equivalent to dropping it, but explicit at call
+    /// sites where the scope end is far from the measured region).
+    pub fn finish(self) {
+        // Drop does the work.
+    }
+
+    /// Discards the span without recording it: unwinds the thread stack but
+    /// writes nothing to the buffer, ring or sink. For speculative spans
+    /// opened before knowing whether work will arrive (e.g. a request span
+    /// opened before the keep-alive read that finds the peer gone).
+    pub fn cancel(mut self) {
+        if let Some(inner) = self.inner.take() {
+            STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&(_, id)| id == inner.id) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+
+    fn close(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let duration_ns = inner.started.elapsed().as_nanos() as u64;
+        // Unwind this span from the thread's open stack. Out-of-order closes
+        // (a parent finishing before its child — the child is then an
+        // "orphan") remove only their own entry, wherever it sits.
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(_, id)| id == inner.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            trace: inner.trace,
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            start_ns: inner.start_ns,
+            duration_ns,
+            fields: inner.fields,
+        };
+        let is_root = record.parent == 0;
+        BUFFER.with(|buffer| {
+            let mut buffer = buffer.borrow_mut();
+            buffer.push(record);
+            if is_root || buffer.len() >= THREAD_BUFFER {
+                flush_buffer(&mut buffer);
+            }
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn open(name: &'static str, trace: u64, parent: u64) -> Span {
+    let id = next_id();
+    STACK.with(|stack| stack.borrow_mut().push((trace, id)));
+    Span {
+        inner: Some(Inner {
+            trace,
+            id,
+            parent,
+            name,
+            start_ns: now_ns(),
+            started: Instant::now(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+/// Starts a span as a child of the innermost open span on this thread (a
+/// fresh root with its own trace ID when there is none).
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    let (trace, parent) = STACK.with(|stack| stack.borrow().last().copied().unwrap_or((0, 0)));
+    let trace = if trace == 0 { next_trace_id() } else { trace };
+    open(name, trace, parent)
+}
+
+/// Starts a root span under an explicit trace ID (e.g. an HTTP request ID).
+pub fn root_span(name: &'static str, trace: u64) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    open(name, trace, 0)
+}
+
+/// Starts a span parented across threads via a captured [`SpanContext`].
+/// A default (zeroed) context — what a disabled parent hands out — records
+/// nothing.
+pub fn child_of(ctx: SpanContext, name: &'static str) -> Span {
+    if !enabled() || ctx == SpanContext::default() {
+        return Span::disabled();
+    }
+    open(name, ctx.trace, ctx.span)
+}
+
+/// Records an instantaneous event: a zero-duration child of the innermost
+/// open span on this thread.
+pub fn event(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let (trace, parent) = STACK.with(|stack| stack.borrow().last().copied().unwrap_or((0, 0)));
+    let record = SpanRecord {
+        trace,
+        id: next_id(),
+        parent,
+        name,
+        start_ns: now_ns(),
+        duration_ns: 0,
+        fields: Vec::new(),
+    };
+    BUFFER.with(|buffer| {
+        let mut buffer = buffer.borrow_mut();
+        buffer.push(record);
+        if buffer.len() >= THREAD_BUFFER {
+            flush_buffer(&mut buffer);
+        }
+    });
+}
+
+/// A fresh process-unique trace ID, whether or not tracing is recording.
+/// Callers that stamp IDs onto responses (e.g. `x-ayd-trace-id`) use this so
+/// the ID exists even when no span will ever carry it.
+pub fn fresh_trace_id() -> u64 {
+    next_trace_id()
+}
+
+/// SplitMix64-whitened trace IDs for auto-rooted spans: unique and
+/// non-sequential, so log greps for one trace never prefix-match another.
+fn next_trace_id() -> u64 {
+    let mut z = next_id().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31) | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+
+    /// The runtime is process-global; tests that enable/disable it or read
+    /// the ring must not interleave.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        match GATE.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn fresh_sink() -> Arc<MemorySink> {
+        let sink = Arc::new(MemorySink::new());
+        set_sink(Some(sink.clone() as Arc<dyn Sink>));
+        sink
+    }
+
+    fn teardown() {
+        flush();
+        set_sink(None);
+        disable();
+    }
+
+    #[test]
+    fn spans_nest_time_and_carry_fields() {
+        let _gate = lock();
+        let sink = fresh_sink();
+        {
+            let mut root = root_span("request", 0xabcd);
+            root.field_str("endpoint", "optimize");
+            {
+                let mut child = span("evaluate");
+                child.field_u64("cells", 8);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            root.field_bool("ok", true);
+        }
+        let spans = sink.take();
+        teardown();
+        assert_eq!(spans.len(), 2);
+        let child = &spans[0];
+        let root = &spans[1];
+        assert_eq!(child.name, "evaluate");
+        assert_eq!(root.name, "request");
+        assert_eq!(root.trace, 0xabcd);
+        assert_eq!(child.trace, 0xabcd);
+        assert_eq!(child.parent, root.id);
+        assert_eq!(root.parent, 0);
+        assert!(child.duration_ns > 0);
+        assert!(root.duration_ns >= child.duration_ns);
+        assert!(child.start_ns >= root.start_ns);
+        assert_eq!(child.field("cells"), Some(&FieldValue::U64(8)));
+        assert_eq!(
+            root.field("endpoint"),
+            Some(&FieldValue::Str("optimize".to_string()))
+        );
+        assert_eq!(root.field("ok"), Some(&FieldValue::Bool(true)));
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_and_cost_no_ids() {
+        let _gate = lock();
+        disable();
+        let mut s = span("ghost");
+        assert!(!s.is_recording());
+        assert_eq!(s.context(), SpanContext::default());
+        s.field_u64("k", 1);
+        drop(s);
+        event("ghost-event");
+        flush();
+        // Nothing new in the ring beyond what earlier tests left there: a
+        // disabled child_of from a disabled parent is also inert.
+        let before = recent(RING_CAPACITY).len();
+        let child = child_of(SpanContext::default(), "ghost-child");
+        drop(child);
+        flush();
+        assert_eq!(recent(RING_CAPACITY).len(), before);
+    }
+
+    #[test]
+    fn orphan_spans_survive_out_of_order_closes() {
+        let _gate = lock();
+        let sink = fresh_sink();
+        let parent = root_span("parent", 7);
+        let parent_id = parent.context().span;
+        let child = span("child");
+        let child_id = child.context().span;
+        // Parent closes first; the child is now an orphan but must still
+        // record with the correct parent ID, and the stack must not
+        // mis-parent the next span.
+        drop(parent);
+        let sibling = span("post-parent");
+        let sibling_record_parent = child_id; // expected: child is innermost
+        drop(sibling);
+        drop(child);
+        flush();
+        let spans = sink.take();
+        teardown();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("parent").id, parent_id);
+        assert_eq!(by_name("child").parent, parent_id);
+        assert_eq!(by_name("post-parent").parent, sibling_record_parent);
+    }
+
+    #[test]
+    fn cancelled_spans_record_nothing_and_unwind_the_stack() {
+        let _gate = lock();
+        let sink = fresh_sink();
+        let root = root_span("kept", 0x33);
+        let speculative = span("speculative");
+        speculative.cancel();
+        // The cancelled span must not mis-parent the next sibling.
+        let sibling = span("sibling");
+        drop(sibling);
+        drop(root);
+        let spans = sink.take();
+        teardown();
+        assert!(spans.iter().all(|s| s.name != "speculative"));
+        let root = spans.iter().find(|s| s.name == "kept").unwrap();
+        let sibling = spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(sibling.parent, root.id);
+    }
+
+    #[test]
+    fn drop_without_close_records_once() {
+        let _gate = lock();
+        let sink = fresh_sink();
+        let s = root_span("dropped", 9);
+        drop(s);
+        let spans = sink.take();
+        teardown();
+        assert_eq!(spans.iter().filter(|s| s.name == "dropped").count(), 1);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_the_newest_records() {
+        let _gate = lock();
+        enable();
+        set_sink(None);
+        // Clear any residue, then overfill by 10: the ring must hold exactly
+        // the newest RING_CAPACITY, in order.
+        for i in 0..(RING_CAPACITY + 10) {
+            let mut s = root_span("fill", 1);
+            s.field_u64("seq", i as u64);
+        }
+        flush();
+        let ring: Vec<_> = recent(RING_CAPACITY + 100)
+            .into_iter()
+            .filter(|r| r.name == "fill")
+            .collect();
+        teardown();
+        assert!(ring.len() <= RING_CAPACITY);
+        let last = ring.last().unwrap();
+        assert_eq!(
+            last.field("seq"),
+            Some(&FieldValue::U64((RING_CAPACITY + 9) as u64))
+        );
+        // Monotone sequence numbers: newest kept, oldest discarded.
+        let first_seq = match ring.first().unwrap().field("seq") {
+            Some(FieldValue::U64(v)) => *v,
+            other => panic!("bad seq field: {other:?}"),
+        };
+        assert!(first_seq >= 10 || ring.len() < RING_CAPACITY);
+    }
+
+    #[test]
+    fn cross_thread_children_parent_correctly() {
+        let _gate = lock();
+        let sink = fresh_sink();
+        let root = root_span("sweep", 0x51);
+        let ctx = root.context();
+        let handle = std::thread::spawn(move || {
+            let mut chunk = child_of(ctx, "chunk");
+            chunk.field_u64("start_cell", 64);
+            drop(chunk);
+            flush();
+        });
+        handle.join().unwrap();
+        drop(root);
+        let spans = sink.take();
+        teardown();
+        let chunk = spans.iter().find(|s| s.name == "chunk").unwrap();
+        let sweep = spans.iter().find(|s| s.name == "sweep").unwrap();
+        assert_eq!(chunk.parent, sweep.id);
+        assert_eq!(chunk.trace, 0x51);
+    }
+
+    #[test]
+    fn json_lines_have_stable_field_order() {
+        let record = SpanRecord {
+            trace: 0x1f,
+            id: 3,
+            parent: 2,
+            name: "parse",
+            start_ns: 100,
+            duration_ns: 250,
+            fields: vec![
+                ("bytes", FieldValue::U64(512)),
+                ("ok", FieldValue::Bool(true)),
+                ("note", FieldValue::Str("a\"b".to_string())),
+                ("rate", FieldValue::F64(0.5)),
+            ],
+        };
+        assert_eq!(
+            record.to_json_line(),
+            "{\"trace\":\"000000000000001f\",\"span\":3,\"parent\":2,\"name\":\"parse\",\
+             \"start_ns\":100,\"dur_ns\":250,\
+             \"fields\":{\"bytes\":512,\"ok\":true,\"note\":\"a\\\"b\",\"rate\":0.5}}"
+        );
+        // Non-finite floats degrade to null rather than emitting bad JSON.
+        assert_eq!(FieldValue::F64(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn events_are_zero_duration_children() {
+        let _gate = lock();
+        let sink = fresh_sink();
+        let root = root_span("request", 0x77);
+        event("cache-hit");
+        drop(root);
+        let spans = sink.take();
+        teardown();
+        let ev = spans.iter().find(|s| s.name == "cache-hit").unwrap();
+        let root = spans.iter().find(|s| s.name == "request").unwrap();
+        assert_eq!(ev.duration_ns, 0);
+        assert_eq!(ev.parent, root.id);
+    }
+}

@@ -19,6 +19,28 @@ pub fn brent_minimize<F>(a: f64, b: f64, tol: f64, max_iter: usize, f: F) -> (f6
 where
     F: Fn(f64) -> f64,
 {
+    let (x, fx, _) = brent_minimize_counted(a, b, tol, max_iter, f);
+    (x, fx)
+}
+
+/// [`brent_minimize`] that also reports how many iterations ran before
+/// convergence (or the `max_iter` cap). The returned minimum is computed by
+/// the identical sequence of floating-point operations — callers that ignore
+/// the count get bit-identical results to [`brent_minimize`] — while the
+/// count feeds instrumentation (span fields, fallback diagnostics).
+///
+/// # Panics
+/// Panics in the same cases as [`brent_minimize`].
+pub fn brent_minimize_counted<F>(
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+    f: F,
+) -> (f64, f64, usize)
+where
+    F: Fn(f64) -> f64,
+{
     assert!(a <= b, "invalid bracket: a={a} > b={b}");
     assert!(tol > 0.0, "tolerance must be positive");
     let eval = |x: f64| {
@@ -36,6 +58,7 @@ where
     let mut d: f64 = 0.0;
     let mut e: f64 = 0.0;
     let sqrt_eps = f64::EPSILON.sqrt();
+    let mut iterations = 0usize;
 
     for _ in 0..max_iter {
         let m = 0.5 * (lo + hi);
@@ -44,6 +67,7 @@ where
         if (x - m).abs() <= tol2 - 0.5 * (hi - lo) {
             break;
         }
+        iterations += 1;
         let mut use_golden = true;
         if e.abs() > tol1 {
             // Try a parabolic interpolation step through (v, w, x).
@@ -106,7 +130,7 @@ where
             }
         }
     }
-    (x, fx)
+    (x, fx, iterations)
 }
 
 #[cfg(test)]
@@ -148,5 +172,18 @@ mod tests {
     #[should_panic(expected = "invalid bracket")]
     fn rejects_reversed_bracket() {
         let _ = brent_minimize(5.0, 1.0, 1e-8, 10, |x| x);
+    }
+
+    #[test]
+    fn counted_variant_is_bit_identical_and_counts_iterations() {
+        let f = |x: f64| (x.ln() - 2.0).powi(2) + 0.3 * x.sqrt();
+        let (x, y) = brent_minimize(0.1, 100.0, 1e-12, 300, f);
+        let (xc, yc, iters) = brent_minimize_counted(0.1, 100.0, 1e-12, 300, f);
+        assert_eq!(x.to_bits(), xc.to_bits());
+        assert_eq!(y.to_bits(), yc.to_bits());
+        assert!(iters > 0 && iters <= 300, "iters={iters}");
+        // The cap bounds the count.
+        let (_, _, capped) = brent_minimize_counted(0.1, 100.0, 1e-12, 3, f);
+        assert!(capped <= 3);
     }
 }

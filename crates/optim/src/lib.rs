@@ -38,7 +38,7 @@ pub mod joint;
 pub mod scalar;
 pub mod seeded;
 
-pub use brent::brent_minimize;
+pub use brent::{brent_minimize, brent_minimize_counted};
 pub use golden::golden_section;
 pub use grid::{log_grid_minimum, log_space_point};
 pub use integer::minimize_integer;

@@ -21,7 +21,7 @@
 //! through a [`SearchReport`], making fallback rates assertable and
 //! observable.
 
-use crate::brent::brent_minimize;
+use crate::brent::brent_minimize_counted;
 use crate::grid::log_space_point;
 use crate::integer::round_to_best_integer;
 use crate::joint::{JointResult, JointSearch};
@@ -56,13 +56,50 @@ pub enum FallbackReason {
     SentinelDisagreement,
 }
 
-/// Fast/fallback call counters of one or more seeded searches.
+impl FallbackReason {
+    /// Every reason, in [`FallbackReason::index`] order.
+    pub const ALL: [FallbackReason; 4] = [
+        FallbackReason::MissingSeed,
+        FallbackReason::NonFiniteValue,
+        FallbackReason::BudgetExhausted,
+        FallbackReason::SentinelDisagreement,
+    ];
+
+    /// Stable index of this reason into [`SearchReport::fallback_reasons`].
+    pub fn index(self) -> usize {
+        match self {
+            FallbackReason::MissingSeed => 0,
+            FallbackReason::NonFiniteValue => 1,
+            FallbackReason::BudgetExhausted => 2,
+            FallbackReason::SentinelDisagreement => 3,
+        }
+    }
+
+    /// Kebab-case label, used as a metric/span field name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::MissingSeed => "missing-seed",
+            FallbackReason::NonFiniteValue => "non-finite-value",
+            FallbackReason::BudgetExhausted => "budget-exhausted",
+            FallbackReason::SentinelDisagreement => "sentinel-disagreement",
+        }
+    }
+}
+
+/// Fast/fallback call counters of one or more seeded searches, plus the
+/// diagnostics instrumentation attaches to spans: per-[`FallbackReason`]
+/// tallies and the Brent iteration count of the fast-path refinements.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchReport {
     /// Scalar sub-searches answered by the warm-started fast path.
     pub fast: u64,
     /// Scalar sub-searches that self-demoted to the reference scan.
     pub fallback: u64,
+    /// Brent refinement iterations spent by the fast-path searches (the
+    /// reference scan's own refinements are not separable and not counted).
+    pub brent_iterations: u64,
+    /// Fallback tallies by reason, indexed by [`FallbackReason::index`].
+    pub fallback_reasons: [u64; 4],
 }
 
 impl SearchReport {
@@ -80,10 +117,23 @@ impl SearchReport {
         }
     }
 
+    /// How many sub-searches fell back for `reason`.
+    pub fn fallback_count(&self, reason: FallbackReason) -> u64 {
+        self.fallback_reasons[reason.index()]
+    }
+
     /// Adds another report's counters into this one.
     pub fn merge(&mut self, other: &SearchReport) {
         self.fast += other.fast;
         self.fallback += other.fallback;
+        self.brent_iterations += other.brent_iterations;
+        for (mine, theirs) in self
+            .fallback_reasons
+            .iter_mut()
+            .zip(other.fallback_reasons.iter())
+        {
+            *mine += theirs;
+        }
     }
 }
 
@@ -125,8 +175,9 @@ impl<'a, F: Fn(f64) -> f64> GridMemo<'a, F> {
     }
 }
 
-/// The warm-started fast path of [`minimize_scalar_seeded`]; `Err` carries the
-/// reason the caller must fall back to the reference search.
+/// The warm-started fast path of [`minimize_scalar_seeded`]: `Ok` carries the
+/// minimum plus the Brent iteration count of the refinement; `Err` carries
+/// the reason the caller must fall back to the reference search.
 fn try_fast<F>(
     lo: f64,
     hi: f64,
@@ -134,7 +185,7 @@ fn try_fast<F>(
     seed: Option<f64>,
     strict: bool,
     f: &F,
-) -> Result<ScalarMinimum, FallbackReason>
+) -> Result<(ScalarMinimum, usize), FallbackReason>
 where
     F: Fn(f64) -> f64,
 {
@@ -222,7 +273,7 @@ where
     // acceptance rule — from here on the fast path *is* the reference.
     let lower = memo.point(if best == 0 { 0 } else { best - 1 });
     let upper = memo.point(if best + 1 == n { n - 1 } else { best + 1 });
-    let (lx, fx) = brent_minimize(
+    let (lx, fx, iterations) = brent_minimize_counted(
         lower.ln(),
         upper.ln(),
         options.tolerance,
@@ -230,15 +281,21 @@ where
         |lx| f(lx.exp()),
     );
     if fx <= f0 {
-        Ok(ScalarMinimum {
-            argument: lx.exp(),
-            value: fx,
-        })
+        Ok((
+            ScalarMinimum {
+                argument: lx.exp(),
+                value: fx,
+            },
+            iterations,
+        ))
     } else {
-        Ok(ScalarMinimum {
-            argument: x0,
-            value: f0,
-        })
+        Ok((
+            ScalarMinimum {
+                argument: x0,
+                value: f0,
+            },
+            iterations,
+        ))
     }
 }
 
@@ -274,12 +331,14 @@ where
         return minimize_scalar(lo, hi, options, f);
     }
     match try_fast(lo, hi, options, seed, strict, &f) {
-        Ok(minimum) => {
+        Ok((minimum, brent_iterations)) => {
             report.fast += 1;
+            report.brent_iterations += brent_iterations as u64;
             minimum
         }
-        Err(_reason) => {
+        Err(reason) => {
             report.fallback += 1;
+            report.fallback_reasons[reason.index()] += 1;
             minimize_scalar(lo, hi, options, f)
         }
     }
@@ -588,21 +647,48 @@ mod tests {
         let mut a = SearchReport {
             fast: 3,
             fallback: 1,
+            brent_iterations: 40,
+            fallback_reasons: [1, 0, 0, 0],
         };
         let b = SearchReport {
             fast: 1,
             fallback: 3,
+            brent_iterations: 12,
+            fallback_reasons: [0, 1, 1, 1],
         };
         a.merge(&b);
         assert_eq!(
             a,
             SearchReport {
                 fast: 4,
-                fallback: 4
+                fallback: 4,
+                brent_iterations: 52,
+                fallback_reasons: [1, 1, 1, 1],
             }
         );
         assert_eq!(a.total(), 8);
         assert!((a.fallback_rate() - 0.5).abs() < 1e-12);
         assert_eq!(SearchReport::default().fallback_rate(), 0.0);
+        for reason in FallbackReason::ALL {
+            assert_eq!(a.fallback_count(reason), 1);
+            assert_eq!(FallbackReason::ALL[reason.index()], reason);
+            assert!(!reason.as_str().is_empty());
+        }
+    }
+
+    #[test]
+    fn reports_tally_reasons_and_brent_iterations() {
+        let options = OptimizeOptions::default();
+        let f = |x: f64| (x.ln() - 5.0).powi(2);
+        let mut report = SearchReport::default();
+        // A fast-path search racks up Brent iterations…
+        minimize_scalar_seeded(1.0, 1e6, options, Some(5.0f64.exp()), true, &mut report, f);
+        assert_eq!(report.fast, 1);
+        assert!(report.brent_iterations > 0, "{report:?}");
+        // …and a missing seed lands in the matching reason bucket.
+        minimize_scalar_seeded(1.0, 1e6, options, None, true, &mut report, f);
+        assert_eq!(report.fallback, 1);
+        assert_eq!(report.fallback_count(FallbackReason::MissingSeed), 1);
+        assert_eq!(report.fallback_reasons.iter().sum::<u64>(), 1);
     }
 }

@@ -37,10 +37,16 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
                 Response::text(
                     200,
                     "OK",
-                    state.metrics.render_prometheus(&state.cache.stats()),
+                    state
+                        .metrics
+                        .render_prometheus(&state.cache.stats(), &state.gauge_snapshot()),
                 ),
             ),
             _ => ("metrics", method_not_allowed("GET")),
+        },
+        "/v1/trace/recent" => match req.method.as_str() {
+            "GET" => ("trace_recent", trace_recent(req)),
+            _ => ("trace_recent", method_not_allowed("GET")),
         },
         "/v1/optimize" => match req.method.as_str() {
             "POST" => ("optimize", optimize(state, req)),
@@ -73,6 +79,71 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
             }
         }
         _ => ("unknown", not_found()),
+    }
+}
+
+/// The endpoint label a request *will* resolve to, computable before the
+/// handler runs — what feeds the in-flight gauge. Must stay aligned with the
+/// labels [`route`] returns (method mismatches still land on the same label).
+pub fn endpoint_hint(target: &str) -> &'static str {
+    let path = target.split('?').next().unwrap_or("");
+    match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/v1/trace/recent" => "trace_recent",
+        "/v1/optimize" => "optimize",
+        "/v1/batch" => "batch",
+        "/v1/sweep" => "sweep_submit",
+        _ if path.starts_with("/v1/sweep/") => {
+            let rest = &path["/v1/sweep/".len()..];
+            if rest.ends_with("/shards") {
+                "sweep_shards"
+            } else {
+                "sweep_poll"
+            }
+        }
+        _ => "unknown",
+    }
+}
+
+/// `GET /v1/trace/recent[?limit=N]`: the newest completed spans from the
+/// in-process ring, oldest first — a debug window onto the tracing layer, no
+/// sink required. Returns an empty list while tracing is disabled.
+fn trace_recent(req: &Request) -> Response {
+    let limit = req
+        .target
+        .split_once('?')
+        .and_then(|(_, query)| {
+            query
+                .split('&')
+                .find_map(|pair| pair.strip_prefix("limit="))
+        })
+        .map(str::parse::<usize>);
+    let limit = match limit {
+        None => 64,
+        Some(Ok(limit)) => limit.min(ayd_obs::RING_CAPACITY.max(64)),
+        Some(Err(_)) => return bad_request("limit must be a non-negative integer"),
+    };
+    let records = ayd_obs::recent(limit);
+    // SpanRecord::to_json_line is already the canonical JSON rendering of one
+    // span (stable field order); the endpoint just frames the lines.
+    let mut body = String::with_capacity(64 + records.len() * 128);
+    body.push_str("{\"count\":");
+    body.push_str(&records.len().to_string());
+    body.push_str(",\"spans\":[");
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&record.to_json_line());
+    }
+    body.push_str("]}");
+    Response {
+        status: 200,
+        reason: "OK",
+        content_type: "application/json",
+        extra_headers: Vec::new(),
+        body: body.into_bytes(),
     }
 }
 
@@ -472,9 +543,11 @@ pub fn parse_optimize(body: &Json) -> Result<OptimizeQuery, ApiError> {
 
 /// Evaluates a query against the process-wide cache, producing the same
 /// [`SweepRow`] an offline sweep over the equivalent one-cell grid would.
-/// Cache-cold evaluations feed the `ayd_optimize_cold_seconds` histogram and
-/// the fast/fallback search counters.
+/// Cold (cache-miss) evaluations feed `ayd_optimize_cold_seconds`, warm ones
+/// `ayd_optimize_warm_seconds`; both feed the search counters and the
+/// per-request `evaluate` span.
 pub fn evaluate_query(state: &AppState, query: &OptimizeQuery) -> SweepRow {
+    let mut span = ayd_obs::span("evaluate");
     let started = Instant::now();
     let (analytic, observation) = evaluate_analytic_observed(
         &query.model,
@@ -485,8 +558,23 @@ pub fn evaluate_query(state: &AppState, query: &OptimizeQuery) -> SweepRow {
     );
     if observation.computed {
         state.metrics.observe_cold(started.elapsed());
+    } else {
+        state.metrics.observe_warm(started.elapsed());
     }
     state.metrics.observe_search(observation.search);
+    if span.is_recording() {
+        span.field_bool("cold", observation.computed);
+        span.field_u64("search_fast", observation.search.fast);
+        span.field_u64("search_fallback", observation.search.fallback);
+        span.field_u64("brent_iterations", observation.search.brent_iterations);
+        for reason in ayd_sweep::FallbackReason::ALL {
+            let count = observation.search.fallback_count(reason);
+            if count > 0 {
+                span.field_str("fallback_reason", reason.as_str());
+            }
+        }
+    }
+    span.finish();
     query_row(query, analytic)
 }
 

@@ -10,8 +10,8 @@ use ayd_sweep::{
 };
 
 use crate::http::Limits;
-use crate::metrics::Metrics;
-use crate::pool::WorkerPool;
+use crate::metrics::{GaugeSnapshot, Metrics};
+use crate::pool::{PoolStats, WorkerPool};
 
 /// Configuration of an [`crate::server::Server`].
 #[derive(Debug, Clone)]
@@ -80,6 +80,9 @@ pub struct AppState {
     pub max_sweep_cells: usize,
     /// Server start time (for `/healthz` uptime).
     pub started: Instant,
+    /// Load gauges of the connection pool, attached by the accept loop once
+    /// the pool exists (`None` until then — e.g. in route-level tests).
+    conn_pool: Mutex<Option<PoolStats>>,
 }
 
 impl AppState {
@@ -101,7 +104,42 @@ impl AppState {
             max_jobs: config.max_jobs.max(1),
             max_sweep_cells: config.max_sweep_cells.max(1),
             started: Instant::now(),
+            conn_pool: Mutex::new(None),
         })
+    }
+
+    /// Attaches the connection pool's load gauges (called by the accept loop;
+    /// until then `/metrics` reports the connection pool as idle and empty).
+    pub fn attach_conn_pool(&self, stats: PoolStats) {
+        *self.conn_pool.lock().expect("conn pool gauge poisoned") = Some(stats);
+    }
+
+    /// Samples every point-in-time gauge for a `/metrics` render: both pools'
+    /// queue depth and saturation, plus the sweep-job state counts.
+    pub fn gauge_snapshot(&self) -> GaugeSnapshot {
+        let compute = self.compute.stats();
+        let (jobs_queued, jobs_running, jobs_done, jobs_cancelled) = self.jobs.state_counts();
+        let mut snapshot = GaugeSnapshot {
+            compute_queue_depth: compute.queue_depth(),
+            compute_busy: compute.busy_workers(),
+            compute_workers: compute.worker_count(),
+            jobs_queued,
+            jobs_running,
+            jobs_done,
+            jobs_cancelled,
+            ..GaugeSnapshot::default()
+        };
+        if let Some(conn) = self
+            .conn_pool
+            .lock()
+            .expect("conn pool gauge poisoned")
+            .as_ref()
+        {
+            snapshot.conn_queue_depth = conn.queue_depth();
+            snapshot.conn_busy = conn.busy_workers();
+            snapshot.conn_workers = conn.worker_count();
+        }
+        snapshot
     }
 }
 
@@ -506,6 +544,25 @@ impl JobRegistry {
         jobs.values()
             .filter(|entry| matches!(entry, JobEntry::Running(_)))
             .count()
+    }
+
+    /// Job counts by state for the `ayd_sweep_jobs` gauge:
+    /// `(queued, running, done, cancelled)`. A job counts as queued until its
+    /// first cell completes, as running after, and on finish as done or
+    /// cancelled (bounded by the registry's finished-job retention).
+    pub fn state_counts(&self) -> (usize, usize, usize, usize) {
+        let mut jobs = self.lock_jobs();
+        Self::reap(&mut jobs);
+        let (mut queued, mut running, mut done, mut cancelled) = (0, 0, 0, 0);
+        for entry in jobs.values() {
+            match entry {
+                JobEntry::Running(handle) if handle.completed() == 0 => queued += 1,
+                JobEntry::Running(_) => running += 1,
+                JobEntry::Finished(job) if job.cancelled => cancelled += 1,
+                JobEntry::Finished(_) => done += 1,
+            }
+        }
+        (queued, running, done, cancelled)
     }
 
     /// Looks up a job, transitioning it to finished when its thread is done.

@@ -19,6 +19,9 @@ pub struct ClientResponse {
     pub status: u16,
     /// `Content-Type` header value (empty when absent).
     pub content_type: String,
+    /// `x-ayd-trace-id` header value (empty when absent): the server-side
+    /// request ID this response's spans are recorded under.
+    pub trace_id: String,
     /// Body, decoded as UTF-8 (the service only emits text media types).
     pub body: String,
 }
@@ -91,6 +94,7 @@ impl HttpClient {
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length: Option<usize> = None;
         let mut content_type = String::new();
+        let mut trace_id = String::new();
         loop {
             let mut line = String::new();
             if self.reader.read_line(&mut line)? == 0 {
@@ -106,6 +110,8 @@ impl HttpClient {
                     content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
                 } else if name.eq_ignore_ascii_case("content-type") {
                     content_type = value.to_string();
+                } else if name.eq_ignore_ascii_case("x-ayd-trace-id") {
+                    trace_id = value.to_string();
                 }
             }
         }
@@ -115,6 +121,7 @@ impl HttpClient {
         Ok(ClientResponse {
             status,
             content_type,
+            trace_id,
             body: String::from_utf8(body).map_err(|_| bad("non-UTF-8 response body"))?,
         })
     }
@@ -218,13 +225,39 @@ pub fn smoke_check(addr: &str) -> Result<(), String> {
     let io = |e: std::io::Error| format!("i/o against {addr}: {e}");
     let mut client = HttpClient::connect(addr).map_err(io)?;
 
-    // 1. Health.
+    // 1. Health — and the trace-id contract: every response, 2xx or 4xx,
+    // carries a well-formed `x-ayd-trace-id`, and IDs are per-request.
     let health = client.get("/healthz", None).map_err(io)?;
     if health.status != 200 || !health.body.contains("\"ok\"") {
         return Err(format!(
             "healthz: status {} body {}",
             health.status, health.body
         ));
+    }
+    let well_formed = |id: &str| {
+        id.len() == 16
+            && id
+                .chars()
+                .all(|c| c.is_ascii_hexdigit() && !c.is_uppercase())
+    };
+    if !well_formed(&health.trace_id) {
+        return Err(format!(
+            "healthz: bad x-ayd-trace-id {:?} (want 16 lowercase hex digits)",
+            health.trace_id
+        ));
+    }
+    let missing = client.get("/v1/no-such-route", None).map_err(io)?;
+    if missing.status != 404 {
+        return Err(format!("unknown route: status {}", missing.status));
+    }
+    if !well_formed(&missing.trace_id) {
+        return Err(format!(
+            "404 response: bad x-ayd-trace-id {:?}",
+            missing.trace_id
+        ));
+    }
+    if missing.trace_id == health.trace_id {
+        return Err("trace IDs repeat across requests".into());
     }
 
     // 2. Optimize, checked bit-for-bit against the offline evaluator.
@@ -454,30 +487,54 @@ pub fn smoke_check(addr: &str) -> Result<(), String> {
         ));
     }
 
-    // 5. Metrics parse, and the cold histogram accounts for the cache-miss
-    // evaluations the cold loop just forced.
+    // 5. Metrics parse into the typed model, and the cold histogram accounts
+    // for the cache-miss evaluations the cold loop just forced.
     let metrics = client.get("/metrics", None).map_err(io)?;
     if metrics.status != 200 {
         return Err(format!("metrics: status {}", metrics.status));
     }
     crate::metrics::validate_prometheus(&metrics.body).map_err(|e| format!("metrics: {e}"))?;
-    let cold_count: f64 = metrics
-        .body
-        .lines()
-        .find_map(|line| line.strip_prefix("ayd_optimize_cold_seconds_count "))
-        .ok_or("metrics: ayd_optimize_cold_seconds histogram missing")?
-        .parse()
-        .map_err(|_| "metrics: unparsable ayd_optimize_cold_seconds_count")?;
+    let scrape = crate::metrics::PrometheusText::parse(&metrics.body)
+        .map_err(|e| format!("metrics: {e}"))?;
+    let cold_count = scrape
+        .value("ayd_optimize_cold_seconds_count")
+        .ok_or("metrics: ayd_optimize_cold_seconds histogram missing")?;
     if cold_count < cold_requests as f64 {
         return Err(format!(
             "metrics: cold histogram counts {cold_count} evaluations, \
              expected at least {cold_requests}"
         ));
     }
-    if !metrics.body.contains("ayd_search_fast_total")
-        || !metrics.body.contains("ayd_search_fallback_total")
+    if scrape.value("ayd_search_fast_total").is_none()
+        || scrape.value("ayd_search_fallback_total").is_none()
     {
         return Err("metrics: search fast/fallback counters missing".into());
+    }
+
+    // 6. The trace ring has recorded the requests this check just made, and
+    // the debug endpoint serves them as JSON.
+    let traces = client.get("/v1/trace/recent?limit=256", None).map_err(io)?;
+    if traces.status != 200 || !traces.content_type.starts_with("application/json") {
+        return Err(format!(
+            "trace/recent: status {} content-type {}",
+            traces.status, traces.content_type
+        ));
+    }
+    let doc = Json::parse(&traces.body).map_err(|e| format!("trace/recent JSON: {e}"))?;
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or("trace/recent: no spans array")?;
+    if !spans.is_empty() {
+        // Tracing is on in served builds; the ring must hold request spans
+        // by now, including the one for the 404 probe above.
+        let has_request = spans.iter().any(|span| {
+            span.get("name").and_then(Json::as_str) == Some("request")
+                || span.get("name").and_then(Json::as_str) == Some("parse")
+        });
+        if !has_request {
+            return Err("trace/recent: ring holds no request spans".into());
+        }
     }
     Ok(())
 }

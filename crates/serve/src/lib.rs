@@ -13,7 +13,12 @@
 //! | `/v1/sweep/{id}` | GET | job status while running; the canonical CSV when done |
 //! | `/v1/sweep/{id}` | DELETE | cooperative cancellation |
 //! | `/healthz` | GET | liveness + uptime |
-//! | `/metrics` | GET | Prometheus text: request counts, latency histogram, cache hit rate |
+//! | `/metrics` | GET | Prometheus text: request counts, latency histograms, pool/job gauges, cache hit rate |
+//! | `/v1/trace/recent` | GET | newest completed `ayd-obs` spans from the in-process ring (JSON) |
+//!
+//! Every response carries an `x-ayd-trace-id` header naming the request's
+//! server-side trace; with tracing enabled the same ID appears in the span
+//! records (ring, `--trace-log` sink).
 //!
 //! Architecture: a fixed [`pool::WorkerPool`] of connection handlers behind a
 //! bounded MPMC queue (accept-loop backpressure), a second pool for
@@ -46,6 +51,6 @@ pub use app::{AppState, ServerConfig};
 pub use client::{smoke_check, ClientResponse, HttpClient};
 pub use http::{Limits, Request, Response};
 pub use json::Json;
-pub use metrics::{validate_prometheus, Metrics};
+pub use metrics::{validate_prometheus, GaugeSnapshot, Metrics, PrometheusText, Sample};
 pub use pool::WorkerPool;
 pub use server::{serve_connection, ServeHandle, Server};

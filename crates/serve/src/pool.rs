@@ -9,6 +9,7 @@
 //! out without ever waiting on its own pool).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -23,6 +24,40 @@ struct Shared {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Workers currently executing a job (not parked on the queue).
+    busy: AtomicUsize,
+    /// Worker-thread count, fixed at construction.
+    workers: usize,
+}
+
+/// A cloneable, read-only view of a pool's load: queue depth and worker
+/// saturation, for gauges scraped by `/metrics`. Stays valid (reporting a
+/// drained queue) after the pool itself is dropped.
+#[derive(Clone)]
+pub struct PoolStats {
+    shared: Arc<Shared>,
+}
+
+impl PoolStats {
+    /// Jobs waiting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Workers currently executing a job.
+    pub fn busy_workers(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
+    /// Total worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
 }
 
 /// Error returned by [`WorkerPool::submit`] after [`WorkerPool::close`]; the
@@ -53,6 +88,8 @@ impl WorkerPool {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            busy: AtomicUsize::new(0),
+            workers: threads.max(1),
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -69,6 +106,13 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn thread_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// A load-gauge handle ([`PoolStats`]) usable after the pool moves away.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Enqueues a job, blocking while the queue is full. Returns the job back
@@ -193,10 +237,12 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.not_full.notify_one();
+        shared.busy.fetch_add(1, Ordering::Relaxed);
         // A panicking job must not take its worker thread down with it — one
         // poisonous connection or batch item would otherwise shrink the pool
         // permanently. The panic message still reaches stderr via the hook.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -254,6 +300,31 @@ mod tests {
         // Inline fallback: the batch still completes on the caller's thread.
         let doubled = pool.run_batch(vec![1, 2, 3], |x| x * 2);
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn stats_track_queue_depth_and_busy_workers() {
+        let pool = WorkerPool::new("gauge", 1, 8);
+        let stats = pool.stats();
+        assert_eq!(stats.worker_count(), 1);
+        assert_eq!(stats.busy_workers(), 0);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap();
+        // The single worker is now blocked inside the job: busy == 1, and a
+        // second submission sits in the queue.
+        assert_eq!(stats.busy_workers(), 1);
+        pool.submit(Box::new(|| {})).unwrap();
+        assert_eq!(stats.queue_depth(), 1);
+        tx.send(()).unwrap();
+        drop(pool);
+        assert_eq!(stats.busy_workers(), 0);
+        assert_eq!(stats.queue_depth(), 0);
     }
 
     #[test]

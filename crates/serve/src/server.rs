@@ -13,10 +13,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::api::route;
+use crate::api::{endpoint_hint, route};
 use crate::app::{AppState, ServerConfig};
 use crate::http::{parse_request, Response};
 use crate::pool::WorkerPool;
+
+/// The `x-ayd-trace-id` header value: 16 lowercase hex digits, matching the
+/// `trace` field of the span JSON lines, so one grep joins a response to its
+/// server-side spans.
+fn format_trace_id(trace: u64) -> String {
+    format!("{trace:016x}")
+}
 
 /// Upper bound on requests served over one keep-alive connection.
 const MAX_REQUESTS_PER_CONNECTION: usize = 100_000;
@@ -57,6 +64,9 @@ impl Server {
     /// does not accept connections until [`Server::serve`] is called.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        // Ring-only recording is on by default so `/v1/trace/recent` works
+        // out of the box; a JSON-lines sink is opt-in via `--trace-log`.
+        ayd_obs::enable();
         let state = AppState::new(&config);
         Ok(Server {
             listener,
@@ -88,6 +98,7 @@ impl Server {
     /// then drains in-flight connections and returns.
     pub fn serve(self) -> std::io::Result<()> {
         let pool = WorkerPool::new("ayd-conn", self.config.threads, self.config.queue_capacity);
+        self.state.attach_conn_pool(pool.stats());
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(accepted) => accepted,
@@ -102,7 +113,13 @@ impl Server {
             let state = Arc::clone(&self.state);
             let shutdown = Arc::clone(&self.shutdown);
             let read_timeout = self.config.read_timeout;
+            let enqueued = Instant::now();
             let job = Box::new(move || {
+                // Queue wait (accept → a worker picks the job up) is recorded
+                // on the connection span, separate from per-request service
+                // time: the request spans it encloses are independent roots.
+                let mut conn_span = ayd_obs::root_span("connection", ayd_obs::fresh_trace_id());
+                conn_span.field_u64("queue_wait_ns", enqueued.elapsed().as_nanos() as u64);
                 let _ = stream.set_read_timeout(Some(read_timeout));
                 let _ = stream.set_nodelay(true);
                 let Ok(reader_stream) = stream.try_clone() else {
@@ -136,25 +153,56 @@ pub fn serve_connection<R: BufRead, W: Write>(
     shutdown: &AtomicBool,
 ) {
     for _ in 0..MAX_REQUESTS_PER_CONNECTION {
+        // The request span opens before the read, so the blocking wait for
+        // the first byte lands inside `parse`; a read that finds the peer
+        // gone (clean close, timeout) cancels both spans without recording.
+        let trace = ayd_obs::fresh_trace_id();
+        let mut root = ayd_obs::root_span("request", trace);
+        let parse_span = ayd_obs::span("parse");
         let request = match parse_request(reader, &state.limits) {
-            Ok(request) => request,
+            Ok(request) => {
+                parse_span.finish();
+                request
+            }
             Err(error) => {
                 // Timeouts and closes end the session silently; protocol
-                // errors answer once, then close.
+                // errors answer once — trace-id stamped — then close.
                 if let Some((status, reason)) = error.status() {
-                    let response = Response::error(status, reason, &format!("{error:?}"));
+                    parse_span.finish();
+                    let response = Response::error(status, reason, &format!("{error:?}"))
+                        .with_header("x-ayd-trace-id", format_trace_id(trace));
+                    let render_span = ayd_obs::span("render");
                     let _ = response.write_to(writer, false);
+                    render_span.finish();
+                    root.field_str("endpoint", "parse_error");
+                    root.field_u64("status", u64::from(status));
                     state
                         .metrics
                         .observe("parse_error", status, std::time::Duration::ZERO);
+                } else {
+                    parse_span.cancel();
+                    root.cancel();
                 }
                 return;
             }
         };
         let started = Instant::now();
+        let endpoint_guess = endpoint_hint(&request.target);
+        state.metrics.request_started(endpoint_guess);
+        let route_span = ayd_obs::span("route");
         let (endpoint, response) = route(state, &request);
+        route_span.finish();
+        let response = response.with_header("x-ayd-trace-id", format_trace_id(trace));
         let keep_alive = !request.wants_close() && !shutdown.load(Ordering::SeqCst);
+        let render_span = ayd_obs::span("render");
         let write_ok = response.write_to(writer, keep_alive).is_ok();
+        render_span.finish();
+        state.metrics.request_finished(endpoint_guess);
+        if root.is_recording() {
+            root.field_str("endpoint", endpoint);
+            root.field_u64("status", u64::from(response.status));
+        }
+        root.finish();
         state
             .metrics
             .observe(endpoint, response.status, started.elapsed());
@@ -195,6 +243,13 @@ mod tests {
         assert_eq!(out.matches("HTTP/1.1 200 OK\r\n").count(), 3);
         assert!(out.contains("connection: keep-alive"));
         assert!(out.ends_with('}') || out.contains("connection: close"));
+        // Every response carries a distinct request ID.
+        let ids: std::collections::BTreeSet<&str> = out
+            .lines()
+            .filter_map(|line| line.strip_prefix("x-ayd-trace-id: "))
+            .collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|id| id.len() == 16));
     }
 
     #[test]
@@ -203,6 +258,7 @@ mod tests {
         assert_eq!(out.matches("HTTP/1.1").count(), 1);
         assert!(out.starts_with("HTTP/1.1 400 Bad Request\r\n"));
         assert!(out.contains("connection: close"));
+        assert!(out.contains("x-ayd-trace-id: "));
     }
 
     #[test]

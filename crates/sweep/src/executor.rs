@@ -496,6 +496,10 @@ fn run_cells(
         sink.finish(&results);
         return results;
     }
+    // Tracing reads clocks and counters only — never values — so the
+    // determinism contract (CSV bytes identical with tracing on or off)
+    // holds by construction.
+    let mut sweep_span = ayd_obs::span("sweep");
     let workers = options
         .threads
         .unwrap_or_else(|| {
@@ -511,8 +515,9 @@ fn run_cells(
         .map(|capacity| ShardedEvalCache::<AnalyticEval>::new(cache_shards(workers), capacity));
 
     let next_cell = AtomicUsize::new(0);
-    let search_fast = std::sync::atomic::AtomicU64::new(0);
-    let search_fallback = std::sync::atomic::AtomicU64::new(0);
+    // Full-report merge (fast/fallback plus Brent-iteration and per-reason
+    // tallies) under a mutex taken once per chunk, not per cell.
+    let search_total = Mutex::new(SearchReport::default());
     let emitter = Mutex::new(Emitter {
         pending: std::collections::BTreeMap::new(),
         ordered: Vec::with_capacity(cells.len()),
@@ -526,43 +531,67 @@ fn run_cells(
     // buffer and every evaluation depends only on its cell.
     let chunk = if options.run.simulate { 1 } else { 8 };
 
+    if sweep_span.is_recording() {
+        sweep_span.field_u64("cells", cells.len() as u64);
+        sweep_span.field_u64("workers", workers as u64);
+        sweep_span.field_u64("chunk", chunk as u64);
+        sweep_span.field_str("strategy", options.run.search.as_str());
+        sweep_span.field_bool("simulate", options.run.simulate);
+    }
+    let sweep_ctx = sweep_span.context();
+
     // Panics in workers propagate when the scope joins them at the end.
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
-                    break;
-                }
-                let start = next_cell.fetch_add(chunk, Ordering::Relaxed);
-                if start >= cells.len() {
-                    break;
-                }
-                let batch = &cells[start..(start + chunk).min(cells.len())];
-                let queries: Vec<(ExactModel, Option<f64>, FailureModelSpec)> = batch
-                    .iter()
-                    .map(|cell| {
-                        (
-                            cell.setup
-                                .model()
-                                .expect("grid builders only emit valid setups"),
-                            cell.fixed_processors,
-                            cell.failure_model.clone(),
-                        )
-                    })
-                    .collect();
-                let (evals, search) = evaluate_many(&queries, options, cache.as_ref());
-                search_fast.fetch_add(search.fast, Ordering::Relaxed);
-                search_fallback.fetch_add(search.fallback, Ordering::Relaxed);
-                for (offset, (cell, eval)) in batch.iter().zip(evals).enumerate() {
-                    let row = finish_row(cell, options, &queries[offset].0, eval);
-                    if let Some(counter) = progress {
-                        counter.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(|| {
+                loop {
+                    if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                        break;
                     }
-                    emitter
+                    let start = next_cell.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= cells.len() {
+                        break;
+                    }
+                    let batch = &cells[start..(start + chunk).min(cells.len())];
+                    let mut chunk_span = ayd_obs::child_of(sweep_ctx, "chunk");
+                    let queries: Vec<(ExactModel, Option<f64>, FailureModelSpec)> = batch
+                        .iter()
+                        .map(|cell| {
+                            (
+                                cell.setup
+                                    .model()
+                                    .expect("grid builders only emit valid setups"),
+                                cell.fixed_processors,
+                                cell.failure_model.clone(),
+                            )
+                        })
+                        .collect();
+                    let (evals, search) = evaluate_many(&queries, options, cache.as_ref());
+                    if chunk_span.is_recording() {
+                        chunk_span.field_u64("start_cell", batch[0].index as u64);
+                        chunk_span.field_u64("cells", batch.len() as u64);
+                        chunk_span.field_u64("search_fast", search.fast);
+                        chunk_span.field_u64("search_fallback", search.fallback);
+                        chunk_span.field_u64("brent_iterations", search.brent_iterations);
+                    }
+                    search_total
                         .lock()
-                        .expect("emitter poisoned")
-                        .push(start + offset, row);
+                        .expect("search tally poisoned")
+                        .merge(&search);
+                    for (offset, (cell, eval)) in batch.iter().zip(evals).enumerate() {
+                        let row = finish_row(cell, options, &queries[offset].0, eval);
+                        if let Some(counter) = progress {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                        emitter
+                            .lock()
+                            .expect("emitter poisoned")
+                            .push(start + offset, row);
+                    }
                 }
+                // Workers only produce child spans; drain this thread's
+                // buffer before the scope joins it.
+                ayd_obs::flush();
             });
         }
     });
@@ -575,12 +604,17 @@ fn run_cells(
     let results = SweepResults {
         rows: emitter.ordered,
         cache: cache.map(|c| c.stats()).unwrap_or_default(),
-        search: SearchReport {
-            fast: search_fast.load(Ordering::Relaxed),
-            fallback: search_fallback.load(Ordering::Relaxed),
-        },
+        search: search_total.into_inner().expect("search tally poisoned"),
     };
     emitter.sink.finish(&results);
+    if sweep_span.is_recording() {
+        sweep_span.field_u64("rows", results.rows.len() as u64);
+        sweep_span.field_u64("cache_hits", results.cache.hits);
+        sweep_span.field_u64("cache_misses", results.cache.misses);
+        sweep_span.field_u64("search_fast", results.search.fast);
+        sweep_span.field_u64("search_fallback", results.search.fallback);
+    }
+    sweep_span.finish();
     results
 }
 

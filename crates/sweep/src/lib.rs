@@ -49,7 +49,7 @@ pub mod shard;
 pub mod sink;
 
 pub use ayd_core::{FailureModelSpec, ProfileSpec, SpeedupProfile};
-pub use ayd_optim::SearchReport;
+pub use ayd_optim::{FallbackReason, SearchReport};
 pub use cache::{CacheKey, CacheStats, EvalCache, ShardedEvalCache};
 pub use evaluate::{Evaluator, OperatingPoint, OptimumComparison, SimSummary};
 pub use executor::{

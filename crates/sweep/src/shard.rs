@@ -409,7 +409,18 @@ pub fn run_shard_to_files(
         stop,
         error: None,
     };
+    // The shard span wraps the executor run, so its nested sweep/chunk spans
+    // parent under it; resumed rows show up as the gap between `cells` and
+    // the inner sweep's `rows` field.
+    let mut shard_span = ayd_obs::span("shard");
+    if shard_span.is_recording() {
+        shard_span.field_u64("shard_index", shard.index as u64);
+        shard_span.field_u64("shard_count", shard.count as u64);
+        shard_span.field_u64("cells", cells.len() as u64);
+        shard_span.field_u64("resumed_rows", completed as u64);
+    }
     let results = executor.run_cells_controlled(&cells[completed..], &mut sink, Some(stop), None);
+    shard_span.finish();
     if let Some(error) = sink.error {
         return Err(error);
     }

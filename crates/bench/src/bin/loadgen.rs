@@ -1,7 +1,8 @@
 //! `loadgen` — load generator and smoke checker for `reproduce serve`.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--cache-bust] [--check]
+//! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--cache-bust]
+//!         [--idle-conns N] [--slow-client BYTES_PER_SEC] [--check]
 //! ```
 //!
 //! Default mode drives `POST /v1/optimize` over `C` keep-alive connections,
@@ -11,8 +12,13 @@
 //! requests actually sent, validates the `/metrics`
 //! payload and exits non-zero when any request failed. `--cache-bust` gives
 //! every request a unique error rate so each evaluation misses the server's
-//! cache (measuring the cold optimiser path). `--check` instead runs the
-//! end-to-end golden round-trip of `ayd_serve::smoke_check`: health, one
+//! cache (measuring the cold optimiser path). `--idle-conns N` additionally
+//! holds N keep-alive connections that send nothing for the whole run
+//! (connection-capacity stress; the report then includes the count held and
+//! the server's own `ayd_open_connections` gauge). `--slow-client
+//! BYTES_PER_SEC` drips every request's bytes at that rate instead of one
+//! burst, exercising the server's partial-read path. `--check` instead runs
+//! the end-to-end golden round-trip of `ayd_serve::smoke_check`: health, one
 //! optimize query compared bit-for-bit against the offline evaluator, one
 //! sweep job compared byte-for-byte against the in-process engine, the
 //! cold-path latency bound, and a metrics parse.
@@ -28,6 +34,8 @@ struct Args {
     requests: usize,
     concurrency: usize,
     cache_bust: bool,
+    idle_conns: usize,
+    slow_client: Option<u64>,
     check: bool,
 }
 
@@ -36,6 +44,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut requests = 200;
     let mut concurrency = 8;
     let mut cache_bust = false;
+    let mut idle_conns = 0;
+    let mut slow_client = None;
     let mut check = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -56,6 +66,24 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .map_err(|_| "invalid --concurrency value".to_string())?;
             }
             "--cache-bust" => cache_bust = true,
+            "--idle-conns" => {
+                idle_conns = iter
+                    .next()
+                    .ok_or("--idle-conns requires a value")?
+                    .parse()
+                    .map_err(|_| "invalid --idle-conns value".to_string())?;
+            }
+            "--slow-client" => {
+                let rate: u64 = iter
+                    .next()
+                    .ok_or("--slow-client requires a BYTES_PER_SEC value")?
+                    .parse()
+                    .map_err(|_| "invalid --slow-client value".to_string())?;
+                if rate == 0 {
+                    return Err("--slow-client rate must be positive".to_string());
+                }
+                slow_client = Some(rate);
+            }
             "--check" => check = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -63,11 +91,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     Ok(Args {
         addr: addr.ok_or(
             "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] \
-             [--cache-bust] [--check]",
+             [--cache-bust] [--idle-conns N] [--slow-client BYTES_PER_SEC] [--check]",
         )?,
         requests,
         concurrency,
         cache_bust,
+        idle_conns,
+        slow_client,
         check,
     })
 }
@@ -81,10 +111,15 @@ fn run(args: &Args) -> Result<(), String> {
         );
         return Ok(());
     }
-    let options = if args.cache_bust {
+    let base = if args.cache_bust {
         LoadOptions::optimize_cache_busting(&args.addr, args.requests, args.concurrency)
     } else {
         LoadOptions::optimize(&args.addr, args.requests, args.concurrency)
+    };
+    let options = LoadOptions {
+        idle_conns: args.idle_conns,
+        slow_client_bytes_per_sec: args.slow_client,
+        ..base
     };
     // Scrape before and after: the server must count exactly the requests
     // this client sends — a lost or double-counted request is a metrics bug,
@@ -92,6 +127,13 @@ fn run(args: &Args) -> Result<(), String> {
     let baseline = endpoint_requests(&scrape_metrics(&args.addr)?, "optimize");
     let report = run_load(&options)?;
     println!("{}", report.render());
+    if report.idle_conns < args.idle_conns {
+        eprintln!(
+            "loadgen: warning: held only {} of {} requested idle conns \
+             (descriptor limit?)",
+            report.idle_conns, args.idle_conns
+        );
+    }
     let accepted = report.requests - report.io_errors;
     await_request_delta(&args.addr, "optimize", baseline, accepted)?;
     println!("loadgen: metrics delta ok ({accepted} optimize requests counted server-side)");
@@ -138,6 +180,7 @@ mod tests {
             (args.requests, args.concurrency, args.cache_bust, args.check),
             (200, 8, false, false)
         );
+        assert_eq!((args.idle_conns, args.slow_client), (0, None));
         let args = parse_args(&strings(&[
             "--addr",
             "x:1",
@@ -146,6 +189,10 @@ mod tests {
             "--concurrency",
             "2",
             "--cache-bust",
+            "--idle-conns",
+            "2000",
+            "--slow-client",
+            "1024",
             "--check",
         ]))
         .unwrap();
@@ -153,8 +200,12 @@ mod tests {
             (args.requests, args.concurrency, args.cache_bust, args.check),
             (50, 2, true, true)
         );
+        assert_eq!((args.idle_conns, args.slow_client), (2000, Some(1024)));
         assert!(parse_args(&strings(&[])).is_err());
         assert!(parse_args(&strings(&["--addr"])).is_err());
         assert!(parse_args(&strings(&["--addr", "x", "--bogus"])).is_err());
+        // A zero drip rate would divide by zero downstream; reject it.
+        assert!(parse_args(&strings(&["--addr", "x", "--slow-client", "0"])).is_err());
+        assert!(parse_args(&strings(&["--addr", "x", "--idle-conns", "-1"])).is_err());
     }
 }

@@ -32,6 +32,16 @@ pub struct LoadOptions {
     /// index), so every evaluation misses the server's cache and the run
     /// measures the cold optimiser path instead of cache-hit throughput.
     pub cache_bust: bool,
+    /// Idle keep-alive connections to hold open (sending nothing) for the
+    /// whole run, on top of the `concurrency` working connections. Opened
+    /// best-effort before the workers start; the count actually held is in
+    /// [`LoadReport::idle_conns`]. Stresses the server's connection capacity
+    /// without adding request load.
+    pub idle_conns: usize,
+    /// Drip-feed mode: when set, every request's bytes are written at roughly
+    /// this many bytes per second instead of in one burst, exercising the
+    /// server's partial-read path under load.
+    pub slow_client_bytes_per_sec: Option<u64>,
 }
 
 impl LoadOptions {
@@ -45,6 +55,8 @@ impl LoadOptions {
             path: "/v1/optimize".to_string(),
             body: r#"{"platform":"Hera","scenario":1,"lambda_multiplier":10}"#.to_string(),
             cache_bust: false,
+            idle_conns: 0,
+            slow_client_bytes_per_sec: None,
         }
     }
 
@@ -102,6 +114,13 @@ pub struct LoadReport {
     pub error_statuses: BTreeMap<u16, usize>,
     /// Errors with no HTTP status: connect/read/write failures.
     pub io_errors: usize,
+    /// Idle keep-alive connections actually held open for the run (may be
+    /// below the requested [`LoadOptions::idle_conns`] when the client-side
+    /// descriptor limit bites first).
+    pub idle_conns: usize,
+    /// The server's own `ayd_open_connections` gauge, scraped while the idle
+    /// connections were still held (`None` when the scrape failed).
+    pub open_connections: Option<f64>,
 }
 
 impl LoadReport {
@@ -128,16 +147,23 @@ impl LoadReport {
         } else {
             String::new()
         };
+        let mut conns = String::new();
+        if self.idle_conns > 0 {
+            conns.push_str(&format!(", {} idle conns held", self.idle_conns));
+        }
+        if let Some(open) = self.open_connections {
+            conns.push_str(&format!(", server open_connections {open:.0}"));
+        }
         if self.successes == 0 {
             return format!(
                 "loadgen: {} requests, 0 successful requests, {} errors{breakdown}, \
-                 {:.2?} elapsed",
+                 {:.2?} elapsed{conns}",
                 self.requests, self.errors, self.elapsed
             );
         }
         format!(
             "loadgen: {} requests, {} errors{breakdown}, {:.2?} elapsed, {:.0} req/s, \
-             p50 {:.0} µs, p90 {:.0} µs, p99 {:.0} µs, p99.9 {:.0} µs, max {:.0} µs",
+             p50 {:.0} µs, p90 {:.0} µs, p99 {:.0} µs, p99.9 {:.0} µs, max {:.0} µs{conns}",
             self.requests,
             self.errors,
             self.elapsed,
@@ -165,6 +191,19 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
     // Fail fast (and warm the server's accept path) before spawning workers.
     HttpClient::connect(&options.addr)
         .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
+
+    // Idle keep-alive connections: opened before the workers, held (sending
+    // nothing) until after the run's final metrics scrape, so the server
+    // carries them through the whole measurement. Best-effort — stop at the
+    // first failure (typically the local descriptor limit) and report how
+    // many actually opened.
+    let mut idle: Vec<std::net::TcpStream> = Vec::with_capacity(options.idle_conns);
+    for _ in 0..options.idle_conns {
+        match std::net::TcpStream::connect(&options.addr) {
+            Ok(stream) => idle.push(stream),
+            Err(_) => break,
+        }
+    }
 
     let issued = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
@@ -197,7 +236,11 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
                     }
                     let body = options.body_for(index);
                     let begun = Instant::now();
-                    match client.post_json(&options.path, &body) {
+                    let outcome_for = match options.slow_client_bytes_per_sec {
+                        Some(rate) => client.post_json_paced(&options.path, &body, rate),
+                        None => client.post_json(&options.path, &body),
+                    };
+                    match outcome_for {
                         Ok(response) if response.status == 200 => {
                             outcome.latencies.push(begun.elapsed().as_micros() as u64);
                         }
@@ -229,6 +272,13 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
         }
     });
     let elapsed = started.elapsed();
+    // Scrape the server's view of its connection load while the idle
+    // connections are still held, so the gauge reflects the run's peak.
+    let open_connections = scrape_metrics(&options.addr)
+        .ok()
+        .and_then(|scrape| scrape.value("ayd_open_connections"));
+    let idle_held = idle.len();
+    drop(idle);
     all_latencies.sort_unstable();
     let errors = io_errors + error_statuses.values().sum::<usize>();
     let completed = all_latencies.len() + errors;
@@ -245,6 +295,8 @@ pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
         max_us: all_latencies.last().copied().unwrap_or(0) as f64,
         error_statuses,
         io_errors,
+        idle_conns: idle_held,
+        open_connections,
     })
 }
 
@@ -378,6 +430,43 @@ mod tests {
         assert!(report.render().contains("max"), "{}", report.render());
         assert_eq!(report.render_errors(), "");
         await_request_delta(&addr, "optimize", baseline, 64).unwrap();
+
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_and_slow_client_modes_hold_connections_and_still_succeed() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle().unwrap();
+        let addr = handle.addr().to_string();
+        let thread = std::thread::spawn(move || server.serve());
+
+        // 16 idle keep-alive connections held through the run, while every
+        // working request is dripped at ~5 KB/s (one or two bytes-level
+        // chunks per request) — the server must answer them all and its own
+        // open-connection gauge must account for the idle ones.
+        let options = LoadOptions {
+            idle_conns: 16,
+            slow_client_bytes_per_sec: Some(5_000),
+            ..LoadOptions::optimize(&addr, 8, 2)
+        };
+        let report = run_load(&options).unwrap();
+        assert_eq!(report.errors, 0, "{}", report.render());
+        assert_eq!(report.requests, 8);
+        assert_eq!(report.idle_conns, 16);
+        let open = report
+            .open_connections
+            .expect("metrics scrape reports the gauge");
+        assert!(open >= 16.0, "gauge {open} below the 16 idle conns held");
+        let rendered = report.render();
+        assert!(rendered.contains("16 idle conns held"), "{rendered}");
+        assert!(rendered.contains("server open_connections"), "{rendered}");
 
         handle.shutdown();
         thread.join().unwrap().unwrap();

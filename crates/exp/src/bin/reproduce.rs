@@ -6,7 +6,7 @@
 //!                        [--profiles SPEC,...] [--failure-models SPEC,...]
 //!                        [--shard I/N] [--out PATH] [--resume]
 //!                        [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N]
-//!                        [--max-body BYTES] [--trace-log PATH]
+//!                        [--max-body BYTES] [--io-model blocking|event] [--trace-log PATH]
 //!
 //! experiments:
 //!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
@@ -45,7 +45,10 @@
 //! `--addr` picks the listen address (port 0 = ephemeral; the bound address is
 //! printed on stdout), `--threads` sizes the connection/compute pools,
 //! `--cache-capacity` the shared evaluation cache and `--max-body` the largest
-//! accepted request body.
+//! accepted request body. `--io-model` picks the serving core: `event` (the
+//! default where supported) runs per-core epoll reactors with `SO_REUSEPORT`
+//! accept sharding; `blocking` is the thread-per-connection pool. Both answer
+//! bit-identical bytes; the effective model is printed at startup.
 //!
 //! `--trace-log PATH` wears two hats. On any running experiment it installs
 //! an `ayd-obs` JSON-lines sink, so every span the run records (sweep stages,
@@ -80,6 +83,7 @@ struct ServeArgs {
     addr: Option<String>,
     cache_capacity: Option<usize>,
     max_body: Option<usize>,
+    io_model: Option<ayd_serve::IoModel>,
 }
 
 /// Flags of the sharded/file-backed sweep modes (`sweep --out/--shard/--resume`
@@ -264,6 +268,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| format!("invalid body limit `{value}`"))?,
                 );
             }
+            "--io-model" => {
+                let value = iter.next().ok_or("--io-model requires a value")?;
+                serve.io_model = Some(value.parse()?);
+            }
             "--trace-log" => {
                 let value = iter.next().ok_or("--trace-log requires a path")?;
                 trace_log = Some(std::path::PathBuf::from(value));
@@ -365,7 +373,7 @@ fn usage() -> String {
      [--threads N] [--no-cache] [--search STRATEGY] [--profiles SPEC,...] \
      [--failure-models SPEC,...] [--shard I/N] \
      [--out PATH] [--resume] [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N] \
-     [--max-body BYTES] [--trace-log PATH]\n\
+     [--max-body BYTES] [--io-model blocking|event] [--trace-log PATH]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
      sweep-merge checks serve obs-report all\n\
      search strategies: reference | fast | fast-strict (default; all three are bit-identical, \
@@ -469,12 +477,18 @@ fn run_serve(cli: &Cli) -> Result<(), String> {
     if let Some(max_body) = cli.serve.max_body {
         config.limits.max_body = max_body;
     }
+    if let Some(io_model) = cli.serve.io_model {
+        config.io_model = io_model;
+    }
     config.run = cli.options;
     let server = ayd_serve::Server::bind(config).map_err(|e| format!("serve: bind failed: {e}"))?;
     let addr = server
         .local_addr()
         .map_err(|e| format!("serve: no local address: {e}"))?;
     println!("ayd-serve listening on http://{addr}");
+    // The *effective* model: an `event` request quietly degrades to
+    // `blocking` on platforms without the epoll reactor.
+    println!("ayd-serve io model: {}", server.io_model().as_str());
     std::io::stdout().flush().expect("flush stdout");
     server.serve().map_err(|e| format!("serve: {e}"))
 }
@@ -864,16 +878,29 @@ mod tests {
             "4096",
             "--threads",
             "2",
+            "--io-model",
+            "event",
         ]))
         .unwrap();
         assert_eq!(cli.experiments, vec!["serve"]);
         assert_eq!(cli.serve.addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cli.serve.cache_capacity, Some(1024));
         assert_eq!(cli.serve.max_body, Some(4096));
+        assert_eq!(cli.serve.io_model, Some(ayd_serve::IoModel::Event));
         assert_eq!(cli.options.threads, Some(2));
+        assert_eq!(
+            parse_args(&strings(&["serve", "--io-model", "blocking"]))
+                .unwrap()
+                .serve
+                .io_model,
+            Some(ayd_serve::IoModel::Blocking)
+        );
         assert!(parse_args(&strings(&["serve", "--cache-capacity", "0"])).is_err());
         assert!(parse_args(&strings(&["serve", "--addr"])).is_err());
         assert!(parse_args(&strings(&["serve", "--max-body", "x"])).is_err());
+        let err = parse_args(&strings(&["serve", "--io-model", "uring"])).unwrap_err();
+        assert!(err.contains("unknown io model"), "{err}");
+        assert!(parse_args(&strings(&["serve", "--io-model"])).is_err());
         // The serve flags default to "unset" for every other experiment.
         assert_eq!(
             parse_args(&strings(&["fig2"])).unwrap().serve,

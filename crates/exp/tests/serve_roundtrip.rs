@@ -21,16 +21,28 @@ impl Drop for ServerProcess {
 }
 
 /// Starts `reproduce serve` on an ephemeral port and returns (guard, addr).
+/// `--io-model event` is explicit (it is also the default on supported
+/// platforms), so the suite exercises the CLI flag and the epoll reactor
+/// end-to-end; the startup announcement must name the effective model.
 fn start_server() -> (ServerProcess, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_reproduce"))
-        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--io-model",
+            "event",
+        ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
         .expect("reproduce serve starts");
     let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
     let mut line = String::new();
-    BufReader::new(stdout)
+    reader
         .read_line(&mut line)
         .expect("server announces its address");
     let addr = line
@@ -38,6 +50,21 @@ fn start_server() -> (ServerProcess, String) {
         .strip_prefix("ayd-serve listening on http://")
         .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
         .to_string();
+    let mut model_line = String::new();
+    reader
+        .read_line(&mut model_line)
+        .expect("server announces its io model");
+    let model = model_line
+        .trim()
+        .strip_prefix("ayd-serve io model: ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {model_line:?}"))
+        .to_string();
+    let expected = if ayd_serve::EVENT_IO_SUPPORTED {
+        "event"
+    } else {
+        "blocking"
+    };
+    assert_eq!(model, expected, "effective io model");
     (ServerProcess(child), addr)
 }
 

@@ -13,11 +13,64 @@ use crate::http::Limits;
 use crate::metrics::{GaugeSnapshot, Metrics};
 use crate::pool::{PoolStats, WorkerPool};
 
+/// True when this build carries the epoll event loop (Linux on
+/// x86_64/aarch64 — the targets the vendored syscall shim implements).
+pub const EVENT_IO_SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+/// Which I/O engine serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// The legacy engine: one blocking worker per in-flight connection.
+    Blocking,
+    /// Per-core epoll reactors with accept sharding ([`crate::reactor`]).
+    /// Falls back to [`IoModel::Blocking`] on builds without the shim.
+    Event,
+}
+
+impl IoModel {
+    /// The platform default: the event loop where the shim exists, the
+    /// blocking pool elsewhere.
+    pub fn default_model() -> Self {
+        if EVENT_IO_SUPPORTED {
+            IoModel::Event
+        } else {
+            IoModel::Blocking
+        }
+    }
+
+    /// The CLI spelling (`--io-model` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoModel::Blocking => "blocking",
+            IoModel::Event => "event",
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "blocking" => Ok(IoModel::Blocking),
+            "event" => Ok(IoModel::Event),
+            other => Err(format!(
+                "unknown io model {other:?} (expected \"blocking\" or \"event\")"
+            )),
+        }
+    }
+}
+
 /// Configuration of an [`crate::server::Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Listen address (`host:port`; port 0 picks an ephemeral port).
     pub addr: String,
+    /// I/O engine: epoll reactors or the legacy blocking pool.
+    pub io_model: IoModel,
     /// Connection-handler thread count (also sizes the batch compute pool and
     /// the shared cache's shard count).
     pub threads: usize,
@@ -45,6 +98,7 @@ impl Default for ServerConfig {
             .unwrap_or(1);
         Self {
             addr: "127.0.0.1:8080".to_string(),
+            io_model: IoModel::default_model(),
             threads,
             cache_capacity: 65_536,
             queue_capacity: 4 * threads.max(1),

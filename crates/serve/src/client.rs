@@ -79,6 +79,35 @@ impl HttpClient {
         self.request("POST", path, None, Some(body))
     }
 
+    /// `POST path` with a JSON body, dripped onto the wire at roughly
+    /// `bytes_per_sec`: the raw request bytes go out in small chunks with
+    /// sleeps in between, simulating a slow client and exercising the
+    /// server's partial-read path. Reads the response normally.
+    pub fn post_json_paced(
+        &mut self,
+        path: &str,
+        body: &str,
+        bytes_per_sec: u64,
+    ) -> std::io::Result<ClientResponse> {
+        let mut request = format!(
+            "POST {path} HTTP/1.1\r\nhost: ayd-serve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(body.as_bytes());
+        // Pace in ~20 ms ticks; at very low rates this degrades to one byte
+        // per tick, which is the most adversarial framing for the server.
+        let rate = bytes_per_sec.max(1);
+        let chunk = ((rate / 50).max(1)) as usize;
+        for piece in request.chunks(chunk) {
+            self.writer.write_all(piece)?;
+            self.writer.flush()?;
+            let nanos = piece.len() as u64 * 1_000_000_000 / rate;
+            std::thread::sleep(Duration::from_nanos(nanos));
+        }
+        self.read_response()
+    }
+
     fn read_response(&mut self) -> std::io::Result<ClientResponse> {
         let bad = |message: &str| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
@@ -509,6 +538,39 @@ pub fn smoke_check(addr: &str) -> Result<(), String> {
         || scrape.value("ayd_search_fallback_total").is_none()
     {
         return Err("metrics: search fast/fallback counters missing".into());
+    }
+
+    // 5b. Connection-level families from the serving core. The gauge counts
+    // at least this client's own keep-alive connection; every connection was
+    // accepted by exactly one acceptor (a reactor shard or the blocking
+    // accept loop), so the per-acceptor counters must sum to the connection
+    // total; and the readiness-wait histogram renders whichever io model is
+    // serving (it stays at zero under the blocking pool).
+    let open = scrape
+        .value("ayd_open_connections")
+        .ok_or("metrics: ayd_open_connections gauge missing")?;
+    if open < 1.0 {
+        return Err(format!(
+            "metrics: ayd_open_connections is {open} while this client holds one open"
+        ));
+    }
+    let accepts: f64 = scrape
+        .samples
+        .iter()
+        .filter(|s| s.name == "ayd_accepts_total")
+        .map(|s| s.value)
+        .sum();
+    let connections = scrape
+        .value("ayd_connections_total")
+        .ok_or("metrics: ayd_connections_total counter missing")?;
+    if accepts < 1.0 || accepts != connections {
+        return Err(format!(
+            "metrics: ayd_accepts_total sums to {accepts} across acceptors, \
+             but ayd_connections_total is {connections}"
+        ));
+    }
+    if scrape.value("ayd_readiness_wait_seconds_count").is_none() {
+        return Err("metrics: ayd_readiness_wait_seconds histogram missing".into());
     }
 
     // 6. The trace ring has recorded the requests this check just made, and

@@ -1,0 +1,391 @@
+//! Incremental HTTP parsing over partial reads, for the event-driven I/O
+//! layer.
+//!
+//! The reactor receives bytes in arbitrary chunks (a byte at a time from a
+//! slow client, several pipelined requests in one burst from a fast one). To
+//! keep the determinism contract — the exact status lines, limits and error
+//! strings of [`crate::http::parse_request`] — this module does **not**
+//! reimplement the grammar. It accumulates bytes and re-runs the one-shot
+//! parser over the buffered prefix, classifying "the bytes so far are a
+//! proper prefix of a request" apart from "the bytes so far can never become
+//! a request". The classification is exact because the one-shot parser has a
+//! closed set of incomplete-data errors (`ConnectionClosed`, truncated
+//! line/headers/body), all of which are terminal only at end-of-stream.
+//!
+//! Parse attempts are gated so drip-fed input stays cheap and bounded:
+//! re-parses fire only when the header section is complete (a blank line has
+//! been scanned), at end-of-stream, or when the buffer exceeds the maximum
+//! possible header-section size implied by [`Limits`] — at which point the
+//! one-shot parser is guaranteed to return a definite over-limit error, so
+//! memory per connection stays bounded no matter what the peer sends.
+
+use std::io::Cursor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::api::{endpoint_hint, route};
+use crate::app::AppState;
+use crate::http::{parse_request, Limits, ParseError, Request, Response};
+
+/// Result of one [`IncrementalParser::poll`].
+#[derive(Debug)]
+pub enum Poll {
+    /// The buffered bytes are a proper prefix of a request; feed more.
+    NeedMore,
+    /// One complete request, drained from the buffer (pipelined bytes after
+    /// it remain buffered for the next poll).
+    Ready(Request),
+    /// The buffered bytes can never parse, or the stream ended mid-request.
+    /// Identical to what the one-shot parser returns on the same bytes.
+    Fail(ParseError),
+}
+
+/// The largest number of bytes the one-shot parser can consume for a request
+/// head (request line + headers + blank line) before it must return an
+/// over-limit error. Buffering past this without a complete head means the
+/// next parse attempt yields a definite error, never `NeedMore`.
+pub(crate) fn head_cap(limits: &Limits) -> usize {
+    limits.max_request_line + 2 + (limits.max_headers + 1) * (limits.max_header_line + 2)
+}
+
+/// Buffers partial input and yields requests exactly as the one-shot parser
+/// would, one [`poll`](IncrementalParser::poll) at a time.
+#[derive(Debug, Default)]
+pub struct IncrementalParser {
+    buffer: Vec<u8>,
+    /// Next unscanned byte (blank-line search resumes here).
+    scan: usize,
+    /// Start of the header-section line currently being scanned.
+    line_start: usize,
+    /// Offset just past the head's terminating blank line, once seen.
+    head_end: Option<usize>,
+    /// Total bytes (head + declared body) of the in-progress request, once
+    /// the head has parsed far enough to know — gates body re-parses.
+    total_needed: Option<usize>,
+}
+
+impl IncrementalParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (for memory accounting and pause decisions).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Advances the blank-line scan over newly pushed bytes. The head ends at
+    /// the first empty line (CRLF or bare LF), mirroring the parser's
+    /// line-by-line reads.
+    fn scan_for_head_end(&mut self) {
+        while self.scan < self.buffer.len() {
+            if self.buffer[self.scan] == b'\n' {
+                let mut line = &self.buffer[self.line_start..self.scan];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                let next = self.scan + 1;
+                if line.is_empty() {
+                    self.head_end = Some(next);
+                    self.scan = next;
+                    return;
+                }
+                self.line_start = next;
+            }
+            self.scan += 1;
+        }
+    }
+
+    /// True when `error` means "a proper prefix of a request" rather than "a
+    /// malformed request" — terminal only once the stream has ended. The set
+    /// is closed: every other error is invariant under appending bytes.
+    fn is_incomplete(error: &ParseError) -> bool {
+        matches!(
+            error,
+            ParseError::ConnectionClosed
+                | ParseError::BadRequest("truncated line")
+                | ParseError::BadRequest("connection closed inside headers")
+                | ParseError::BadRequest("truncated body")
+        )
+    }
+
+    /// Extracts the declared `Content-Length` from a complete, already
+    /// head-validated buffer so body re-parses can be gated on a byte count
+    /// instead of firing per chunk. Only called after the one-shot parser has
+    /// accepted the head (it failed in the *body* read), so the single
+    /// well-formed `content-length` header is guaranteed present-or-absent.
+    fn note_body_needed(&mut self, head_end: usize) {
+        let head = &self.buffer[..head_end];
+        let mut content_length = 0usize;
+        for line in head.split(|&b| b == b'\n') {
+            let Some(colon) = line.iter().position(|&b| b == b':') else {
+                continue;
+            };
+            if line[..colon].eq_ignore_ascii_case(b"content-length") {
+                let value: String = String::from_utf8_lossy(&line[colon + 1..]).into_owned();
+                if let Ok(n) = value.trim().parse::<usize>() {
+                    content_length = n;
+                }
+            }
+        }
+        self.total_needed = Some(head_end + content_length);
+    }
+
+    /// Tries to produce the next request from the buffered bytes. `eof` means
+    /// the peer's stream has ended — incomplete prefixes then fail exactly as
+    /// the one-shot parser fails on the same truncated input.
+    pub fn poll(&mut self, limits: &Limits, eof: bool) -> Poll {
+        if self.head_end.is_none() {
+            self.scan_for_head_end();
+        }
+        // Gate: only attempt a parse when it can make progress — the head is
+        // complete, the stream ended, or the buffer is so large the parser is
+        // guaranteed to return an over-limit error.
+        let over_cap = self.buffer.len() > head_cap(limits);
+        if self.head_end.is_none() && !eof && !over_cap {
+            return Poll::NeedMore;
+        }
+        if let (Some(needed), false) = (self.total_needed, eof) {
+            if self.buffer.len() < needed {
+                return Poll::NeedMore;
+            }
+        }
+        let mut cursor = Cursor::new(self.buffer.as_slice());
+        match parse_request(&mut cursor, limits) {
+            Ok(request) => {
+                let consumed = cursor.position() as usize;
+                self.buffer.drain(..consumed);
+                self.scan = 0;
+                self.line_start = 0;
+                self.head_end = None;
+                self.total_needed = None;
+                Poll::Ready(request)
+            }
+            Err(error) if !eof && Self::is_incomplete(&error) => {
+                if error == ParseError::BadRequest("truncated body") {
+                    if let (Some(head_end), None) = (self.head_end, self.total_needed) {
+                        self.note_body_needed(head_end);
+                    }
+                }
+                Poll::NeedMore
+            }
+            Err(error) => Poll::Fail(error),
+        }
+    }
+}
+
+/// Serves one connection's bytes delivered in arbitrary chunks, mirroring the
+/// blocking path's [`crate::server::serve_connection`] semantics request for
+/// request (same routing, same trace-id header, same keep-alive and error
+/// behaviour). This is the synchronous harness the malformed-request fuzz
+/// suite drives to assert the incremental path answers byte-for-byte like the
+/// one-shot path; the reactor runs the same state machine asynchronously.
+pub fn serve_chunks(chunks: &[&[u8]], state: &Arc<AppState>, shutdown: &AtomicBool) -> Vec<u8> {
+    let mut parser = IncrementalParser::new();
+    let mut output = Vec::new();
+    let mut served = 0usize;
+    let mut feed = chunks.iter();
+    let mut eof = false;
+    loop {
+        match parser.poll(&state.limits, eof) {
+            Poll::NeedMore => {
+                if eof {
+                    return output;
+                }
+                match feed.next() {
+                    Some(chunk) => parser.push(chunk),
+                    None => eof = true,
+                }
+            }
+            Poll::Ready(request) => {
+                let trace = ayd_obs::fresh_trace_id();
+                let mut root = ayd_obs::root_span("request", trace);
+                let started = Instant::now();
+                let endpoint_guess = endpoint_hint(&request.target);
+                state.metrics.request_started(endpoint_guess);
+                let route_span = ayd_obs::span("route");
+                let (endpoint, response) = route(state, &request);
+                route_span.finish();
+                let response =
+                    response.with_header("x-ayd-trace-id", crate::server::format_trace_id(trace));
+                let keep_alive = !request.wants_close() && !shutdown.load(Ordering::SeqCst);
+                output.extend_from_slice(&response.to_bytes(keep_alive));
+                state.metrics.request_finished(endpoint_guess);
+                root.field_str("endpoint", endpoint);
+                root.field_u64("status", u64::from(response.status));
+                root.finish();
+                state
+                    .metrics
+                    .observe(endpoint, response.status, started.elapsed());
+                served += 1;
+                if !keep_alive || served >= crate::server::MAX_REQUESTS_PER_CONNECTION {
+                    return output;
+                }
+            }
+            Poll::Fail(error) => {
+                if let Some((status, reason)) = error.status() {
+                    let trace = ayd_obs::fresh_trace_id();
+                    let mut root = ayd_obs::root_span("request", trace);
+                    let response = Response::error(status, reason, &format!("{error:?}"))
+                        .with_header("x-ayd-trace-id", crate::server::format_trace_id(trace));
+                    output.extend_from_slice(&response.to_bytes(false));
+                    root.field_str("endpoint", "parse_error");
+                    root.field_u64("status", u64::from(status));
+                    root.finish();
+                    state
+                        .metrics
+                        .observe("parse_error", status, std::time::Duration::ZERO);
+                }
+                return output;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    fn poll_all(input: &[u8], chunk: usize) -> Vec<Result<Request, ParseError>> {
+        let mut parser = IncrementalParser::new();
+        let mut results = Vec::new();
+        let mut chunks = input.chunks(chunk.max(1));
+        let mut eof = false;
+        loop {
+            match parser.poll(&limits(), eof) {
+                Poll::NeedMore => {
+                    if eof {
+                        return results;
+                    }
+                    match chunks.next() {
+                        Some(c) => parser.push(c),
+                        None => eof = true,
+                    }
+                }
+                Poll::Ready(request) => results.push(Ok(request)),
+                // A clean close after complete requests is the end of the
+                // session, not a result.
+                Poll::Fail(ParseError::ConnectionClosed) if !results.is_empty() => {
+                    return results;
+                }
+                Poll::Fail(error) => {
+                    results.push(Err(error));
+                    return results;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_shot() {
+        let input = b"POST /v1/optimize HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}";
+        let one_shot =
+            parse_request(&mut Cursor::new(input.to_vec()), &limits()).expect("one-shot parses");
+        let incremental = poll_all(input, 1);
+        assert_eq!(incremental.len(), 1);
+        assert_eq!(incremental[0].as_ref().unwrap(), &one_shot);
+    }
+
+    #[test]
+    fn pipelined_requests_split_anywhere() {
+        let input = b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/optimize HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdGET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n";
+        for chunk in [1, 2, 3, 7, 64, input.len()] {
+            let results = poll_all(input, chunk);
+            assert_eq!(results.len(), 3, "chunk={chunk}");
+            assert_eq!(results[0].as_ref().unwrap().target, "/healthz");
+            assert_eq!(results[1].as_ref().unwrap().body, b"abcd");
+            assert_eq!(results[2].as_ref().unwrap().target, "/metrics");
+            assert!(results[2].as_ref().unwrap().wants_close());
+        }
+    }
+
+    #[test]
+    fn malformed_input_fails_with_the_one_shot_error() {
+        for input in [
+            &b"BOGUS\r\n\r\n"[..],
+            b"GET / HTTP/2\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 50\r\n\r\nhello",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad header\r\n\r\n",
+        ] {
+            let one_shot = parse_request(&mut Cursor::new(input.to_vec()), &limits()).unwrap_err();
+            for chunk in [1, 3, input.len()] {
+                let results = poll_all(input, chunk);
+                assert_eq!(results.last().unwrap().as_ref().unwrap_err(), &one_shot);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_fails_only_at_eof() {
+        let input = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        let mut parser = IncrementalParser::new();
+        parser.push(input);
+        assert!(matches!(parser.poll(&limits(), false), Poll::NeedMore));
+        match parser.poll(&limits(), true) {
+            Poll::Fail(error) => {
+                assert_eq!(error, ParseError::BadRequest("truncated body"));
+            }
+            other => panic!("expected failure at eof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_close_reports_connection_closed() {
+        let mut parser = IncrementalParser::new();
+        assert!(matches!(parser.poll(&limits(), false), Poll::NeedMore));
+        match parser.poll(&limits(), true) {
+            Poll::Fail(ParseError::ConnectionClosed) => {}
+            other => panic!("expected ConnectionClosed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_errors_without_eof_and_memory_stays_bounded() {
+        let mut parser = IncrementalParser::new();
+        let cap = head_cap(&limits());
+        // A header section that never ends: the parser must fail (431) before
+        // buffering much past the cap, even though the stream is still open.
+        let mut failed = None;
+        let chunk = vec![b'a'; 4096];
+        for _ in 0..(cap / chunk.len() + 4) {
+            parser.push(b"x-filler: ");
+            parser.push(&chunk);
+            parser.push(b"\r\n");
+            if let Poll::Fail(error) = parser.poll(&limits(), false) {
+                failed = Some(error);
+                break;
+            }
+        }
+        // The over-long first line is the request line, so the one-shot
+        // parser's over-limit error for it is 414.
+        assert_eq!(failed, Some(ParseError::TargetTooLong));
+        assert!(parser.buffered() <= cap + 2 * chunk.len());
+    }
+
+    #[test]
+    fn body_gate_waits_for_declared_length() {
+        let mut parser = IncrementalParser::new();
+        parser.push(b"POST / HTTP/1.1\r\ncontent-length: 5\r\n\r\n");
+        assert!(matches!(parser.poll(&limits(), false), Poll::NeedMore));
+        assert_eq!(parser.total_needed, Some(parser.buffered() + 5));
+        parser.push(b"ab");
+        assert!(matches!(parser.poll(&limits(), false), Poll::NeedMore));
+        parser.push(b"cde");
+        match parser.poll(&limits(), false) {
+            Poll::Ready(request) => assert_eq!(request.body, b"abcde"),
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+}

@@ -301,6 +301,16 @@ impl Response {
         self
     }
 
+    /// The full wire bytes of the response — what [`Response::write_to`]
+    /// would emit. The event loop renders responses off-reactor with this and
+    /// writes the bytes as the socket accepts them.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 160);
+        self.write_to(&mut out, keep_alive)
+            .expect("writing to a Vec cannot fail");
+        out
+    }
+
     /// Writes the response (status line, headers, body) to `writer`.
     pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         let mut head = format!(
@@ -448,5 +458,15 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("allow: GET\r\n"));
+    }
+
+    #[test]
+    fn to_bytes_matches_write_to_exactly() {
+        for keep_alive in [true, false] {
+            let response = Response::csv("a,b\n1,2\n").with_header("x-ayd-trace-id", "00ff");
+            let mut written = Vec::new();
+            response.write_to(&mut written, keep_alive).unwrap();
+            assert_eq!(response.to_bytes(keep_alive), written);
+        }
     }
 }

@@ -20,13 +20,25 @@
 //! server-side trace; with tracing enabled the same ID appears in the span
 //! records (ring, `--trace-log` sink).
 //!
-//! Architecture: a fixed [`pool::WorkerPool`] of connection handlers behind a
-//! bounded MPMC queue (accept-loop backpressure), a second pool for
-//! `/v1/batch` fan-out, a process-wide [`ayd_sweep::ShardedEvalCache`] shared
-//! by every request (answers are bit-identical to the offline
-//! [`ayd_sweep::Evaluator`] — asserted by [`client::smoke_check`]), async
-//! sweeps on [`ayd_sweep::SweepExecutor::spawn`] job handles, and graceful
-//! shutdown via a flag + listener wake-up ([`server::ServeHandle`]).
+//! Architecture: two interchangeable serving cores behind
+//! [`app::IoModel`]. The default (`event`, Linux x86-64/aarch64) is a set of
+//! per-worker epoll reactors ([`reactor`], one `SO_REUSEPORT` listener each,
+//! so the kernel shards accepts), driving nonblocking edge-triggered
+//! connections through an incremental parser ([`conn::IncrementalParser`] —
+//! the same strict one-shot parser re-run over the accumulating buffer, so
+//! partial reads and pipelining answer byte-identically) and dispatching CPU
+//! work to a handler [`pool::WorkerPool`]; completed responses return to the
+//! owning reactor over an `eventfd`. The raw syscall layer is the vendored
+//! [`sys`] shim — no libc, no async runtime. The fallback (`blocking`, and
+//! every other platform) is the original fixed pool of connection-handler
+//! threads behind a bounded MPMC queue (accept-loop backpressure). Both
+//! cores share: a second pool for `/v1/batch` fan-out, a process-wide
+//! [`ayd_sweep::ShardedEvalCache`] shared by every request (answers are
+//! bit-identical to the offline [`ayd_sweep::Evaluator`] — asserted by
+//! [`client::smoke_check`]), async sweeps on
+//! [`ayd_sweep::SweepExecutor::spawn`] job handles, and graceful shutdown
+//! via a flag + listener wake-up ([`server::ServeHandle`]) that drains
+//! in-flight connections without truncating a response.
 //!
 //! The request parser ([`http`]) is strict and bounded (header count, line
 //! lengths, body size) with exact 400/404/405/413/414/431/501 mapping; the
@@ -40,15 +52,27 @@
 pub mod api;
 pub mod app;
 pub mod client;
+pub mod conn;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod reactor;
 pub mod server;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod sys;
 
 pub use api::ApiError;
-pub use app::{AppState, ServerConfig};
+pub use app::{AppState, IoModel, ServerConfig, EVENT_IO_SUPPORTED};
 pub use client::{smoke_check, ClientResponse, HttpClient};
+pub use conn::{serve_chunks, IncrementalParser};
 pub use http::{Limits, Request, Response};
 pub use json::Json;
 pub use metrics::{validate_prometheus, GaugeSnapshot, Metrics, PrometheusText, Sample};

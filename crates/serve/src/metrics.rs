@@ -62,6 +62,18 @@ pub struct Metrics {
     requests: AtomicU64,
     /// Total connections accepted.
     connections: AtomicU64,
+    /// Connections currently open (accepted, not yet closed). The event loop
+    /// is exactly what makes this gauge interesting: idle keep-alive
+    /// connections no longer park a worker, so open ≫ busy is healthy.
+    open_connections: AtomicU64,
+    /// Accepted connections by acceptor: one entry per reactor (labelled by
+    /// index) plus `"blocking"` for the legacy pool's accept loop.
+    accepts: Mutex<BTreeMap<String, u64>>,
+    /// Readiness-wait histogram buckets: time a reactor spent parked in
+    /// `epoll_wait` before events fired, same bounds as the request histogram.
+    readiness_buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    /// Sum of readiness waits in nanoseconds.
+    readiness_sum_nanos: AtomicU64,
     /// Latency histogram bucket counts (non-cumulative; bucket `i` counts
     /// requests with latency ≤ `BUCKET_BOUNDS[i]`, the last slot is overflow).
     buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
@@ -102,9 +114,47 @@ impl Metrics {
         Self::default()
     }
 
-    /// Records one accepted connection.
+    /// Records one accepted connection (legacy blocking accept loop). Pair
+    /// with [`Metrics::connection_closed`].
     pub fn connection_opened(&self) {
+        self.connection_accepted("blocking");
+    }
+
+    /// Records one accepted connection on the named acceptor (a reactor index
+    /// or `"blocking"`). Pair with [`Metrics::connection_closed`].
+    pub fn connection_accepted(&self, acceptor: &str) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+        let mut accepts = self.accepts.lock().expect("metrics map poisoned");
+        match accepts.get_mut(acceptor) {
+            Some(count) => *count += 1,
+            None => {
+                accepts.insert(acceptor.to_string(), 1);
+            }
+        }
+    }
+
+    /// Records one closed connection (saturating: an unmatched call leaves
+    /// the gauge at zero rather than wrapping).
+    pub fn connection_closed(&self) {
+        let _ = self
+            .open_connections
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |open| {
+                open.checked_sub(1)
+            });
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Records one reactor `epoll_wait` park: how long the reactor waited
+    /// before readiness (events or a completion wake-up) fired.
+    pub fn observe_readiness_wait(&self, wait: Duration) {
+        self.readiness_buckets[bucket_slot(wait.as_secs_f64())].fetch_add(1, Ordering::Relaxed);
+        self.readiness_sum_nanos
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Marks one request as in flight on `endpoint`. Pair with
@@ -208,6 +258,21 @@ impl Metrics {
             self.connections.load(Ordering::Relaxed)
         ));
 
+        out.push_str("# HELP ayd_open_connections Connections currently open.\n");
+        out.push_str("# TYPE ayd_open_connections gauge\n");
+        out.push_str(&format!(
+            "ayd_open_connections {}\n",
+            self.open_connections.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP ayd_accepts_total Connections accepted, by acceptor (reactor index or \"blocking\").\n");
+        out.push_str("# TYPE ayd_accepts_total counter\n");
+        for (acceptor, count) in self.accepts.lock().expect("metrics map poisoned").iter() {
+            out.push_str(&format!(
+                "ayd_accepts_total{{reactor=\"{acceptor}\"}} {count}\n"
+            ));
+        }
+
         out.push_str("# HELP ayd_in_flight_requests Requests currently being handled.\n");
         out.push_str("# TYPE ayd_in_flight_requests gauge\n");
         for (endpoint, count) in self.in_flight.lock().expect("metrics map poisoned").iter() {
@@ -236,6 +301,13 @@ impl Metrics {
             "Cold (cache-miss) optimiser evaluation latency of /v1/optimize.",
             &self.cold_buckets,
             self.cold_sum_nanos.load(Ordering::Relaxed),
+        );
+        render_histogram(
+            &mut out,
+            "ayd_readiness_wait_seconds",
+            "Time a reactor spent parked in epoll_wait before readiness fired.",
+            &self.readiness_buckets,
+            self.readiness_sum_nanos.load(Ordering::Relaxed),
         );
 
         out.push_str("# HELP ayd_search_fast_total Scalar searches answered by the warm-started fast path.\n");
@@ -493,7 +565,10 @@ fn parse_labels(body: &str, line: &str) -> Result<Vec<(String, String)>, String>
 ///   can never silently ship untyped);
 /// - every histogram's `+Inf` bucket matches that same histogram's `_count`
 ///   (each `<name>_bucket{le="+Inf"}` is paired with its own `<name>_count`,
-///   so one well-formed histogram can't mask another broken one).
+///   so one well-formed histogram can't mask another broken one);
+/// - every sample value is finite, and every `counter`- or `histogram`-typed
+///   sample is non-negative (a wrapped gauge decrement or a `NaN` division
+///   must fail the scrape, not ship).
 ///
 /// Used by the smoke check and the CI gate (`loadgen --check`).
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
@@ -507,6 +582,16 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
         let family = model.family_of(&sample.name);
         if !model.types.contains_key(family) {
             return Err(format!("family {family} has samples but no # TYPE line"));
+        }
+        if !sample.value.is_finite() {
+            return Err(format!("sample {} has a non-finite value", sample.name));
+        }
+        if matches!(
+            model.types.get(family).map(String::as_str),
+            Some("counter") | Some("histogram")
+        ) && sample.value < 0.0
+        {
+            return Err(format!("monotone sample {} is negative", sample.name));
         }
         if model.types.get(family).map(String::as_str) == Some("histogram") {
             if sample.name.ends_with("_bucket") && sample.label("le") == Some("+Inf") {
@@ -542,6 +627,59 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn connection_gauges_track_accepts_and_closes() {
+        let metrics = Metrics::new();
+        metrics.connection_accepted("0");
+        metrics.connection_accepted("0");
+        metrics.connection_accepted("1");
+        metrics.connection_opened();
+        assert_eq!(metrics.open_connections(), 4);
+        metrics.connection_closed();
+        assert_eq!(metrics.open_connections(), 3);
+        metrics.observe_readiness_wait(Duration::from_micros(30));
+        metrics.observe_readiness_wait(Duration::from_millis(100));
+        // One observe so the payload has request samples for the validator.
+        metrics.observe("healthz", 200, Duration::from_micros(5));
+        let text = metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("ayd_open_connections 3\n"));
+        assert!(text.contains("ayd_accepts_total{reactor=\"0\"} 2\n"));
+        assert!(text.contains("ayd_accepts_total{reactor=\"1\"} 1\n"));
+        assert!(text.contains("ayd_accepts_total{reactor=\"blocking\"} 1\n"));
+        assert!(text.contains("ayd_readiness_wait_seconds_bucket{le=\"0.0001\"} 1\n"));
+        assert!(text.contains("ayd_readiness_wait_seconds_bucket{le=\"0.1\"} 2\n"));
+        assert!(text.contains("ayd_readiness_wait_seconds_count 2\n"));
+        // The close gauge saturates at zero instead of wrapping.
+        for _ in 0..10 {
+            metrics.connection_closed();
+        }
+        assert_eq!(metrics.open_connections(), 0);
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_and_negative_monotone_samples() {
+        let nan = "# TYPE ayd_cache_hit_rate gauge\nayd_cache_hit_rate NaN\n\
+                   # TYPE ayd_request_duration_seconds histogram\n\
+                   ayd_request_duration_seconds_bucket{le=\"+Inf\"} 1\n\
+                   ayd_request_duration_seconds_count 1\n";
+        let err = validate_prometheus(nan).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        let negative = "# TYPE ayd_accepts_total counter\n\
+                        ayd_accepts_total{reactor=\"0\"} -1\n\
+                        # TYPE ayd_request_duration_seconds histogram\n\
+                        ayd_request_duration_seconds_bucket{le=\"+Inf\"} 1\n\
+                        ayd_request_duration_seconds_count 1\n";
+        let err = validate_prometheus(negative).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+        // A negative gauge is legitimate and passes.
+        let gauge = "# TYPE ayd_drift gauge\nayd_drift -2\n\
+                     # TYPE ayd_request_duration_seconds histogram\n\
+                     ayd_request_duration_seconds_bucket{le=\"+Inf\"} 1\n\
+                     ayd_request_duration_seconds_count 1\n";
+        validate_prometheus(gauge).unwrap();
+    }
 
     #[test]
     fn observations_land_in_buckets_and_render_cumulatively() {

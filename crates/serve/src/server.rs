@@ -14,19 +14,33 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::api::{endpoint_hint, route};
-use crate::app::{AppState, ServerConfig};
+use crate::app::{AppState, IoModel, ServerConfig};
 use crate::http::{parse_request, Response};
 use crate::pool::WorkerPool;
 
 /// The `x-ayd-trace-id` header value: 16 lowercase hex digits, matching the
 /// `trace` field of the span JSON lines, so one grep joins a response to its
 /// server-side spans.
-fn format_trace_id(trace: u64) -> String {
+pub(crate) fn format_trace_id(trace: u64) -> String {
     format!("{trace:016x}")
 }
 
 /// Upper bound on requests served over one keep-alive connection.
-const MAX_REQUESTS_PER_CONNECTION: usize = 100_000;
+pub(crate) const MAX_REQUESTS_PER_CONNECTION: usize = 100_000;
+
+/// The bound sockets of a server: a single blocking listener, or one
+/// nonblocking `SO_REUSEPORT` shard per reactor.
+enum ListenerSet {
+    Blocking(TcpListener),
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Event {
+        fds: Vec<crate::sys::Fd>,
+        addr: SocketAddr,
+    },
+}
 
 /// Handle for stopping a running server from another thread.
 #[derive(Debug, Clone)]
@@ -53,32 +67,79 @@ impl ServeHandle {
 
 /// A bound (but not yet serving) query service.
 pub struct Server {
-    listener: TcpListener,
+    listeners: ListenerSet,
     state: Arc<AppState>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 }
 
 impl Server {
-    /// Binds the listener and builds the shared state. The returned server
-    /// does not accept connections until [`Server::serve`] is called.
+    /// Binds the listener(s) and builds the shared state. The returned server
+    /// does not accept connections until [`Server::serve`] is called. With
+    /// [`IoModel::Event`] this binds one nonblocking `SO_REUSEPORT` shard per
+    /// reactor thread (`SO_REUSEPORT` must be set before `bind`, so the
+    /// shards cannot be derived from a `std` listener); on builds without the
+    /// syscall shim the event model falls back to the blocking engine.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
+        let listeners = Self::bind_listeners(&config)?;
         // Ring-only recording is on by default so `/v1/trace/recent` works
         // out of the box; a JSON-lines sink is opt-in via `--trace-log`.
         ayd_obs::enable();
         let state = AppState::new(&config);
         Ok(Server {
-            listener,
+            listeners,
             state,
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
         })
     }
 
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn bind_listeners(config: &ServerConfig) -> std::io::Result<ListenerSet> {
+        match config.io_model {
+            IoModel::Blocking => Ok(ListenerSet::Blocking(TcpListener::bind(&config.addr)?)),
+            IoModel::Event => {
+                let (fds, addr) =
+                    crate::sys::listen_reuseport(&config.addr, config.threads.max(1))?;
+                Ok(ListenerSet::Event { fds, addr })
+            }
+        }
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    fn bind_listeners(config: &ServerConfig) -> std::io::Result<ListenerSet> {
+        Ok(ListenerSet::Blocking(TcpListener::bind(&config.addr)?))
+    }
+
+    /// The effective I/O engine (the configured one, folded through platform
+    /// support).
+    pub fn io_model(&self) -> IoModel {
+        match self.listeners {
+            ListenerSet::Blocking(_) => IoModel::Blocking,
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            ListenerSet::Event { .. } => IoModel::Event,
+        }
+    }
+
     /// The bound address (resolves `:0` to the actual ephemeral port).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
+        match &self.listeners {
+            ListenerSet::Blocking(listener) => listener.local_addr(),
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            ListenerSet::Event { addr, .. } => Ok(*addr),
+        }
     }
 
     /// A shutdown handle usable from any thread.
@@ -97,22 +158,43 @@ impl Server {
     /// Accepts and serves connections until [`ServeHandle::shutdown`] fires,
     /// then drains in-flight connections and returns.
     pub fn serve(self) -> std::io::Result<()> {
-        let pool = WorkerPool::new("ayd-conn", self.config.threads, self.config.queue_capacity);
-        self.state.attach_conn_pool(pool.stats());
+        match self.listeners {
+            ListenerSet::Blocking(listener) => {
+                Self::serve_blocking(listener, self.state, self.shutdown, &self.config)
+            }
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            ListenerSet::Event { fds, .. } => {
+                crate::reactor::serve_event(fds, self.state, self.shutdown, &self.config)
+            }
+        }
+    }
+
+    /// The legacy engine: one blocking connection-worker job per connection.
+    fn serve_blocking(
+        listener: TcpListener,
+        state: Arc<AppState>,
+        shutdown: Arc<AtomicBool>,
+        config: &ServerConfig,
+    ) -> std::io::Result<()> {
+        let pool = WorkerPool::new("ayd-conn", config.threads, config.queue_capacity);
+        state.attach_conn_pool(pool.stats());
         loop {
-            let (stream, _) = match self.listener.accept() {
+            let (stream, _) = match listener.accept() {
                 Ok(accepted) => accepted,
-                Err(_) if self.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) if shutdown.load(Ordering::SeqCst) => break,
                 // Transient accept errors (EMFILE, ECONNABORTED): keep going.
                 Err(_) => continue,
             };
-            if self.shutdown.load(Ordering::SeqCst) {
+            if shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            self.state.metrics.connection_opened();
-            let state = Arc::clone(&self.state);
-            let shutdown = Arc::clone(&self.shutdown);
-            let read_timeout = self.config.read_timeout;
+            state.metrics.connection_opened();
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let read_timeout = config.read_timeout;
             let enqueued = Instant::now();
             let job = Box::new(move || {
                 // Queue wait (accept → a worker picks the job up) is recorded
@@ -122,12 +204,12 @@ impl Server {
                 conn_span.field_u64("queue_wait_ns", enqueued.elapsed().as_nanos() as u64);
                 let _ = stream.set_read_timeout(Some(read_timeout));
                 let _ = stream.set_nodelay(true);
-                let Ok(reader_stream) = stream.try_clone() else {
-                    return;
-                };
-                let mut reader = BufReader::new(reader_stream);
-                let mut writer = stream;
-                serve_connection(&mut reader, &mut writer, &state, &shutdown);
+                if let Ok(reader_stream) = stream.try_clone() {
+                    let mut reader = BufReader::new(reader_stream);
+                    let mut writer = stream;
+                    serve_connection(&mut reader, &mut writer, &state, &shutdown);
+                }
+                state.metrics.connection_closed();
             });
             if pool.submit(job).is_err() {
                 break;

@@ -1,0 +1,239 @@
+//! Integration suite for the event-driven serving core: graceful drain under
+//! load, idle-connection tracking, and blocking/event equivalence.
+//!
+//! Servers here bind `127.0.0.1:0` with the default [`ServerConfig`], which
+//! selects the epoll reactor wherever it is supported
+//! ([`ayd_serve::EVENT_IO_SUPPORTED`]) and the blocking pool elsewhere — so
+//! the suite is meaningful (if less sharp) on every platform.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ayd_serve::{HttpClient, IoModel, PrometheusText, Server, ServerConfig};
+
+const OPTIMIZE_BODY: &str = r#"{"platform":"Hera","scenario":1,"lambda_multiplier":10}"#;
+
+fn boot(
+    config: ServerConfig,
+) -> (
+    ayd_serve::ServeHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(config).unwrap();
+    let handle = server.handle().unwrap();
+    let thread = std::thread::spawn(move || server.serve());
+    (handle, thread)
+}
+
+fn default_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..ServerConfig::default()
+    }
+}
+
+fn scrape(addr: &str) -> PrometheusText {
+    let mut client = HttpClient::connect(addr).unwrap();
+    let response = client.get("/metrics", None).unwrap();
+    assert_eq!(response.status, 200);
+    PrometheusText::parse(&response.body).unwrap()
+}
+
+/// How a worker's connection ended. A server may close a keep-alive
+/// connection between responses (that is the protocol working), but it must
+/// never cut a response off partway — a status line with no body behind it.
+enum ConnEnd {
+    Clean,
+    Truncated(String),
+}
+
+fn classify(error: &std::io::Error) -> ConnEnd {
+    use std::io::ErrorKind;
+    match error.kind() {
+        // The far side hung up between requests, or our write raced the
+        // close: nothing of a response was delivered, nothing was truncated.
+        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
+            ConnEnd::Clean
+        }
+        ErrorKind::InvalidData if error.to_string().contains("before a status line") => {
+            ConnEnd::Clean
+        }
+        // Anything else — EOF inside headers or mid-body above all — means a
+        // response started arriving and was cut off.
+        _ => ConnEnd::Truncated(error.to_string()),
+    }
+}
+
+/// Regression test for the drain path: shutting the server down while
+/// clients hammer it must never truncate a response that has started going
+/// out. Workers run until the server disappears; every connection must end
+/// either after a complete response or before one began.
+#[test]
+fn shutdown_under_load_leaves_no_truncated_responses() {
+    let (handle, thread) = boot(default_config());
+    let addr = Arc::new(handle.addr().to_string());
+
+    let mut workers = Vec::new();
+    for _ in 0..8 {
+        let addr = Arc::clone(&addr);
+        workers.push(std::thread::spawn(move || {
+            let mut successes = 0usize;
+            let mut truncations: Vec<String> = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut client = match HttpClient::connect(&addr) {
+                Ok(client) => client,
+                Err(_) => return (successes, truncations),
+            };
+            while Instant::now() < deadline {
+                match client.post_json("/v1/optimize", OPTIMIZE_BODY) {
+                    Ok(response) => {
+                        assert_eq!(response.status, 200);
+                        successes += 1;
+                    }
+                    Err(error) => {
+                        if let ConnEnd::Truncated(detail) = classify(&error) {
+                            truncations.push(detail);
+                            break;
+                        }
+                        // Clean close: reconnect until the listener is gone.
+                        match HttpClient::connect(&addr) {
+                            Ok(fresh) => client = fresh,
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            (successes, truncations)
+        }));
+    }
+
+    // Let the load establish, then pull the rug.
+    std::thread::sleep(Duration::from_millis(150));
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+
+    let mut total = 0usize;
+    for worker in workers {
+        let (successes, truncations) = worker.join().unwrap();
+        total += successes;
+        assert!(
+            truncations.is_empty(),
+            "responses truncated during shutdown: {truncations:?}"
+        );
+    }
+    assert!(total > 0, "no requests completed before shutdown");
+}
+
+/// Idle keep-alive connections (sending nothing) are carried and counted by
+/// the server while it keeps answering real requests around them.
+#[test]
+fn idle_connections_are_tracked_and_served_around() {
+    let (handle, thread) = boot(default_config());
+    let addr = handle.addr().to_string();
+
+    let idle: Vec<TcpStream> = (0..64)
+        .map(|_| TcpStream::connect(&addr).unwrap())
+        .collect();
+
+    // Accepts land asynchronously; poll the gauge until it sees all of them.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut open = 0.0;
+    while Instant::now() < deadline {
+        open = scrape(&addr).value("ayd_open_connections").unwrap();
+        if open >= idle.len() as f64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        open >= idle.len() as f64,
+        "gauge says {open} open connections, {} idle ones are held",
+        idle.len()
+    );
+
+    // Real work flows normally around the idle herd.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let response = client.post_json("/v1/optimize", OPTIMIZE_BODY).unwrap();
+    assert_eq!(response.status, 200);
+
+    // Every open connection was accepted by exactly one acceptor, and the
+    // per-acceptor counters account for all of them.
+    let metrics = scrape(&addr);
+    let accepts: f64 = metrics
+        .samples
+        .iter()
+        .filter(|s| s.name == "ayd_accepts_total")
+        .map(|s| s.value)
+        .sum();
+    let connections = metrics.value("ayd_connections_total").unwrap();
+    assert_eq!(accepts, connections);
+    assert!(accepts >= 1.0 + idle.len() as f64, "accepts {accepts}");
+
+    drop(idle);
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+/// The `--io-model blocking` escape hatch still serves end-to-end and labels
+/// its accepts.
+#[test]
+fn blocking_io_model_still_serves_end_to_end() {
+    let server = Server::bind(ServerConfig {
+        io_model: IoModel::Blocking,
+        ..default_config()
+    })
+    .unwrap();
+    assert_eq!(server.io_model(), IoModel::Blocking);
+    let handle = server.handle().unwrap();
+    let addr = handle.addr().to_string();
+    let thread = std::thread::spawn(move || server.serve());
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    assert_eq!(client.get("/healthz", None).unwrap().status, 200);
+    assert_eq!(
+        client
+            .post_json("/v1/optimize", OPTIMIZE_BODY)
+            .unwrap()
+            .status,
+        200
+    );
+    let blocking_accepts = scrape(&addr).sum_labeled("ayd_accepts_total", "reactor", "blocking");
+    assert!(blocking_accepts >= 1.0, "accepts {blocking_accepts}");
+
+    // Close the keep-alive connection first: a blocking handler otherwise
+    // sits out its read timeout before noticing the shutdown flag.
+    drop(client);
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+/// The two io models answer the same query with byte-identical bodies and
+/// media types (trace IDs are per-request and excluded by construction).
+#[test]
+fn event_and_blocking_answers_are_bit_identical() {
+    if ayd_serve::EVENT_IO_SUPPORTED {
+        let event = Server::bind(ServerConfig {
+            io_model: IoModel::Event,
+            ..default_config()
+        })
+        .unwrap();
+        assert_eq!(event.io_model(), IoModel::Event);
+    }
+    let mut answers: Vec<(u16, String, String)> = Vec::new();
+    for io_model in [IoModel::default_model(), IoModel::Blocking] {
+        let (handle, thread) = boot(ServerConfig {
+            io_model,
+            ..default_config()
+        });
+        let addr = handle.addr().to_string();
+        let mut client = HttpClient::connect(&addr).unwrap();
+        let response = client.post_json("/v1/optimize", OPTIMIZE_BODY).unwrap();
+        answers.push((response.status, response.content_type, response.body));
+        drop(client);
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+    assert_eq!(answers[0], answers[1]);
+}

@@ -69,10 +69,8 @@ fn assert_well_formed(output: &[u8]) -> Vec<u16> {
     statuses
 }
 
-/// A corpus of deliberately malformed requests, exercised exhaustively.
-#[test]
-fn adversarial_corpus_always_answers_a_well_formed_status_line() {
-    let state = test_state();
+/// The shared corpus of deliberately malformed requests.
+fn adversarial_corpus() -> Vec<Vec<u8>> {
     let huge_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100_000));
     let many_headers = {
         let mut s = String::from("GET /healthz HTTP/1.1\r\n");
@@ -82,7 +80,7 @@ fn adversarial_corpus_always_answers_a_well_formed_status_line() {
         s.push_str("\r\n");
         s
     };
-    let cases: Vec<Vec<u8>> = vec![
+    vec![
         b"GET\r\n\r\n".to_vec(),
         b"\r\n\r\n".to_vec(),
         b"POST /v1/optimize HTTP/1.1\r\ncontent-length: -5\r\n\r\n".to_vec(),
@@ -108,8 +106,14 @@ fn adversarial_corpus_always_answers_a_well_formed_status_line() {
             s.extend(std::iter::repeat_n(b'x', 2 << 20));
             s
         },
-    ];
-    for case in cases {
+    ]
+}
+
+/// The corpus, exercised exhaustively through the one-shot handler.
+#[test]
+fn adversarial_corpus_always_answers_a_well_formed_status_line() {
+    let state = test_state();
+    for case in adversarial_corpus() {
         let output = drive(&state, &case);
         assert!(!output.is_empty(), "malformed input must be answered");
         let statuses = assert_well_formed(&output);
@@ -119,6 +123,69 @@ fn adversarial_corpus_always_answers_a_well_formed_status_line() {
             statuses.last().unwrap() >= &400,
             "expected an error status, got {statuses:?}"
         );
+    }
+}
+
+/// Feeds the same bytes through the event path's incremental parser
+/// ([`ayd_serve::serve_chunks`]) in the given pieces, returning everything
+/// it wrote.
+fn drive_chunks(state: &Arc<AppState>, chunks: &[&[u8]]) -> Vec<u8> {
+    let shutdown = AtomicBool::new(false);
+    ayd_serve::serve_chunks(chunks, state, &shutdown)
+}
+
+/// The event path must answer exactly what the one-shot path answers, no
+/// matter how the bytes are framed on the wire. Trace IDs differ per request,
+/// so equivalence is on the status-line sequence (which pins response count,
+/// codes and framing — `assert_well_formed` already checked the rest).
+#[test]
+fn byte_at_a_time_reads_match_the_one_shot_path() {
+    let state = test_state();
+    let mut valid_post = b"POST /v1/optimize HTTP/1.1\r\n".to_vec();
+    let body = br#"{"platform":"Hera","scenario":1}"#;
+    valid_post.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+    valid_post.extend_from_slice(body);
+    let mut cases = adversarial_corpus();
+    cases.push(b"GET /healthz HTTP/1.1\r\n\r\n".to_vec());
+    cases.push(valid_post);
+    for case in cases {
+        let one_shot = assert_well_formed(&drive(&state, &case));
+        // True byte-at-a-time for ordinary cases; the two >100 KB corpus
+        // members get 1 KB drips so the test stays fast in debug builds.
+        let step = if case.len() <= 2_048 { 1 } else { 1_024 };
+        let pieces: Vec<&[u8]> = case.chunks(step).collect();
+        let incremental = assert_well_formed(&drive_chunks(&state, &pieces));
+        assert_eq!(
+            one_shot,
+            incremental,
+            "statuses diverge for {:?}... dripped {step} byte(s) at a time",
+            &case[..case.len().min(48)]
+        );
+    }
+}
+
+/// Pipelined requests (two valid, one 404) split at **every** byte boundary
+/// answer the same status sequence as the whole pipeline in one read.
+#[test]
+fn split_pipelined_requests_match_the_one_shot_path() {
+    let state = test_state();
+    let body = br#"{"platform":"Hera","scenario":1}"#;
+    let mut pipeline = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+    pipeline.extend_from_slice(
+        format!(
+            "POST /v1/optimize HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    pipeline.extend_from_slice(body);
+    pipeline.extend_from_slice(b"GET /v1/no-such-route HTTP/1.1\r\n\r\n");
+    let one_shot = assert_well_formed(&drive(&state, &pipeline));
+    assert_eq!(one_shot, vec![200, 200, 404]);
+    for cut in 0..=pipeline.len() {
+        let pieces = [&pipeline[..cut], &pipeline[cut..]];
+        let split = assert_well_formed(&drive_chunks(&state, &pieces));
+        assert_eq!(one_shot, split, "statuses diverge when split at byte {cut}");
     }
 }
 
@@ -155,5 +222,20 @@ proptest! {
         request.extend(&body);
         let output = drive(&state, &request);
         assert_well_formed(&output);
+    }
+
+    /// Arbitrary bytes, arbitrarily split in two: the incremental path's
+    /// status sequence always equals the one-shot path's.
+    #[test]
+    fn arbitrary_split_points_never_change_the_statuses(
+        bytes in prop::collection::vec(0u8..=255, 0..300),
+        cut in 0usize..=300,
+    ) {
+        let state = test_state();
+        let one_shot = assert_well_formed(&drive(&state, &bytes));
+        let cut = cut.min(bytes.len());
+        let pieces = [&bytes[..cut], &bytes[cut..]];
+        let split = assert_well_formed(&drive_chunks(&state, &pieces));
+        prop_assert_eq!(one_shot, split);
     }
 }

@@ -3,6 +3,9 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--cache-bust]
 //!         [--idle-conns N] [--slow-client BYTES_PER_SEC] [--check]
+//!         [--cluster-check [--workers N]]
+//!         [--cluster-sweep SHARDS --out FILE [--grid-body FILE] [--timeout-secs N]]
+//!         [--engine-sweep --out FILE [--grid-body FILE]]
 //! ```
 //!
 //! Default mode drives `POST /v1/optimize` over `C` keep-alive connections,
@@ -22,12 +25,26 @@
 //! optimize query compared bit-for-bit against the offline evaluator, one
 //! sweep job compared byte-for-byte against the in-process engine, the
 //! cold-path latency bound, and a metrics parse.
+//!
+//! Cluster modes (for a `reproduce serve --coordinator` instance):
+//! `--cluster-check` waits for `--workers N` live workers (default 1), runs
+//! the golden grid as a distributed job and byte-compares the merged CSV
+//! against the in-process engine. `--cluster-sweep SHARDS` submits the CI
+//! grid (or `--grid-body FILE`) with that shard count and writes the merged
+//! CSV to `--out`; `--engine-sweep` computes the same grid in-process and
+//! writes the reference CSV to `--out`, so `cmp` decides byte-identity.
 
 use std::process::ExitCode;
 
 use ayd_bench::loadgen::{
     await_request_delta, endpoint_requests, run_load, scrape_metrics, LoadOptions,
 };
+
+/// The CI cluster grid: 4 platforms × 3 scenarios × 4 speedup profiles ×
+/// 4 λ multipliers × 4 processor counts × 3 pattern lengths = 2304 cells,
+/// covering all four profile families (the mixed-profile determinism the
+/// single-process golden tests pin).
+const CI_CLUSTER_GRID: &str = r#"{"platforms":["Hera","Atlas","Coastal","Coastal SSD"],"scenarios":[1,2,3],"profiles":["amdahl:0.1","powerlaw:0.8","gustafson:0.05","perfect"],"lambda_multipliers":[1,2,5,10],"processors":[256,512,1024,2048],"pattern_lengths":[1800,3600,7200]}"#;
 
 struct Args {
     addr: String,
@@ -37,6 +54,13 @@ struct Args {
     idle_conns: usize,
     slow_client: Option<u64>,
     check: bool,
+    cluster_check: bool,
+    workers: usize,
+    cluster_sweep: Option<usize>,
+    engine_sweep: bool,
+    grid_body: Option<String>,
+    out: Option<std::path::PathBuf>,
+    timeout_secs: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -47,6 +71,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut idle_conns = 0;
     let mut slow_client = None;
     let mut check = false;
+    let mut cluster_check = false;
+    let mut workers = 1;
+    let mut cluster_sweep = None;
+    let mut engine_sweep = false;
+    let mut grid_body = None;
+    let mut out = None;
+    let mut timeout_secs = 300;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -85,24 +116,134 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 slow_client = Some(rate);
             }
             "--check" => check = true,
+            "--cluster-check" => cluster_check = true,
+            "--workers" => {
+                workers = iter
+                    .next()
+                    .ok_or("--workers requires a value")?
+                    .parse()
+                    .map_err(|_| "invalid --workers value".to_string())?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--cluster-sweep" => {
+                let shards: usize = iter
+                    .next()
+                    .ok_or("--cluster-sweep requires a SHARDS value")?
+                    .parse()
+                    .map_err(|_| "invalid --cluster-sweep value".to_string())?;
+                if shards == 0 {
+                    return Err("--cluster-sweep needs at least 1 shard".to_string());
+                }
+                cluster_sweep = Some(shards);
+            }
+            "--engine-sweep" => engine_sweep = true,
+            "--grid-body" => {
+                let path = iter.next().ok_or("--grid-body requires a path")?;
+                grid_body = Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("--grid-body {path}: {e}"))?,
+                );
+            }
+            "--out" => {
+                let path = iter.next().ok_or("--out requires a path")?;
+                out = Some(std::path::PathBuf::from(path));
+            }
+            "--timeout-secs" => {
+                timeout_secs = iter
+                    .next()
+                    .ok_or("--timeout-secs requires a value")?
+                    .parse()
+                    .map_err(|_| "invalid --timeout-secs value".to_string())?;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Args {
-        addr: addr.ok_or(
+    if (cluster_sweep.is_some() || engine_sweep) && out.is_none() {
+        return Err("--cluster-sweep/--engine-sweep require --out FILE".to_string());
+    }
+    if engine_sweep && cluster_sweep.is_some() {
+        return Err("--engine-sweep and --cluster-sweep are mutually exclusive".to_string());
+    }
+    // The engine reference never touches a server; every other mode does.
+    let addr = if engine_sweep {
+        addr.unwrap_or_default()
+    } else {
+        addr.ok_or(
             "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] \
-             [--cache-bust] [--idle-conns N] [--slow-client BYTES_PER_SEC] [--check]",
-        )?,
+             [--cache-bust] [--idle-conns N] [--slow-client BYTES_PER_SEC] [--check] \
+             [--cluster-check [--workers N]] \
+             [--cluster-sweep SHARDS --out FILE [--grid-body FILE] [--timeout-secs N]] \
+             [--engine-sweep --out FILE [--grid-body FILE]]",
+        )?
+    };
+    Ok(Args {
+        addr,
         requests,
         concurrency,
         cache_bust,
         idle_conns,
         slow_client,
         check,
+        cluster_check,
+        workers,
+        cluster_sweep,
+        engine_sweep,
+        grid_body,
+        out,
+        timeout_secs,
     })
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    if args.engine_sweep {
+        let body = args.grid_body.as_deref().unwrap_or(CI_CLUSTER_GRID);
+        let csv = ayd_serve::client::engine_sweep_csv(body)?;
+        let out = args.out.as_ref().expect("parse_args enforces --out");
+        std::fs::write(out, &csv).map_err(|e| format!("write {}: {e}", out.display()))?;
+        println!(
+            "loadgen --engine-sweep: {} rows -> {}",
+            csv.lines().count() - 1,
+            out.display()
+        );
+        return Ok(());
+    }
+    if let Some(shards) = args.cluster_sweep {
+        let body = args.grid_body.as_deref().unwrap_or(CI_CLUSTER_GRID);
+        let mut sharded = body.trim_end().to_string();
+        if sharded.pop() != Some('}') {
+            return Err("grid body must be a JSON object".to_string());
+        }
+        sharded.push_str(&format!(r#","shards":{shards}}}"#));
+        ayd_serve::client::await_workers(
+            &args.addr,
+            args.workers,
+            std::time::Duration::from_secs(30),
+        )?;
+        let csv = ayd_serve::client::fetch_sweep_csv(
+            &args.addr,
+            &sharded,
+            std::time::Duration::from_secs(args.timeout_secs),
+        )?;
+        let out = args.out.as_ref().expect("parse_args enforces --out");
+        std::fs::write(out, &csv).map_err(|e| format!("write {}: {e}", out.display()))?;
+        println!(
+            "loadgen --cluster-sweep: {} rows over {shards} shards -> {}",
+            csv.lines().count() - 1,
+            out.display()
+        );
+        return Ok(());
+    }
+    if args.cluster_check {
+        ayd_serve::client::cluster_smoke_check(&args.addr, args.workers)?;
+        println!(
+            "loadgen --cluster-check: distributed round-trip passed against {} \
+             ({} workers)",
+            args.addr, args.workers
+        );
+        return Ok(());
+    }
     if args.check {
         ayd_serve::smoke_check(&args.addr)?;
         println!(
@@ -207,5 +348,62 @@ mod tests {
         // A zero drip rate would divide by zero downstream; reject it.
         assert!(parse_args(&strings(&["--addr", "x", "--slow-client", "0"])).is_err());
         assert!(parse_args(&strings(&["--addr", "x", "--idle-conns", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let args = parse_args(&strings(&[
+            "--addr",
+            "x:1",
+            "--cluster-check",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert!(args.cluster_check);
+        assert_eq!(args.workers, 2);
+
+        let args = parse_args(&strings(&[
+            "--addr",
+            "x:1",
+            "--cluster-sweep",
+            "8",
+            "--out",
+            "cluster.csv",
+            "--timeout-secs",
+            "600",
+        ]))
+        .unwrap();
+        assert_eq!(args.cluster_sweep, Some(8));
+        assert_eq!(
+            args.out.as_deref(),
+            Some(std::path::Path::new("cluster.csv"))
+        );
+        assert_eq!(args.timeout_secs, 600);
+
+        // The engine reference needs no server address.
+        let args = parse_args(&strings(&["--engine-sweep", "--out", "ref.csv"])).unwrap();
+        assert!(args.engine_sweep);
+
+        assert!(parse_args(&strings(&["--addr", "x", "--cluster-sweep", "2"])).is_err());
+        assert!(parse_args(&strings(&["--engine-sweep"])).is_err());
+        assert!(parse_args(&strings(&[
+            "--addr",
+            "x",
+            "--engine-sweep",
+            "--cluster-sweep",
+            "2",
+            "--out",
+            "a.csv"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&["--addr", "x", "--workers", "0"])).is_err());
+        assert!(parse_args(&strings(&["--addr", "x", "--cluster-sweep", "0"])).is_err());
+    }
+
+    #[test]
+    fn the_ci_cluster_grid_is_a_2304_cell_mixed_profile_grid() {
+        let csv = ayd_serve::client::engine_sweep_csv(CI_CLUSTER_GRID).unwrap();
+        assert_eq!(csv.lines().count() - 1, 2304);
     }
 }

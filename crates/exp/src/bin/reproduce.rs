@@ -7,6 +7,8 @@
 //!                        [--shard I/N] [--out PATH] [--resume]
 //!                        [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N]
 //!                        [--max-body BYTES] [--io-model blocking|event] [--trace-log PATH]
+//!                        [--coordinator [--lease-ms N]]
+//!                        [--worker-of HOST:PORT [--advertise HOST:PORT]]
 //!
 //! experiments:
 //!   table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions
@@ -50,6 +52,14 @@
 //! accept sharding; `blocking` is the thread-per-connection pool. Both answer
 //! bit-identical bytes; the effective model is printed at startup.
 //!
+//! Cluster roles (serve only): `--coordinator` makes the instance decompose
+//! sharded `/v1/sweep` jobs and dispatch them to registered workers, with
+//! `--lease-ms` tuning the worker lease (default 3000; expiry re-issues the
+//! dead worker's shard from its last checkpoint). `--worker-of HOST:PORT`
+//! makes the instance register with that coordinator, heartbeat and compute
+//! dispatched shards; `--advertise` overrides the dial-back address when the
+//! bound one is not reachable from the coordinator. See `docs/OPERATIONS.md`.
+//!
 //! `--trace-log PATH` wears two hats. On any running experiment it installs
 //! an `ayd-obs` JSON-lines sink, so every span the run records (sweep stages,
 //! server requests, optimiser fallbacks) streams to `PATH`; the sweep CSV is
@@ -84,6 +94,16 @@ struct ServeArgs {
     cache_capacity: Option<usize>,
     max_body: Option<usize>,
     io_model: Option<ayd_serve::IoModel>,
+    /// `--coordinator`: accept worker registrations and dispatch sweep shards.
+    coordinator: bool,
+    /// `--worker-of HOST:PORT`: register with that coordinator and compute
+    /// dispatched shards.
+    worker_of: Option<String>,
+    /// `--lease-ms N` (coordinator): worker lease length.
+    lease_ms: Option<u64>,
+    /// `--advertise HOST:PORT` (worker): the address the coordinator should
+    /// dial back, when the bound address is not reachable from it.
+    advertise: Option<String>,
 }
 
 /// Flags of the sharded/file-backed sweep modes (`sweep --out/--shard/--resume`
@@ -272,6 +292,29 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let value = iter.next().ok_or("--io-model requires a value")?;
                 serve.io_model = Some(value.parse()?);
             }
+            "--coordinator" => serve.coordinator = true,
+            "--worker-of" => {
+                let value = iter
+                    .next()
+                    .ok_or("--worker-of requires a HOST:PORT value")?;
+                serve.worker_of = Some(value.clone());
+            }
+            "--lease-ms" => {
+                let value = iter.next().ok_or("--lease-ms requires a value")?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid lease `{value}`"))?;
+                if parsed < 10 {
+                    return Err("--lease-ms must be at least 10".to_string());
+                }
+                serve.lease_ms = Some(parsed);
+            }
+            "--advertise" => {
+                let value = iter
+                    .next()
+                    .ok_or("--advertise requires a HOST:PORT value")?;
+                serve.advertise = Some(value.clone());
+            }
             "--trace-log" => {
                 let value = iter.next().ok_or("--trace-log requires a path")?;
                 trace_log = Some(std::path::PathBuf::from(value));
@@ -341,6 +384,33 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             usage()
         ));
     }
+    // One process plays one cluster role; a coordinator that is also a
+    // worker of itself would deadlock its own shard queue.
+    if serve.coordinator && serve.worker_of.is_some() {
+        return Err(format!(
+            "--coordinator and --worker-of are mutually exclusive\n{}",
+            usage()
+        ));
+    }
+    if serve.lease_ms.is_some() && !serve.coordinator {
+        return Err(format!(
+            "--lease-ms only applies to --coordinator\n{}",
+            usage()
+        ));
+    }
+    if serve.advertise.is_some() && serve.worker_of.is_none() {
+        return Err(format!(
+            "--advertise only applies to --worker-of\n{}",
+            usage()
+        ));
+    }
+    if (serve.coordinator || serve.worker_of.is_some()) && !experiments.iter().any(|e| e == "serve")
+    {
+        return Err(format!(
+            "--coordinator/--worker-of only apply to serve\n{}",
+            usage()
+        ));
+    }
     // `--trace-log` flips meaning on obs-report (input, not sink), so the
     // report can never run in the same invocation as the experiments that
     // would be writing the very file it reads.
@@ -373,7 +443,8 @@ fn usage() -> String {
      [--threads N] [--no-cache] [--search STRATEGY] [--profiles SPEC,...] \
      [--failure-models SPEC,...] [--shard I/N] \
      [--out PATH] [--resume] [--inputs CSV,...] [--addr HOST:PORT] [--cache-capacity N] \
-     [--max-body BYTES] [--io-model blocking|event] [--trace-log PATH]\n\
+     [--max-body BYTES] [--io-model blocking|event] [--trace-log PATH] \
+     [--coordinator [--lease-ms N]] [--worker-of HOST:PORT [--advertise HOST:PORT]]\n\
      experiments: table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 ablation engines extensions sweep \
      sweep-merge checks serve obs-report all\n\
      search strategies: reference | fast | fast-strict (default; all three are bit-identical, \
@@ -480,6 +551,12 @@ fn run_serve(cli: &Cli) -> Result<(), String> {
     if let Some(io_model) = cli.serve.io_model {
         config.io_model = io_model;
     }
+    config.cluster.coordinator = cli.serve.coordinator;
+    config.cluster.worker_of = cli.serve.worker_of.clone();
+    config.cluster.advertise = cli.serve.advertise.clone();
+    if let Some(lease_ms) = cli.serve.lease_ms {
+        config.cluster.lease = std::time::Duration::from_millis(lease_ms);
+    }
     config.run = cli.options;
     let server = ayd_serve::Server::bind(config).map_err(|e| format!("serve: bind failed: {e}"))?;
     let addr = server
@@ -489,6 +566,14 @@ fn run_serve(cli: &Cli) -> Result<(), String> {
     // The *effective* model: an `event` request quietly degrades to
     // `blocking` on platforms without the epoll reactor.
     println!("ayd-serve io model: {}", server.io_model().as_str());
+    if cli.serve.coordinator {
+        println!(
+            "ayd-serve role: coordinator (lease {} ms)",
+            cli.serve.lease_ms.unwrap_or(3000)
+        );
+    } else if let Some(coordinator) = &cli.serve.worker_of {
+        println!("ayd-serve role: worker of http://{coordinator}");
+    }
     std::io::stdout().flush().expect("flush stdout");
     server.serve().map_err(|e| format!("serve: {e}"))
 }
@@ -906,6 +991,32 @@ mod tests {
             parse_args(&strings(&["fig2"])).unwrap().serve,
             ServeArgs::default()
         );
+    }
+
+    #[test]
+    fn parses_cluster_roles() {
+        let cli = parse_args(&strings(&["serve", "--coordinator", "--lease-ms", "500"])).unwrap();
+        assert!(cli.serve.coordinator);
+        assert_eq!(cli.serve.lease_ms, Some(500));
+
+        let cli = parse_args(&strings(&[
+            "serve",
+            "--worker-of",
+            "127.0.0.1:8080",
+            "--advertise",
+            "10.0.0.2:8081",
+        ]))
+        .unwrap();
+        assert_eq!(cli.serve.worker_of.as_deref(), Some("127.0.0.1:8080"));
+        assert_eq!(cli.serve.advertise.as_deref(), Some("10.0.0.2:8081"));
+
+        // One process plays one role, and the tuning flags belong to it.
+        assert!(parse_args(&strings(&["serve", "--coordinator", "--worker-of", "h:1"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--lease-ms", "500"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--advertise", "h:1"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--lease-ms", "5", "--coordinator"])).is_err());
+        assert!(parse_args(&strings(&["fig2", "--coordinator"])).is_err());
+        assert!(parse_args(&strings(&["serve", "--worker-of"])).is_err());
     }
 
     #[test]

@@ -40,6 +40,16 @@
 //! (and the installed sink) when a root span completes, when the buffer
 //! fills, or on an explicit [`flush`]. The ring keeps the newest
 //! [`RING_CAPACITY`] records; overflow discards the oldest.
+//!
+//! ## Span vocabulary
+//!
+//! The emitting crates share one flat vocabulary (the full table, with
+//! fields, is `docs/OBSERVABILITY.md` at the repository root): the serving
+//! path emits `connection`/`request`/`parse`/`route`/`evaluate`/`render`,
+//! the sweep engine `sweep`/`chunk`/`shard`, and a distributed-sweep
+//! coordinator additionally `dispatch`, `lease_expire`, `shard_reissue` and
+//! `shard_chunk` — the audit trail of which worker held which shard epoch
+//! and how many checkpointed rows each recovery retained.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -32,16 +32,24 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
             _ => ("healthz", method_not_allowed("GET")),
         },
         "/metrics" => match req.method.as_str() {
-            "GET" => (
-                "metrics",
-                Response::text(
-                    200,
-                    "OK",
-                    state
-                        .metrics
-                        .render_prometheus(&state.cache.stats(), &state.gauge_snapshot()),
-                ),
-            ),
+            "GET" => {
+                let cluster = state
+                    .coordinator
+                    .as_ref()
+                    .map(|coordinator| coordinator.stats(Instant::now()));
+                (
+                    "metrics",
+                    Response::text(
+                        200,
+                        "OK",
+                        state.metrics.render_prometheus(
+                            &state.cache.stats(),
+                            &state.gauge_snapshot(),
+                            cluster.as_ref(),
+                        ),
+                    ),
+                )
+            }
             _ => ("metrics", method_not_allowed("GET")),
         },
         "/v1/trace/recent" => match req.method.as_str() {
@@ -60,8 +68,46 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
             "POST" => ("sweep_submit", sweep_submit(state, req)),
             _ => ("sweep_submit", method_not_allowed("POST")),
         },
+        "/v1/workers/register" => match req.method.as_str() {
+            "POST" => ("worker_register", worker_register(state, req)),
+            _ => ("worker_register", method_not_allowed("POST")),
+        },
+        "/v1/workers" => match req.method.as_str() {
+            "GET" => ("workers", workers_list(state)),
+            _ => ("workers", method_not_allowed("GET")),
+        },
+        _ if path.starts_with("/v1/workers/") => {
+            let rest = &path["/v1/workers/".len()..];
+            let id = rest.strip_suffix("/heartbeat").and_then(|t| t.parse().ok());
+            match (req.method.as_str(), id) {
+                ("POST", Some(id)) => ("worker_heartbeat", worker_heartbeat(state, req, id)),
+                (_, Some(_)) => ("worker_heartbeat", method_not_allowed("POST")),
+                (_, None) => ("worker_heartbeat", not_found()),
+            }
+        }
+        "/v1/shards/run" => match req.method.as_str() {
+            "POST" => ("shard_run", shard_run(state, req)),
+            _ => ("shard_run", method_not_allowed("POST")),
+        },
         _ if path.starts_with("/v1/sweep/") => {
             let rest = &path["/v1/sweep/".len()..];
+            // Worker → coordinator chunk upload:
+            // POST /v1/sweep/{job}/shards/{index}/chunk?worker=&token=&epoch=
+            if let Some((job_text, tail)) = rest.split_once("/shards/") {
+                let ids = tail.strip_suffix("/chunk").and_then(|index_text| {
+                    Some((
+                        job_text.parse::<u64>().ok()?,
+                        index_text.parse::<usize>().ok()?,
+                    ))
+                });
+                return match (req.method.as_str(), ids) {
+                    ("POST", Some((job, index))) => {
+                        ("shard_chunk", shard_chunk(state, req, job, index))
+                    }
+                    (_, Some(_)) => ("shard_chunk", method_not_allowed("POST")),
+                    (_, None) => ("shard_chunk", not_found()),
+                };
+            }
             if let Some(id_text) = rest.strip_suffix("/shards") {
                 let id = id_text.parse::<u64>().ok();
                 return match (req.method.as_str(), id) {
@@ -94,9 +140,15 @@ pub fn endpoint_hint(target: &str) -> &'static str {
         "/v1/optimize" => "optimize",
         "/v1/batch" => "batch",
         "/v1/sweep" => "sweep_submit",
+        "/v1/workers/register" => "worker_register",
+        "/v1/workers" => "workers",
+        "/v1/shards/run" => "shard_run",
+        _ if path.starts_with("/v1/workers/") => "worker_heartbeat",
         _ if path.starts_with("/v1/sweep/") => {
             let rest = &path["/v1/sweep/".len()..];
-            if rest.ends_with("/shards") {
+            if rest.contains("/shards/") && rest.ends_with("/chunk") {
+                "shard_chunk"
+            } else if rest.ends_with("/shards") {
                 "sweep_shards"
             } else {
                 "sweep_poll"
@@ -104,6 +156,14 @@ pub fn endpoint_hint(target: &str) -> &'static str {
         }
         _ => "unknown",
     }
+}
+
+/// The value of query parameter `key` in a request target, if present.
+fn query_param<'a>(target: &'a str, key: &str) -> Option<&'a str> {
+    target.split_once('?')?.1.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 /// `GET /v1/trace/recent[?limit=N]`: the newest completed spans from the
@@ -1001,6 +1061,208 @@ fn parse_shards(body: &Json) -> Result<(Option<usize>, Option<&str>), ApiError> 
     Ok((shards, token))
 }
 
+/// `POST /v1/workers/register` (coordinator only): registers a worker node
+/// and returns its identity, lease and heartbeat cadence. The token is a
+/// 16-hex-digit string (u64 values do not survive a JSON f64 round trip).
+fn worker_register(state: &Arc<AppState>, req: &Request) -> Response {
+    let Some(coordinator) = &state.coordinator else {
+        return bad_request("this server is not running in coordinator mode");
+    };
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let Some(addr) = body.get("addr").and_then(Json::as_str) else {
+        return ApiError::field("addr", "field 'addr' must be the worker's host:port string")
+            .response();
+    };
+    let (id, token) = coordinator.register_worker(addr, Instant::now());
+    let lease = coordinator.lease();
+    Response::json(&Json::obj(vec![
+        ("id", Json::num(id as f64)),
+        ("token", Json::str(format!("{token:016x}"))),
+        ("lease_ms", Json::num(lease.as_millis() as f64)),
+        ("heartbeat_ms", Json::num((lease / 3).as_millis() as f64)),
+    ]))
+}
+
+/// `POST /v1/workers/{id}/heartbeat` (coordinator only): renews a worker's
+/// lease. `404` tells the worker its registration is gone — re-register.
+fn worker_heartbeat(state: &Arc<AppState>, req: &Request, id: u64) -> Response {
+    let Some(coordinator) = &state.coordinator else {
+        return bad_request("this server is not running in coordinator mode");
+    };
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let token = body
+        .get("token")
+        .and_then(Json::as_str)
+        .and_then(|t| u64::from_str_radix(t, 16).ok());
+    let Some(token) = token else {
+        return ApiError::field(
+            "token",
+            "field 'token' must be the registration's hex token",
+        )
+        .response();
+    };
+    match coordinator.heartbeat(id, token, Instant::now()) {
+        Ok(()) => Response::json(&Json::obj(vec![
+            ("id", Json::num(id as f64)),
+            ("status", Json::str("alive")),
+        ])),
+        Err(reason) => Response::error(404, "Not Found", &reason),
+    }
+}
+
+/// `GET /v1/workers` (coordinator only): the operator view of every
+/// registered worker — liveness, heartbeat age and current assignment.
+fn workers_list(state: &Arc<AppState>) -> Response {
+    let Some(coordinator) = &state.coordinator else {
+        return bad_request("this server is not running in coordinator mode");
+    };
+    let now = Instant::now();
+    let stats = coordinator.stats(now);
+    let workers = coordinator
+        .workers_view(now)
+        .into_iter()
+        .map(|view| {
+            let assignment = match view.assignment {
+                None => Json::Null,
+                Some((job, shard, epoch)) => Json::obj(vec![
+                    ("job", Json::num(job as f64)),
+                    ("shard", Json::num(shard as f64)),
+                    ("epoch", Json::num(epoch as f64)),
+                ]),
+            };
+            Json::obj(vec![
+                ("id", Json::num(view.id as f64)),
+                ("addr", Json::str(view.addr)),
+                ("state", Json::str(view.state)),
+                ("age_ms", Json::num(view.age_ms as f64)),
+                ("assignment", assignment),
+            ])
+        })
+        .collect();
+    Response::json(&Json::obj(vec![
+        ("workers", Json::Arr(workers)),
+        ("alive", Json::num(stats.workers_alive as f64)),
+        ("suspect", Json::num(stats.workers_suspect as f64)),
+        ("dead", Json::num(stats.workers_dead as f64)),
+    ]))
+}
+
+/// `POST /v1/sweep/{job}/shards/{index}/chunk?worker=ID&token=HEX&epoch=N`
+/// (coordinator only): a worker uploading one run of shard rows. The body is
+/// the [`ayd_sweep::ShardChunk`] wire text; a chunk that fails structural
+/// validation (torn row, tampered counts) is a `400` and never touches the
+/// checkpoint.
+fn shard_chunk(state: &Arc<AppState>, req: &Request, job: u64, index: usize) -> Response {
+    let Some(coordinator) = &state.coordinator else {
+        return bad_request("this server is not running in coordinator mode");
+    };
+    let worker = query_param(&req.target, "worker").and_then(|v| v.parse::<u64>().ok());
+    let token = query_param(&req.target, "token").and_then(|v| u64::from_str_radix(v, 16).ok());
+    let epoch = query_param(&req.target, "epoch").and_then(|v| v.parse::<u64>().ok());
+    let (Some(worker), Some(token), Some(epoch)) = (worker, token, epoch) else {
+        return bad_request("chunk uploads require worker, token and epoch query parameters");
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return bad_request("chunk body must be UTF-8 wire text");
+    };
+    let chunk = match ayd_sweep::ShardChunk::parse(text) {
+        Ok(chunk) => chunk,
+        Err(err) => return bad_request(&format!("malformed shard chunk: {err}")),
+    };
+    match coordinator.accept_chunk(job, index, worker, token, epoch, &chunk, Instant::now()) {
+        Ok(outcome) => Response::json(&Json::obj(vec![
+            ("accepted", Json::num(outcome.accepted_rows as f64)),
+            ("shard_done", Json::Bool(outcome.shard_done)),
+            ("job_done", Json::Bool(outcome.job_done)),
+        ])),
+        Err(error) => {
+            let (status, reason) = error.status();
+            Response::error(status, reason, error.reason())
+        }
+    }
+}
+
+/// `POST /v1/shards/run` (worker only): the coordinator dispatching a shard
+/// to this node. `202` acknowledges that the shard started computing.
+fn shard_run(state: &Arc<AppState>, req: &Request) -> Response {
+    let Some(worker) = &state.worker else {
+        return bad_request("this server is not running in worker mode");
+    };
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let num = |key: &str| body.get(key).and_then(Json::as_f64);
+    let hex = |key: &str| {
+        body.get(key)
+            .and_then(Json::as_str)
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+    };
+    let parsed = (
+        num("job"),
+        num("shard"),
+        num("count"),
+        num("epoch"),
+        num("start_row"),
+        num("worker"),
+        hex("grid_fingerprint"),
+        hex("options_fingerprint"),
+    );
+    let (
+        Some(job),
+        Some(shard),
+        Some(count),
+        Some(epoch),
+        Some(start_row),
+        Some(worker_id),
+        Some(grid_fingerprint),
+        Some(options_fingerprint),
+    ) = parsed
+    else {
+        return bad_request(
+            "dispatch requires job, shard, count, epoch, start_row, worker and both fingerprints",
+        );
+    };
+    let Some(grid_body) = body.get("grid") else {
+        return bad_request("dispatch is missing the grid document");
+    };
+    let grid = match parse_grid(grid_body) {
+        Ok(grid) => grid,
+        Err(error) => return error.prefixed("grid: ").response(),
+    };
+    let run = crate::worker::ShardRun {
+        job: job as u64,
+        shard: shard as usize,
+        count: count as usize,
+        epoch: epoch as u64,
+        start_row: start_row as usize,
+        worker: worker_id as u64,
+        grid_fingerprint,
+        options_fingerprint,
+    };
+    match worker.start_shard(state.options, grid, run) {
+        Ok(()) => Response::json_status(
+            202,
+            "Accepted",
+            &Json::obj(vec![
+                ("status", Json::str("started")),
+                ("job", Json::num(job)),
+                ("shard", Json::num(shard)),
+            ]),
+        ),
+        Err(error) => {
+            let (status, reason) = error.status();
+            Response::error(status, reason, error.reason())
+        }
+    }
+}
+
 fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
     let body = match parse_body(req) {
         Ok(body) => body,
@@ -1021,11 +1283,66 @@ fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
         Ok(parsed) => parsed,
         Err(error) => return error.response(),
     };
+    // Coordinator mode: a sharded submission becomes a distributed job whose
+    // shards are dispatched to registered workers. Resume tokens are a
+    // single-process concept — here the coordinator's own checkpoints drive
+    // re-issue, so a token is a caller error, not something to silently drop.
+    if let Some(coordinator) = &state.coordinator {
+        if token.is_some() {
+            return ApiError::field(
+                "resume_token",
+                "coordinator mode does not support resume tokens; \
+                 shards re-issue from worker checkpoints automatically",
+            )
+            .response();
+        }
+        if let Some(count) = shards {
+            let grid_fingerprint = grid.fingerprint();
+            let options_fingerprint = state.options.output_fingerprint();
+            let grid_json = body.render();
+            let grid_cells = grid.len();
+            let Some(id) = state.jobs.try_submit(state.max_jobs, |id| {
+                coordinator.submit(
+                    id,
+                    grid_json,
+                    grid_fingerprint,
+                    options_fingerprint,
+                    count,
+                    grid_cells,
+                );
+                crate::app::JobHandle::Distributed(crate::app::DistributedJobHandle {
+                    coordinator: Arc::clone(coordinator),
+                    id,
+                })
+            }) else {
+                return Response::error(
+                    503,
+                    "Service Unavailable",
+                    "too many sweeps running; retry later",
+                );
+            };
+            return Response::json_status(
+                202,
+                "Accepted",
+                &Json::obj(vec![
+                    ("id", Json::num(id as f64)),
+                    ("status", Json::str("running")),
+                    ("cells", Json::num(grid_cells as f64)),
+                    ("shards", Json::num(count as f64)),
+                    ("resume_token", Json::Null),
+                    ("href", Json::str(format!("/v1/sweep/{id}"))),
+                    ("shards_href", Json::str(format!("/v1/sweep/{id}/shards"))),
+                ]),
+            );
+        }
+        // No `shards` requested: the coordinator still serves plain
+        // in-process sweeps like any other node.
+    }
     // A resume token implies a sharded job; its shard count defaults to the
     // cancelled job's (an explicit mismatching `shards` is rejected below).
     let sharded = shards.is_some() || token.is_some();
     if !sharded {
-        let Some(id) = state.jobs.try_submit(state.max_jobs, || {
+        let Some(id) = state.jobs.try_submit(state.max_jobs, |_| {
             crate::app::JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
         }) else {
             return Response::error(
@@ -1090,7 +1407,7 @@ fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
             }
         },
     };
-    let Some(id) = state.jobs.try_submit(state.max_jobs, || {
+    let Some(id) = state.jobs.try_submit(state.max_jobs, |_| {
         crate::app::JobHandle::Sharded(crate::app::spawn_sharded(
             state.options,
             &grid,
@@ -1124,8 +1441,45 @@ fn sweep_submit(state: &Arc<AppState>, req: &Request) -> Response {
     )
 }
 
-/// `GET /v1/sweep/{id}/shards`: per-shard progress of a sharded job.
+/// `GET /v1/sweep/{id}/shards`: per-shard progress of a sharded job. On a
+/// coordinator the distributed view is richer — which worker owns each
+/// shard, its fencing epoch and how often it re-issued — so it is consulted
+/// first; plain and locally-sharded jobs fall back to the registry view.
 fn sweep_shards(state: &Arc<AppState>, id: u64) -> Response {
+    if let Some(coordinator) = &state.coordinator {
+        if let Some(view) = coordinator.shards_view(id) {
+            let progress = view
+                .shards
+                .iter()
+                .map(|shard| {
+                    Json::obj(vec![
+                        ("index", Json::num(shard.index as f64)),
+                        ("total", Json::num(shard.total as f64)),
+                        ("completed", Json::num(shard.completed as f64)),
+                        ("status", Json::str(shard.status)),
+                        (
+                            "worker",
+                            shard.worker.map_or(Json::Null, |w| Json::num(w as f64)),
+                        ),
+                        (
+                            "worker_addr",
+                            shard.worker_addr.as_deref().map_or(Json::Null, Json::str),
+                        ),
+                        ("epoch", Json::num(shard.epoch as f64)),
+                        ("reissues", Json::num(shard.reissues as f64)),
+                    ])
+                })
+                .collect();
+            return Response::json(&Json::obj(vec![
+                ("id", Json::num(id as f64)),
+                ("shards", Json::num(view.shards.len() as f64)),
+                ("merged_rows", Json::num(view.merged_rows as f64)),
+                ("total", Json::num(view.total as f64)),
+                ("cancelled", Json::Bool(view.cancelled)),
+                ("progress", Json::Arr(progress)),
+            ]));
+        }
+    }
     match state.jobs.shards_view(id) {
         None => Response::error(404, "Not Found", "no such sweep job"),
         Some(None) => bad_request("sweep job was not submitted with shards"),
@@ -1642,5 +1996,187 @@ mod tests {
         let (_, response) = route(&state, &get("/metrics"));
         assert_eq!(response.status, 200);
         crate::metrics::validate_prometheus(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    }
+
+    fn coordinator_state() -> Arc<AppState> {
+        AppState::new(&ServerConfig {
+            threads: 2,
+            cluster: crate::app::ClusterConfig {
+                coordinator: true,
+                ..crate::app::ClusterConfig::default()
+            },
+            ..ServerConfig::default()
+        })
+    }
+
+    fn body_json(response: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cluster_endpoints_require_the_matching_role() {
+        // A plain server is neither coordinator nor worker: every cluster
+        // endpoint answers a structured 400, not a 404 (the route exists,
+        // the role doesn't).
+        let state = state();
+        for (endpoint, req) in [
+            (
+                "worker_register",
+                post("/v1/workers/register", r#"{"addr":"127.0.0.1:9"}"#),
+            ),
+            ("worker_heartbeat", post("/v1/workers/3/heartbeat", "{}")),
+            ("workers", get("/v1/workers")),
+            ("shard_run", post("/v1/shards/run", "{}")),
+            (
+                "shard_chunk",
+                post("/v1/sweep/1/shards/0/chunk?worker=1&token=0&epoch=0", ""),
+            ),
+        ] {
+            let (label, response) = route(&state, &req);
+            assert_eq!((label, response.status), (endpoint, 400), "{endpoint}");
+        }
+    }
+
+    #[test]
+    fn workers_register_heartbeat_and_appear_in_the_view() {
+        let state = coordinator_state();
+        let (_, response) = route(&state, &post("/v1/workers/register", r#"{"addr":"h:1"}"#));
+        assert_eq!(response.status, 200);
+        let doc = body_json(&response);
+        let id = doc.get("id").unwrap().as_f64().unwrap() as u64;
+        let token = doc.get("token").unwrap().as_str().unwrap().to_string();
+        assert_eq!(token.len(), 16, "token is a 16-hex-digit string");
+        assert!(doc.get("lease_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(doc.get("heartbeat_ms").unwrap().as_f64().unwrap() > 0.0);
+
+        // Registration without an address is a field error.
+        let (_, response) = route(&state, &post("/v1/workers/register", "{}"));
+        assert_eq!(response.status, 400);
+
+        let (_, response) = route(
+            &state,
+            &post(
+                &format!("/v1/workers/{id}/heartbeat"),
+                &format!(r#"{{"token":"{token}"}}"#),
+            ),
+        );
+        assert_eq!(response.status, 200);
+        // A wrong token means the registration is gone: re-register.
+        let (_, response) = route(
+            &state,
+            &post(
+                &format!("/v1/workers/{id}/heartbeat"),
+                r#"{"token":"00000000deadbeef"}"#,
+            ),
+        );
+        assert_eq!(response.status, 404);
+
+        let (_, response) = route(&state, &get("/v1/workers"));
+        assert_eq!(response.status, 200);
+        let doc = body_json(&response);
+        assert_eq!(doc.get("alive").unwrap().as_f64().unwrap(), 1.0);
+        let workers = doc.get("workers").unwrap().as_array().unwrap();
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].get("addr").unwrap().as_str().unwrap(), "h:1");
+        assert_eq!(workers[0].get("state").unwrap().as_str().unwrap(), "alive");
+    }
+
+    #[test]
+    fn distributed_submissions_register_with_the_coordinator() {
+        let state = coordinator_state();
+        let body = r#"{"platforms":["Hera"],"scenarios":[1,3],"processors":[256,1024],"shards":2}"#;
+        let (_, response) = route(&state, &post("/v1/sweep", body));
+        assert_eq!(response.status, 202);
+        let doc = body_json(&response);
+        let id = doc.get("id").unwrap().as_f64().unwrap() as u64;
+        assert_eq!(doc.get("shards").unwrap().as_f64().unwrap(), 2.0);
+        // Distributed jobs have no resume token: re-issue is automatic.
+        assert!(matches!(doc.get("resume_token"), Some(Json::Null)));
+
+        // The coordinator's shards view is the enriched one: per-worker
+        // assignment, fencing epoch, re-issue count, merged-row watermark.
+        let (_, response) = route(&state, &get(&format!("/v1/sweep/{id}/shards")));
+        assert_eq!(response.status, 200);
+        let doc = body_json(&response);
+        assert_eq!(doc.get("merged_rows").unwrap().as_f64().unwrap(), 0.0);
+        assert_eq!(doc.get("total").unwrap().as_f64().unwrap(), 4.0);
+        let progress = doc.get("progress").unwrap().as_array().unwrap();
+        assert_eq!(progress.len(), 2);
+        for shard in progress {
+            assert_eq!(shard.get("status").unwrap().as_str().unwrap(), "pending");
+            assert!(matches!(shard.get("worker"), Some(Json::Null)));
+            assert_eq!(shard.get("epoch").unwrap().as_f64().unwrap(), 0.0);
+            assert_eq!(shard.get("reissues").unwrap().as_f64().unwrap(), 0.0);
+        }
+
+        // The cluster metric families appear on a coordinator.
+        let (_, response) = route(&state, &get("/metrics"));
+        let text = std::str::from_utf8(&response.body).unwrap();
+        assert!(text.contains("ayd_workers{state=\"alive\"}"));
+        assert!(text.contains("ayd_shards_dispatched_total"));
+
+        // Cancellation flows through the coordinator.
+        let mut cancel = post(&format!("/v1/sweep/{id}"), "");
+        cancel.method = "DELETE".to_string();
+        let (_, response) = route(&state, &cancel);
+        assert_eq!(response.status, 200);
+    }
+
+    #[test]
+    fn distributed_submissions_reject_resume_tokens() {
+        let state = coordinator_state();
+        let body = r#"{"platforms":["Hera"],"scenarios":[1],"processors":[256],"shards":1,"resume_token":"0000000000000001:0000000000000002:0000000000000003"}"#;
+        let (_, response) = route(&state, &post("/v1/sweep", body));
+        assert_eq!(response.status, 400);
+        let doc = body_json(&response);
+        assert!(doc
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("coordinator mode does not support resume tokens"));
+    }
+
+    #[test]
+    fn torn_chunk_uploads_are_rejected_before_touching_the_checkpoint() {
+        use ayd_sweep::{ShardChunk, ShardSpec, SweepManifest, CSV_HEADER};
+
+        let state = coordinator_state();
+        let body = r#"{"platforms":["Hera"],"scenarios":[1,3],"processors":[256,1024],"shards":2}"#;
+        let (_, response) = route(&state, &post("/v1/sweep", body));
+        let id = body_json(&response).get("id").unwrap().as_f64().unwrap() as u64;
+
+        // Missing fencing parameters never reach the coordinator.
+        let (_, response) = route(
+            &state,
+            &post(&format!("/v1/sweep/{id}/shards/0/chunk"), "anything"),
+        );
+        assert_eq!(response.status, 400);
+
+        // A torn body (not valid chunk wire text) is a 400.
+        let target =
+            format!("/v1/sweep/{id}/shards/0/chunk?worker=1&token=0000000000000001&epoch=0");
+        let (_, response) = route(&state, &post(&target, "ayd-shard-chunk v1\ntorn"));
+        assert_eq!(response.status, 400);
+
+        // A structurally valid chunk from a worker the coordinator never
+        // registered is fenced as stale (409), and the checkpoint stays dry.
+        let grid = ScenarioGrid::builder()
+            .platforms(&[PlatformId::Hera])
+            .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+            .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+            .build()
+            .unwrap();
+        let mut manifest = SweepManifest::new(&grid, &state.options, ShardSpec::new(0, 2).unwrap());
+        manifest.completed = 1;
+        let row = vec!["x"; CSV_HEADER.matches(',').count() + 1].join(",");
+        let chunk = ShardChunk::new(manifest, 0, format!("{row}\n")).unwrap();
+        let (_, response) = route(&state, &post(&target, &chunk.render()));
+        assert_eq!(response.status, 409);
+        let (_, response) = route(&state, &get(&format!("/v1/sweep/{id}/shards")));
+        let doc = body_json(&response);
+        assert_eq!(doc.get("merged_rows").unwrap().as_f64().unwrap(), 0.0);
+        let progress = doc.get("progress").unwrap().as_array().unwrap();
+        assert_eq!(progress[0].get("completed").unwrap().as_f64().unwrap(), 0.0);
     }
 }

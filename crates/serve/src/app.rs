@@ -9,9 +9,11 @@ use ayd_sweep::{
     ShardedEvalCache, SweepExecutor, SweepJobHandle, SweepOptions, SweepRow,
 };
 
+use crate::coordinator::Coordinator;
 use crate::http::Limits;
 use crate::metrics::{GaugeSnapshot, Metrics};
 use crate::pool::{PoolStats, WorkerPool};
+use crate::worker::WorkerRuntime;
 
 /// True when this build carries the epoll event loop (Linux on
 /// x86_64/aarch64 — the targets the vendored syscall shim implements).
@@ -64,6 +66,35 @@ impl std::str::FromStr for IoModel {
     }
 }
 
+/// Cluster role of an instance: standalone (neither flag), the coordinator
+/// that decomposes sweeps into shards and dispatches them, or a worker that
+/// registers with a coordinator and executes dispatched shards.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Run as the cluster coordinator (`--coordinator`).
+    pub coordinator: bool,
+    /// Coordinator address to register with (`--worker-of HOST:PORT`).
+    pub worker_of: Option<String>,
+    /// Worker lease: a worker is *suspect* one lease after its last
+    /// heartbeat and *dead* (shard re-issued) after two. Workers heartbeat
+    /// at a third of the lease.
+    pub lease: Duration,
+    /// Address workers advertise to the coordinator for dispatches
+    /// (`--advertise`; defaults to the worker's own listen address).
+    pub advertise: Option<String>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            coordinator: false,
+            worker_of: None,
+            lease: Duration::from_millis(3_000),
+            advertise: None,
+        }
+    }
+}
+
 /// Configuration of an [`crate::server::Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -89,6 +120,8 @@ pub struct ServerConfig {
     /// Base run options of every evaluation. Simulation is always forced off:
     /// the service answers with the analytic/numerical series only.
     pub run: RunOptions,
+    /// Cluster role: standalone, coordinator or worker.
+    pub cluster: ClusterConfig,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +140,7 @@ impl Default for ServerConfig {
             max_jobs: 4,
             max_sweep_cells: 200_000,
             run: RunOptions::default(),
+            cluster: ClusterConfig::default(),
         }
     }
 }
@@ -134,6 +168,12 @@ pub struct AppState {
     pub max_sweep_cells: usize,
     /// Server start time (for `/healthz` uptime).
     pub started: Instant,
+    /// The cluster coordinator, when this instance runs with
+    /// `--coordinator`; owns worker registrations and the shard queues.
+    pub coordinator: Option<Arc<Coordinator>>,
+    /// The worker runtime, when this instance runs with `--worker-of`;
+    /// owns the registration, heartbeats and the executing shard.
+    pub worker: Option<Arc<WorkerRuntime>>,
     /// Load gauges of the connection pool, attached by the accept loop once
     /// the pool exists (`None` until then — e.g. in route-level tests).
     conn_pool: Mutex<Option<PoolStats>>,
@@ -158,6 +198,11 @@ impl AppState {
             max_jobs: config.max_jobs.max(1),
             max_sweep_cells: config.max_sweep_cells.max(1),
             started: Instant::now(),
+            coordinator: config
+                .cluster
+                .coordinator
+                .then(|| Coordinator::new(config.cluster.lease)),
+            worker: config.cluster.worker_of.as_deref().map(WorkerRuntime::new),
             conn_pool: Mutex::new(None),
         })
     }
@@ -474,13 +519,59 @@ impl ShardedJobHandle {
     }
 }
 
-/// A running job: the original single-executor path, or the sharded
-/// controller.
+/// Handle on a sweep job the coordinator farms out to worker nodes: all
+/// state lives in the [`Coordinator`], the handle just adapts it to the
+/// registry's lifecycle. Joining takes the finished job out of the
+/// coordinator (merged via `merge_parts`, byte-identical to the
+/// single-process sweep).
+pub struct DistributedJobHandle {
+    /// The coordinator owning the job's shard queue and checkpoints.
+    pub coordinator: Arc<Coordinator>,
+    /// The registry job id, which doubles as the coordinator's job key.
+    pub id: u64,
+}
+
+impl DistributedJobHandle {
+    fn join(self) -> FinishedJob {
+        match self.coordinator.take_finished(self.id) {
+            Some(outcome) => FinishedJob {
+                cancelled: outcome.cancelled,
+                rows: outcome.rows,
+                csv: outcome.csv,
+                // Workers own the evaluation caches; the coordinator never
+                // evaluates a cell itself.
+                cache: CacheStats::default(),
+                shards: Some(FinishedShards {
+                    count: outcome.count,
+                    grid_fingerprint: outcome.grid_fingerprint,
+                    options_fingerprint: outcome.options_fingerprint,
+                    totals: outcome.totals,
+                    completed: outcome.completed,
+                    // Distributed jobs resume through the coordinator's own
+                    // checkpoints, not resume tokens.
+                    rows_by_shard: None,
+                }),
+            },
+            None => FinishedJob {
+                cancelled: true,
+                rows: 0,
+                csv: format!("{}\n", ayd_sweep::CSV_HEADER),
+                cache: CacheStats::default(),
+                shards: None,
+            },
+        }
+    }
+}
+
+/// A running job: the original single-executor path, the sharded
+/// controller, or a coordinator-dispatched distributed job.
 pub enum JobHandle {
     /// One background executor over the whole grid.
     Plain(SweepJobHandle),
     /// The sequential-shard controller (see [`spawn_sharded`]).
     Sharded(ShardedJobHandle),
+    /// Shards dispatched to worker nodes (see [`Coordinator`]).
+    Distributed(DistributedJobHandle),
 }
 
 impl JobHandle {
@@ -488,6 +579,11 @@ impl JobHandle {
         match self {
             JobHandle::Plain(handle) => handle.completed(),
             JobHandle::Sharded(handle) => handle.completed(),
+            JobHandle::Distributed(handle) => handle
+                .coordinator
+                .job_progress(handle.id)
+                .map(|(completed, _)| completed)
+                .unwrap_or(0),
         }
     }
 
@@ -495,6 +591,11 @@ impl JobHandle {
         match self {
             JobHandle::Plain(handle) => handle.total(),
             JobHandle::Sharded(handle) => handle.total(),
+            JobHandle::Distributed(handle) => handle
+                .coordinator
+                .job_progress(handle.id)
+                .map(|(_, total)| total)
+                .unwrap_or(0),
         }
     }
 
@@ -502,6 +603,7 @@ impl JobHandle {
         match self {
             JobHandle::Plain(handle) => handle.cancel(),
             JobHandle::Sharded(handle) => handle.cancel.store(true, Ordering::Relaxed),
+            JobHandle::Distributed(handle) => handle.coordinator.cancel_job(handle.id),
         }
     }
 
@@ -509,6 +611,7 @@ impl JobHandle {
         match self {
             JobHandle::Plain(handle) => handle.is_finished(),
             JobHandle::Sharded(handle) => handle.thread.is_finished(),
+            JobHandle::Distributed(handle) => handle.coordinator.job_finished(handle.id),
         }
     }
 
@@ -525,6 +628,7 @@ impl JobHandle {
                 }
             }
             JobHandle::Sharded(handle) => handle.join(),
+            JobHandle::Distributed(handle) => handle.join(),
         }
     }
 }
@@ -574,8 +678,14 @@ impl JobRegistry {
 
     /// Atomically registers a new job unless `max_running` jobs are already
     /// running. `spawn` is only called when the admission check passes, under
-    /// the registry lock, so concurrent submissions cannot overshoot the cap.
-    pub fn try_submit(&self, max_running: usize, spawn: impl FnOnce() -> JobHandle) -> Option<u64> {
+    /// the registry lock, so concurrent submissions cannot overshoot the cap;
+    /// it receives the assigned job id (the distributed path registers the
+    /// job with the coordinator under that id before the handle exists).
+    pub fn try_submit(
+        &self,
+        max_running: usize,
+        spawn: impl FnOnce(u64) -> JobHandle,
+    ) -> Option<u64> {
         let mut jobs = self.lock_jobs();
         Self::reap(&mut jobs);
         let running = jobs
@@ -586,7 +696,7 @@ impl JobRegistry {
             return None;
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        jobs.insert(id, JobEntry::Running(spawn()));
+        jobs.insert(id, JobEntry::Running(spawn(id)));
         Some(id)
     }
 
@@ -652,6 +762,28 @@ impl JobRegistry {
         match jobs.get(&id)? {
             JobEntry::Running(JobHandle::Sharded(handle)) => Some(Some(handle.shard_views())),
             JobEntry::Running(JobHandle::Plain(_)) => Some(None),
+            // Distributed jobs answer from the coordinator's richer view;
+            // this basic projection keeps the registry API uniform.
+            JobEntry::Running(JobHandle::Distributed(handle)) => Some(
+                handle
+                    .coordinator
+                    .shards_view(handle.id)
+                    .map(|view| {
+                        view.shards
+                            .into_iter()
+                            .map(|shard| ShardView {
+                                index: shard.index,
+                                total: shard.total,
+                                completed: shard.completed,
+                                status: match shard.status {
+                                    "dispatched" => "running",
+                                    done_or_pending => done_or_pending,
+                                },
+                            })
+                            .collect()
+                    })
+                    .or(Some(Vec::new())),
+            ),
             JobEntry::Finished(done) => Some(done.shards.as_ref().map(|shards| {
                 shards
                     .totals
@@ -777,7 +909,7 @@ mod tests {
             .unwrap();
         let id = state
             .jobs
-            .try_submit(4, || {
+            .try_submit(4, |_| {
                 JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
             })
             .expect("below the running cap");
@@ -810,14 +942,14 @@ mod tests {
             .build()
             .unwrap();
         // A zero cap rejects without ever spawning.
-        assert!(state.jobs.try_submit(0, || unreachable!()).is_none());
+        assert!(state.jobs.try_submit(0, |_| unreachable!()).is_none());
         // Far more finished jobs than the retention cap: the registry must
         // hold on to at most MAX_FINISHED_JOBS results, oldest evicted first.
         let mut ids = Vec::new();
         for _ in 0..(MAX_FINISHED_JOBS + 4) {
             let id = state
                 .jobs
-                .try_submit(usize::MAX, || {
+                .try_submit(usize::MAX, |_| {
                     JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
                 })
                 .unwrap();
@@ -841,7 +973,7 @@ mod tests {
         let count = 3;
         let id = state
             .jobs
-            .try_submit(4, || {
+            .try_submit(4, |_| {
                 JobHandle::Sharded(spawn_sharded(
                     state.options,
                     &grid,
@@ -873,7 +1005,7 @@ mod tests {
         // Plain jobs report "not sharded".
         let plain = state
             .jobs
-            .try_submit(4, || {
+            .try_submit(4, |_| {
                 JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
             })
             .unwrap();
@@ -900,7 +1032,7 @@ mod tests {
         // resuming it is a definite error pointing at the CSV.
         let full_id = state
             .jobs
-            .try_submit(4, || {
+            .try_submit(4, |_| {
                 JobHandle::Sharded(spawn_sharded(
                     state.options,
                     &grid,
@@ -978,7 +1110,7 @@ mod tests {
         // and still merges to the exact unsharded bytes.
         let resumed_id = state
             .jobs
-            .try_submit(4, || {
+            .try_submit(4, |_| {
                 JobHandle::Sharded(spawn_sharded(
                     state.options,
                     &grid,
@@ -1029,7 +1161,7 @@ mod tests {
         assert!(state.jobs.resume_rows(1, 0, 0, None).is_err());
         let id = state
             .jobs
-            .try_submit(4, || {
+            .try_submit(4, |_| {
                 JobHandle::Plain(SweepExecutor::new(state.options).spawn(&grid))
             })
             .expect("submission works on a poisoned registry");
@@ -1065,7 +1197,7 @@ mod tests {
         };
         let id = state
             .jobs
-            .try_submit(4, || JobHandle::Sharded(handle))
+            .try_submit(4, |_| JobHandle::Sharded(handle))
             .unwrap();
         let done = loop {
             match state.jobs.poll(id).expect("job known") {

@@ -212,17 +212,29 @@ fn expect_f64(doc: &Json, object: &str, field: &str) -> Result<f64, String> {
 
 /// Submits a sweep job and polls until its CSV arrives.
 fn run_sweep(client: &mut HttpClient, addr: &str, body: &str) -> Result<String, String> {
+    run_sweep_with_deadline(client, addr, body, Duration::from_secs(60))
+}
+
+fn run_sweep_with_deadline(
+    client: &mut HttpClient,
+    addr: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<String, String> {
     let io = |e: std::io::Error| format!("i/o against {addr}: {e}");
     let accepted = client.post_json("/v1/sweep", body).map_err(io)?;
     if accepted.status != 202 {
-        return Err(format!("sweep submit: status {}", accepted.status));
+        return Err(format!(
+            "sweep submit: status {} body {}",
+            accepted.status, accepted.body
+        ));
     }
     let doc = Json::parse(&accepted.body).map_err(|e| format!("sweep JSON: {e}"))?;
     let id = doc
         .get("id")
         .and_then(Json::as_f64)
         .ok_or("sweep submit: no id")? as u64;
-    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let deadline = std::time::Instant::now() + timeout;
     loop {
         let poll = client
             .get(&format!("/v1/sweep/{id}"), Some("text/csv"))
@@ -234,10 +246,121 @@ fn run_sweep(client: &mut HttpClient, addr: &str, body: &str) -> Result<String, 
             return Ok(poll.body);
         }
         if std::time::Instant::now() > deadline {
-            return Err("sweep job did not finish within 60 s".to_string());
+            return Err(format!(
+                "sweep job did not finish within {} s",
+                timeout.as_secs()
+            ));
         }
         std::thread::sleep(Duration::from_millis(20));
     }
+}
+
+/// Submits `body` to `/v1/sweep` on `addr` and polls until the CSV arrives.
+/// The wire protocol is identical for plain, locally-sharded and
+/// coordinator-distributed jobs — 202 + id, then poll with `Accept:
+/// text/csv` — so this is the one client the cluster smoke and CI both use.
+pub fn fetch_sweep_csv(addr: &str, body: &str, timeout: Duration) -> Result<String, String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    run_sweep_with_deadline(&mut client, addr, body, timeout)
+}
+
+/// Computes the CSV for a `/v1/sweep` request body with the in-process
+/// engine (default serve options, no simulation): the byte-identical
+/// reference a cluster sweep must reproduce.
+pub fn engine_sweep_csv(body: &str) -> Result<String, String> {
+    let doc = Json::parse(body).map_err(|e| format!("grid body: {e}"))?;
+    let grid = crate::api::parse_grid(&doc).map_err(|e| format!("grid body: {}", e.reason))?;
+    Ok(offline_sweep_csv(&grid))
+}
+
+/// Polls `GET /v1/workers` on a coordinator until at least `want` workers are
+/// alive (or `timeout` passes). Workers register asynchronously after their
+/// agent threads start, so cluster tests and CI must wait before submitting.
+pub fn await_workers(addr: &str, want: usize, timeout: Duration) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let response = client
+            .get("/v1/workers", None)
+            .map_err(|e| format!("i/o against {addr}: {e}"))?;
+        if response.status != 200 {
+            return Err(format!(
+                "workers view: status {} body {}",
+                response.status, response.body
+            ));
+        }
+        let doc = Json::parse(&response.body).map_err(|e| format!("workers JSON: {e}"))?;
+        let alive = doc.get("alive").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        if alive >= want {
+            return Ok(());
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(format!(
+                "only {alive} of {want} workers registered within {} s",
+                timeout.as_secs()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Cluster-mode smoke check against a running coordinator (`loadgen
+/// --cluster-check`): waits for `workers` live workers, runs the golden grid
+/// as a distributed 3-shard job, compares the merged CSV byte-for-byte
+/// against the in-process engine, and asserts the worker/shard metric
+/// families moved.
+pub fn cluster_smoke_check(addr: &str, workers: usize) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("i/o against {addr}: {e}");
+    await_workers(addr, workers, Duration::from_secs(30))?;
+
+    let sharded_body = format!(
+        "{}{}",
+        &GOLDEN_SWEEP_BODY[..GOLDEN_SWEEP_BODY.len() - 1],
+        r#","shards":3}"#
+    );
+    let csv = fetch_sweep_csv(addr, &sharded_body, Duration::from_secs(120))?;
+    let expected_csv = golden_sweep_csv();
+    if csv != expected_csv {
+        return Err(format!(
+            "distributed sweep CSV differs from the in-process engine \
+             ({} vs {} bytes)",
+            csv.len(),
+            expected_csv.len()
+        ));
+    }
+
+    let mut client = HttpClient::connect(addr).map_err(io)?;
+    let metrics = client.get("/metrics", None).map_err(io)?;
+    if metrics.status != 200 {
+        return Err(format!("metrics: status {}", metrics.status));
+    }
+    let scrape = crate::metrics::PrometheusText::parse(&metrics.body)
+        .map_err(|e| format!("metrics: {e}"))?;
+    let alive = scrape
+        .samples
+        .iter()
+        .find(|s| s.name == "ayd_workers" && s.label("state") == Some("alive"))
+        .map(|s| s.value)
+        .ok_or("metrics: ayd_workers{state=\"alive\"} gauge missing")?;
+    if alive < workers as f64 {
+        return Err(format!(
+            "metrics: ayd_workers alive is {alive}, want at least {workers}"
+        ));
+    }
+    let dispatched = scrape
+        .value("ayd_shards_dispatched_total")
+        .ok_or("metrics: ayd_shards_dispatched_total counter missing")?;
+    if dispatched < 3.0 {
+        return Err(format!(
+            "metrics: ayd_shards_dispatched_total is {dispatched} after a 3-shard job"
+        ));
+    }
+    if scrape.value("ayd_shard_reissues_total").is_none()
+        || scrape.value("ayd_lease_expiries_total").is_none()
+    {
+        return Err("metrics: shard re-issue / lease expiry counters missing".into());
+    }
+    Ok(())
 }
 
 /// End-to-end smoke check against a running server (`loadgen --check`):

@@ -1,0 +1,1384 @@
+//! The sweep coordinator: decomposes a `/v1/sweep` job into [`ShardSpec`]
+//! units and dispatches them to registered worker nodes.
+//!
+//! One ayd-serve instance started with `--coordinator` owns the cluster
+//! state: a registry of workers (each leased — a worker that stops
+//! heartbeating is declared *suspect* after one lease and *dead* after two),
+//! and a work-stealing shard queue per distributed job. A dispatcher thread
+//! pushes pending shards to idle workers over the zero-dependency
+//! [`crate::client::HttpClient`]; workers stream result rows back in
+//! [`ShardChunk`] frames, each carrying the manifest snapshot that makes it
+//! verifiable against the job's fingerprints and the coordinator's own
+//! checkpoint.
+//!
+//! Failure handling is the paper's checkpoint/restart discipline applied to
+//! the cluster itself: when a worker's lease expires mid-shard, the shard is
+//! re-queued **from the last accepted chunk** (the coordinator-side
+//! checkpoint, mirrored by the worker's atomically-renamed spool manifest) —
+//! at most the in-flight suffix is recomputed, never a completed cell. Every
+//! re-issue bumps the shard's *epoch*; chunk uploads carry the worker id,
+//! its registration token and the epoch they were dispatched under, so a
+//! resurrected worker (or a slow upload racing a re-issued shard) is fenced
+//! out with `409` instead of corrupting the row stream.
+//!
+//! Rows merge incrementally as chunks arrive (the same global-index
+//! interleaving as [`merge_parts`]); the finished CSV is assembled by
+//! [`merge_parts`] itself over the per-shard manifests and is byte-identical
+//! to the single-process sweep by the determinism contract.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ayd_sweep::{merge_parts, ShardChunk, ShardPart, ShardSpec, CSV_HEADER};
+
+use crate::client::HttpClient;
+use crate::json::Json;
+
+/// How long a dead worker's record lingers (for the `/v1/workers` view and
+/// the `ayd_workers{state="dead"}` gauge) before it is purged, in leases.
+const DEAD_RETENTION_LEASES: u32 = 10;
+
+/// One registered worker node.
+struct WorkerRecord {
+    addr: String,
+    token: u64,
+    last_seen: Instant,
+    /// The shard currently dispatched to this worker, if any.
+    assignment: Option<Assignment>,
+    /// Set when the lease expired; the record stays for visibility until
+    /// purged, but the worker must re-register to be dispatched to again.
+    dead: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Assignment {
+    job: u64,
+    shard: usize,
+    epoch: u64,
+}
+
+/// Dispatch state of one shard of a distributed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardState {
+    Pending,
+    Dispatched { worker: u64 },
+    Done,
+}
+
+/// One shard of a distributed job: its dispatch state, fencing epoch and the
+/// rows checkpointed at the coordinator so far.
+struct DistShard {
+    total: usize,
+    state: ShardState,
+    /// Bumped on every re-issue; uploads carrying an older epoch are stale.
+    epoch: u64,
+    /// Checkpointed rows (newline-free CSV lines), shard-local order.
+    rows: Vec<String>,
+    /// Last worker the shard was dispatched to (kept through `Done` for the
+    /// per-worker progress view).
+    worker: Option<u64>,
+    reissues: u64,
+}
+
+/// One distributed sweep job.
+struct DistJob {
+    /// The original `/v1/sweep` body (re-rendered), forwarded to workers so
+    /// they rebuild the exact grid; cross-checked by fingerprint.
+    grid_json: String,
+    grid_fingerprint: u64,
+    options_fingerprint: u64,
+    grid_cells: usize,
+    count: usize,
+    shards: Vec<DistShard>,
+    cancelled: bool,
+    /// Rows merged into global order so far (the streaming-merge frontier).
+    merged_rows: usize,
+}
+
+impl DistJob {
+    fn completed(&self) -> usize {
+        self.shards.iter().map(|s| s.rows.len()).sum()
+    }
+
+    fn total(&self) -> usize {
+        self.shards.iter().map(|s| s.total).sum()
+    }
+
+    fn is_done(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| matches!(s.state, ShardState::Done))
+    }
+
+    /// Advances the streaming merge frontier: global cell `g` lives in shard
+    /// `g % count` at local index `g / count` (the [`ShardSpec`] mapping), so
+    /// the merged prefix grows as soon as every shard has checkpointed its
+    /// next interleaved row.
+    fn advance_merge(&mut self) {
+        loop {
+            let shard = self.merged_rows % self.count;
+            let local = self.merged_rows / self.count;
+            if self.shards[shard].rows.len() > local {
+                self.merged_rows += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+struct ClusterState {
+    next_worker: u64,
+    token_seed: u64,
+    workers: HashMap<u64, WorkerRecord>,
+    jobs: HashMap<u64, DistJob>,
+}
+
+/// A planned shard dispatch: everything the dispatcher thread needs to POST
+/// `/v1/shards/run` to the worker *outside* the coordinator lock.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    /// Target worker id.
+    pub worker: u64,
+    /// Target worker address (`host:port`).
+    pub addr: String,
+    /// Distributed job id (the `/v1/sweep` job id).
+    pub job: u64,
+    /// Shard index.
+    pub shard: usize,
+    /// Shard count of the job.
+    pub count: usize,
+    /// Fencing epoch the shard is dispatched under.
+    pub epoch: u64,
+    /// First shard-local row the worker must compute (earlier rows are
+    /// already checkpointed at the coordinator).
+    pub start_row: usize,
+    /// The job's grid as the original sweep request JSON.
+    pub grid_json: String,
+    /// Fingerprint of the job's grid.
+    pub grid_fingerprint: u64,
+    /// Fingerprint of the job's output-relevant options.
+    pub options_fingerprint: u64,
+}
+
+/// Why a chunk upload was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// Unknown job or shard (404).
+    NotFound(String),
+    /// The job was cancelled (410).
+    Gone(String),
+    /// Stale sender: unknown/superseded worker, wrong token, or an epoch
+    /// older than the shard's current one (409). The checkpoint is unchanged.
+    Stale(String),
+    /// The chunk contradicts the job (fingerprints, checkpoint offset) (400).
+    Invalid(String),
+}
+
+impl ChunkError {
+    /// The HTTP mapping of the rejection.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ChunkError::NotFound(_) => (404, "Not Found"),
+            ChunkError::Gone(_) => (410, "Gone"),
+            ChunkError::Stale(_) => (409, "Conflict"),
+            ChunkError::Invalid(_) => (400, "Bad Request"),
+        }
+    }
+
+    /// The human-readable reason.
+    pub fn reason(&self) -> &str {
+        match self {
+            ChunkError::NotFound(reason)
+            | ChunkError::Gone(reason)
+            | ChunkError::Stale(reason)
+            | ChunkError::Invalid(reason) => reason,
+        }
+    }
+}
+
+/// Outcome of an accepted chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkOutcome {
+    /// Rows appended to the shard's checkpoint by this chunk.
+    pub accepted_rows: usize,
+    /// True when the chunk completed its shard.
+    pub shard_done: bool,
+    /// True when the chunk completed the whole job.
+    pub job_done: bool,
+}
+
+/// A worker row of the `/v1/workers` operator view.
+#[derive(Debug, Clone)]
+pub struct WorkerView {
+    /// Worker id.
+    pub id: u64,
+    /// Worker address.
+    pub addr: String,
+    /// `alive`, `suspect` or `dead`.
+    pub state: &'static str,
+    /// Milliseconds since the last heartbeat.
+    pub age_ms: u64,
+    /// `(job, shard, epoch)` currently dispatched to the worker, if any.
+    pub assignment: Option<(u64, usize, u64)>,
+}
+
+/// One shard row of the distributed `GET /v1/sweep/{id}/shards` view.
+#[derive(Debug, Clone)]
+pub struct DistShardView {
+    /// Shard index.
+    pub index: usize,
+    /// Cells the shard owns.
+    pub total: usize,
+    /// Rows checkpointed at the coordinator.
+    pub completed: usize,
+    /// `pending`, `dispatched` or `done`.
+    pub status: &'static str,
+    /// The worker the shard is (or was last) dispatched to.
+    pub worker: Option<u64>,
+    /// That worker's address, when it is still registered.
+    pub worker_addr: Option<String>,
+    /// Current fencing epoch.
+    pub epoch: u64,
+    /// Times the shard was re-issued after a lease expiry.
+    pub reissues: u64,
+}
+
+/// The distributed-job progress document: per-shard rows plus the streaming
+/// merge frontier.
+#[derive(Debug, Clone)]
+pub struct DistJobView {
+    /// Per-shard progress.
+    pub shards: Vec<DistShardView>,
+    /// Rows already merged into global order.
+    pub merged_rows: usize,
+    /// Total cells of the grid.
+    pub total: usize,
+    /// True when the job was cancelled.
+    pub cancelled: bool,
+}
+
+/// Point-in-time cluster counters for the `/metrics` families.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Workers heartbeating within one lease.
+    pub workers_alive: usize,
+    /// Workers between one and two leases behind.
+    pub workers_suspect: usize,
+    /// Workers declared dead (lease expired), not yet purged.
+    pub workers_dead: usize,
+    /// Shard dispatches attempted (`ayd_shards_dispatched_total`).
+    pub shards_dispatched_total: u64,
+    /// Shards re-issued after a lease expiry (`ayd_shard_reissues_total`).
+    pub shard_reissues_total: u64,
+    /// Worker leases expired (`ayd_lease_expiries_total`).
+    pub lease_expiries_total: u64,
+}
+
+/// What a finished distributed job hands to the job registry.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// True when the job was cancelled before every shard completed.
+    pub cancelled: bool,
+    /// The merged canonical CSV (header only for cancelled jobs).
+    pub csv: String,
+    /// Merged row count.
+    pub rows: usize,
+    /// Shard count.
+    pub count: usize,
+    /// Grid fingerprint.
+    pub grid_fingerprint: u64,
+    /// Options fingerprint.
+    pub options_fingerprint: u64,
+    /// Cells each shard owns.
+    pub totals: Vec<usize>,
+    /// Rows each shard checkpointed.
+    pub completed: Vec<usize>,
+}
+
+/// The coordinator: cluster state behind one mutex, counters on atomics, and
+/// `Instant`-parameterised lease arithmetic so tests drive time synthetically.
+pub struct Coordinator {
+    lease: Duration,
+    state: Mutex<ClusterState>,
+    dispatched_total: AtomicU64,
+    reissues_total: AtomicU64,
+    lease_expiries_total: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// SplitMix64 finalizer — the token generator (uniqueness, not secrecy, is
+/// the point: tokens fence *accidental* stale writers, the cluster protocol
+/// is not an authentication boundary).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Coordinator {
+    /// Builds a coordinator with the given worker lease.
+    pub fn new(lease: Duration) -> Arc<Self> {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED)
+            ^ (std::process::id() as u64) << 32;
+        Arc::new(Self {
+            lease: lease.max(Duration::from_millis(10)),
+            state: Mutex::new(ClusterState {
+                next_worker: 1,
+                token_seed: mix64(seed),
+                workers: HashMap::new(),
+                jobs: HashMap::new(),
+            }),
+            dispatched_total: AtomicU64::new(0),
+            reissues_total: AtomicU64::new(0),
+            lease_expiries_total: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The worker lease.
+    pub fn lease(&self) -> Duration {
+        self.lease
+    }
+
+    /// Asks the dispatcher thread to exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`Coordinator::stop`] was called.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ClusterState> {
+        // Same poison policy as the job registry: the protected maps stay
+        // structurally valid across our critical sections.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Registers a worker node, returning `(id, token)`. Re-registration
+    /// (same address again) creates a fresh identity; any shard dispatched to
+    /// the old identity stays fenced to it.
+    pub fn register_worker(&self, addr: &str, now: Instant) -> (u64, u64) {
+        let mut state = self.lock();
+        state.token_seed = mix64(state.token_seed);
+        let token = state.token_seed;
+        let id = state.next_worker;
+        state.next_worker += 1;
+        state.workers.insert(
+            id,
+            WorkerRecord {
+                addr: addr.to_string(),
+                token,
+                last_seen: now,
+                assignment: None,
+                dead: false,
+            },
+        );
+        (id, token)
+    }
+
+    /// Renews a worker's lease. `Err` (worker unknown, token mismatch or
+    /// declared dead) tells the worker to re-register.
+    pub fn heartbeat(&self, id: u64, token: u64, now: Instant) -> Result<(), String> {
+        let mut state = self.lock();
+        match state.workers.get_mut(&id) {
+            Some(record) if record.token == token && !record.dead => {
+                record.last_seen = now;
+                Ok(())
+            }
+            Some(record) if record.dead => {
+                Err(format!("worker {id} was declared dead; re-register"))
+            }
+            Some(_) => Err(format!("worker {id} token mismatch; re-register")),
+            None => Err(format!("unknown worker {id}; re-register")),
+        }
+    }
+
+    /// Registers a distributed job: `count` pending shards over a
+    /// `grid_cells`-cell grid.
+    pub fn submit(
+        &self,
+        job: u64,
+        grid_json: String,
+        grid_fingerprint: u64,
+        options_fingerprint: u64,
+        count: usize,
+        grid_cells: usize,
+    ) {
+        let shards = (0..count)
+            .map(|index| {
+                let spec = ShardSpec::new(index, count).expect("count validated by the API layer");
+                DistShard {
+                    total: spec.cell_count(grid_cells),
+                    state: ShardState::Pending,
+                    epoch: 0,
+                    rows: Vec::new(),
+                    worker: None,
+                    reissues: 0,
+                }
+            })
+            .collect();
+        self.lock().jobs.insert(
+            job,
+            DistJob {
+                grid_json,
+                grid_fingerprint,
+                options_fingerprint,
+                grid_cells,
+                count,
+                shards,
+                cancelled: false,
+                merged_rows: 0,
+            },
+        );
+    }
+
+    /// Expires leases: workers more than two leases behind are declared dead
+    /// — their in-flight shard re-queues from its coordinator checkpoint
+    /// under a bumped epoch — and dead records past the retention window are
+    /// purged. Returns the ids of workers declared dead by this call.
+    pub fn expire(&self, now: Instant) -> Vec<u64> {
+        let mut state = self.lock();
+        let mut died = Vec::new();
+        let dead_after = 2 * self.lease;
+        let purge_after = DEAD_RETENTION_LEASES * self.lease;
+        let mut requeue = Vec::new();
+        for (&id, record) in state.workers.iter_mut() {
+            if !record.dead && now.duration_since(record.last_seen) > dead_after {
+                record.dead = true;
+                died.push(id);
+                self.lease_expiries_total.fetch_add(1, Ordering::Relaxed);
+                let mut span = ayd_obs::span("lease_expire");
+                span.field_u64("worker", id);
+                if let Some(assignment) = record.assignment.take() {
+                    span.field_u64("job", assignment.job);
+                    span.field_u64("shard", assignment.shard as u64);
+                    requeue.push(assignment);
+                }
+                span.finish();
+            }
+        }
+        state.workers.retain(|_, record| {
+            !record.dead || now.duration_since(record.last_seen) <= purge_after
+        });
+        for assignment in requeue {
+            let Some(job) = state.jobs.get_mut(&assignment.job) else {
+                continue;
+            };
+            let shard = &mut job.shards[assignment.shard];
+            // Only the epoch the worker held can be re-queued: a `Done`
+            // shard, or one already re-issued, is left alone.
+            if shard.epoch == assignment.epoch
+                && matches!(shard.state, ShardState::Dispatched { .. })
+            {
+                shard.state = ShardState::Pending;
+                shard.epoch += 1;
+                shard.reissues += 1;
+                self.reissues_total.fetch_add(1, Ordering::Relaxed);
+                let mut span = ayd_obs::span("shard_reissue");
+                span.field_u64("job", assignment.job);
+                span.field_u64("shard", assignment.shard as u64);
+                span.field_u64("epoch", shard.epoch);
+                span.field_u64("checkpointed_rows", shard.rows.len() as u64);
+                span.finish();
+            }
+        }
+        died
+    }
+
+    /// Plans dispatches: pending shards are assigned to idle alive workers
+    /// under the lock (shard marked `Dispatched`, worker's assignment set),
+    /// and the HTTP posts happen outside it. A failed post must be reported
+    /// back via [`Coordinator::dispatch_failed`].
+    pub fn dispatch_plan(&self, now: Instant) -> Vec<Dispatch> {
+        let mut state = self.lock();
+        let mut idle: Vec<u64> = state
+            .workers
+            .iter()
+            .filter(|(_, record)| {
+                !record.dead
+                    && record.assignment.is_none()
+                    && now.duration_since(record.last_seen) <= self.lease
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        idle.sort_unstable();
+        if idle.is_empty() {
+            return Vec::new();
+        }
+        let mut plan = Vec::new();
+        let mut job_ids: Vec<u64> = state.jobs.keys().copied().collect();
+        job_ids.sort_unstable();
+        'jobs: for job_id in job_ids {
+            let job = &state.jobs[&job_id];
+            if job.cancelled {
+                continue;
+            }
+            let pending: Vec<usize> = job
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.state, ShardState::Pending))
+                .map(|(i, _)| i)
+                .collect();
+            for shard_index in pending {
+                let Some(worker_id) = idle.pop() else {
+                    break 'jobs;
+                };
+                let addr = state.workers[&worker_id].addr.clone();
+                let job = state.jobs.get_mut(&job_id).expect("job present");
+                let shard = &mut job.shards[shard_index];
+                shard.state = ShardState::Dispatched { worker: worker_id };
+                shard.worker = Some(worker_id);
+                let dispatch = Dispatch {
+                    worker: worker_id,
+                    addr,
+                    job: job_id,
+                    shard: shard_index,
+                    count: job.count,
+                    epoch: shard.epoch,
+                    start_row: shard.rows.len(),
+                    grid_json: job.grid_json.clone(),
+                    grid_fingerprint: job.grid_fingerprint,
+                    options_fingerprint: job.options_fingerprint,
+                };
+                state
+                    .workers
+                    .get_mut(&worker_id)
+                    .expect("worker present")
+                    .assignment = Some(Assignment {
+                    job: job_id,
+                    shard: shard_index,
+                    epoch: dispatch.epoch,
+                });
+                self.dispatched_total.fetch_add(1, Ordering::Relaxed);
+                plan.push(dispatch);
+            }
+        }
+        plan
+    }
+
+    /// Reverts a dispatch whose HTTP post failed: the shard goes back to
+    /// pending (same epoch — nothing was computed) and the worker back to
+    /// idle, provided neither moved on in the meantime.
+    pub fn dispatch_failed(&self, dispatch: &Dispatch) {
+        let mut state = self.lock();
+        if let Some(record) = state.workers.get_mut(&dispatch.worker) {
+            if record.assignment
+                == Some(Assignment {
+                    job: dispatch.job,
+                    shard: dispatch.shard,
+                    epoch: dispatch.epoch,
+                })
+            {
+                record.assignment = None;
+            }
+        }
+        if let Some(job) = state.jobs.get_mut(&dispatch.job) {
+            let shard = &mut job.shards[dispatch.shard];
+            if shard.epoch == dispatch.epoch
+                && shard.state
+                    == (ShardState::Dispatched {
+                        worker: dispatch.worker,
+                    })
+            {
+                shard.state = ShardState::Pending;
+            }
+        }
+    }
+
+    /// Accepts (or refuses) one uploaded chunk. The sender must hold the
+    /// shard's current assignment — worker id, registration token and epoch
+    /// all have to match — and the chunk's manifest must agree with the job's
+    /// fingerprints and the coordinator's checkpoint. A refused chunk leaves
+    /// the checkpoint unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accept_chunk(
+        &self,
+        job_id: u64,
+        shard_index: usize,
+        worker: u64,
+        token: u64,
+        epoch: u64,
+        chunk: &ShardChunk,
+        now: Instant,
+    ) -> Result<ChunkOutcome, ChunkError> {
+        let mut span = ayd_obs::span("shard_chunk");
+        span.field_u64("job", job_id);
+        span.field_u64("shard", shard_index as u64);
+        span.field_u64("worker", worker);
+        span.field_u64("rows", chunk.row_count() as u64);
+        let result = self.accept_chunk_inner(job_id, shard_index, worker, token, epoch, chunk, now);
+        span.field_bool("accepted", result.is_ok());
+        span.finish();
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn accept_chunk_inner(
+        &self,
+        job_id: u64,
+        shard_index: usize,
+        worker: u64,
+        token: u64,
+        epoch: u64,
+        chunk: &ShardChunk,
+        now: Instant,
+    ) -> Result<ChunkOutcome, ChunkError> {
+        let mut state = self.lock();
+        // Fence the sender before touching the job: only the worker the
+        // shard's current epoch was dispatched to may advance the checkpoint.
+        match state.workers.get(&worker) {
+            Some(record) if record.dead => {
+                return Err(ChunkError::Stale(format!(
+                    "worker {worker} was declared dead; its shard was re-issued"
+                )))
+            }
+            Some(record) if record.token != token => {
+                return Err(ChunkError::Stale(format!(
+                    "worker {worker} token mismatch (stale registration)"
+                )))
+            }
+            Some(_) => {}
+            None => {
+                return Err(ChunkError::Stale(format!(
+                    "unknown worker {worker} (purged after lease expiry?)"
+                )))
+            }
+        }
+        let Some(job) = state.jobs.get_mut(&job_id) else {
+            return Err(ChunkError::NotFound(format!("no sweep job {job_id}")));
+        };
+        if job.cancelled {
+            return Err(ChunkError::Gone(format!(
+                "sweep job {job_id} was cancelled"
+            )));
+        }
+        if shard_index >= job.count {
+            return Err(ChunkError::NotFound(format!(
+                "job {job_id} has {} shards, no shard {shard_index}",
+                job.count
+            )));
+        }
+        let manifest = &chunk.manifest;
+        if manifest.grid_fingerprint != job.grid_fingerprint
+            || manifest.options_fingerprint != job.options_fingerprint
+            || manifest.grid_cells != job.grid_cells
+        {
+            return Err(ChunkError::Invalid(
+                "chunk manifest belongs to a different sweep (fingerprint mismatch)".to_string(),
+            ));
+        }
+        if manifest.shard.index != shard_index || manifest.shard.count != job.count {
+            return Err(ChunkError::Invalid(format!(
+                "chunk manifest covers shard {}, upload targets shard {shard_index}/{}",
+                manifest.shard, job.count
+            )));
+        }
+        let shard = &mut job.shards[shard_index];
+        match shard.state {
+            ShardState::Dispatched { worker: assigned } if assigned == worker => {}
+            ShardState::Done => {
+                return Err(ChunkError::Stale(format!(
+                    "shard {shard_index} already completed"
+                )))
+            }
+            _ => {
+                return Err(ChunkError::Stale(format!(
+                    "shard {shard_index} is not dispatched to worker {worker}"
+                )))
+            }
+        }
+        if shard.epoch != epoch {
+            return Err(ChunkError::Stale(format!(
+                "stale epoch {epoch} for shard {shard_index} (current {})",
+                shard.epoch
+            )));
+        }
+        if chunk.from_row != shard.rows.len() {
+            return Err(ChunkError::Invalid(format!(
+                "chunk starts at row {} but the checkpoint holds {} rows",
+                chunk.from_row,
+                shard.rows.len()
+            )));
+        }
+        let accepted_rows = chunk.row_count();
+        if shard.rows.len() + accepted_rows > shard.total {
+            return Err(ChunkError::Invalid(format!(
+                "chunk overruns the shard: {} + {accepted_rows} rows > {} cells",
+                shard.rows.len(),
+                shard.total
+            )));
+        }
+        shard
+            .rows
+            .extend(chunk.rows.lines().map(|line| line.to_string()));
+        let shard_done = shard.rows.len() == shard.total;
+        if shard_done {
+            shard.state = ShardState::Done;
+        }
+        job.advance_merge();
+        let job_done = job.is_done();
+        // The upload doubles as a heartbeat, and a finished shard frees the
+        // worker for the next dispatch tick.
+        if let Some(record) = state.workers.get_mut(&worker) {
+            record.last_seen = now;
+            if shard_done {
+                record.assignment = None;
+            }
+        }
+        Ok(ChunkOutcome {
+            accepted_rows,
+            shard_done,
+            job_done,
+        })
+    }
+
+    /// Marks a job cancelled: pending shards stop dispatching and in-flight
+    /// uploads are refused with `410`.
+    pub fn cancel_job(&self, job: u64) {
+        let mut state = self.lock();
+        if let Some(entry) = state.jobs.get_mut(&job) {
+            entry.cancelled = true;
+        }
+    }
+
+    /// `(completed, total)` cells of a live job.
+    pub fn job_progress(&self, job: u64) -> Option<(usize, usize)> {
+        let state = self.lock();
+        state
+            .jobs
+            .get(&job)
+            .map(|entry| (entry.completed(), entry.total()))
+    }
+
+    /// True when the job can be joined: every shard done, or cancelled.
+    /// Unknown jobs count as finished so the registry never spins on one.
+    pub fn job_finished(&self, job: u64) -> bool {
+        let state = self.lock();
+        state
+            .jobs
+            .get(&job)
+            .map(|entry| entry.cancelled || entry.is_done())
+            .unwrap_or(true)
+    }
+
+    /// The distributed per-shard progress view of a live job.
+    pub fn shards_view(&self, job: u64) -> Option<DistJobView> {
+        let state = self.lock();
+        let entry = state.jobs.get(&job)?;
+        let shards = entry
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| DistShardView {
+                index,
+                total: shard.total,
+                completed: shard.rows.len(),
+                status: match shard.state {
+                    ShardState::Pending => "pending",
+                    ShardState::Dispatched { .. } => "dispatched",
+                    ShardState::Done => "done",
+                },
+                worker: shard.worker,
+                worker_addr: shard
+                    .worker
+                    .and_then(|id| state.workers.get(&id))
+                    .map(|record| record.addr.clone()),
+                epoch: shard.epoch,
+                reissues: shard.reissues,
+            })
+            .collect();
+        Some(DistJobView {
+            shards,
+            merged_rows: entry.merged_rows,
+            total: entry.total(),
+            cancelled: entry.cancelled,
+        })
+    }
+
+    /// The `/v1/workers` operator view.
+    pub fn workers_view(&self, now: Instant) -> Vec<WorkerView> {
+        let state = self.lock();
+        let mut views: Vec<WorkerView> = state
+            .workers
+            .iter()
+            .map(|(&id, record)| WorkerView {
+                id,
+                addr: record.addr.clone(),
+                state: self.liveness(record, now),
+                age_ms: now.duration_since(record.last_seen).as_millis() as u64,
+                assignment: record.assignment.map(|a| (a.job, a.shard, a.epoch)),
+            })
+            .collect();
+        views.sort_unstable_by_key(|view| view.id);
+        views
+    }
+
+    fn liveness(&self, record: &WorkerRecord, now: Instant) -> &'static str {
+        if record.dead {
+            "dead"
+        } else if now.duration_since(record.last_seen) <= self.lease {
+            "alive"
+        } else {
+            "suspect"
+        }
+    }
+
+    /// Point-in-time counters for the cluster `/metrics` families.
+    pub fn stats(&self, now: Instant) -> ClusterStats {
+        let state = self.lock();
+        let mut stats = ClusterStats {
+            shards_dispatched_total: self.dispatched_total.load(Ordering::Relaxed),
+            shard_reissues_total: self.reissues_total.load(Ordering::Relaxed),
+            lease_expiries_total: self.lease_expiries_total.load(Ordering::Relaxed),
+            ..ClusterStats::default()
+        };
+        for record in state.workers.values() {
+            match self.liveness(record, now) {
+                "alive" => stats.workers_alive += 1,
+                "suspect" => stats.workers_suspect += 1,
+                _ => stats.workers_dead += 1,
+            }
+        }
+        stats
+    }
+
+    /// Takes a finished job out of the coordinator, merging its shards into
+    /// the canonical CSV via [`merge_parts`] (byte-identical to the
+    /// single-process sweep). Cancelled or incomplete jobs yield a
+    /// header-only CSV marked cancelled.
+    pub fn take_finished(&self, job: u64) -> Option<DistOutcome> {
+        let mut state = self.lock();
+        let entry = state.jobs.remove(&job)?;
+        let totals: Vec<usize> = entry.shards.iter().map(|s| s.total).collect();
+        let completed: Vec<usize> = entry.shards.iter().map(|s| s.rows.len()).collect();
+        let base = DistOutcome {
+            cancelled: true,
+            csv: format!("{CSV_HEADER}\n"),
+            rows: 0,
+            count: entry.count,
+            grid_fingerprint: entry.grid_fingerprint,
+            options_fingerprint: entry.options_fingerprint,
+            totals,
+            completed,
+        };
+        if entry.cancelled || !entry.is_done() {
+            return Some(base);
+        }
+        let parts: Vec<ShardPart> = entry
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let spec = ShardSpec::new(index, entry.count).expect("validated at submit");
+                let mut manifest = ayd_sweep::SweepManifest {
+                    grid_fingerprint: entry.grid_fingerprint,
+                    options_fingerprint: entry.options_fingerprint,
+                    shard: spec,
+                    grid_cells: entry.grid_cells,
+                    shard_cells: shard.total,
+                    completed: shard.rows.len(),
+                    profiles: Vec::new(),
+                };
+                let mut csv = String::with_capacity(
+                    CSV_HEADER.len() + 1 + shard.rows.iter().map(|r| r.len() + 1).sum::<usize>(),
+                );
+                csv.push_str(CSV_HEADER);
+                csv.push('\n');
+                for row in &shard.rows {
+                    csv.push_str(row);
+                    csv.push('\n');
+                }
+                manifest.completed = shard.rows.len();
+                ShardPart { manifest, csv }
+            })
+            .collect();
+        match merge_parts(&parts) {
+            Ok(csv) => {
+                let rows = entry.total();
+                Some(DistOutcome {
+                    cancelled: false,
+                    rows,
+                    csv,
+                    ..base
+                })
+            }
+            // Structurally impossible once every chunk was validated on
+            // entry; surface as a cancelled (failed) job rather than panic.
+            Err(_) => Some(base),
+        }
+    }
+}
+
+/// Renders the `/v1/shards/run` dispatch body a worker receives.
+pub fn dispatch_body(dispatch: &Dispatch) -> String {
+    let grid = Json::parse(&dispatch.grid_json).unwrap_or(Json::Obj(Vec::new()));
+    Json::obj(vec![
+        ("job", Json::num(dispatch.job as f64)),
+        ("shard", Json::num(dispatch.shard as f64)),
+        ("count", Json::num(dispatch.count as f64)),
+        ("epoch", Json::num(dispatch.epoch as f64)),
+        ("start_row", Json::num(dispatch.start_row as f64)),
+        ("worker", Json::num(dispatch.worker as f64)),
+        (
+            "grid_fingerprint",
+            Json::str(format!("{:016x}", dispatch.grid_fingerprint)),
+        ),
+        (
+            "options_fingerprint",
+            Json::str(format!("{:016x}", dispatch.options_fingerprint)),
+        ),
+        ("grid", grid),
+    ])
+    .render()
+}
+
+/// Posts one dispatch to its worker; true on a `202` acknowledgement.
+fn send_dispatch(dispatch: &Dispatch) -> bool {
+    let mut span = ayd_obs::span("dispatch");
+    span.field_u64("job", dispatch.job);
+    span.field_u64("shard", dispatch.shard as u64);
+    span.field_u64("worker", dispatch.worker);
+    span.field_u64("epoch", dispatch.epoch);
+    span.field_u64("start_row", dispatch.start_row as u64);
+    let body = dispatch_body(dispatch);
+    let ok = HttpClient::connect(&dispatch.addr)
+        .and_then(|mut client| client.post_json("/v1/shards/run", &body))
+        .map(|response| response.status == 202)
+        .unwrap_or(false);
+    span.field_bool("ok", ok);
+    span.finish();
+    ok
+}
+
+/// The dispatcher loop: expire leases, plan dispatches under the lock, post
+/// them outside it, revert failures; ticks at a quarter lease (capped at
+/// 250 ms) until [`Coordinator::stop`].
+pub fn run_dispatcher(coordinator: Arc<Coordinator>) {
+    let tick = (coordinator.lease() / 4)
+        .min(Duration::from_millis(250))
+        .max(Duration::from_millis(10));
+    while !coordinator.stopped() {
+        let now = Instant::now();
+        coordinator.expire(now);
+        for dispatch in coordinator.dispatch_plan(now) {
+            if !send_dispatch(&dispatch) {
+                coordinator.dispatch_failed(&dispatch);
+            }
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// Spawns [`run_dispatcher`] on a named thread.
+pub fn spawn_dispatcher(coordinator: Arc<Coordinator>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("ayd-dispatch".to_string())
+        .spawn(move || run_dispatcher(coordinator))
+        .expect("spawn the dispatcher thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayd_platforms::ScenarioId;
+    use ayd_sweep::{
+        ProcessorAxis, RunOptions, ScenarioGrid, SweepManifest, SweepOptions, CSV_HEADER,
+    };
+
+    const LEASE: Duration = Duration::from_millis(1_000);
+
+    fn grid() -> ScenarioGrid {
+        ScenarioGrid::builder()
+            .scenarios(&[ScenarioId::S1, ScenarioId::S3])
+            .processors(ProcessorAxis::Fixed(vec![256.0, 1024.0]))
+            .build()
+            .unwrap()
+    }
+
+    fn options() -> SweepOptions {
+        SweepOptions::new(RunOptions {
+            simulate: false,
+            ..RunOptions::smoke()
+        })
+    }
+
+    fn fake_row() -> String {
+        vec!["x"; CSV_HEADER.matches(',').count() + 1].join(",")
+    }
+
+    /// A coordinator with one registered worker and one 2-shard job over the
+    /// 4-cell test grid, plus the dispatches the first plan hands out.
+    fn cluster() -> (Arc<Coordinator>, Instant, u64, u64, Vec<Dispatch>) {
+        let coordinator = Coordinator::new(LEASE);
+        let t0 = Instant::now();
+        let (worker, token) = coordinator.register_worker("127.0.0.1:1", t0);
+        let g = grid();
+        coordinator.submit(
+            7,
+            "{}".to_string(),
+            g.fingerprint(),
+            options().output_fingerprint(),
+            2,
+            g.len(),
+        );
+        let plan = coordinator.dispatch_plan(t0);
+        (coordinator, t0, worker, token, plan)
+    }
+
+    /// Builds a valid chunk for shard `index/count` of the test grid covering
+    /// rows `from..from+rows`.
+    fn chunk(index: usize, count: usize, from: usize, rows: usize) -> ShardChunk {
+        let g = grid();
+        let spec = ShardSpec::new(index, count).unwrap();
+        let mut manifest = SweepManifest::new(&g, &options(), spec);
+        manifest.completed = from + rows;
+        let mut text = String::new();
+        for _ in 0..rows {
+            text.push_str(&fake_row());
+            text.push('\n');
+        }
+        ShardChunk::new(manifest, from, text).unwrap()
+    }
+
+    #[test]
+    fn dispatch_assigns_pending_shards_to_idle_alive_workers() {
+        let (coordinator, t0, worker, _token, plan) = cluster();
+        // One idle worker → exactly one of the two shards dispatched.
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].worker, worker);
+        assert_eq!(plan[0].start_row, 0);
+        assert_eq!(plan[0].count, 2);
+        // The worker is busy now: nothing further to dispatch.
+        assert!(coordinator.dispatch_plan(t0).is_empty());
+        let stats = coordinator.stats(t0);
+        assert_eq!(stats.workers_alive, 1);
+        assert_eq!(stats.shards_dispatched_total, 1);
+        // A failed post reverts shard and worker; the next plan retries.
+        coordinator.dispatch_failed(&plan[0]);
+        let retry = coordinator.dispatch_plan(t0);
+        assert_eq!(retry.len(), 1);
+        assert_eq!(retry[0].shard, plan[0].shard);
+        assert_eq!(retry[0].epoch, plan[0].epoch, "no recompute → same epoch");
+    }
+
+    #[test]
+    fn chunks_advance_the_checkpoint_and_complete_shards() {
+        let (coordinator, t0, worker, token, plan) = cluster();
+        let d = &plan[0];
+        let total = coordinator.shards_view(7).unwrap().shards[d.shard].total;
+        let first = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker,
+                token,
+                d.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                t0,
+            )
+            .unwrap();
+        assert_eq!(first.accepted_rows, 1);
+        assert!(!first.shard_done);
+        // Replay (same from_row) is refused, checkpoint unchanged.
+        let replay = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker,
+                token,
+                d.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                t0,
+            )
+            .unwrap_err();
+        assert!(matches!(replay, ChunkError::Invalid(_)), "{replay:?}");
+        let view = coordinator.shards_view(7).unwrap();
+        assert_eq!(view.shards[d.shard].completed, 1);
+        // Finishing the shard frees the worker and marks the shard done.
+        let done = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker,
+                token,
+                d.epoch,
+                &chunk(d.shard, 2, 1, total - 1),
+                t0,
+            )
+            .unwrap();
+        assert!(done.shard_done);
+        assert!(!done.job_done, "the second shard is still pending");
+        let next = coordinator.dispatch_plan(t0);
+        assert_eq!(next.len(), 1, "freed worker picks up the second shard");
+        assert_ne!(next[0].shard, d.shard);
+    }
+
+    #[test]
+    fn lease_expiry_requeues_the_shard_from_its_checkpoint() {
+        let (coordinator, t0, worker, token, plan) = cluster();
+        let d = &plan[0];
+        coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker,
+                token,
+                d.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                t0,
+            )
+            .unwrap();
+        // Within two leases the worker is only suspect; nothing re-queues.
+        let suspect_at = t0 + LEASE + LEASE / 2;
+        assert!(coordinator.expire(suspect_at).is_empty());
+        assert_eq!(coordinator.stats(suspect_at).workers_suspect, 1);
+        // Past two leases the worker dies and the shard re-queues.
+        let dead_at = t0 + 2 * LEASE + Duration::from_millis(1);
+        assert_eq!(coordinator.expire(dead_at), vec![worker]);
+        let stats = coordinator.stats(dead_at);
+        assert_eq!(stats.workers_dead, 1);
+        assert_eq!(stats.lease_expiries_total, 1);
+        assert_eq!(stats.shard_reissues_total, 1);
+        // Its heartbeat now demands re-registration.
+        assert!(coordinator.heartbeat(worker, token, dead_at).is_err());
+        // A new worker receives the re-issued shard *from the checkpoint*.
+        let (worker2, _token2) = coordinator.register_worker("127.0.0.1:2", dead_at);
+        let plan2 = coordinator.dispatch_plan(dead_at);
+        let reissued = plan2
+            .iter()
+            .find(|p| p.shard == d.shard)
+            .expect("expired shard re-dispatched");
+        assert_eq!(reissued.worker, worker2);
+        assert_eq!(reissued.start_row, 1, "completed cells are not recomputed");
+        assert_eq!(reissued.epoch, d.epoch + 1);
+    }
+
+    #[test]
+    fn stale_uploads_from_a_dead_or_reregistered_worker_are_fenced() {
+        let (coordinator, t0, worker, token, plan) = cluster();
+        let d = &plan[0];
+        let dead_at = t0 + 2 * LEASE + Duration::from_millis(1);
+        coordinator.expire(dead_at);
+        // The declared-dead identity cannot advance the checkpoint.
+        let err = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker,
+                token,
+                d.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                dead_at,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ChunkError::Stale(_)), "{err:?}");
+        // The same node re-registers (new identity) — its *old* token and
+        // epoch still cannot write, even though the worker is alive again.
+        let (worker2, token2) = coordinator.register_worker("127.0.0.1:1", dead_at);
+        let err = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker2,
+                token2,
+                d.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                dead_at,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ChunkError::Stale(_)),
+            "shard not dispatched to the new identity yet: {err:?}"
+        );
+        // Once re-dispatched (epoch bumped), only the new epoch writes.
+        let plan2 = coordinator.dispatch_plan(dead_at);
+        let reissued = plan2.iter().find(|p| p.shard == d.shard).unwrap();
+        let err = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker2,
+                token2,
+                d.epoch, // stale epoch
+                &chunk(d.shard, 2, 0, 1),
+                dead_at,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ChunkError::Stale(_)), "{err:?}");
+        coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker2,
+                token2,
+                reissued.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                dead_at,
+            )
+            .expect("the re-issued epoch writes");
+        let view = coordinator.shards_view(7).unwrap();
+        assert_eq!(view.shards[d.shard].completed, 1);
+        assert_eq!(view.shards[d.shard].reissues, 1);
+    }
+
+    #[test]
+    fn two_workers_racing_a_reissued_shard_cannot_both_write() {
+        let (coordinator, t0, worker_a, token_a, plan) = cluster();
+        let d = &plan[0];
+        // Worker A uploads one row, then goes silent; the shard re-issues to
+        // worker B from row 1.
+        coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker_a,
+                token_a,
+                d.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                t0,
+            )
+            .unwrap();
+        let dead_at = t0 + 2 * LEASE + Duration::from_millis(1);
+        coordinator.expire(dead_at);
+        let (worker_b, token_b) = coordinator.register_worker("127.0.0.1:2", dead_at);
+        let plan2 = coordinator.dispatch_plan(dead_at);
+        let reissued = plan2.iter().find(|p| p.shard == d.shard).unwrap();
+        assert_eq!(reissued.worker, worker_b);
+        assert_eq!(reissued.start_row, 1);
+        // A resurrects and races B for row 1 with its original credentials:
+        // fenced (dead identity + stale epoch), checkpoint unchanged.
+        let err = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker_a,
+                token_a,
+                d.epoch,
+                &chunk(d.shard, 2, 1, 1),
+                dead_at,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ChunkError::Stale(_)), "{err:?}");
+        assert_eq!(
+            coordinator.shards_view(7).unwrap().shards[d.shard].completed,
+            1
+        );
+        // B's upload under the re-issued epoch lands exactly once.
+        coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker_b,
+                token_b,
+                reissued.epoch,
+                &chunk(d.shard, 2, 1, 1),
+                dead_at,
+            )
+            .unwrap();
+        assert_eq!(
+            coordinator.shards_view(7).unwrap().shards[d.shard].completed,
+            2
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatches_are_invalid_not_stale() {
+        let (coordinator, t0, worker, token, plan) = cluster();
+        let d = &plan[0];
+        // A chunk from a different sweep configuration: same shard shape,
+        // different options fingerprint.
+        let g = grid();
+        let other_options = SweepOptions::new(RunOptions {
+            simulate: false,
+            seed: 999,
+            ..RunOptions::smoke()
+        });
+        let spec = ShardSpec::new(d.shard, 2).unwrap();
+        let mut manifest = SweepManifest::new(&g, &other_options, spec);
+        manifest.completed = 1;
+        let mut text = fake_row();
+        text.push('\n');
+        let foreign = ShardChunk::new(manifest, 0, text).unwrap();
+        let err = coordinator
+            .accept_chunk(7, d.shard, worker, token, d.epoch, &foreign, t0)
+            .unwrap_err();
+        assert!(matches!(err, ChunkError::Invalid(_)), "{err:?}");
+        assert_eq!(err.status().0, 400);
+        // Unknown job and cancelled job map to 404/410.
+        let err = coordinator
+            .accept_chunk(99, 0, worker, token, 0, &chunk(0, 2, 0, 1), t0)
+            .unwrap_err();
+        assert_eq!(err.status().0, 404);
+        coordinator.cancel_job(7);
+        let err = coordinator
+            .accept_chunk(
+                7,
+                d.shard,
+                worker,
+                token,
+                d.epoch,
+                &chunk(d.shard, 2, 0, 1),
+                t0,
+            )
+            .unwrap_err();
+        assert_eq!(err.status().0, 410);
+    }
+
+    #[test]
+    fn finished_jobs_merge_their_shards_and_stream_progress() {
+        let coordinator = Coordinator::new(LEASE);
+        let t0 = Instant::now();
+        let g = grid();
+        let count = 2;
+        coordinator.submit(
+            1,
+            "{}".to_string(),
+            g.fingerprint(),
+            options().output_fingerprint(),
+            count,
+            g.len(),
+        );
+        let (worker, token) = coordinator.register_worker("127.0.0.1:1", t0);
+        // Run both shards through one worker, checking the streaming merge
+        // frontier along the way.
+        for _ in 0..count {
+            let plan = coordinator.dispatch_plan(t0);
+            let d = &plan[0];
+            let total = coordinator.shards_view(1).unwrap().shards[d.shard].total;
+            coordinator
+                .accept_chunk(
+                    1,
+                    d.shard,
+                    worker,
+                    token,
+                    d.epoch,
+                    &chunk(d.shard, count, 0, total),
+                    t0,
+                )
+                .unwrap();
+        }
+        let view = coordinator.shards_view(1).unwrap();
+        assert_eq!(view.merged_rows, g.len(), "every row merged in order");
+        assert!(coordinator.job_finished(1));
+        let outcome = coordinator.take_finished(1).expect("job present");
+        assert!(!outcome.cancelled);
+        assert_eq!(outcome.rows, g.len());
+        assert_eq!(outcome.csv.lines().count(), g.len() + 1);
+        assert!(outcome.csv.starts_with(CSV_HEADER));
+        // The job is gone afterwards.
+        assert!(coordinator.take_finished(1).is_none());
+        assert!(coordinator.job_finished(1), "unknown jobs count finished");
+    }
+}

@@ -12,6 +12,12 @@
 //! | `/v1/sweep` | POST | a [`ayd_sweep::ScenarioGrid`] as an async job (202 + id) |
 //! | `/v1/sweep/{id}` | GET | job status while running; the canonical CSV when done |
 //! | `/v1/sweep/{id}` | DELETE | cooperative cancellation |
+//! | `/v1/sweep/{id}/shards` | GET | per-shard progress; on a coordinator: per-worker assignment, epoch, re-issues |
+//! | `/v1/workers/register` | POST | coordinator only: a worker node joins the cluster (id + lease token) |
+//! | `/v1/workers/{id}/heartbeat` | POST | coordinator only: lease renewal |
+//! | `/v1/workers` | GET | coordinator only: operator view of worker liveness and assignments |
+//! | `/v1/shards/run` | POST | worker only: the coordinator dispatching one shard to this node |
+//! | `/v1/sweep/{job}/shards/{i}/chunk` | POST | coordinator only: a worker uploading checkpointed shard rows |
 //! | `/healthz` | GET | liveness + uptime |
 //! | `/metrics` | GET | Prometheus text: request counts, latency histograms, pool/job gauges, cache hit rate |
 //! | `/v1/trace/recent` | GET | newest completed `ayd-obs` spans from the in-process ring (JSON) |
@@ -45,6 +51,15 @@
 //! malformed-input property suite asserts it never panics and always answers
 //! with a well-formed status line. JSON ([`json`]) is a small strict
 //! parser/renderer whose `f64` round-trips are bit-exact.
+//!
+//! Cluster mode ([`coordinator`], [`worker`]) distributes one sweep across
+//! processes: the coordinator decomposes a `/v1/sweep` job into
+//! [`ayd_sweep::ShardSpec`] units, dispatches them to registered workers over
+//! [`client::HttpClient`], checkpoints uploaded row chunks, re-issues a dead
+//! worker's shard from its checkpoint when the lease expires, and merges via
+//! [`ayd_sweep::merge_parts`] so the CSV is byte-identical to a
+//! single-process sweep. See `docs/ARCHITECTURE.md` and
+//! `docs/OPERATIONS.md` at the repository root.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -53,6 +68,7 @@ pub mod api;
 pub mod app;
 pub mod client;
 pub mod conn;
+pub mod coordinator;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -68,13 +84,16 @@ pub mod server;
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
 pub mod sys;
+pub mod worker;
 
 pub use api::ApiError;
-pub use app::{AppState, IoModel, ServerConfig, EVENT_IO_SUPPORTED};
+pub use app::{AppState, ClusterConfig, IoModel, ServerConfig, EVENT_IO_SUPPORTED};
 pub use client::{smoke_check, ClientResponse, HttpClient};
 pub use conn::{serve_chunks, IncrementalParser};
+pub use coordinator::{ClusterStats, Coordinator};
 pub use http::{Limits, Request, Response};
 pub use json::Json;
 pub use metrics::{validate_prometheus, GaugeSnapshot, Metrics, PrometheusText, Sample};
 pub use pool::WorkerPool;
 pub use server::{serve_connection, ServeHandle, Server};
+pub use worker::WorkerRuntime;

@@ -18,6 +18,8 @@ use std::time::Duration;
 
 use ayd_sweep::{CacheStats, FallbackReason, SearchReport};
 
+use crate::coordinator::ClusterStats;
+
 /// Upper bounds (in seconds) of the latency histogram buckets.
 const BUCKET_BOUNDS: [f64; 11] = [
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
@@ -236,9 +238,14 @@ impl Metrics {
     }
 
     /// Renders every metric in the Prometheus text exposition format,
-    /// including the shared evaluation-cache counters and the point-in-time
-    /// `gauges` snapshot.
-    pub fn render_prometheus(&self, cache: &CacheStats, gauges: &GaugeSnapshot) -> String {
+    /// including the shared evaluation-cache counters, the point-in-time
+    /// `gauges` snapshot and — on a coordinator — the cluster families.
+    pub fn render_prometheus(
+        &self,
+        cache: &CacheStats,
+        gauges: &GaugeSnapshot,
+        cluster: Option<&ClusterStats>,
+    ) -> String {
         let mut out = String::with_capacity(4096);
 
         out.push_str("# HELP ayd_requests_total Requests served, by endpoint and status.\n");
@@ -397,6 +404,38 @@ impl Metrics {
             ("cancelled", gauges.jobs_cancelled),
         ] {
             out.push_str(&format!("ayd_sweep_jobs{{state=\"{state}\"}} {count}\n"));
+        }
+
+        if let Some(cluster) = cluster {
+            out.push_str("# HELP ayd_workers Registered worker nodes by liveness.\n");
+            out.push_str("# TYPE ayd_workers gauge\n");
+            for (state, count) in [
+                ("alive", cluster.workers_alive),
+                ("suspect", cluster.workers_suspect),
+                ("dead", cluster.workers_dead),
+            ] {
+                out.push_str(&format!("ayd_workers{{state=\"{state}\"}} {count}\n"));
+            }
+            out.push_str("# HELP ayd_shards_dispatched_total Shard dispatches sent to workers.\n");
+            out.push_str("# TYPE ayd_shards_dispatched_total counter\n");
+            out.push_str(&format!(
+                "ayd_shards_dispatched_total {}\n",
+                cluster.shards_dispatched_total
+            ));
+            out.push_str(
+                "# HELP ayd_shard_reissues_total Shards re-issued after a worker lease expired.\n",
+            );
+            out.push_str("# TYPE ayd_shard_reissues_total counter\n");
+            out.push_str(&format!(
+                "ayd_shard_reissues_total {}\n",
+                cluster.shard_reissues_total
+            ));
+            out.push_str("# HELP ayd_lease_expiries_total Worker leases that expired.\n");
+            out.push_str("# TYPE ayd_lease_expiries_total counter\n");
+            out.push_str(&format!(
+                "ayd_lease_expiries_total {}\n",
+                cluster.lease_expiries_total
+            ));
         }
         out
     }
@@ -642,7 +681,8 @@ mod tests {
         metrics.observe_readiness_wait(Duration::from_millis(100));
         // One observe so the payload has request samples for the validator.
         metrics.observe("healthz", 200, Duration::from_micros(5));
-        let text = metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default());
+        let text =
+            metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default(), None);
         validate_prometheus(&text).unwrap();
         assert!(text.contains("ayd_open_connections 3\n"));
         assert!(text.contains("ayd_accepts_total{reactor=\"0\"} 2\n"));
@@ -722,6 +762,7 @@ mod tests {
                 jobs_running: 1,
                 ..GaugeSnapshot::default()
             },
+            None,
         );
         assert!(text.contains("ayd_requests_total{endpoint=\"optimize\",status=\"200\"} 2\n"));
         assert!(text.contains("ayd_requests_total{endpoint=\"optimize\",status=\"400\"} 1\n"));
@@ -758,12 +799,43 @@ mod tests {
     }
 
     #[test]
+    fn cluster_families_render_only_on_a_coordinator() {
+        let metrics = Metrics::new();
+        metrics.observe("healthz", 200, Duration::from_micros(5));
+        let standalone =
+            metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default(), None);
+        assert!(!standalone.contains("ayd_workers"));
+        assert!(!standalone.contains("ayd_shards_dispatched_total"));
+        let cluster = ClusterStats {
+            workers_alive: 2,
+            workers_suspect: 1,
+            workers_dead: 3,
+            shards_dispatched_total: 9,
+            shard_reissues_total: 4,
+            lease_expiries_total: 5,
+        };
+        let text = metrics.render_prometheus(
+            &CacheStats::default(),
+            &GaugeSnapshot::default(),
+            Some(&cluster),
+        );
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("ayd_workers{state=\"alive\"} 2\n"));
+        assert!(text.contains("ayd_workers{state=\"suspect\"} 1\n"));
+        assert!(text.contains("ayd_workers{state=\"dead\"} 3\n"));
+        assert!(text.contains("ayd_shards_dispatched_total 9\n"));
+        assert!(text.contains("ayd_shard_reissues_total 4\n"));
+        assert!(text.contains("ayd_lease_expiries_total 5\n"));
+    }
+
+    #[test]
     fn in_flight_gauge_saturates_at_zero() {
         let metrics = Metrics::new();
         metrics.request_finished("optimize");
         metrics.request_started("optimize");
         metrics.request_finished("optimize");
-        let text = metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default());
+        let text =
+            metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default(), None);
         assert!(text.contains("ayd_in_flight_requests{endpoint=\"optimize\"} 0\n"));
     }
 
@@ -909,7 +981,8 @@ mod tests {
             handle.join().unwrap();
         }
         let total = (THREADS * PER_THREAD) as f64;
-        let text = metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default());
+        let text =
+            metrics.render_prometheus(&CacheStats::default(), &GaugeSnapshot::default(), None);
         validate_prometheus(&text).unwrap();
         let model = PrometheusText::parse(&text).unwrap();
         // Counter totals: the by-route breakdown sums to the request count.

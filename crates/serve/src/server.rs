@@ -157,8 +157,30 @@ impl Server {
 
     /// Accepts and serves connections until [`ServeHandle::shutdown`] fires,
     /// then drains in-flight connections and returns.
+    ///
+    /// Cluster-role background threads live exactly as long as the listener
+    /// loop: a coordinator runs the dispatcher (lease expiry + shard
+    /// dispatch), a worker runs the agent (registration + heartbeats). On
+    /// shutdown the worker's in-flight shard is cancelled — kill-style
+    /// recovery is the coordinator's job, via lease expiry and re-issue.
     pub fn serve(self) -> std::io::Result<()> {
-        match self.listeners {
+        let advertise = match &self.config.cluster.advertise {
+            Some(addr) => Some(addr.clone()),
+            None => self.local_addr().ok().map(|addr| addr.to_string()),
+        };
+        let mut cluster_threads = Vec::new();
+        if let Some(coordinator) = &self.state.coordinator {
+            cluster_threads.push(crate::coordinator::spawn_dispatcher(Arc::clone(
+                coordinator,
+            )));
+        }
+        if let Some(worker) = &self.state.worker {
+            if let Some(advertise) = advertise {
+                cluster_threads.push(crate::worker::spawn_agent(Arc::clone(worker), advertise));
+            }
+        }
+        let state = Arc::clone(&self.state);
+        let result = match self.listeners {
             ListenerSet::Blocking(listener) => {
                 Self::serve_blocking(listener, self.state, self.shutdown, &self.config)
             }
@@ -169,7 +191,17 @@ impl Server {
             ListenerSet::Event { fds, .. } => {
                 crate::reactor::serve_event(fds, self.state, self.shutdown, &self.config)
             }
+        };
+        if let Some(worker) = &state.worker {
+            worker.stop();
         }
+        if let Some(coordinator) = &state.coordinator {
+            coordinator.stop();
+        }
+        for thread in cluster_threads {
+            let _ = thread.join();
+        }
+        result
     }
 
     /// The legacy engine: one blocking connection-worker job per connection.

@@ -47,6 +47,7 @@ pub mod misspec;
 pub mod options;
 pub mod shard;
 pub mod sink;
+pub mod wire;
 
 pub use ayd_core::{FailureModelSpec, ProfileSpec, SpeedupProfile};
 pub use ayd_optim::{FallbackReason, SearchReport};
@@ -67,3 +68,4 @@ pub use shard::{
     merge_parts, run_shard_to_files, ShardError, ShardPart, ShardRunReport, ShardSpec, MAX_SHARDS,
 };
 pub use sink::{csv_line, CsvSink, NullSink, ReportSink, SweepSink, CSV_HEADER};
+pub use wire::{validate_rows, ShardChunk, CHUNK_MAGIC};
